@@ -1,0 +1,37 @@
+.PHONY: install test bench report examples paper clean
+
+install:
+	pip install -e .[dev]
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every table/figure with printed output (fast preset).
+regen:
+	pytest benchmarks/
+
+report:
+	python -m repro.experiments.report_builder --scale fast --out report.md
+
+report-paper:
+	python -m repro.experiments.report_builder --scale paper --extensions --out report.md
+
+examples:
+	python examples/quickstart.py
+	python examples/cdn_incident_localization.py
+	python examples/online_monitoring.py
+	python examples/custom_dataset.py
+	python examples/threshold_diagnostics.py
+	python examples/method_comparison.py
+	python examples/parameter_tuning.py
+
+paper:
+	python examples/method_comparison.py --paper-scale
+	python examples/parameter_tuning.py --paper-scale
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

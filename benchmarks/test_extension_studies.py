@@ -1,0 +1,86 @@
+"""Extension benches: noise-level robustness and the §V-F efficiency claim.
+
+Regenerates the two prose-claim studies (no figure in the paper) with
+printed tables; see ``repro.experiments.extensions`` for what each
+measures.
+"""
+
+import pytest
+
+from repro.experiments.extensions import attribute_scaling_study, noise_level_study
+from repro.experiments.reporting import render_table
+
+
+@pytest.fixture(scope="module")
+def noise_curve():
+    return noise_level_study(cases_per_group=4, seed=2)
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    return attribute_scaling_study(n_cases=6, seed=2)
+
+
+def test_regenerates_noise_study(noise_curve, capsys):
+    with capsys.disabled():
+        print("\n[Extension] RAPMiner mean F1 vs label-noise level")
+        print(
+            render_table(
+                ["level"] + list(noise_curve),
+                [["mean F1"] + [f"{v:.3f}" for v in noise_curve.values()]],
+            )
+        )
+    assert noise_curve["B0"] >= noise_curve["B3"]
+    assert noise_curve["B0"] > 0.9
+
+
+def test_regenerates_attribute_scaling(scaling, capsys):
+    by_attributes, by_dimension = scaling
+    with capsys.disabled():
+        print("\n[Extension] running time vs total attributes (RAP dim fixed at 1)")
+        print(
+            render_table(
+                ["n_attributes", "mean time (ms)", "kept attrs", "RC@1"],
+                [
+                    [
+                        str(r.n_attributes),
+                        f"{r.mean_seconds * 1000:.2f}",
+                        f"{r.mean_kept_attributes:.1f}",
+                        f"{r.recall_at_1:.2f}",
+                    ]
+                    for r in by_attributes
+                ],
+            )
+        )
+        print("\n[Extension] running time vs RAP dimension (6 attributes fixed)")
+        print(
+            render_table(
+                ["rap_dim", "mean time (ms)", "kept attrs", "RC@1"],
+                [
+                    [
+                        str(r.rap_dimension),
+                        f"{r.mean_seconds * 1000:.2f}",
+                        f"{r.mean_kept_attributes:.1f}",
+                        f"{r.recall_at_1:.2f}",
+                    ]
+                    for r in by_dimension
+                ],
+            )
+        )
+    # The paper's claim: time tracks the RAP dimension, not the schema width.
+    assert by_dimension[-1].mean_seconds > by_dimension[0].mean_seconds
+    widest = by_attributes[-1].mean_seconds
+    narrowest = by_attributes[0].mean_seconds
+    deepest = by_dimension[-1].mean_seconds
+    assert widest < deepest * 5  # width effect far below depth effect
+
+
+def test_benchmark_noise_point(benchmark):
+    benchmark(
+        noise_level_study,
+        ("B0",),
+        3,
+        ((1, 1),),
+        (5, 4, 3, 3),
+        7,
+    )

@@ -1,0 +1,60 @@
+"""Fig. 10: RAPMiner's sensitivity to t_CP and t_conf on RAPMD.
+
+Regenerates both sensitivity curves (RC@3 over the paper's threshold
+grids) and asserts the stability claims: the curves stay within a narrow
+band, t_CP does not improve with larger values, and t_conf does not
+degrade with larger values.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    DEFAULT_TCONF_GRID,
+    DEFAULT_TCP_GRID,
+    figure10a,
+    figure10b,
+)
+from repro.experiments.reporting import render_table
+
+
+@pytest.fixture(scope="module")
+def tcp_curve(rapmd_cases):
+    return figure10a(rapmd_cases)
+
+
+@pytest.fixture(scope="module")
+def tconf_curve(rapmd_cases):
+    return figure10b(rapmd_cases)
+
+
+def test_regenerates_fig10a(tcp_curve, capsys):
+    with capsys.disabled():
+        print("\n[Fig. 10(a)] RC@3 vs t_CP on RAPMD")
+        print(
+            render_table(
+                ["t_CP"] + [f"{t:g}" for t in tcp_curve],
+                [["RC@3"] + [f"{v:.3f}" for v in tcp_curve.values()]],
+            )
+        )
+    values = [tcp_curve[t] for t in sorted(tcp_curve)]
+    assert max(values) - min(values) < 0.35  # stable plateau
+    assert values[-1] <= values[0] + 0.05  # larger t_CP never helps
+
+
+def test_regenerates_fig10b(tconf_curve, capsys):
+    with capsys.disabled():
+        print("\n[Fig. 10(b)] RC@3 vs t_conf on RAPMD")
+        print(
+            render_table(
+                ["t_conf"] + [f"{t:g}" for t in tconf_curve],
+                [["RC@3"] + [f"{v:.3f}" for v in tconf_curve.values()]],
+            )
+        )
+    values = [tconf_curve[t] for t in sorted(tconf_curve)]
+    assert max(values) - min(values) < 0.35
+    assert values[-1] >= values[0] - 0.05  # larger t_conf never hurts much
+
+
+def test_benchmark_sensitivity_point(benchmark, rapmd_cases):
+    """Times one grid point of the sensitivity sweep."""
+    benchmark(figure10a, rapmd_cases, (0.02,))

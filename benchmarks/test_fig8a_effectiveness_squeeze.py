@@ -1,0 +1,40 @@
+"""Fig. 8(a): F1 per (n_dim, n_raps) group on the Squeeze-B0 dataset.
+
+Regenerates the method-by-group F1 matrix and asserts the paper's
+qualitative claims: RAPMiner/Squeeze/FP-growth comparable and strong,
+Adtributor good only on 1-D groups, iDice never the overall best.
+The per-method benchmark times one representative localization.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure8a, run_squeeze_comparison
+from repro.experiments.presets import paper_methods
+from repro.experiments.reporting import render_series_table
+
+GROUP_ORDER = [(d, r) for d in (1, 2, 3) for r in (1, 2, 3)]
+
+
+@pytest.fixture(scope="module")
+def evaluations(squeeze_cases):
+    return run_squeeze_comparison(squeeze_cases)
+
+
+def test_regenerates_fig8a(evaluations, capsys):
+    data = figure8a(evaluations)
+    with capsys.disabled():
+        print("\n[Fig. 8(a)] F1-score on Squeeze-B0 by (n_dim, n_raps) group")
+        print(render_series_table(data, column_order=GROUP_ORDER))
+    rapminer = data["RAPMiner"]
+    assert all(v >= 0.8 for v in rapminer.values())
+    adtributor = data["Adtributor"]
+    assert min(adtributor[(1, r)] for r in (1, 2, 3)) > max(
+        adtributor[(d, r)] for d in (2, 3) for r in (1, 2, 3)
+    )
+
+
+@pytest.mark.parametrize("method", paper_methods(), ids=lambda m: m.name)
+def test_benchmark_localization(benchmark, method, squeeze_cases):
+    """Per-method timing on one representative (2,2) case."""
+    case = next(c for c in squeeze_cases if c.metadata["group"] == (2, 2))
+    benchmark(method.localize, case.dataset, len(case.true_raps))

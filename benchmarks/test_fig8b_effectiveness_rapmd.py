@@ -1,0 +1,35 @@
+"""Fig. 8(b): RC@3 / RC@4 / RC@5 on RAPMD.
+
+Regenerates the method-by-k recall matrix and asserts the paper's headline
+claim: RAPMiner achieves the best RC@k, with the FP-growth association
+rules the runner-up and Squeeze degraded by RAPMD's randomness.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure8b, run_rapmd_comparison
+from repro.experiments.presets import paper_methods
+from repro.experiments.reporting import render_series_table
+
+
+@pytest.fixture(scope="module")
+def evaluations(rapmd_cases):
+    return run_rapmd_comparison(rapmd_cases)
+
+
+def test_regenerates_fig8b(evaluations, capsys):
+    data = figure8b(evaluations)
+    with capsys.disabled():
+        print("\n[Fig. 8(b)] RC@k on RAPMD")
+        print(render_series_table(data, column_order=[3, 4, 5], first_header="method \\ k"))
+    for k in (3, 4, 5):
+        best = max(data, key=lambda name: data[name][k])
+        assert best == "RAPMiner", (k, {n: data[n][k] for n in data})
+    assert data["Squeeze"][3] < data["FP-growth"][3]
+
+
+@pytest.mark.parametrize("method", paper_methods(), ids=lambda m: m.name)
+def test_benchmark_localization(benchmark, method, rapmd_cases):
+    """Per-method timing on one representative RAPMD case."""
+    case = rapmd_cases[len(rapmd_cases) // 2]
+    benchmark(method.localize, case.dataset, 5)

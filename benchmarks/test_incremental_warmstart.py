@@ -1,0 +1,65 @@
+"""Extension bench: warm-start localization across incident intervals.
+
+Measures the fast-path speedup of :class:`IncrementalRAPMiner` over the
+stateless miner on a simulated multi-interval incident, and asserts the
+two produce identical pattern sets throughout.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RAPMinerConfig
+from repro.core.incremental import IncrementalRAPMiner
+from repro.core.miner import RAPMiner
+from repro.data.cdn_simulator import CDNSimulator, CDNSimulatorConfig
+from repro.data.injection import inject_failures, sample_raps
+from repro.data.schema import cdn_schema
+
+
+@pytest.fixture(scope="module")
+def incident_intervals():
+    """Ten consecutive intervals of one persisted 2-RAP incident."""
+    sim = CDNSimulator(cdn_schema(12, 3, 3, 8), CDNSimulatorConfig(seed=47))
+    rng = np.random.default_rng(47)
+    background = sim.snapshot(500).to_dataset()
+    raps = sample_raps(background, 2, rng, min_support=8)
+    intervals = []
+    for step in range(10):
+        snapshot = sim.snapshot(500 + step).to_dataset()
+        labelled, __ = inject_failures(snapshot, raps, rng)
+        intervals.append(labelled)
+    return raps, intervals
+
+
+CONFIG = RAPMinerConfig(enable_attribute_deletion=False)
+
+
+def test_warm_start_matches_stateless(incident_intervals):
+    raps, intervals = incident_intervals
+    incremental = IncrementalRAPMiner(CONFIG)
+    stateless = RAPMiner(CONFIG)
+    for interval in intervals:
+        assert set(incremental.localize(interval)) == set(stateless.localize(interval))
+    assert incremental.stats.fast_path_hits == len(intervals) - 1
+
+
+def test_benchmark_stateless_incident(benchmark, incident_intervals):
+    __, intervals = incident_intervals
+    miner = RAPMiner(CONFIG)
+
+    def run_all():
+        for interval in intervals:
+            miner.localize(interval)
+
+    benchmark(run_all)
+
+
+def test_benchmark_warm_start_incident(benchmark, incident_intervals):
+    __, intervals = incident_intervals
+
+    def run_all():
+        miner = IncrementalRAPMiner(CONFIG)
+        for interval in intervals:
+            miner.localize(interval)
+
+    benchmark(run_all)

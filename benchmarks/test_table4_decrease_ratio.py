@@ -1,0 +1,30 @@
+"""Table IV: DecreaseRatio@k of redundant-attribute deletion (Eq. 2).
+
+Regenerates the paper's row (0.5, 0.75, 0.875, 0.9375, 0.96875) and
+benchmarks the closed-form computation.
+"""
+
+import pytest
+
+from repro.experiments.reporting import render_table
+from repro.experiments.tables import table4
+
+PAPER_TABLE4 = {1: 0.5, 2: 0.75, 3: 0.875, 4: 0.9375, 5: 0.96875}
+
+
+def test_regenerates_paper_row(capsys):
+    ratios = table4()
+    assert ratios == PAPER_TABLE4
+    with capsys.disabled():
+        print("\n[Table IV] DecreaseRatio@k")
+        print(
+            render_table(
+                ["k"] + [str(k) for k in ratios],
+                [["DecreaseRatio@k"] + [f"{v:.5f}" for v in ratios.values()]],
+            )
+        )
+
+
+def test_benchmark_closed_form(benchmark):
+    result = benchmark(table4, ks=tuple(range(1, 6)))
+    assert result == PAPER_TABLE4

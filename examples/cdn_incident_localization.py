@@ -1,0 +1,90 @@
+"""Operational scenario: localize a real traffic drop from forecasts.
+
+Unlike the quickstart (which injects forecasts the way the paper builds its
+datasets), this example runs the *operational* pipeline the paper's Fig. 1
+describes:
+
+1. two days of per-leaf CDN traffic history are simulated;
+2. a seasonal-naive forecaster predicts the next collection interval;
+3. an incident hits: every Android user of two sites served via wireless
+   loses most of their throughput (a realistic multi-dimensional scope);
+4. a deviation-threshold detector labels the leaf KPIs;
+5. RAPMiner mines the root anomaly patterns and prints an incident report
+   a human operator could act on (switch the impacted users, Fig. 1).
+
+Run:  python examples/cdn_incident_localization.py
+"""
+
+import numpy as np
+
+from repro import RAPMiner, RAPMinerConfig, cdn_schema
+from repro.core.attribute import AttributeCombination
+from repro.data import CDNSimulator, CDNSimulatorConfig, FineGrainedDataset
+from repro.detection import DeviationThresholdDetector, SeasonalNaiveForecaster, label_dataset
+
+SAMPLE_EVERY = 20  # simulated minutes between collections
+HISTORY_DAYS = 2
+
+
+def build_history(simulator: CDNSimulator) -> np.ndarray:
+    steps = range(0, HISTORY_DAYS * 1440, SAMPLE_EVERY)
+    return np.stack([simulator.snapshot(step).v for step in steps])
+
+
+def main() -> None:
+    schema = cdn_schema(10, 3, 3, 8)
+    simulator = CDNSimulator(schema, CDNSimulatorConfig(seed=42, noise_sigma=0.03))
+
+    print("collecting history...")
+    history = build_history(simulator)
+    period = 1440 // SAMPLE_EVERY  # one day of samples
+    forecaster = SeasonalNaiveForecaster(period=period)
+    forecast = forecaster.forecast(history)
+
+    # The incident: wireless Android users of Site2 and Site5 drop 70%.
+    target_step = HISTORY_DAYS * 1440
+    snapshot = simulator.snapshot(target_step)
+    actual = snapshot.v.copy()
+    impacted_patterns = [
+        AttributeCombination.parse("(*, Wireless, Android, Site2)"),
+        AttributeCombination.parse("(*, Wireless, Android, Site5)"),
+    ]
+    plain = FineGrainedDataset(schema, snapshot.codes, actual, forecast)
+    impacted = np.zeros(plain.n_rows, dtype=bool)
+    for pattern in impacted_patterns:
+        impacted |= plain.mask_of(pattern)
+    actual[impacted] *= 0.3
+    observed = FineGrainedDataset(schema, snapshot.codes, actual, forecast)
+
+    print(f"incident injected on {impacted.sum()} leaves; detecting...")
+    labelled = label_dataset(observed, DeviationThresholdDetector(threshold=0.4))
+    print(f"detector flagged {labelled.n_anomalous} anomalous leaf KPIs")
+
+    miner = RAPMiner(RAPMinerConfig(t_conf=0.75))
+    result = miner.run(labelled, k=5)
+
+    print("\n=== INCIDENT REPORT ===")
+    print(f"overall traffic: {observed.v.sum():,.0f} actual vs {observed.f.sum():,.0f} expected")
+    print("affected scopes (coarsest first):")
+    for rank, candidate in enumerate(result.candidates, start=1):
+        v, f = labelled.values_of(candidate.combination)
+        print(
+            f"  {rank}. {candidate.combination}  "
+            f"traffic {v:,.0f}/{f:,.0f} ({100.0 * (1 - v / f):.0f}% down), "
+            f"{candidate.anomalous_support}/{candidate.support} leaf KPIs anomalous"
+        )
+    print(
+        "suggested action: switch the impacted users above to backup edge "
+        "sites (cf. Fig. 1 of the paper)"
+    )
+
+    found = {c.combination for c in result.candidates}
+    expected = set(impacted_patterns)
+    print(
+        f"\nground truth check: {len(found & expected)}/{len(expected)} "
+        "impacted scopes localized exactly"
+    )
+
+
+if __name__ == "__main__":
+    main()

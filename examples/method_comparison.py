@@ -1,0 +1,84 @@
+"""Method comparison: a miniature of the paper's Fig. 8 / Fig. 9.
+
+Runs RAPMiner and the five baselines (including the HotSpot extension) on
+both datasets at a small scale and prints the effectiveness and efficiency
+matrices the paper plots.  Use ``--paper-scale`` to run the full-size
+experiment instead (several minutes; this is what EXPERIMENTS.md records).
+
+Run:  python examples/method_comparison.py [--paper-scale]
+"""
+
+import argparse
+
+from repro.experiments import (
+    all_methods,
+    fast_preset,
+    figure8a,
+    figure8b,
+    figure9a,
+    figure9b,
+    format_seconds,
+    paper_preset,
+    render_series_table,
+    render_table,
+    run_rapmd_comparison,
+    run_squeeze_comparison,
+)
+
+GROUP_ORDER = [(d, r) for d in (1, 2, 3) for r in (1, 2, 3)]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="run at the paper's scale (full CDN schema, 105 RAPMD cases)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+    preset = paper_preset(args.seed) if args.paper_scale else fast_preset(args.seed)
+    methods = all_methods()
+
+    print(f"preset: {preset.name}")
+    print("\ngenerating Squeeze-B0 dataset...")
+    squeeze_cases = preset.squeeze_cases()
+    print(f"  {len(squeeze_cases)} cases; running {len(methods)} methods...")
+    squeeze_evals = run_squeeze_comparison(squeeze_cases, methods)
+
+    print("\n[Fig. 8(a)] F1-score on Squeeze-B0 by (n_dim, n_raps) group")
+    print(render_series_table(figure8a(squeeze_evals), column_order=GROUP_ORDER))
+
+    print("\n[Fig. 9(a)] mean running time (s) on Squeeze-B0 by group")
+    print(
+        render_series_table(
+            figure9a(squeeze_evals), value_format="{:.4f}", column_order=GROUP_ORDER
+        )
+    )
+
+    print("\ngenerating RAPMD...")
+    rapmd_cases = preset.rapmd_cases()
+    print(f"  {len(rapmd_cases)} cases; running {len(methods)} methods...")
+    rapmd_evals = run_rapmd_comparison(rapmd_cases, methods)
+
+    print("\n[Fig. 8(b)] RC@k on RAPMD")
+    print(
+        render_series_table(
+            figure8b(rapmd_evals), column_order=[3, 4, 5], first_header="method \\ k"
+        )
+    )
+
+    print("\n[Fig. 9(b)] mean running time on RAPMD")
+    print(
+        render_table(
+            ["method", "mean time"],
+            [
+                [name, format_seconds(seconds)]
+                for name, seconds in figure9b(rapmd_evals).items()
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

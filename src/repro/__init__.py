@@ -1,0 +1,50 @@
+"""RAPMiner reproduction: anomaly localization for multi-dimensional KPIs.
+
+Reproduces "RAPMiner: A Generic Anomaly Localization Mechanism for CDN
+System with Multi-dimensional KPIs" (DSN 2022): the two-stage RAPMiner
+pipeline, the datasets it is evaluated on (a synthetic stand-in for the
+ISP CDN trace behind RAPMD, and a Squeeze-style grouped dataset), four
+baseline localizers built from scratch, and the metrics/experiment harness
+that regenerates every table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import RAPMiner, RAPMinerConfig, cdn_schema
+>>> from repro.data import CDNSimulator, inject_failures, sample_raps
+>>> sim = CDNSimulator(cdn_schema(8, 3, 3, 6))
+>>> background = sim.snapshot(step=600).to_dataset()
+>>> rng = np.random.default_rng(7)
+>>> raps = sample_raps(background, 1, rng)
+>>> labelled, _ = inject_failures(background, raps, rng)
+>>> RAPMiner().localize(labelled, k=1) == raps
+True
+"""
+
+from .core import (
+    AttributeCombination,
+    AttributeSchema,
+    Cuboid,
+    LocalizationResult,
+    RAPCandidate,
+    RAPMiner,
+    RAPMinerConfig,
+)
+from .data import FineGrainedDataset, LocalizationCase
+from .data.schema import cdn_schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeCombination",
+    "AttributeSchema",
+    "Cuboid",
+    "LocalizationResult",
+    "RAPCandidate",
+    "RAPMiner",
+    "RAPMinerConfig",
+    "FineGrainedDataset",
+    "LocalizationCase",
+    "cdn_schema",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Post-hoc analysis tools: failure taxonomy and threshold profiling."""
+
+from .cp_profile import CPProfile, profile_classification_power
+from .failure_analysis import (
+    CATEGORIES,
+    FailureBreakdown,
+    analyze_failures,
+    classify_truth,
+    patterns_intersect,
+)
+
+__all__ = [
+    "CPProfile",
+    "profile_classification_power",
+    "CATEGORIES",
+    "FailureBreakdown",
+    "analyze_failures",
+    "classify_truth",
+    "patterns_intersect",
+]

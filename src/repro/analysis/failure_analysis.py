@@ -1,0 +1,144 @@
+"""Failure taxonomy: *how* a localizer misses, not just how often.
+
+RC@k and F1 collapse every miss into the same zero; diagnosing a method
+(or tuning thresholds) needs the miss *mode*.  Each ground-truth RAP of a
+case is classified against the prediction list:
+
+* ``exact`` — predicted verbatim;
+* ``over_coarse`` — a predicted pattern is a strict ancestor (the method
+  merged the RAP into a wider scope, e.g. ``t_conf`` too low);
+* ``over_fine`` — a predicted pattern is a strict descendant (the method
+  fragmented the RAP, e.g. ``t_conf`` too high or its attribute deleted);
+* ``overlapping`` — a predicted pattern intersects the RAP's scope but is
+  neither ancestor nor descendant (wrong-branch confusion);
+* ``missed`` — nothing predicted touches the RAP's scope.
+
+Predictions that touch no ground-truth scope are counted as ``spurious``.
+All checks are structural (two combinations intersect iff they agree on
+every attribute both specify), so the analysis needs no leaf data.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.attribute import AttributeCombination
+from ..experiments.runner import MethodEvaluation
+
+__all__ = [
+    "CATEGORIES",
+    "patterns_intersect",
+    "classify_truth",
+    "FailureBreakdown",
+    "analyze_failures",
+]
+
+#: Classification labels, most to least desirable.
+CATEGORIES: Tuple[str, ...] = ("exact", "over_coarse", "over_fine", "overlapping", "missed")
+
+
+def patterns_intersect(a: AttributeCombination, b: AttributeCombination) -> bool:
+    """True when the two combinations cover at least one common leaf.
+
+    Over a full cross-product this holds exactly when they agree on every
+    attribute both specify (wildcards are unconstrained).
+    """
+    if len(a.values) != len(b.values):
+        raise ValueError("combination arities differ")
+    return all(
+        va is None or vb is None or va == vb for va, vb in zip(a.values, b.values)
+    )
+
+
+def classify_truth(
+    truth: AttributeCombination, predicted: Sequence[AttributeCombination]
+) -> str:
+    """The best-case relationship of *truth* to any prediction."""
+    best = "missed"
+    rank = {category: i for i, category in enumerate(CATEGORIES)}
+    for pattern in predicted:
+        if pattern == truth:
+            return "exact"
+        if pattern.is_ancestor_of(truth):
+            candidate = "over_coarse"
+        elif truth.is_ancestor_of(pattern):
+            candidate = "over_fine"
+        elif patterns_intersect(pattern, truth):
+            candidate = "overlapping"
+        else:
+            continue
+        if rank[candidate] < rank[best]:
+            best = candidate
+    return best
+
+
+@dataclass
+class FailureBreakdown:
+    """Aggregate failure-mode counts over a case collection."""
+
+    method_name: str
+    counts: Counter = field(default_factory=Counter)
+    spurious_predictions: int = 0
+    total_predictions: int = 0
+    #: Up to a few concrete examples per non-exact category: (case_id, truth, predictions).
+    examples: Dict[str, List[Tuple[str, str, List[str]]]] = field(default_factory=dict)
+
+    @property
+    def total_truths(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, category: str) -> float:
+        if category not in CATEGORIES:
+            raise KeyError(f"unknown category {category!r}")
+        if self.total_truths == 0:
+            return 0.0
+        return self.counts[category] / self.total_truths
+
+    @property
+    def spurious_fraction(self) -> float:
+        if self.total_predictions == 0:
+            return 0.0
+        return self.spurious_predictions / self.total_predictions
+
+    def render(self) -> str:
+        lines = [f"failure breakdown for {self.method_name} ({self.total_truths} true RAPs):"]
+        for category in CATEGORIES:
+            lines.append(
+                f"  {category:12s} {self.counts[category]:4d}  ({self.fraction(category) * 100:5.1f}%)"
+            )
+        lines.append(
+            f"  spurious predictions: {self.spurious_predictions}/{self.total_predictions} "
+            f"({self.spurious_fraction * 100:.1f}%)"
+        )
+        return "\n".join(lines)
+
+
+def analyze_failures(
+    evaluation: MethodEvaluation,
+    top_k: int = 3,
+    max_examples_per_category: int = 3,
+) -> FailureBreakdown:
+    """Classify every ground-truth RAP of *evaluation* against its top-k."""
+    breakdown = FailureBreakdown(method_name=evaluation.method_name)
+    for result in evaluation.results:
+        predicted = result.predicted[:top_k]
+        breakdown.total_predictions += len(predicted)
+        matched = set()
+        for truth in result.true_raps:
+            category = classify_truth(truth, predicted)
+            breakdown.counts[category] += 1
+            if category != "exact":
+                bucket = breakdown.examples.setdefault(category, [])
+                if len(bucket) < max_examples_per_category:
+                    bucket.append(
+                        (result.case_id, str(truth), [str(p) for p in predicted])
+                    )
+        for pattern in predicted:
+            if any(patterns_intersect(pattern, truth) for truth in result.true_raps):
+                matched.add(pattern)
+        breakdown.spurious_predictions += len(predicted) - len(
+            [p for p in predicted if p in matched]
+        )
+    return breakdown

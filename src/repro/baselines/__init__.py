@@ -1,0 +1,40 @@
+"""Baseline localizers the paper compares against, built from scratch."""
+
+from .adtributor import Adtributor, AdtributorConfig
+from .apriori import apriori
+from .r_adtributor import RecursiveAdtributor, RecursiveAdtributorConfig
+from .assoc_rules import AssociationRuleConfig, AssociationRuleLocalizer
+from .base import Localizer
+from .fpgrowth import FPNode, FPTree, fpgrowth
+from .hotspot import HotSpot, HotSpotConfig
+from .idice import IDice, IDiceConfig
+from .squeeze import (
+    Squeeze,
+    SqueezeConfig,
+    cluster_deviations,
+    deviation_score,
+    generalized_potential_score,
+)
+
+__all__ = [
+    "Adtributor",
+    "AdtributorConfig",
+    "apriori",
+    "RecursiveAdtributor",
+    "RecursiveAdtributorConfig",
+    "AssociationRuleConfig",
+    "AssociationRuleLocalizer",
+    "Localizer",
+    "FPNode",
+    "FPTree",
+    "fpgrowth",
+    "HotSpot",
+    "HotSpotConfig",
+    "IDice",
+    "IDiceConfig",
+    "Squeeze",
+    "SqueezeConfig",
+    "cluster_deviations",
+    "deviation_score",
+    "generalized_potential_score",
+]

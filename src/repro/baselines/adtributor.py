@@ -1,0 +1,123 @@
+"""Adtributor (Bhagwan et al., NSDI 2014) — one-dimensional localization.
+
+Adtributor assumes every root cause lives in a 1-dimensional cuboid: the
+anomaly is explained by a set of elements of a *single* attribute.  For
+each attribute it aggregates the forecast and actual KPI over each element
+(the additive roll-up of Fig. 4) and computes two per-element quantities:
+
+* **Explanatory power** ``EP_e = (v_e - f_e) / (v_total - f_total)`` — the
+  share of the overall KPI change the element accounts for;
+* **Surprise** — the element's term of the Jensen–Shannon divergence
+  between the forecast probability distribution ``p_e = f_e / f_total``
+  and the actual distribution ``q_e = v_e / v_total``.
+
+Within an attribute, elements are scanned in decreasing surprise; elements
+with ``EP > T_EP`` are accumulated until their cumulative EP exceeds
+``TEP``, forming that attribute's candidate set (bounded for succinctness).
+Attributes' candidate sets are ranked by accumulated surprise and flattened
+into ranked 1-D attribute combinations.
+
+Per the paper's evaluation it should only perform well on groups whose
+RAPs are one-dimensional (Fig. 8(a)) and reach roughly a third of RC@k on
+RAPMD (Fig. 8(b)) — the share of RAPMD RAPs that happen to be 1-D.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.attribute import AttributeCombination
+from ..core.cuboid import Cuboid
+from ..data.dataset import FineGrainedDataset
+from .base import Localizer
+
+__all__ = ["AdtributorConfig", "Adtributor"]
+
+
+@dataclass
+class AdtributorConfig:
+    """Adtributor's thresholds (names follow the NSDI paper)."""
+
+    #: Minimum explanatory power for an element to be considered at all.
+    t_ep: float = 0.05
+    #: Cumulative explanatory power at which an attribute's set is complete.
+    tep: float = 0.67
+    #: Succinctness bound: maximum elements per attribute candidate set.
+    max_elements_per_attribute: int = 5
+
+
+def _surprise(p: float, q: float) -> float:
+    """One element's Jensen–Shannon divergence term between ``p`` and ``q``."""
+    s = 0.0
+    if p > 0.0:
+        s += 0.5 * p * math.log(2.0 * p / (p + q))
+    if q > 0.0:
+        s += 0.5 * q * math.log(2.0 * q / (p + q))
+    return s
+
+
+class Adtributor(Localizer):
+    """The NSDI'14 revenue-debugging localizer, restricted to 1-D cuboids."""
+
+    name = "Adtributor"
+
+    def __init__(self, config: Optional[AdtributorConfig] = None):
+        self.config = config if config is not None else AdtributorConfig()
+
+    def localize(
+        self, dataset: FineGrainedDataset, k: Optional[int] = None
+    ) -> List[AttributeCombination]:
+        cfg = self.config
+        v_total = float(dataset.v.sum())
+        f_total = float(dataset.f.sum())
+        overall_change = v_total - f_total
+        if overall_change == 0.0:
+            # Nothing to explain: the KPI did not move in aggregate.
+            return []
+
+        # (attribute surprise, per-element entries) per attribute.
+        scored_sets: List[Tuple[float, List[Tuple[float, AttributeCombination]]]] = []
+        n_attrs = dataset.schema.n_attributes
+        for attr_index in range(n_attrs):
+            aggregate = dataset.aggregate(Cuboid([attr_index]))
+            entries: List[Tuple[float, float, int]] = []  # (surprise, ep, row)
+            for row in range(len(aggregate)):
+                f_e = float(aggregate.f_sum[row])
+                v_e = float(aggregate.v_sum[row])
+                p = f_e / f_total if f_total > 0.0 else 0.0
+                q = v_e / v_total if v_total > 0.0 else 0.0
+                ep = (v_e - f_e) / overall_change
+                entries.append((_surprise(p, q), ep, row))
+            entries.sort(key=lambda e: e[0], reverse=True)
+
+            cumulative_ep = 0.0
+            attribute_surprise = 0.0
+            selected: List[Tuple[float, AttributeCombination]] = []
+            for surprise, ep, row in entries:
+                if ep <= cfg.t_ep:
+                    continue
+                selected.append((surprise, aggregate.combination(row)))
+                cumulative_ep += ep
+                attribute_surprise += surprise
+                if cumulative_ep > cfg.tep:
+                    break
+                if len(selected) >= cfg.max_elements_per_attribute:
+                    break
+            if selected and cumulative_ep > cfg.tep:
+                scored_sets.append((attribute_surprise, selected))
+
+        # Rank attributes by their accumulated surprise, then flatten the
+        # candidate sets into individual 1-D combinations (most surprising
+        # attribute's elements first, each set in its internal order).
+        scored_sets.sort(key=lambda s: s[0], reverse=True)
+        ranked: List[AttributeCombination] = []
+        for __, selected in scored_sets:
+            for __, combination in selected:
+                ranked.append(combination)
+        if k is not None:
+            ranked = ranked[:k]
+        return ranked

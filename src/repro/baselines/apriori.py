@@ -1,0 +1,87 @@
+"""Apriori frequent-itemset mining (Agrawal & Srikant, VLDB 1994).
+
+The paper notes that association-rule localization can be realized with
+either Apriori or FP-growth and that "the efficiency of different
+implementation methods varies greatly" — this module provides the Apriori
+side of that comparison (see ``benchmarks/test_assoc_backends.py``).
+
+Classic level-wise algorithm: candidates of size ``k`` are joined from
+frequent itemsets of size ``k - 1``, pruned by the downward-closure
+property, and counted against the transaction list.  Results are
+identical to :func:`repro.baselines.fpgrowth.fpgrowth` (property-tested);
+only the work profile differs — Apriori re-scans the transactions once
+per level, which is what makes FP-growth the preferred backend.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["apriori"]
+
+Item = Hashable
+Transaction = Sequence[Item]
+
+
+def _count_candidates(
+    transactions: List[FrozenSet[Item]], candidates: Set[FrozenSet[Item]]
+) -> Dict[FrozenSet[Item], int]:
+    counts: Dict[FrozenSet[Item], int] = defaultdict(int)
+    for transaction in transactions:
+        for candidate in candidates:
+            if candidate <= transaction:
+                counts[candidate] += 1
+    return counts
+
+
+def _join_level(frequent: Set[FrozenSet[Item]], size: int) -> Set[FrozenSet[Item]]:
+    """Candidate generation: join (k-1)-itemsets sharing a (k-2)-prefix,
+    then prune candidates with an infrequent subset (downward closure)."""
+    ordered = sorted(frequent, key=lambda s: sorted(map(repr, s)))
+    candidates: Set[FrozenSet[Item]] = set()
+    for i, a in enumerate(ordered):
+        for b in ordered[i + 1 :]:
+            union = a | b
+            if len(union) != size:
+                continue
+            if all(union - {item} in frequent for item in union):
+                candidates.add(union)
+    return candidates
+
+
+def apriori(
+    transactions: Iterable[Transaction],
+    min_support: int,
+    max_length: Optional[int] = None,
+) -> Dict[FrozenSet[Item], int]:
+    """Mine all frequent itemsets with absolute support >= *min_support*.
+
+    Same contract (and output) as :func:`repro.baselines.fpgrowth.fpgrowth`.
+    """
+    if min_support < 1:
+        raise ValueError("min_support must be at least 1")
+    materialized = [frozenset(t) for t in transactions]
+
+    # Level 1: frequent single items.
+    item_counts: Dict[FrozenSet[Item], int] = defaultdict(int)
+    for transaction in materialized:
+        for item in transaction:
+            item_counts[frozenset([item])] += 1
+    frequent_level = {
+        itemset: count for itemset, count in item_counts.items() if count >= min_support
+    }
+    results: Dict[FrozenSet[Item], int] = dict(frequent_level)
+
+    size = 2
+    while frequent_level and (max_length is None or size <= max_length):
+        candidates = _join_level(set(frequent_level), size)
+        if not candidates:
+            break
+        counts = _count_candidates(materialized, candidates)
+        frequent_level = {
+            itemset: count for itemset, count in counts.items() if count >= min_support
+        }
+        results.update(frequent_level)
+        size += 1
+    return results

@@ -1,0 +1,56 @@
+"""Shared interface of all anomaly localizers (RAPMiner and the baselines).
+
+Every method — RAPMiner itself, Adtributor, iDice, the FP-growth
+association-rule miner, Squeeze, and HotSpot — exposes the same entry
+point::
+
+    localize(dataset, k) -> ranked list of AttributeCombination
+
+taking a labelled leaf table and returning its best root-anomaly-pattern
+guesses, most confident first.  The experiment harness only ever talks to
+this interface, which is what lets one runner regenerate every comparison
+figure of the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from ..core.attribute import AttributeCombination
+from ..data.dataset import FineGrainedDataset
+
+__all__ = ["Localizer"]
+
+
+class Localizer(ABC):
+    """A root-anomaly-pattern localization method."""
+
+    #: Display name used in reports and figures.
+    name: str = "localizer"
+
+    @abstractmethod
+    def localize(
+        self, dataset: FineGrainedDataset, k: Optional[int] = None
+    ) -> List[AttributeCombination]:
+        """Rank root-anomaly-pattern candidates for a labelled leaf table.
+
+        Parameters
+        ----------
+        dataset:
+            Leaf table carrying actual values ``v``, forecasts ``f``, and
+            leaf anomaly labels.  Methods are free to use any subset of
+            these signals (RAPMiner uses only the labels; Adtributor and
+            Squeeze use ``v``/``f``).
+        k:
+            Number of patterns to return; ``None`` means "as many as the
+            method naturally produces", still ranked.
+
+        Returns
+        -------
+        Ranked attribute combinations, best first.  May be shorter than *k*
+        when the method finds fewer candidates.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

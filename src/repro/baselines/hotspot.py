@@ -1,0 +1,192 @@
+"""HotSpot (Sun et al., IEEE Access 2018) — MCTS with ripple-effect scores.
+
+HotSpot assumes all root causes of one anomaly live in a *single* cuboid
+and that descendants of a root cause share its anomaly magnitude (the
+ripple effect).  For every cuboid it runs a Monte Carlo Tree Search over
+*sets* of the cuboid's attribute combinations, scoring a set by its
+potential score — how well the actual leaf values match the ripple-effect
+prediction when the set is hypothesized to be the root cause (we reuse the
+generalized form also used by Squeeze).  The best-scoring set over all
+cuboids is returned.
+
+Included as an extension: the RAPMiner paper discusses HotSpot as the
+direct ancestor of Squeeze but benchmarks Squeeze instead; having both lets
+the ablation benches compare MCTS search against RAPMiner's BFS.
+
+MCTS follows the paper's skeleton: UCB1 selection, single-action expansion,
+random rollout, and *max* (not mean) backpropagation, with an iteration
+budget per cuboid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.attribute import AttributeCombination
+from ..core.cuboid import cuboids_in_layer
+from ..data.dataset import FineGrainedDataset
+from .base import Localizer
+from .squeeze import generalized_potential_score
+
+__all__ = ["HotSpotConfig", "HotSpot"]
+
+State = FrozenSet[int]
+
+
+@dataclass
+class HotSpotConfig:
+    """Search budget and scoring knobs."""
+
+    #: MCTS iterations per cuboid.
+    iterations_per_cuboid: int = 60
+    #: Candidate combinations per cuboid (top by anomalous support).
+    max_candidates_per_cuboid: int = 12
+    #: Largest root-cause set size considered.
+    max_set_size: int = 3
+    #: UCB1 exploration constant.
+    exploration: float = math.sqrt(2.0)
+    #: Stop a cuboid's search early at this potential score.
+    target_score: float = 0.99
+    #: Deepest cuboid layer searched (None = all).
+    max_layer: Optional[int] = None
+    seed: int = 0
+
+
+class _Node:
+    """One MCTS node: a set of candidate indices with UCB statistics."""
+
+    __slots__ = ("state", "visits", "best_q", "children", "untried")
+
+    def __init__(self, state: State, actions: List[int]):
+        self.state = state
+        self.visits = 0
+        self.best_q = -math.inf
+        self.children: Dict[int, "_Node"] = {}
+        self.untried = [a for a in actions if a not in state]
+
+
+class HotSpot(Localizer):
+    """Per-cuboid MCTS maximizing the ripple-effect potential score."""
+
+    name = "HotSpot"
+
+    def __init__(self, config: Optional[HotSpotConfig] = None):
+        self.config = config if config is not None else HotSpotConfig()
+
+    def _score_state(
+        self,
+        dataset: FineGrainedDataset,
+        masks: List[np.ndarray],
+        state: State,
+    ) -> float:
+        if not state:
+            return -1.0
+        selection = np.zeros(dataset.n_rows, dtype=bool)
+        for index in state:
+            selection |= masks[index]
+        # Potential score shares the generalized ripple form with Squeeze;
+        # HotSpot treats every anomalous leaf as the abnormal set.
+        return generalized_potential_score(dataset, selection, dataset.labels)
+
+    def _search_cuboid(
+        self,
+        dataset: FineGrainedDataset,
+        combinations: List[AttributeCombination],
+        masks: List[np.ndarray],
+        rng: np.random.Generator,
+    ) -> Tuple[State, float]:
+        """MCTS over subsets of one cuboid's candidate combinations."""
+        cfg = self.config
+        actions = list(range(len(combinations)))
+        root = _Node(frozenset(), actions)
+        nodes: Dict[State, _Node] = {root.state: root}
+        best_state: State = frozenset()
+        best_score = -math.inf
+
+        def evaluate(state: State) -> float:
+            nonlocal best_state, best_score
+            score = self._score_state(dataset, masks, state)
+            if score > best_score:
+                best_score = score
+                best_state = state
+            return score
+
+        for __ in range(cfg.iterations_per_cuboid):
+            node = root
+            path = [node]
+            # Selection: descend fully-expanded nodes by UCB1.
+            while not node.untried and node.children and len(node.state) < cfg.max_set_size:
+                total = math.log(max(node.visits, 1))
+                node = max(
+                    node.children.values(),
+                    key=lambda child: (
+                        (child.best_q if child.visits else 0.0)
+                        + cfg.exploration * math.sqrt(total / (child.visits + 1))
+                    ),
+                )
+                path.append(node)
+            # Expansion.
+            if node.untried and len(node.state) < cfg.max_set_size:
+                action = node.untried.pop(int(rng.integers(len(node.untried))))
+                child_state = frozenset(node.state | {action})
+                child = nodes.get(child_state)
+                if child is None:
+                    child = _Node(child_state, actions)
+                    nodes[child_state] = child
+                node.children[action] = child
+                node = child
+                path.append(node)
+            # Rollout: random completion up to max_set_size.
+            rollout_state = set(node.state)
+            free = [a for a in actions if a not in rollout_state]
+            rng.shuffle(free)
+            reward = evaluate(frozenset(rollout_state)) if rollout_state else -1.0
+            for action in free[: max(0, cfg.max_set_size - len(rollout_state))]:
+                rollout_state.add(action)
+                reward = max(reward, evaluate(frozenset(rollout_state)))
+            # Backpropagation with max-Q.
+            for visited in path:
+                visited.visits += 1
+                visited.best_q = max(visited.best_q, reward)
+            if best_score >= cfg.target_score:
+                break
+        return best_state, best_score
+
+    def localize(
+        self, dataset: FineGrainedDataset, k: Optional[int] = None
+    ) -> List[AttributeCombination]:
+        cfg = self.config
+        if dataset.n_anomalous == 0:
+            return []
+        rng = np.random.default_rng(cfg.seed)
+        n_attrs = dataset.schema.n_attributes
+        depth = n_attrs if cfg.max_layer is None else min(cfg.max_layer, n_attrs)
+
+        overall_best: Tuple[float, int, List[AttributeCombination]] = (-math.inf, 0, [])
+        for layer in range(1, depth + 1):
+            for cuboid in cuboids_in_layer(n_attrs, layer):
+                aggregate = dataset.aggregate(cuboid)
+                anomalous = aggregate.anomalous_support
+                relevant = np.flatnonzero(anomalous > 0)
+                if relevant.size == 0:
+                    continue
+                order = relevant[np.argsort(-anomalous[relevant])]
+                order = order[: cfg.max_candidates_per_cuboid]
+                combinations = [aggregate.combination(int(row)) for row in order]
+                masks = [dataset.mask_of(c) for c in combinations]
+                state, score = self._search_cuboid(dataset, combinations, masks, rng)
+                # Occam bias: prefer the shallower cuboid on (near-)ties.
+                current = (score, -layer, [combinations[i] for i in sorted(state)])
+                if (current[0], current[1]) > (overall_best[0] + 1e-6, overall_best[1]):
+                    overall_best = current
+                elif abs(current[0] - overall_best[0]) <= 1e-6 and current[1] > overall_best[1]:
+                    overall_best = current
+
+        ranked = overall_best[2]
+        if k is not None:
+            ranked = ranked[:k]
+        return ranked

@@ -1,0 +1,166 @@
+"""Recursive Adtributor (R-Adtributor) — extension baseline.
+
+Adtributor's one-dimensional assumption is its documented weakness
+(Fig. 8(a): zero F1 on every multi-dimensional group).  The recursive
+variant — used as a comparison method in the Squeeze line of work —
+addresses it by re-running Adtributor *inside* each explanatory element:
+
+1. run the per-attribute explanatory-power/surprise selection on the
+   current sub-cube (initially the whole table);
+2. take the most surprising attribute's element set; for each element,
+   narrow the working combination by that element;
+3. if the narrowed combination is already *pure* (its anomaly confidence
+   clears ``purity_threshold``) or the recursion budget is exhausted,
+   emit it; otherwise recurse into its sub-cube over the remaining
+   attributes.
+
+Candidates are ranked by (layer ascending, surprise descending): an
+explanation found at a shallower depth is coarser and preferred, matching
+the RAP notion.  This keeps Adtributor's machinery (EP + JS-divergence
+surprise over additive aggregates) while reaching multi-dimensional
+combinations; the purity check uses the leaf labels, which every method
+in this repository receives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.attribute import AttributeCombination
+from ..core.cuboid import Cuboid
+from ..data.dataset import FineGrainedDataset
+from .adtributor import _surprise
+from .base import Localizer
+
+__all__ = ["RecursiveAdtributorConfig", "RecursiveAdtributor"]
+
+
+@dataclass
+class RecursiveAdtributorConfig:
+    """Thresholds of the recursive search."""
+
+    #: Minimum per-element explanatory power (as in Adtributor).
+    t_ep: float = 0.05
+    #: Cumulative-EP completion threshold per attribute.
+    tep: float = 0.67
+    #: Elements kept per attribute per level (succinctness).
+    max_elements_per_attribute: int = 3
+    #: Maximum combination depth (recursion levels).
+    max_depth: int = 3
+    #: Anomaly confidence at which a combination is accepted as-is.
+    purity_threshold: float = 0.8
+
+
+class RecursiveAdtributor(Localizer):
+    """Adtributor applied recursively inside each explanatory element."""
+
+    name = "R-Adtributor"
+
+    def __init__(self, config: Optional[RecursiveAdtributorConfig] = None):
+        self.config = config if config is not None else RecursiveAdtributorConfig()
+
+    def _best_attribute_elements(
+        self,
+        dataset: FineGrainedDataset,
+        row_mask: np.ndarray,
+        available: List[int],
+    ) -> Tuple[Optional[int], List[Tuple[float, int]]]:
+        """Adtributor's per-attribute selection on the masked sub-cube.
+
+        Returns the winning attribute index and its ``(surprise, code)``
+        element picks (empty when nothing explains the sub-cube's change).
+        """
+        cfg = self.config
+        v = dataset.v[row_mask]
+        f = dataset.f[row_mask]
+        v_total = float(v.sum())
+        f_total = float(f.sum())
+        change = v_total - f_total
+        if change == 0.0:
+            return None, []
+        best: Tuple[float, Optional[int], List[Tuple[float, int]]] = (0.0, None, [])
+        codes = dataset.codes[row_mask]
+        for attr_index in available:
+            column = codes[:, attr_index]
+            size = dataset.schema.size(attr_index)
+            v_sum = np.bincount(column, weights=v, minlength=size)
+            f_sum = np.bincount(column, weights=f, minlength=size)
+            entries = []
+            for code in np.flatnonzero((v_sum > 0) | (f_sum > 0)):
+                p = f_sum[code] / f_total if f_total > 0.0 else 0.0
+                q = v_sum[code] / v_total if v_total > 0.0 else 0.0
+                ep = (v_sum[code] - f_sum[code]) / change
+                entries.append((_surprise(p, q), ep, int(code)))
+            entries.sort(key=lambda e: e[0], reverse=True)
+            cumulative_ep = 0.0
+            attribute_surprise = 0.0
+            selected: List[Tuple[float, int]] = []
+            for surprise, ep, code in entries:
+                if ep <= cfg.t_ep:
+                    continue
+                selected.append((surprise, code))
+                cumulative_ep += ep
+                attribute_surprise += surprise
+                if cumulative_ep > cfg.tep or len(selected) >= cfg.max_elements_per_attribute:
+                    break
+            if selected and cumulative_ep > cfg.tep and attribute_surprise > best[0]:
+                best = (attribute_surprise, attr_index, selected)
+        return best[1], best[2]
+
+    def _recurse(
+        self,
+        dataset: FineGrainedDataset,
+        values: List[Optional[str]],
+        row_mask: np.ndarray,
+        available: List[int],
+        depth: int,
+        results: List[Tuple[int, float, AttributeCombination]],
+    ) -> None:
+        attr_index, selections = self._best_attribute_elements(dataset, row_mask, available)
+        if attr_index is None:
+            return
+        remaining = [a for a in available if a != attr_index]
+        for surprise, code in selections:
+            child_values = list(values)
+            child_values[attr_index] = dataset.schema.decode(attr_index, code)
+            combination = AttributeCombination(child_values)
+            child_mask = row_mask & (dataset.codes[:, attr_index] == code)
+            support = int(child_mask.sum())
+            if support == 0:
+                continue
+            confidence = float(dataset.labels[child_mask].sum()) / support
+            pure = confidence > self.config.purity_threshold
+            if pure or depth >= self.config.max_depth or not remaining:
+                results.append((combination.layer, surprise, combination))
+            else:
+                self._recurse(
+                    dataset, child_values, child_mask, remaining, depth + 1, results
+                )
+
+    def localize(
+        self, dataset: FineGrainedDataset, k: Optional[int] = None
+    ) -> List[AttributeCombination]:
+        if dataset.n_rows == 0:
+            return []
+        results: List[Tuple[int, float, AttributeCombination]] = []
+        self._recurse(
+            dataset,
+            [None] * dataset.schema.n_attributes,
+            np.ones(dataset.n_rows, dtype=bool),
+            list(range(dataset.schema.n_attributes)),
+            1,
+            results,
+        )
+        results.sort(key=lambda r: (r[0], -r[1], r[2].sort_key()))
+        seen = set()
+        ranked: List[AttributeCombination] = []
+        for __, __, combination in results:
+            if combination not in seen:
+                seen.add(combination)
+                ranked.append(combination)
+        if k is not None:
+            ranked = ranked[:k]
+        return ranked

@@ -1,0 +1,351 @@
+"""Command-line interface: generate datasets, localize, evaluate, reproduce.
+
+Subcommands
+-----------
+``repro generate``
+    Generate a benchmark (``rapmd`` or ``squeeze``) and save it as a JSON
+    case bundle replayable by the other subcommands.
+``repro localize``
+    Run one localizer over a saved bundle (or a single case of it) and
+    print the ranked patterns next to the ground truth.
+``repro evaluate``
+    Run a method cohort over a saved bundle and print the F1 / RC@k and
+    running-time tables.
+``repro reproduce``
+    Regenerate one of the paper's tables/figures end to end
+    (``table4``, ``table6``, ``fig8a``, ``fig8b``, ``fig9a``, ``fig9b``,
+    ``fig10a``, ``fig10b``) at the chosen preset scale.
+
+Examples
+--------
+::
+
+    repro generate rapmd --out rapmd.json --scale fast --seed 1
+    repro localize --cases rapmd.json --method RAPMiner --k 3
+    repro evaluate --cases rapmd.json --protocol rc
+    repro reproduce fig8b --scale paper
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .baselines import (
+    Adtributor,
+    AssociationRuleLocalizer,
+    HotSpot,
+    IDice,
+    Squeeze,
+)
+from .core.config import RAPMinerConfig
+from .core.miner import RAPMiner
+from .data.io import load_cases, save_cases
+from .experiments.figures import (
+    figure8a,
+    figure8b,
+    figure9a,
+    figure9b,
+    figure10a,
+    figure10b,
+    run_rapmd_comparison,
+    run_squeeze_comparison,
+)
+from .experiments.presets import fast_preset, paper_preset
+from .experiments.reporting import (
+    format_seconds,
+    render_series_table,
+    render_table,
+)
+from .experiments.runner import run_cases
+from .experiments.tables import table4, table6
+
+__all__ = ["main", "build_parser"]
+
+GROUP_ORDER = [(d, r) for d in (1, 2, 3) for r in (1, 2, 3)]
+
+
+def _method_registry() -> Dict[str, object]:
+    return {
+        "RAPMiner": RAPMiner(),
+        "Squeeze": Squeeze(),
+        "FP-growth": AssociationRuleLocalizer(),
+        "Adtributor": Adtributor(),
+        "iDice": IDice(),
+        "HotSpot": HotSpot(),
+    }
+
+
+def _resolve_methods(names: Optional[str]):
+    registry = _method_registry()
+    if not names:
+        return list(registry.values())[:5]  # the paper cohort
+    resolved = []
+    for name in names.split(","):
+        name = name.strip()
+        if name not in registry:
+            raise SystemExit(
+                f"unknown method {name!r}; choose from {', '.join(registry)}"
+            )
+        resolved.append(registry[name])
+    return resolved
+
+
+def _preset(scale: str, seed: int):
+    if scale == "paper":
+        return paper_preset(seed)
+    return fast_preset(seed)
+
+
+# -- subcommand handlers -----------------------------------------------------
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .data.summary import summarize_cases
+
+    preset = _preset(args.scale, args.seed)
+    if args.dataset == "rapmd":
+        cases = preset.rapmd_cases()
+    else:
+        cases = preset.squeeze_cases()
+    save_cases(cases, args.out)
+    print(f"wrote {len(cases)} cases to {args.out}")
+    print(summarize_cases(cases).render())
+    return 0
+
+
+def _cmd_localize(args: argparse.Namespace) -> int:
+    cases = load_cases(args.cases)
+    if args.case_id is not None:
+        cases = [c for c in cases if c.case_id == args.case_id]
+        if not cases:
+            raise SystemExit(f"no case with id {args.case_id!r}")
+    method = _resolve_methods(args.method)[0]
+    for case in cases:
+        k = args.k if args.k is not None else len(case.true_raps)
+        predicted = method.localize(case.dataset, k)
+        hits = sum(1 for p in predicted if p in case.true_raps)
+        print(f"{case.case_id}  ({method.name}, k={k})")
+        print(f"  truth:     {', '.join(str(r) for r in case.true_raps)}")
+        print(f"  predicted: {', '.join(str(p) for p in predicted) or '(none)'}")
+        print(f"  hits: {hits}/{len(case.true_raps)}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    cases = load_cases(args.cases)
+    methods = _resolve_methods(args.methods)
+    print(f"{len(cases)} cases, {len(methods)} methods, protocol={args.protocol}")
+    if args.protocol == "f1":
+        evaluations = {m.name: run_cases(m, cases, k_from_truth=True) for m in methods}
+        rows = [
+            [name, f"{ev.mean_f1:.3f}", format_seconds(ev.mean_seconds)]
+            for name, ev in evaluations.items()
+        ]
+        print(render_table(["method", "mean F1", "mean time"], rows))
+    else:
+        evaluations = {m.name: run_cases(m, cases, k=5) for m in methods}
+        rows = [
+            [
+                name,
+                f"{ev.recall_at(3):.3f}",
+                f"{ev.recall_at(4):.3f}",
+                f"{ev.recall_at(5):.3f}",
+                format_seconds(ev.mean_seconds),
+            ]
+            for name, ev in evaluations.items()
+        ]
+        print(render_table(["method", "RC@3", "RC@4", "RC@5", "mean time"], rows))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .data.validation import validate_cases
+
+    cases = load_cases(args.cases)
+    report = validate_cases(cases)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import analyze_failures, profile_classification_power
+
+    cases = load_cases(args.cases)
+    method = _resolve_methods(args.method)[0]
+    evaluation = run_cases(method, cases, k=args.k)
+    print(analyze_failures(evaluation, top_k=args.k).render())
+    profile = profile_classification_power(cases)
+    print(
+        f"\nCP profile over {len(cases)} cases: "
+        f"AUC(in-RAP vs out) = {profile.auc():.3f}, "
+        f"recommended t_CP = {profile.recommended_t_cp():.4f}"
+    )
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    preset = _preset(args.scale, args.seed)
+    target = args.target
+    if target == "table4":
+        ratios = table4()
+        print(
+            render_table(
+                ["k"] + [str(k) for k in ratios],
+                [["DecreaseRatio@k"] + [f"{v:.5f}" for v in ratios.values()]],
+            )
+        )
+        return 0
+    if target in ("fig8a", "fig9a"):
+        evaluations = run_squeeze_comparison(preset.squeeze_cases())
+        if target == "fig8a":
+            print(render_series_table(figure8a(evaluations), column_order=GROUP_ORDER))
+        else:
+            print(
+                render_series_table(
+                    figure9a(evaluations), value_format="{:.4f}", column_order=GROUP_ORDER
+                )
+            )
+        return 0
+    cases = preset.rapmd_cases()
+    if target == "fig8b":
+        evaluations = run_rapmd_comparison(cases)
+        print(
+            render_series_table(
+                figure8b(evaluations), column_order=[3, 4, 5], first_header="method \\ k"
+            )
+        )
+    elif target == "fig9b":
+        evaluations = run_rapmd_comparison(cases)
+        rows = [
+            [name, format_seconds(seconds)]
+            for name, seconds in figure9b(evaluations).items()
+        ]
+        print(render_table(["method", "mean time"], rows))
+    elif target == "fig10a":
+        curve = figure10a(cases)
+        print(
+            render_table(
+                ["t_CP"] + [f"{t:g}" for t in curve],
+                [["RC@3"] + [f"{v:.3f}" for v in curve.values()]],
+            )
+        )
+    elif target == "fig10b":
+        curve = figure10b(cases)
+        print(
+            render_table(
+                ["t_conf"] + [f"{t:g}" for t in curve],
+                [["RC@3"] + [f"{v:.3f}" for v in curve.values()]],
+            )
+        )
+    elif target == "table6":
+        result = table6(cases)
+        print(
+            render_table(
+                ["variant", "RC@3", "mean time"],
+                [
+                    [
+                        "with deletion",
+                        f"{result.rc3_with_deletion:.3f}",
+                        format_seconds(result.seconds_with_deletion),
+                    ],
+                    [
+                        "without deletion",
+                        f"{result.rc3_without_deletion:.3f}",
+                        format_seconds(result.seconds_without_deletion),
+                    ],
+                ],
+            )
+        )
+    return 0
+
+
+# -- parser -------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RAPMiner reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a benchmark case bundle")
+    generate.add_argument("dataset", choices=["rapmd", "squeeze"])
+    generate.add_argument("--out", required=True, help="output JSON path")
+    generate.add_argument("--scale", choices=["fast", "paper"], default="fast")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=_cmd_generate)
+
+    localize = sub.add_parser("localize", help="run one localizer over a bundle")
+    localize.add_argument("--cases", required=True, help="case bundle JSON")
+    localize.add_argument("--method", default="RAPMiner")
+    localize.add_argument("--k", type=int, default=None)
+    localize.add_argument("--case-id", default=None)
+    localize.set_defaults(handler=_cmd_localize)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a method cohort")
+    evaluate.add_argument("--cases", required=True)
+    evaluate.add_argument(
+        "--methods", default=None, help="comma-separated (default: paper cohort)"
+    )
+    evaluate.add_argument("--protocol", choices=["f1", "rc"], default="rc")
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    validate = sub.add_parser("validate", help="audit a case bundle for well-posedness")
+    validate.add_argument("--cases", required=True)
+    validate.set_defaults(handler=_cmd_validate)
+
+    analyze = sub.add_parser(
+        "analyze", help="failure taxonomy + CP profile of one method over a bundle"
+    )
+    analyze.add_argument("--cases", required=True)
+    analyze.add_argument("--method", default="RAPMiner")
+    analyze.add_argument("--k", type=int, default=3)
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    reproduce = sub.add_parser("reproduce", help="regenerate a paper table/figure")
+    reproduce.add_argument(
+        "target",
+        choices=["table4", "table6", "fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b"],
+    )
+    reproduce.add_argument("--scale", choices=["fast", "paper"], default="fast")
+    reproduce.add_argument("--seed", type=int, default=1)
+    reproduce.set_defaults(handler=_cmd_reproduce)
+
+    report = sub.add_parser("report", help="full Markdown reproduction report")
+    report.add_argument("--scale", choices=["fast", "paper"], default="fast")
+    report.add_argument("--seed", type=int, default=1)
+    report.add_argument("--out", default=None)
+    report.add_argument("--extensions", action="store_true")
+    report.set_defaults(handler=_cmd_report)
+
+    return parser
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report_builder import ReportSections, build_report
+
+    text = build_report(
+        scale=args.scale,
+        seed=args.seed,
+        sections=ReportSections(extensions=args.extensions),
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""The paper's primary contribution: the RAPMiner pipeline and its lattice model."""
+
+from .attribute import WILDCARD, AttributeCombination, AttributeSchema
+from .anomaly_confidence import anomaly_confidence, cuboid_confidences, is_anomalous
+from .classification_power import (
+    AttributeDeletionResult,
+    all_classification_powers,
+    binary_entropy,
+    classification_power,
+    delete_redundant_attributes,
+)
+from .config import RAPMinerConfig
+from .cuboid import (
+    Cuboid,
+    cuboid_count,
+    cuboids_in_layer,
+    decrease_ratio,
+    decrease_ratio_lower_bound,
+    enumerate_cuboids,
+    lattice_vertex_labels,
+)
+from .explain import Explanation, PatternEvidence, explain
+from .incremental import IncrementalRAPMiner, IncrementalStats
+from .lattice_viz import (
+    VertexState,
+    render_cuboid_hierarchy,
+    render_search_dag_dot,
+    search_dag,
+)
+from .miner import LocalizationResult, RAPMiner
+from .scoring import RAPCandidate, rank_candidates, rap_score
+from .search import SearchOutcome, SearchStats, layerwise_topdown_search
+
+__all__ = [
+    "WILDCARD",
+    "AttributeCombination",
+    "AttributeSchema",
+    "anomaly_confidence",
+    "cuboid_confidences",
+    "is_anomalous",
+    "AttributeDeletionResult",
+    "all_classification_powers",
+    "binary_entropy",
+    "classification_power",
+    "delete_redundant_attributes",
+    "RAPMinerConfig",
+    "Cuboid",
+    "cuboid_count",
+    "cuboids_in_layer",
+    "decrease_ratio",
+    "decrease_ratio_lower_bound",
+    "enumerate_cuboids",
+    "lattice_vertex_labels",
+    "Explanation",
+    "PatternEvidence",
+    "explain",
+    "IncrementalRAPMiner",
+    "IncrementalStats",
+    "VertexState",
+    "render_cuboid_hierarchy",
+    "render_search_dag_dot",
+    "search_dag",
+    "LocalizationResult",
+    "RAPMiner",
+    "RAPCandidate",
+    "rank_candidates",
+    "rap_score",
+    "SearchOutcome",
+    "SearchStats",
+    "layerwise_topdown_search",
+]

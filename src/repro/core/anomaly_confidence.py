@@ -1,0 +1,57 @@
+"""Anomaly Confidence (Criteria 2 of §IV-D).
+
+``Confidence(ac => Anomaly)`` is the anomaly ratio of an attribute
+combination: among the most fine-grained rows of ``D`` it covers, the
+fraction labelled anomalous::
+
+    Confidence(ac => Anomaly) = support_count_D(ac, Anomaly) / support_count_D(ac)
+
+Criteria 2 declares ``ac`` anomalous when the confidence exceeds the
+threshold ``t_conf`` (a *relatively* large value — large enough to demand
+that most descendants are anomalous per Insight 2, but below 1.0 so a few
+mislabelled leaves do not mask a true RAP).
+
+The per-combination computation lives on
+:meth:`repro.data.dataset.FineGrainedDataset.confidence`; this module adds
+the criteria check and the bulk per-cuboid evaluation the search uses.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..data.dataset import CuboidAggregate, FineGrainedDataset
+from .attribute import AttributeCombination
+from .cuboid import Cuboid
+
+__all__ = ["anomaly_confidence", "is_anomalous", "cuboid_confidences"]
+
+
+def anomaly_confidence(dataset: FineGrainedDataset, combination: AttributeCombination) -> float:
+    """``Confidence(ac => Anomaly)`` over the leaf table (0.0 on empty support)."""
+    return dataset.confidence(combination)
+
+
+def is_anomalous(
+    dataset: FineGrainedDataset,
+    combination: AttributeCombination,
+    t_conf: float,
+) -> bool:
+    """Criteria 2: ``Confidence(ac => Anomaly) > t_conf``."""
+    if not 0.0 < t_conf < 1.0:
+        raise ValueError("t_conf must lie in (0, 1)")
+    return anomaly_confidence(dataset, combination) > t_conf
+
+
+def cuboid_confidences(
+    dataset: FineGrainedDataset, cuboid: Cuboid
+) -> Tuple[CuboidAggregate, np.ndarray]:
+    """Confidence of every occupied combination of *cuboid*, vectorized.
+
+    Returns the aggregate (for decoding combinations and supports) together
+    with the per-combination confidence array.
+    """
+    aggregate = dataset.aggregate(cuboid)
+    return aggregate, aggregate.confidence

@@ -1,0 +1,137 @@
+"""Classification Power and redundant-attribute deletion (§IV-C, Algorithm 1).
+
+The Classification Power (CP) of an attribute measures how much splitting
+the leaf table on that attribute reduces the label entropy (Eq. 1)::
+
+    CP_attr = (Info(D) - Info_attr(D)) / Info(D)
+
+``Info(D)`` is the Shannon entropy of the anomalous/normal label
+distribution; ``Info_attr(D)`` is the support-weighted entropy after
+partitioning by the attribute's elements (Fig. 6).  This is the relative
+information gain of ID3 decision trees applied to the anomaly labels.
+
+Criteria 1 says an attribute belonging to any RAP must have ``CP > t_CP``;
+attributes at or below the threshold are redundant and deleted, shrinking
+the cuboid lattice by at least ``1 - 2**-k`` (Proof 1 / Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..data.dataset import FineGrainedDataset
+
+__all__ = [
+    "binary_entropy",
+    "classification_power",
+    "all_classification_powers",
+    "delete_redundant_attributes",
+    "AttributeDeletionResult",
+]
+
+
+def binary_entropy(p_anomalous: float) -> float:
+    """Shannon entropy (nats) of a two-class distribution; ``0 log 0 := 0``."""
+    if not 0.0 <= p_anomalous <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    entropy = 0.0
+    for p in (p_anomalous, 1.0 - p_anomalous):
+        if p > 0.0:
+            entropy -= p * np.log(p)
+    return float(entropy)
+
+
+def classification_power(dataset: FineGrainedDataset, attribute) -> float:
+    """``CP_attr`` (Eq. 1) of one attribute over the labelled leaf table.
+
+    Degenerate case: when the leaf labels are all-normal or all-anomalous,
+    ``Info(D) = 0`` and no attribute can classify anything — CP is defined
+    as ``0`` for every attribute (nothing to localize / nothing to prune by).
+    """
+    index = dataset.schema.index_of(attribute)
+    n = dataset.n_rows
+    if n == 0:
+        return 0.0
+    info_d = binary_entropy(dataset.n_anomalous / n)
+    if info_d == 0.0:
+        return 0.0
+
+    column = dataset.codes[:, index]
+    size = dataset.schema.size(index)
+    support = np.bincount(column, minlength=size).astype(float)
+    anomalous = np.bincount(column, weights=dataset.labels.astype(float), minlength=size)
+
+    occupied = support > 0
+    p_a = np.zeros(size)
+    p_a[occupied] = anomalous[occupied] / support[occupied]
+    branch_entropy = np.zeros(size)
+    for p in (p_a, 1.0 - p_a):
+        positive = occupied & (p > 0.0)
+        branch_entropy[positive] -= p[positive] * np.log(p[positive])
+    info_attr = float((support / n) @ branch_entropy)
+
+    return (info_d - info_attr) / info_d
+
+
+def all_classification_powers(dataset: FineGrainedDataset) -> Dict[str, float]:
+    """CP of every schema attribute, keyed by attribute name."""
+    return {
+        name: classification_power(dataset, i)
+        for i, name in enumerate(dataset.schema.names)
+    }
+
+
+@dataclass
+class AttributeDeletionResult:
+    """Output of Algorithm 1.
+
+    ``kept_indices`` is the surviving ``AttributeSet'`` sorted by CP
+    descending (the algorithm's final sort); ``cp_values`` records the CP of
+    *every* attribute for diagnostics and the sensitivity study.
+    """
+
+    kept_indices: Tuple[int, ...]
+    deleted_indices: Tuple[int, ...]
+    cp_values: Dict[str, float]
+
+    def kept_names(self, dataset: FineGrainedDataset) -> Tuple[str, ...]:
+        return tuple(dataset.schema.names[i] for i in self.kept_indices)
+
+    def deleted_names(self, dataset: FineGrainedDataset) -> Tuple[str, ...]:
+        return tuple(dataset.schema.names[i] for i in self.deleted_indices)
+
+
+def delete_redundant_attributes(
+    dataset: FineGrainedDataset, t_cp: float = 0.005
+) -> AttributeDeletionResult:
+    """Algorithm 1: drop attributes with ``CP <= t_CP``, sort the rest by CP.
+
+    Degenerate guard: if *every* attribute falls at or below the threshold
+    (e.g. the labels are all-normal, making every CP zero) the deletion is
+    skipped and all attributes are kept — deleting everything would leave no
+    lattice to search, and the paper's criteria only ever talks about
+    attributes *outside* ``AttributeSet(RAPs)``.
+    """
+    if t_cp < 0.0:
+        raise ValueError("t_cp must be non-negative")
+    schema = dataset.schema
+    cp_values = all_classification_powers(dataset)
+    kept: List[int] = []
+    deleted: List[int] = []
+    for i, name in enumerate(schema.names):
+        if cp_values[name] > t_cp:
+            kept.append(i)
+        else:
+            deleted.append(i)
+    if not kept:
+        kept = list(range(schema.n_attributes))
+        deleted = []
+    kept.sort(key=lambda i: cp_values[schema.names[i]], reverse=True)
+    return AttributeDeletionResult(
+        kept_indices=tuple(kept),
+        deleted_indices=tuple(deleted),
+        cp_values=cp_values,
+    )

@@ -1,0 +1,165 @@
+"""The cuboid lattice over attribute sets (Fig. 2 of the paper).
+
+A *cuboid* is the set of attribute combinations that specify exactly the
+same attributes; e.g. in the CDN schema ``Cub_{L,S}`` is the set of all
+``(location, *, *, website)`` combinations.  With ``n`` attributes there are
+``2**n - 1`` cuboids, arranged in ``n`` layers by how many attributes they
+specify; layer ``d`` contains the ``C(n, d)`` cuboids of dimension ``d``.
+
+Deleting ``k`` redundant attributes shrinks the lattice to ``2**(n-k) - 1``
+cuboids; :func:`decrease_ratio` is the closed form of the paper's Eq. 2 that
+Table IV tabulates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from .attribute import AttributeCombination, AttributeSchema
+
+__all__ = [
+    "Cuboid",
+    "enumerate_cuboids",
+    "cuboids_in_layer",
+    "cuboid_count",
+    "decrease_ratio",
+    "lattice_vertex_labels",
+]
+
+
+@dataclass(frozen=True)
+class Cuboid:
+    """A cuboid identified by the sorted indices of its specified attributes."""
+
+    attribute_indices: Tuple[int, ...]
+
+    def __init__(self, attribute_indices: Sequence[int]):
+        indices = tuple(sorted(set(int(i) for i in attribute_indices)))
+        if not indices:
+            raise ValueError("a cuboid must specify at least one attribute")
+        if indices[0] < 0:
+            raise ValueError("attribute indices must be non-negative")
+        object.__setattr__(self, "attribute_indices", indices)
+
+    @property
+    def dimension(self) -> int:
+        """Number of specified attributes; equals the layer this cuboid sits in."""
+        return len(self.attribute_indices)
+
+    # Alias matching the paper's vocabulary.
+    layer = dimension
+
+    def length(self, schema: AttributeSchema) -> int:
+        """Number of attribute combinations in this cuboid (product of sizes)."""
+        total = 1
+        for i in self.attribute_indices:
+            total *= schema.size(i)
+        return total
+
+    def names(self, schema: AttributeSchema) -> Tuple[str, ...]:
+        """Attribute names of this cuboid, in schema order."""
+        return tuple(schema.names[i] for i in self.attribute_indices)
+
+    def is_parent_of(self, other: "Cuboid") -> bool:
+        """Direct parent in the lattice: one attribute fewer, all shared."""
+        return (
+            self.dimension + 1 == other.dimension
+            and set(self.attribute_indices) < set(other.attribute_indices)
+        )
+
+    def combinations(self, schema: AttributeSchema) -> Iterator[AttributeCombination]:
+        """Iterate every attribute combination of this cuboid, in element order."""
+        if self.attribute_indices and self.attribute_indices[-1] >= schema.n_attributes:
+            raise IndexError("cuboid attribute index out of range for schema")
+        element_choices = [schema.elements(i) for i in self.attribute_indices]
+        for chosen in itertools.product(*element_choices):
+            values: List = [None] * schema.n_attributes
+            for idx, element in zip(self.attribute_indices, chosen):
+                values[idx] = element
+            yield AttributeCombination(values)
+
+    def __str__(self) -> str:
+        return "Cub(" + ",".join(str(i) for i in self.attribute_indices) + ")"
+
+
+def cuboid_count(n_attributes: int) -> int:
+    """Total cuboids over *n_attributes*: ``2**n - 1`` (Fig. 2's generalized form)."""
+    if n_attributes < 0:
+        raise ValueError("attribute count must be non-negative")
+    return 2**n_attributes - 1
+
+
+def enumerate_cuboids(n_attributes: int) -> List[Cuboid]:
+    """All cuboids, ordered by layer then lexicographically (BFS order)."""
+    result: List[Cuboid] = []
+    for layer in range(1, n_attributes + 1):
+        result.extend(cuboids_in_layer(n_attributes, layer))
+    return result
+
+
+def cuboids_in_layer(n_attributes: int, layer: int) -> List[Cuboid]:
+    """The ``C(n, layer)`` cuboids of the given *layer*, lexicographically."""
+    if not 1 <= layer <= n_attributes:
+        return []
+    return [Cuboid(c) for c in itertools.combinations(range(n_attributes), layer)]
+
+
+def decrease_ratio(n_attributes: int, k_deleted: int) -> float:
+    """Fraction of cuboids removed by deleting *k_deleted* attributes (Eq. 2).
+
+    ``DecreaseRatio@k = (2**n - 2**(n-k)) / (2**n - 1) > (2**k - 1) / 2**k``.
+    Table IV reports the limit lower bound ``(2**k - 1) / 2**k``; this
+    function returns the exact ratio for a concrete *n_attributes*.
+    """
+    if not 0 <= k_deleted <= n_attributes:
+        raise ValueError("must delete between 0 and n attributes")
+    if n_attributes == 0:
+        return 0.0
+    total = cuboid_count(n_attributes)
+    remaining = cuboid_count(n_attributes - k_deleted)
+    return (total - remaining) / total
+
+
+def decrease_ratio_lower_bound(k_deleted: int) -> float:
+    """The paper's Table IV values: ``(2**k - 1) / 2**k``."""
+    if k_deleted < 0:
+        raise ValueError("k must be non-negative")
+    return (2**k_deleted - 1) / 2**k_deleted
+
+
+def lattice_vertex_labels(
+    schema: AttributeSchema, max_layer: int | None = None
+) -> Dict[str, AttributeCombination]:
+    """Label combinations ``"layer-index"`` as in Table V of the paper.
+
+    Within a layer, vertices are ordered position by position with a
+    specified element (in schema element order) sorting before a wildcard —
+    e.g. in layer 2 of the paper's (3, 2, 2) example: ``(a1, b1, *)``,
+    ``(a1, b2, *)``, ``(a1, *, c1)``, …, ``(*, b2, c2)``.  This reproduces
+    Table V exactly.
+    """
+
+    def table_v_key(combination: AttributeCombination) -> Tuple:
+        key = []
+        for i, value in enumerate(combination.values):
+            if value is None:
+                key.append((1, -1))
+            else:
+                key.append((0, schema.encode(i, value)))
+        return tuple(key)
+
+    n = schema.n_attributes
+    limit = n if max_layer is None else min(max_layer, n)
+    labels: Dict[str, AttributeCombination] = {}
+    for layer in range(1, limit + 1):
+        combos = [
+            combination
+            for cuboid in cuboids_in_layer(n, layer)
+            for combination in cuboid.combinations(schema)
+        ]
+        combos.sort(key=table_v_key)
+        for index, combination in enumerate(combos, start=1):
+            labels[f"{layer}-{index}"] = combination
+    return labels

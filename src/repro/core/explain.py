@@ -1,0 +1,142 @@
+"""Post-localization diagnostics: explain what a result does (not) cover.
+
+A ranked RAP list answers "where is the problem"; an operator triaging an
+incident also needs to know *how well* that answer accounts for the
+observed anomalies before acting on it (the paper's Fig. 1 flow hands the
+result to a human).  :func:`explain` audits a localization result against
+the labelled leaf table:
+
+* per-pattern evidence (confidence, impacted KPI volume, covered
+  anomalies, overlap with higher-ranked patterns);
+* the **residual**: anomalous leaves no returned pattern covers — large
+  residuals mean the search stopped early, ``t_conf`` was too strict, or
+  the ground truth is finer than any mined pattern;
+* the **excess**: normal leaves swept in by the patterns — a proxy for
+  how much healthy traffic an operator would needlessly switch to backup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import FineGrainedDataset
+from .attribute import AttributeCombination
+
+__all__ = ["PatternEvidence", "Explanation", "explain"]
+
+
+@dataclass(frozen=True)
+class PatternEvidence:
+    """Audit record of one returned pattern."""
+
+    pattern: AttributeCombination
+    rank: int
+    support: int
+    anomalous_support: int
+    confidence: float
+    #: Aggregated actual / forecast KPI of the covered leaves.
+    actual: float
+    forecast: float
+    #: Anomalous leaves this pattern covers that no higher-ranked one does.
+    new_anomalies_covered: int
+    #: Covered leaves that are not anomalous (healthy traffic swept in).
+    normal_leaves_covered: int
+
+    @property
+    def is_redundant(self) -> bool:
+        """True when every anomaly it covers was already covered above it."""
+        return self.new_anomalies_covered == 0 and self.anomalous_support > 0
+
+
+@dataclass
+class Explanation:
+    """Complete audit of one localization result."""
+
+    evidence: List[PatternEvidence] = field(default_factory=list)
+    total_anomalous_leaves: int = 0
+    covered_anomalous_leaves: int = 0
+    #: Anomalous leaves outside every returned pattern.
+    residual_leaves: List[AttributeCombination] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of anomalous leaves the returned patterns explain."""
+        if self.total_anomalous_leaves == 0:
+            return 1.0
+        return self.covered_anomalous_leaves / self.total_anomalous_leaves
+
+    @property
+    def excess_normal_leaves(self) -> int:
+        """Healthy leaves swept in across all patterns (with multiplicity removed)."""
+        return sum(e.normal_leaves_covered for e in self.evidence)
+
+    def render(self) -> str:
+        lines = [
+            f"coverage: {self.covered_anomalous_leaves}/{self.total_anomalous_leaves} "
+            f"anomalous leaves ({self.coverage * 100:.0f}%)"
+        ]
+        for e in self.evidence:
+            flags = []
+            if e.is_redundant:
+                flags.append("redundant")
+            if e.normal_leaves_covered:
+                flags.append(f"sweeps {e.normal_leaves_covered} healthy leaves")
+            suffix = f"  [{'; '.join(flags)}]" if flags else ""
+            lines.append(
+                f"  #{e.rank} {e.pattern}  conf={e.confidence:.2f} "
+                f"covers {e.anomalous_support} anomalies "
+                f"({e.new_anomalies_covered} new){suffix}"
+            )
+        if self.residual_leaves:
+            shown = ", ".join(str(p) for p in self.residual_leaves[:5])
+            more = (
+                f" (+{len(self.residual_leaves) - 5} more)"
+                if len(self.residual_leaves) > 5
+                else ""
+            )
+            lines.append(f"  unexplained anomalous leaves: {shown}{more}")
+        return "\n".join(lines)
+
+
+def explain(
+    dataset: FineGrainedDataset,
+    patterns: Sequence[AttributeCombination],
+    max_residual_listed: int = 50,
+) -> Explanation:
+    """Audit *patterns* (rank order) against the labelled leaf table."""
+    explanation = Explanation(total_anomalous_leaves=dataset.n_anomalous)
+    covered = np.zeros(dataset.n_rows, dtype=bool)
+    for rank, pattern in enumerate(patterns, start=1):
+        mask = dataset.mask_of(pattern)
+        anomalous_mask = mask & dataset.labels
+        newly = anomalous_mask & ~covered
+        support = int(mask.sum())
+        anomalous_support = int(anomalous_mask.sum())
+        explanation.evidence.append(
+            PatternEvidence(
+                pattern=pattern,
+                rank=rank,
+                support=support,
+                anomalous_support=anomalous_support,
+                confidence=anomalous_support / support if support else 0.0,
+                actual=float(dataset.v[mask].sum()),
+                forecast=float(dataset.f[mask].sum()),
+                new_anomalies_covered=int(newly.sum()),
+                normal_leaves_covered=int((mask & ~dataset.labels).sum()),
+            )
+        )
+        covered |= mask
+
+    residual = dataset.labels & ~covered
+    explanation.covered_anomalous_leaves = dataset.n_anomalous - int(residual.sum())
+    schema = dataset.schema
+    for row in np.flatnonzero(residual)[:max_residual_listed]:
+        values = [
+            schema.decode(i, int(dataset.codes[row, i]))
+            for i in range(schema.n_attributes)
+        ]
+        explanation.residual_leaves.append(AttributeCombination(values))
+    return explanation

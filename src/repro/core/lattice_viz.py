@@ -1,0 +1,126 @@
+"""Structural rendering of the cuboid hierarchy and the search DAG.
+
+Regenerates the paper's two structural figures as text/Graphviz:
+
+* :func:`render_cuboid_hierarchy` — Fig. 2: the ``2^n - 1`` cuboids in
+  their layers with parent-child edges.
+* :func:`search_dag` / :func:`render_search_dag_dot` — Fig. 7: the
+  attribute-combination DAG with Table V's ``layer-index`` vertex labels,
+  annotated with a search outcome (anomalous RAP candidates in red,
+  visited-normal in blue, pruned-unvisited in white — the paper's color
+  coding, expressed as DOT attributes).
+
+DOT output renders with any Graphviz install; the ASCII variants are for
+terminals and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..data.dataset import FineGrainedDataset
+from .attribute import AttributeCombination, AttributeSchema
+from .cuboid import Cuboid, cuboids_in_layer, enumerate_cuboids, lattice_vertex_labels
+from .search import SearchOutcome
+
+__all__ = [
+    "render_cuboid_hierarchy",
+    "VertexState",
+    "search_dag",
+    "render_search_dag_dot",
+]
+
+
+def render_cuboid_hierarchy(schema: AttributeSchema) -> str:
+    """Fig. 2 as text: one line per layer, each cuboid with its length."""
+    n = schema.n_attributes
+    lines = []
+    for layer in range(1, n + 1):
+        entries = []
+        for cuboid in cuboids_in_layer(n, layer):
+            names = ",".join(cuboid.names(schema))
+            entries.append(f"Cub_{{{names}}}({cuboid.length(schema)})")
+        lines.append(f"layer {layer}: " + "  ".join(entries))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class VertexState:
+    """One DAG vertex with its Table V label and search status."""
+
+    label: str
+    combination: AttributeCombination
+    #: "candidate" (red in Fig. 7), "visited" (blue), or "pruned" (white).
+    status: str
+
+
+def search_dag(
+    dataset: FineGrainedDataset,
+    outcome: SearchOutcome,
+    max_layer: Optional[int] = None,
+) -> Tuple[List[VertexState], List[Tuple[str, str]]]:
+    """The Fig. 7 DAG for a finished search.
+
+    Vertices carry Table V labels; edges are the direct parent-child
+    relations between consecutive layers.  Status follows the paper's
+    coloring: combinations below a candidate are ``pruned``; candidates
+    are ``candidate``; everything else the BFS evaluated is ``visited``.
+    """
+    schema = dataset.schema
+    limit = schema.n_attributes if max_layer is None else max_layer
+    labels = lattice_vertex_labels(schema, max_layer=limit)
+    by_combination = {combination: label for label, combination in labels.items()}
+    candidates = [c.combination for c in outcome.candidates]
+
+    vertices: List[VertexState] = []
+    for label, combination in labels.items():
+        if combination in candidates:
+            status = "candidate"
+        elif any(candidate.is_ancestor_of(combination) for candidate in candidates):
+            status = "pruned"
+        else:
+            status = "visited"
+        vertices.append(VertexState(label=label, combination=combination, status=status))
+
+    edges: List[Tuple[str, str]] = []
+    for label, combination in labels.items():
+        for child in combination.children(schema):
+            child_label = by_combination.get(child)
+            if child_label is not None:
+                edges.append((label, child_label))
+    return vertices, edges
+
+
+_DOT_STYLE = {
+    "candidate": 'fillcolor="#e06666", style=filled',
+    "visited": 'fillcolor="#6fa8dc", style=filled',
+    "pruned": 'fillcolor="white", style=filled',
+}
+
+
+def render_search_dag_dot(
+    dataset: FineGrainedDataset,
+    outcome: SearchOutcome,
+    max_layer: Optional[int] = None,
+    graph_name: str = "search_dag",
+) -> str:
+    """Graphviz DOT for the Fig. 7 DAG of a finished search."""
+    vertices, edges = search_dag(dataset, outcome, max_layer=max_layer)
+    lines = [f"digraph {graph_name} {{", "  rankdir=TB;", "  node [shape=ellipse];"]
+    layer_members: Dict[int, List[str]] = {}
+    for vertex in vertices:
+        style = _DOT_STYLE[vertex.status]
+        tooltip = str(vertex.combination).replace('"', "'")
+        lines.append(
+            f'  "{vertex.label}" [label="{vertex.label}", tooltip="{tooltip}", {style}];'
+        )
+        layer = int(vertex.label.split("-")[0])
+        layer_members.setdefault(layer, []).append(vertex.label)
+    for layer, members in sorted(layer_members.items()):
+        ranked = "; ".join(f'"{m}"' for m in members)
+        lines.append(f"  {{ rank=same; {ranked} }}")
+    for parent, child in edges:
+        lines.append(f'  "{parent}" -> "{child}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""RAP candidate ranking (Eq. 3).
+
+Candidates surviving the search are ranked by::
+
+    RAPScore = Confidence(ac => Anomaly) / sqrt(Layer)
+
+The layer penalty encodes the paper's observation that the probability of a
+combination being a root cause is negatively correlated with its depth:
+with equal confidence, a coarser pattern explains the anomaly more
+parsimoniously and should rank first.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .attribute import AttributeCombination
+
+__all__ = ["RAPCandidate", "rap_score", "rank_candidates"]
+
+
+def rap_score(confidence: float, layer: int) -> float:
+    """``RAPScore = confidence / sqrt(layer)`` (Eq. 3)."""
+    if layer < 1:
+        raise ValueError("layer must be at least 1")
+    if not 0.0 <= confidence <= 1.0:
+        raise ValueError("confidence must be in [0, 1]")
+    return confidence / math.sqrt(layer)
+
+
+@dataclass(frozen=True)
+class RAPCandidate:
+    """A candidate RAP with the evidence the search collected for it."""
+
+    combination: AttributeCombination
+    confidence: float
+    layer: int
+    #: Leaf rows the combination covers in D.
+    support: int
+    #: Covered leaf rows labelled anomalous.
+    anomalous_support: int
+
+    @property
+    def score(self) -> float:
+        """Ranking score per Eq. 3."""
+        return rap_score(self.confidence, self.layer)
+
+
+def rank_candidates(
+    candidates: Sequence[RAPCandidate], k: Optional[int] = None
+) -> List[RAPCandidate]:
+    """Sort by RAPScore descending and keep the top *k* (all when ``None``).
+
+    Ties break on larger support, shallower layer, higher confidence and
+    anomalous support, then on the combination's deterministic sort key —
+    a total order over distinct candidates, so rankings are reproducible
+    and independent of input order.
+    """
+    ordered = sorted(
+        candidates,
+        key=lambda c: (
+            -c.score,
+            -c.support,
+            c.layer,
+            -c.confidence,
+            -c.anomalous_support,
+            c.combination.sort_key(),
+        ),
+    )
+    if k is not None:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        ordered = ordered[:k]
+    return ordered

@@ -1,0 +1,131 @@
+"""AC-guided layer-by-layer top-down search (§IV-D, Algorithm 2).
+
+The search walks the cuboid lattice restricted to the attributes that
+survived Algorithm 1, breadth-first from layer 1 downwards.  For every
+occupied combination of every cuboid it evaluates the Anomaly Confidence in
+bulk; combinations exceeding ``t_conf`` become RAP candidates unless they
+descend from an existing candidate (Criteria 3 — a RAP's descendants cannot
+be RAPs, so whole branches are pruned).  As soon as the candidate set
+covers every anomalous leaf of ``D`` the search stops early.
+
+Because BFS visits all ancestors of a combination before the combination
+itself, the candidate-descendant check exactly enforces Definition 1: a
+candidate's parents were all evaluated earlier and found non-anomalous
+(otherwise the parent — or one of *its* ancestors — would already be a
+candidate and the combination would have been pruned).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import FineGrainedDataset
+from .attribute import AttributeCombination
+from .cuboid import Cuboid
+from .scoring import RAPCandidate
+
+__all__ = ["SearchStats", "SearchOutcome", "layerwise_topdown_search"]
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation of one search run (used by the efficiency benches)."""
+
+    n_cuboids_visited: int = 0
+    n_combinations_evaluated: int = 0
+    n_candidates: int = 0
+    deepest_layer_visited: int = 0
+    early_stopped: bool = False
+
+
+@dataclass
+class SearchOutcome:
+    """Candidates found by Algorithm 2 plus run instrumentation."""
+
+    candidates: List[RAPCandidate]
+    stats: SearchStats = field(default_factory=SearchStats)
+
+
+def _descends_from_any(
+    combination: AttributeCombination, candidates: Sequence[RAPCandidate]
+) -> bool:
+    """Criteria 3 check: is *combination* below any existing candidate?"""
+    return any(c.combination.is_ancestor_of(combination) for c in candidates)
+
+
+def layerwise_topdown_search(
+    dataset: FineGrainedDataset,
+    attribute_indices: Sequence[int],
+    t_conf: float = 0.8,
+    early_stop: bool = True,
+    max_layer: Optional[int] = None,
+) -> SearchOutcome:
+    """Algorithm 2 over the cuboids spanned by *attribute_indices*.
+
+    Parameters
+    ----------
+    attribute_indices:
+        The surviving ``AttributeSet'`` of Algorithm 1 (schema indices).
+        Order does not affect the result set — cuboids within a layer are
+        visited in a deterministic lexicographic order.
+    t_conf:
+        Criteria 2 threshold in ``(0, 1)``.
+    early_stop:
+        Stop once candidates cover every anomalous leaf (the paper's early
+        stop strategy).  Disable for the ablation benchmark.
+    max_layer:
+        Optional cap on the BFS depth (all layers when ``None``).
+
+    Returns
+    -------
+    :class:`SearchOutcome` with candidates in discovery (BFS) order; ranking
+    is a separate step (:func:`repro.core.scoring.rank_candidates`).
+    """
+    if not 0.0 < t_conf < 1.0:
+        raise ValueError("t_conf must lie in (0, 1)")
+    indices = sorted(set(int(i) for i in attribute_indices))
+    if not indices:
+        raise ValueError("search needs at least one attribute")
+
+    stats = SearchStats()
+    candidates: List[RAPCandidate] = []
+    anomalous_leaves = dataset.labels
+    n_anomalous = int(anomalous_leaves.sum())
+    if n_anomalous == 0:
+        return SearchOutcome(candidates=[], stats=stats)
+    covered = np.zeros(dataset.n_rows, dtype=bool)
+
+    depth = len(indices) if max_layer is None else min(max_layer, len(indices))
+    for layer in range(1, depth + 1):
+        stats.deepest_layer_visited = layer
+        for attr_subset in itertools.combinations(indices, layer):
+            cuboid = Cuboid(attr_subset)
+            stats.n_cuboids_visited += 1
+            aggregate = dataset.aggregate(cuboid)
+            confidences = aggregate.confidence
+            stats.n_combinations_evaluated += len(aggregate)
+            anomalous_rows = np.flatnonzero(confidences > t_conf)
+            for row in anomalous_rows:
+                combination = aggregate.combination(int(row))
+                if _descends_from_any(combination, candidates):
+                    continue
+                candidate = RAPCandidate(
+                    combination=combination,
+                    confidence=float(confidences[row]),
+                    layer=layer,
+                    support=int(aggregate.support[row]),
+                    anomalous_support=int(aggregate.anomalous_support[row]),
+                )
+                candidates.append(candidate)
+                covered |= dataset.mask_of(combination)
+                if early_stop and int((covered & anomalous_leaves).sum()) >= n_anomalous:
+                    stats.n_candidates = len(candidates)
+                    stats.early_stopped = True
+                    return SearchOutcome(candidates=candidates, stats=stats)
+
+    stats.n_candidates = len(candidates)
+    return SearchOutcome(candidates=candidates, stats=stats)

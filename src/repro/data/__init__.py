@@ -1,0 +1,76 @@
+"""Dataset substrates: leaf tables, generators, simulators, and IO."""
+
+from .cdn_simulator import CDNSimulator, CDNSimulatorConfig, CDNSnapshot
+from .dataset import CuboidAggregate, FineGrainedDataset, deviation
+from .derived import RATIO, DerivedKPI, FundamentalMeasure, MultiKPIDataset
+from .injection import InjectionConfig, LocalizationCase, inject_failures, sample_raps
+from .io import (
+    case_from_dict,
+    case_to_dict,
+    dataset_from_csv,
+    dataset_to_csv,
+    load_cases,
+    save_cases,
+    schema_from_dict,
+    schema_to_dict,
+)
+from .rapmd import RAPMDConfig, generate_rapmd
+from .schema import cdn_schema, paper_example_schema, schema_from_sizes, small_schema
+from .squeeze_dataset import NOISE_LEVELS, SqueezeDatasetConfig, generate_squeeze_dataset
+from .summary import WorkloadSummary, summarize_cases
+from .squeeze_format import (
+    infer_schema_from_timestamp_csv,
+    load_squeeze_directory,
+    load_timestamp_csv,
+    parse_ground_truth_set,
+)
+from .trace import Incident, IncidentSchedule, TraceStep, generate_trace
+from .validation import Finding, ValidationReport, validate_case, validate_cases
+
+__all__ = [
+    "CDNSimulator",
+    "CDNSimulatorConfig",
+    "CDNSnapshot",
+    "CuboidAggregate",
+    "FineGrainedDataset",
+    "deviation",
+    "RATIO",
+    "DerivedKPI",
+    "FundamentalMeasure",
+    "MultiKPIDataset",
+    "InjectionConfig",
+    "LocalizationCase",
+    "inject_failures",
+    "sample_raps",
+    "case_from_dict",
+    "case_to_dict",
+    "dataset_from_csv",
+    "dataset_to_csv",
+    "load_cases",
+    "save_cases",
+    "schema_from_dict",
+    "schema_to_dict",
+    "RAPMDConfig",
+    "generate_rapmd",
+    "cdn_schema",
+    "paper_example_schema",
+    "schema_from_sizes",
+    "small_schema",
+    "NOISE_LEVELS",
+    "SqueezeDatasetConfig",
+    "generate_squeeze_dataset",
+    "infer_schema_from_timestamp_csv",
+    "load_squeeze_directory",
+    "load_timestamp_csv",
+    "parse_ground_truth_set",
+    "Incident",
+    "IncidentSchedule",
+    "TraceStep",
+    "generate_trace",
+    "WorkloadSummary",
+    "summarize_cases",
+    "Finding",
+    "ValidationReport",
+    "validate_case",
+    "validate_cases",
+]

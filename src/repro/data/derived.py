@@ -1,0 +1,185 @@
+"""Derived (non-additive) KPIs over fundamental leaf measures (§III-A).
+
+The paper distinguishes *fundamental* KPIs (additive: traffic volume,
+request count — coarse values are sums of leaf values, Fig. 4) from
+*derived* KPIs (non-additive: cache hit ratio, average response delay —
+obtained from fundamental KPIs through a transformation
+``K^D = g(K^F_1, ..., K^F_m)``).  Existing localizers design special
+treatment for derived KPIs (Adtributor's derived-measure mode, Squeeze's
+generalized ripple effect); RAPMiner needs none, because it only consumes
+*leaf anomaly labels* — this module exists to build those labels for
+derived KPIs and to aggregate them correctly for the baselines.
+
+A :class:`MultiKPIDataset` stores several named fundamental measures per
+leaf (each with actual and forecast values); a :class:`DerivedKPI`
+combines them with an arbitrary transformation, evaluated *after*
+aggregation — the only correct order for non-additive measures::
+
+    hit_ratio = DerivedKPI("hit_ratio", ("hits", "requests"),
+                           lambda hits, requests: hits / requests)
+    v, f = multi.derived_values(hit_ratio, combination)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.attribute import AttributeCombination, AttributeSchema
+from ..core.cuboid import Cuboid
+from .dataset import FineGrainedDataset
+
+__all__ = ["FundamentalMeasure", "DerivedKPI", "MultiKPIDataset", "RATIO", "SAFE_DIV"]
+
+
+def SAFE_DIV(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
+    """Elementwise division returning 0 where the denominator is 0."""
+    numerator = np.asarray(numerator, dtype=float)
+    denominator = np.asarray(denominator, dtype=float)
+    out = np.zeros(np.broadcast(numerator, denominator).shape)
+    np.divide(numerator, denominator, out=out, where=denominator != 0)
+    return out
+
+
+#: The canonical ratio transformation (hit ratio, error rate, ...).
+RATIO: Callable[[np.ndarray, np.ndarray], np.ndarray] = SAFE_DIV
+
+
+@dataclass(frozen=True)
+class FundamentalMeasure:
+    """One additive measure: per-leaf actual and forecast arrays."""
+
+    name: str
+    v: np.ndarray
+    f: np.ndarray
+
+
+@dataclass(frozen=True)
+class DerivedKPI:
+    """A named transformation over fundamental measures.
+
+    ``transform`` receives one array (or scalar) per input, in ``inputs``
+    order, and must be vectorized (plain numpy arithmetic qualifies).
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    transform: Callable[..., np.ndarray]
+
+    def __init__(self, name: str, inputs: Sequence[str], transform: Callable[..., np.ndarray]):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "inputs", tuple(inputs))
+        object.__setattr__(self, "transform", transform)
+        if not self.inputs:
+            raise ValueError("a derived KPI needs at least one input measure")
+
+
+class MultiKPIDataset:
+    """Several fundamental measures over one leaf population.
+
+    Shares the schema/codes machinery of :class:`FineGrainedDataset`; each
+    measure can be viewed as its own leaf table, and derived KPIs are
+    evaluated on aggregates (the Fig. 4 pipeline: aggregate fundamentals
+    first, then apply ``g``).
+    """
+
+    def __init__(
+        self,
+        schema: AttributeSchema,
+        codes: np.ndarray,
+        measures: Mapping[str, Tuple[np.ndarray, np.ndarray]],
+    ):
+        if not measures:
+            raise ValueError("need at least one measure")
+        self.schema = schema
+        self._measures: Dict[str, FundamentalMeasure] = {}
+        base: Optional[FineGrainedDataset] = None
+        for name, (v, f) in measures.items():
+            table = FineGrainedDataset(schema, codes, v, f)  # validates shapes
+            if base is None:
+                base = table
+            self._measures[name] = FundamentalMeasure(name, table.v, table.f)
+        assert base is not None
+        self._base = base
+        self.codes = base.codes
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self._base.n_rows
+
+    @property
+    def measure_names(self) -> Tuple[str, ...]:
+        return tuple(self._measures)
+
+    def measure(self, name: str) -> FundamentalMeasure:
+        try:
+            return self._measures[name]
+        except KeyError:
+            raise KeyError(f"unknown measure {name!r}") from None
+
+    def as_dataset(self, name: str, labels: Optional[np.ndarray] = None) -> FineGrainedDataset:
+        """View one fundamental measure as a (optionally labelled) leaf table."""
+        m = self.measure(name)
+        return FineGrainedDataset(self.schema, self.codes, m.v, m.f, labels)
+
+    # -- derived evaluation ------------------------------------------------------
+
+    def leaf_derived(self, kpi: DerivedKPI) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-leaf derived values: ``(actual, forecast)`` arrays."""
+        v_inputs = [self.measure(name).v for name in kpi.inputs]
+        f_inputs = [self.measure(name).f for name in kpi.inputs]
+        return kpi.transform(*v_inputs), kpi.transform(*f_inputs)
+
+    def derived_values(
+        self, kpi: DerivedKPI, combination: AttributeCombination
+    ) -> Tuple[float, float]:
+        """Derived KPI of one combination: aggregate fundamentals, then ``g``.
+
+        This is the paper's Fig. 4 order — summing a ratio would be wrong;
+        the ratio of sums is the true coarse-grained value.
+        """
+        mask = self._base.mask_of(combination)
+        v_inputs = [float(self.measure(name).v[mask].sum()) for name in kpi.inputs]
+        f_inputs = [float(self.measure(name).f[mask].sum()) for name in kpi.inputs]
+        return float(kpi.transform(*v_inputs)), float(kpi.transform(*f_inputs))
+
+    def derived_cuboid(
+        self, kpi: DerivedKPI, cuboid: Cuboid
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Derived KPI for every occupied combination of *cuboid*.
+
+        Returns ``(codes, actual, forecast)`` where ``codes`` matches
+        :meth:`FineGrainedDataset.aggregate`'s layout.
+        """
+        aggregates = {
+            name: self.as_dataset(name).aggregate(cuboid) for name in kpi.inputs
+        }
+        first = aggregates[kpi.inputs[0]]
+        v = kpi.transform(*[aggregates[name].v_sum for name in kpi.inputs])
+        f = kpi.transform(*[aggregates[name].f_sum for name in kpi.inputs])
+        return first.codes, np.asarray(v, dtype=float), np.asarray(f, dtype=float)
+
+    def label_by_derived(
+        self,
+        kpi: DerivedKPI,
+        detector,
+        measure_for_values: Optional[str] = None,
+    ) -> FineGrainedDataset:
+        """Leaf labels from a derived KPI, packaged for any localizer.
+
+        The detector sees the per-leaf derived actual/forecast pair; the
+        returned leaf table carries those labels together with the values
+        of ``measure_for_values`` (default: the KPI's first input) so
+        value-based baselines still receive meaningful additive volumes.
+        This is exactly the interface split the paper highlights: RAPMiner
+        reads only the labels, so fundamental vs derived makes no
+        difference to it.
+        """
+        actual, forecast = self.leaf_derived(kpi)
+        labels = detector.detect(actual, forecast)
+        base_name = measure_for_values or kpi.inputs[0]
+        return self.as_dataset(base_name, labels)

@@ -1,0 +1,203 @@
+"""Failure injection into leaf snapshots (the paper's §V-A procedure).
+
+Injection follows the paper exactly: a set of ground-truth RAPs is chosen;
+every leaf that descends from a RAP receives a relative deviation ``Dev``
+drawn from the anomalous range, every other leaf a ``Dev`` from the normal
+range, and the forecast is reconstructed from the actual value through
+Eq. 5::
+
+    Dev = (f - v) / (f + eps)                 (Eq. 4)
+    f   = (v + Dev * eps) / (1 - Dev)         (Eq. 5)
+
+so the *actual* values keep the background trace's distribution while the
+*forecast* encodes the injected anomaly.  Leaf anomaly labels — the input
+RAPMiner consumes — are then produced by thresholding ``Dev`` midway
+between the two ranges, optionally flipped with a noise probability to
+emulate imperfect detectors (the Squeeze dataset's B1+ noise levels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.attribute import AttributeCombination, AttributeSchema
+from ..core.cuboid import Cuboid, cuboids_in_layer
+from .dataset import EPSILON, FineGrainedDataset
+
+__all__ = [
+    "LocalizationCase",
+    "InjectionConfig",
+    "sample_raps",
+    "inject_failures",
+]
+
+
+@dataclass
+class LocalizationCase:
+    """One labelled anomaly-localization problem instance.
+
+    ``dataset`` carries the leaf table with detection labels; ``true_raps``
+    is the injected ground truth the localizers must recover.
+    """
+
+    case_id: str
+    dataset: FineGrainedDataset
+    true_raps: Tuple[AttributeCombination, ...]
+    #: Free-form provenance (group key, injected deviations, noise level, ...).
+    metadata: Dict = field(default_factory=dict)
+
+    @property
+    def n_raps(self) -> int:
+        return len(self.true_raps)
+
+
+@dataclass
+class InjectionConfig:
+    """Deviation ranges and labelling knobs of the injection procedure.
+
+    Defaults are the paper's Randomness 2 ranges: anomalous leaves get
+    ``Dev ~ U[0.1, 0.9]``, normal leaves ``Dev ~ U[-0.02, 0.09]``.
+    """
+
+    anomalous_dev_range: Tuple[float, float] = (0.1, 0.9)
+    normal_dev_range: Tuple[float, float] = (-0.02, 0.09)
+    #: Detection threshold on Dev; None = midpoint of the two ranges.
+    detection_threshold: Optional[float] = None
+    #: Probability of flipping each leaf label (0.0 = the B0 noise level).
+    label_noise: float = 0.0
+    epsilon: float = EPSILON
+
+    def threshold(self) -> float:
+        if self.detection_threshold is not None:
+            return self.detection_threshold
+        return 0.5 * (self.normal_dev_range[1] + self.anomalous_dev_range[0])
+
+
+def _is_redundant(candidate: AttributeCombination, chosen: Sequence[AttributeCombination]) -> bool:
+    """True when *candidate* overlaps the ancestry of any already-chosen RAP."""
+    for other in chosen:
+        if candidate == other:
+            return True
+        if candidate.is_ancestor_of(other) or other.is_ancestor_of(candidate):
+            return True
+    return False
+
+
+def sample_raps(
+    dataset: FineGrainedDataset,
+    n_raps: int,
+    rng: np.random.Generator,
+    dimensions: Optional[Sequence[int]] = None,
+    cuboid: Optional[Cuboid] = None,
+    min_support: int = 2,
+    max_coverage: float = 0.5,
+    max_attempts: int = 500,
+) -> List[AttributeCombination]:
+    """Draw *n_raps* mutually incomparable RAPs with real support in *dataset*.
+
+    Parameters
+    ----------
+    dimensions:
+        Candidate RAP dimensions (cuboid layers).  The paper's Randomness 1
+        allows any dimension per RAP; the Squeeze dataset instead fixes one
+        ``cuboid`` for all RAPs of a case — pass it to enforce that.
+    min_support:
+        Minimum number of leaf rows a RAP must cover (avoids degenerate
+        ground truths that no method could distinguish from noise).
+    max_coverage:
+        Upper bound on the fraction of all leaf rows one RAP may cover
+        (a RAP covering everything would make the case trivial/ill-posed).
+
+    Raises
+    ------
+    RuntimeError:
+        If no valid draw is found within *max_attempts* (e.g. the dataset is
+        too small for the requested number of disjoint RAPs).
+    """
+    schema = dataset.schema
+    if dimensions is None:
+        dimensions = list(range(1, schema.n_attributes))
+    chosen: List[AttributeCombination] = []
+    attempts = 0
+    while len(chosen) < n_raps:
+        attempts += 1
+        if attempts > max_attempts:
+            raise RuntimeError(
+                f"could not sample {n_raps} disjoint RAPs after {max_attempts} attempts"
+            )
+        if cuboid is not None:
+            target_cuboid = cuboid
+        else:
+            dim = int(rng.choice(np.asarray(list(dimensions))))
+            layer_cuboids = cuboids_in_layer(schema.n_attributes, dim)
+            target_cuboid = layer_cuboids[int(rng.integers(len(layer_cuboids)))]
+        values: List[Optional[str]] = [None] * schema.n_attributes
+        for attr_index in target_cuboid.attribute_indices:
+            elements = schema.elements(attr_index)
+            values[attr_index] = elements[int(rng.integers(len(elements)))]
+        candidate = AttributeCombination(values)
+        if _is_redundant(candidate, chosen):
+            continue
+        support = dataset.support_count(candidate)
+        if support < min_support:
+            continue
+        if support > max_coverage * dataset.n_rows:
+            continue
+        chosen.append(candidate)
+    return chosen
+
+
+def inject_failures(
+    dataset: FineGrainedDataset,
+    raps: Sequence[AttributeCombination],
+    rng: np.random.Generator,
+    config: Optional[InjectionConfig] = None,
+    per_rap_dev: Optional[Sequence[float]] = None,
+) -> Tuple[FineGrainedDataset, np.ndarray]:
+    """Overwrite forecasts of *dataset* so the given *raps* become anomalous.
+
+    Parameters
+    ----------
+    per_rap_dev:
+        When given, all leaves under RAP ``i`` share deviation
+        ``per_rap_dev[i]`` — the Squeeze dataset's *vertical assumption*.
+        When omitted, each anomalous leaf draws its own deviation from the
+        anomalous range — RAPMD's Randomness 2, which deliberately breaks
+        that assumption.
+
+    Returns
+    -------
+    (labelled_dataset, ground_truth_mask):
+        The dataset with reconstructed forecasts and detector labels, plus
+        the noise-free ground-truth anomalous-leaf mask.
+    """
+    cfg = config if config is not None else InjectionConfig()
+    if per_rap_dev is not None and len(per_rap_dev) != len(raps):
+        raise ValueError("per_rap_dev must supply one deviation per RAP")
+
+    n = dataset.n_rows
+    dev = rng.uniform(cfg.normal_dev_range[0], cfg.normal_dev_range[1], size=n)
+    truth = np.zeros(n, dtype=bool)
+    for i, rap in enumerate(raps):
+        mask = dataset.mask_of(rap)
+        if per_rap_dev is not None:
+            dev[mask] = per_rap_dev[i]
+        else:
+            dev[mask] = rng.uniform(
+                cfg.anomalous_dev_range[0], cfg.anomalous_dev_range[1], size=int(mask.sum())
+            )
+        truth |= mask
+
+    # Eq. 5: rebuild the forecast from the kept actual values.
+    f = (dataset.v + dev * cfg.epsilon) / (1.0 - dev)
+
+    labels = dev > cfg.threshold()
+    if cfg.label_noise > 0.0:
+        flips = rng.random(n) < cfg.label_noise
+        labels = labels ^ flips
+
+    labelled = FineGrainedDataset(dataset.schema, dataset.codes, dataset.v, f, labels)
+    return labelled, truth

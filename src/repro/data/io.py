@@ -1,0 +1,148 @@
+"""Serialization of schemas, leaf tables, and localization cases.
+
+Two interchange formats are provided:
+
+* **CSV** for the leaf table itself — one column per attribute plus
+  ``v``, ``f``, ``label`` — matching the layout of Table III and of the
+  published Squeeze dataset's per-timestamp CSV files, so externally
+  produced data can be dropped in.
+* **JSON** for full :class:`~repro.data.injection.LocalizationCase` bundles
+  (schema + leaf table + ground-truth RAPs + metadata), used to persist
+  generated benchmarks so experiment runs are replayable byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from ..core.attribute import AttributeCombination, AttributeSchema
+from .dataset import FineGrainedDataset
+from .injection import LocalizationCase
+
+__all__ = [
+    "dataset_to_csv",
+    "dataset_from_csv",
+    "schema_to_dict",
+    "schema_from_dict",
+    "case_to_dict",
+    "case_from_dict",
+    "save_cases",
+    "load_cases",
+]
+
+PathLike = Union[str, Path]
+
+
+def schema_to_dict(schema: AttributeSchema) -> Dict:
+    """JSON-ready representation of a schema."""
+    return {name: list(schema.elements(name)) for name in schema.names}
+
+
+def schema_from_dict(data: Dict) -> AttributeSchema:
+    """Inverse of :func:`schema_to_dict`."""
+    return AttributeSchema({name: list(elements) for name, elements in data.items()})
+
+
+def dataset_to_csv(dataset: FineGrainedDataset, path: PathLike) -> None:
+    """Write a leaf table as CSV with attribute columns plus ``v,f,label``."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(dataset.schema.names) + ["v", "f", "label"])
+        for values, v, f, label in dataset.to_records():
+            writer.writerow(list(values) + [repr(v), repr(f), int(label)])
+
+
+def dataset_from_csv(path: PathLike, schema: AttributeSchema) -> FineGrainedDataset:
+    """Read a leaf table written by :func:`dataset_to_csv` (or compatible)."""
+    path = Path(path)
+    rows = []
+    labels = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise ValueError(f"{path} is empty")
+        expected = list(schema.names) + ["v", "f", "label"]
+        if header != expected:
+            raise ValueError(f"{path} header {header} does not match schema columns {expected}")
+        n_attrs = schema.n_attributes
+        for line in reader:
+            if not line:
+                continue
+            values = tuple(line[:n_attrs])
+            rows.append((values, float(line[n_attrs]), float(line[n_attrs + 1])))
+            labels.append(bool(int(line[n_attrs + 2])))
+    return FineGrainedDataset.from_rows(schema, rows, labels)
+
+
+def case_to_dict(case: LocalizationCase) -> Dict:
+    """JSON-ready representation of a localization case."""
+    dataset = case.dataset
+    return {
+        "case_id": case.case_id,
+        "schema": schema_to_dict(dataset.schema),
+        "codes": dataset.codes.tolist(),
+        "v": dataset.v.tolist(),
+        "f": dataset.f.tolist(),
+        "labels": dataset.labels.astype(int).tolist(),
+        "true_raps": [str(rap) for rap in case.true_raps],
+        "metadata": _jsonify(case.metadata),
+    }
+
+
+def case_from_dict(data: Dict) -> LocalizationCase:
+    """Inverse of :func:`case_to_dict`."""
+    schema = schema_from_dict(data["schema"])
+    dataset = FineGrainedDataset(
+        schema,
+        np.asarray(data["codes"], dtype=np.int64).reshape(-1, schema.n_attributes),
+        np.asarray(data["v"], dtype=float),
+        np.asarray(data["f"], dtype=float),
+        np.asarray(data["labels"], dtype=bool),
+    )
+    raps = tuple(AttributeCombination.parse(text) for text in data["true_raps"])
+    return LocalizationCase(
+        case_id=data["case_id"],
+        dataset=dataset,
+        true_raps=raps,
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+def save_cases(cases: Sequence[LocalizationCase], path: PathLike) -> None:
+    """Persist a case list as one JSON document."""
+    path = Path(path)
+    payload = {"format": "repro.cases.v1", "cases": [case_to_dict(c) for c in cases]}
+    with path.open("w") as handle:
+        json.dump(payload, handle)
+
+
+def load_cases(path: PathLike) -> List[LocalizationCase]:
+    """Load a case list written by :func:`save_cases`."""
+    path = Path(path)
+    with path.open() as handle:
+        payload = json.load(handle)
+    if payload.get("format") != "repro.cases.v1":
+        raise ValueError(f"{path} is not a repro case bundle")
+    return [case_from_dict(entry) for entry in payload["cases"]]
+
+
+def _jsonify(value):
+    """Coerce numpy scalars / tuples in metadata into JSON-native types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value

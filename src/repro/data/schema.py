@@ -1,0 +1,77 @@
+"""Canonical attribute schemas used throughout the reproduction.
+
+:func:`cdn_schema` reproduces Table I of the paper — the four-attribute
+schema of the ISP-operated CDN (Location x 33, Access Type x 4, OS x 4,
+Website x 20, hence 10 560 leaf combinations).  :func:`small_schema` and
+:func:`paper_example_schema` build the small lattices the paper uses in its
+worked examples (Fig. 6 / Fig. 7 / Table V).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..core.attribute import AttributeSchema
+
+__all__ = ["cdn_schema", "paper_example_schema", "small_schema", "schema_from_sizes"]
+
+
+def cdn_schema(
+    n_locations: int = 33,
+    n_access_types: int = 4,
+    n_os: int = 4,
+    n_websites: int = 20,
+) -> AttributeSchema:
+    """The paper's CDN schema (Table I), optionally scaled down.
+
+    Element names follow the paper: ``L1..L33`` for locations,
+    ``Site1..Site20`` for websites; access types and operating systems use
+    the paper's concrete names when the requested count allows, falling back
+    to generated names beyond them.
+    """
+    access_names = ["Wireless", "Fixed", "Cellular", "Satellite"]
+    os_names = ["Android", "IOS", "Windows", "Linux"]
+
+    def named(prefix: Sequence[str], count: int, fallback: str) -> list:
+        if count <= len(prefix):
+            return list(prefix[:count])
+        return list(prefix) + [f"{fallback}{i}" for i in range(len(prefix) + 1, count + 1)]
+
+    return AttributeSchema(
+        {
+            "location": [f"L{i}" for i in range(1, n_locations + 1)],
+            "access_type": named(access_names, n_access_types, "Access"),
+            "os": named(os_names, n_os, "OS"),
+            "website": [f"Site{i}" for i in range(1, n_websites + 1)],
+        }
+    )
+
+
+def paper_example_schema() -> AttributeSchema:
+    """The 3-attribute (3, 2, 2) example of Fig. 6 / Fig. 7 / Table V."""
+    return AttributeSchema(
+        {
+            "A": ["a1", "a2", "a3"],
+            "B": ["b1", "b2"],
+            "C": ["c1", "c2"],
+        }
+    )
+
+
+def schema_from_sizes(sizes: Sequence[int], prefix: str = "attr") -> AttributeSchema:
+    """A generic schema with the given element counts per attribute.
+
+    Attribute ``i`` is named ``{prefix}{i}``; its elements are ``e{i}_{j}``.
+    Used by the synthetic dataset generators and by property-based tests.
+    """
+    attributes: Dict[str, list] = {}
+    for i, size in enumerate(sizes):
+        if size < 1:
+            raise ValueError("every attribute needs at least one element")
+        attributes[f"{prefix}{i}"] = [f"e{i}_{j}" for j in range(size)]
+    return AttributeSchema(attributes)
+
+
+def small_schema() -> AttributeSchema:
+    """A 4-attribute schema small enough for exhaustive brute-force checks."""
+    return schema_from_sizes([4, 3, 3, 2])

@@ -1,0 +1,167 @@
+"""Squeeze-style semi-synthetic dataset (ISSRE'19), as used in Fig. 8(a)/9(a).
+
+The published Squeeze dataset groups cases by ``(n_dim, n_raps)`` — the
+dimension of the cuboid the RAPs live in and how many RAPs one failure has —
+and obeys two assumptions the RAPMiner paper calls out:
+
+* **Vertical assumption** — every fine-grained descendant of the same RAP
+  carries the *same* relative anomaly magnitude.
+* **Horizontal assumption** — different failures (cases) carry *different*
+  magnitudes.
+
+Additionally all RAPs of one case live in a single cuboid.  Noise levels
+(B0, B1, ...) perturb the leaf anomaly labels; the paper evaluates on B0
+(clean labels), which is our default.
+
+The original dataset's background values come from a production system we
+do not have; we draw heavy-tailed lognormal leaf volumes instead, which
+preserves the only property the search algorithms see — a skewed, sparse
+leaf-volume marginal (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.attribute import AttributeSchema
+from ..core.cuboid import cuboids_in_layer
+from .dataset import FineGrainedDataset
+from .injection import InjectionConfig, LocalizationCase, inject_failures, sample_raps
+from .schema import schema_from_sizes
+
+__all__ = ["SqueezeDatasetConfig", "NOISE_LEVELS", "generate_squeeze_dataset"]
+
+#: Label-flip probability per published noise level; the paper uses B0.
+NOISE_LEVELS: Dict[str, float] = {"B0": 0.0, "B1": 0.01, "B2": 0.05, "B3": 0.10}
+
+#: The paper's Fig. 8(a)/9(a) group keys: (RAP dimension, RAP count).
+DEFAULT_GROUPS: Tuple[Tuple[int, int], ...] = (
+    (1, 1), (1, 2), (1, 3),
+    (2, 1), (2, 2), (2, 3),
+    (3, 1), (3, 2), (3, 3),
+)
+
+
+@dataclass
+class SqueezeDatasetConfig:
+    """Generation knobs for the Squeeze-style grouped dataset."""
+
+    #: Element counts per attribute of the synthetic schema.
+    attribute_sizes: Tuple[int, ...] = (10, 8, 6, 5)
+    #: Cases generated per (n_dim, n_raps) group.
+    cases_per_group: int = 25
+    #: Group keys to generate.
+    groups: Tuple[Tuple[int, int], ...] = DEFAULT_GROUPS
+    #: Noise level name from :data:`NOISE_LEVELS`.
+    noise_level: str = "B0"
+    #: Range the per-case anomaly magnitude is drawn from (horizontal assumption).
+    case_dev_range: Tuple[float, float] = (0.15, 0.85)
+    #: Deviation ranges for normal leaves and the detection threshold.
+    injection: InjectionConfig = field(default_factory=InjectionConfig)
+    #: Lognormal parameters of the background leaf volumes.
+    volume_log_mean: float = 4.0
+    volume_log_sigma: float = 1.2
+    #: Minimum leaf support a sampled RAP must have.
+    min_rap_support: int = 4
+    seed: int = 0
+
+
+def _background(
+    schema: AttributeSchema, cfg: SqueezeDatasetConfig, rng: np.random.Generator
+) -> FineGrainedDataset:
+    """Heavy-tailed leaf volumes over the full cross product."""
+    n = schema.n_leaves
+    v = rng.lognormal(mean=cfg.volume_log_mean, sigma=cfg.volume_log_sigma, size=n)
+    return FineGrainedDataset.full(schema, v, v.copy())
+
+
+def generate_squeeze_dataset(
+    config: Optional[SqueezeDatasetConfig] = None,
+) -> List[LocalizationCase]:
+    """Generate grouped cases under the vertical/horizontal assumptions.
+
+    Each case's ``metadata`` carries ``group`` (its ``(n_dim, n_raps)`` key),
+    the shared case deviation, and the noise level, so experiment runners can
+    slice results exactly like Fig. 8(a)/9(a).
+    """
+    cfg = config if config is not None else SqueezeDatasetConfig()
+    if cfg.noise_level not in NOISE_LEVELS:
+        raise KeyError(f"unknown noise level {cfg.noise_level!r}")
+    label_noise = NOISE_LEVELS[cfg.noise_level]
+    rng = np.random.default_rng(cfg.seed)
+    schema = schema_from_sizes(cfg.attribute_sizes)
+    max_dim = max(dim for dim, _ in cfg.groups)
+    if max_dim >= schema.n_attributes:
+        raise ValueError(
+            "group dimensions must be below the attribute count so RAPs stay non-leaf"
+        )
+
+    injection = InjectionConfig(
+        anomalous_dev_range=cfg.injection.anomalous_dev_range,
+        normal_dev_range=cfg.injection.normal_dev_range,
+        detection_threshold=cfg.injection.detection_threshold,
+        label_noise=label_noise,
+        epsilon=cfg.injection.epsilon,
+    )
+
+    # Horizontal assumption: draw distinct per-case magnitudes by spacing
+    # them over the configured range with a small jitter.
+    total_cases = len(cfg.groups) * cfg.cases_per_group
+    low, high = cfg.case_dev_range
+    magnitudes = np.linspace(low, high, total_cases)
+    magnitudes += rng.uniform(-0.5, 0.5, total_cases) * (high - low) / max(total_cases, 1)
+    magnitudes = np.clip(magnitudes, injection.anomalous_dev_range[0] + 0.01, 0.95)
+    rng.shuffle(magnitudes)
+
+    cases: List[LocalizationCase] = []
+    case_counter = 0
+    for group in cfg.groups:
+        n_dim, n_raps = group
+        layer_cuboids = cuboids_in_layer(schema.n_attributes, n_dim)
+        # A combination of a cuboid covers n_leaves / |cuboid| leaves; skip
+        # cuboids too fine for the configured minimum support (their RAPs
+        # could never be sampled), falling back to all when none qualifies.
+        feasible = [
+            c
+            for c in layer_cuboids
+            if schema.n_leaves // c.length(schema) >= cfg.min_rap_support
+        ]
+        usable_cuboids = feasible if feasible else layer_cuboids
+        for i in range(cfg.cases_per_group):
+            background = _background(schema, cfg, rng)
+            cuboid = usable_cuboids[int(rng.integers(len(usable_cuboids)))]
+            min_support = min(
+                cfg.min_rap_support, schema.n_leaves // cuboid.length(schema)
+            )
+            raps = sample_raps(
+                background,
+                n_raps,
+                rng,
+                cuboid=cuboid,
+                min_support=max(1, min_support),
+            )
+            case_dev = float(magnitudes[case_counter])
+            # Vertical assumption: all leaves of every RAP of this case share
+            # the case's magnitude.
+            labelled, truth = inject_failures(
+                background, raps, rng, injection, per_rap_dev=[case_dev] * len(raps)
+            )
+            cases.append(
+                LocalizationCase(
+                    case_id=f"squeeze-{cfg.noise_level}-{n_dim}{n_raps}-{i:03d}",
+                    dataset=labelled,
+                    true_raps=tuple(raps),
+                    metadata={
+                        "group": group,
+                        "noise_level": cfg.noise_level,
+                        "case_dev": case_dev,
+                        "cuboid": cuboid.attribute_indices,
+                        "ground_truth_anomalous_leaves": int(truth.sum()),
+                    },
+                )
+            )
+            case_counter += 1
+    return cases

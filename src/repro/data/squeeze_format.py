@@ -1,0 +1,223 @@
+"""Loader for the published Squeeze dataset's on-disk layout.
+
+The semi-synthetic dataset released with Squeeze (ISSRE'19) — the same
+one the RAPMiner paper evaluates on — ships as directories of per-
+timestamp CSV files plus one ground-truth index:
+
+```
+B0/
+  injection_info.csv        # columns: timestamp, ..., set
+  1501475700.csv            # columns: <attr1>, ..., <attrN>, real, predict
+  1501476000.csv
+  ...
+```
+
+Each timestamp CSV is a (sparse) leaf table: one row per occurring
+fine-grained attribute combination with its actual (``real``) and
+forecast (``predict``) values.  ``injection_info.csv``'s ``set`` column
+encodes the injected root causes as ``&``-joined element names per RAP
+and ``;``-separated RAPs, e.g. ``a1&b2;c3`` = two RAPs,
+``(a1, b2, *, *)`` and ``(*, *, c3, *)``.
+
+Element names are unique across attributes in the published data (``a*``,
+``b*``, …), which is what lets the ``set`` strings omit attribute names;
+this loader resolves each token against the schema and rejects ambiguous
+vocabularies rather than guessing.
+
+This repository's generators produce statistically equivalent data
+(DESIGN.md §2); this module exists so the *actual* release can be dropped
+in unchanged: point :func:`load_squeeze_directory` at ``B0/`` and feed
+the cases to the same experiment runners.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.attribute import AttributeCombination, AttributeSchema
+from ..detection.detectors import Detector, DeviationThresholdDetector
+from .dataset import FineGrainedDataset
+from .injection import LocalizationCase
+
+__all__ = [
+    "infer_schema_from_timestamp_csv",
+    "parse_ground_truth_set",
+    "load_timestamp_csv",
+    "load_squeeze_directory",
+]
+
+PathLike = Union[str, Path]
+
+#: Column names carrying values rather than attributes.
+VALUE_COLUMNS = ("real", "predict")
+
+
+def _read_header(path: Path) -> List[str]:
+    with path.open(newline="") as handle:
+        header = next(csv.reader(handle), None)
+    if header is None:
+        raise ValueError(f"{path} is empty")
+    return header
+
+
+def infer_schema_from_timestamp_csv(path: PathLike) -> AttributeSchema:
+    """Build the schema from one timestamp CSV.
+
+    Attribute columns are everything before the ``real``/``predict``
+    columns; each attribute's vocabulary is the sorted set of values seen.
+    (For multi-file datasets, infer from one file and validate the rest —
+    the published data uses a fixed vocabulary per directory.)
+    """
+    path = Path(path)
+    header = _read_header(path)
+    attribute_names = [column for column in header if column not in VALUE_COLUMNS]
+    if len(attribute_names) == len(header):
+        raise ValueError(f"{path} has no real/predict columns")
+    vocabularies: Dict[str, set] = {name: set() for name in attribute_names}
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            for name in attribute_names:
+                vocabularies[name].add(row[name])
+    return AttributeSchema(
+        {name: sorted(vocabularies[name]) for name in attribute_names}
+    )
+
+
+def _element_index(schema: AttributeSchema) -> Dict[str, int]:
+    """Map element name -> attribute index; rejects ambiguous vocabularies."""
+    index: Dict[str, int] = {}
+    for attr_index in range(schema.n_attributes):
+        for element in schema.elements(attr_index):
+            if element in index:
+                raise ValueError(
+                    f"element name {element!r} appears in two attributes; "
+                    "the '&'-set ground-truth notation is ambiguous here"
+                )
+            index[element] = attr_index
+    return index
+
+
+def parse_ground_truth_set(text: str, schema: AttributeSchema) -> List[AttributeCombination]:
+    """Parse an ``injection_info.csv`` ``set`` entry into combinations.
+
+    ``"a1&b2;c3"`` -> ``[(a1, b2, *...), (*..., c3, *...)]``.
+    """
+    index = _element_index(schema)
+    combinations: List[AttributeCombination] = []
+    for rap_text in text.split(";"):
+        rap_text = rap_text.strip()
+        if not rap_text:
+            continue
+        values: List[Optional[str]] = [None] * schema.n_attributes
+        for token in rap_text.split("&"):
+            token = token.strip()
+            if token not in index:
+                raise KeyError(f"unknown element {token!r} in ground-truth set {text!r}")
+            attr_index = index[token]
+            if values[attr_index] is not None:
+                raise ValueError(
+                    f"ground-truth RAP {rap_text!r} binds attribute "
+                    f"{schema.names[attr_index]!r} twice"
+                )
+            values[attr_index] = token
+        combinations.append(AttributeCombination(values))
+    if not combinations:
+        raise ValueError(f"ground-truth set {text!r} contains no RAPs")
+    return combinations
+
+
+def load_timestamp_csv(
+    path: PathLike,
+    schema: AttributeSchema,
+    detector: Optional[Detector] = None,
+) -> FineGrainedDataset:
+    """Load one timestamp's leaf table and label it with *detector*.
+
+    The published data encodes drops as ``predict > real``; the default
+    detector is the same deviation threshold the generators use.
+    """
+    path = Path(path)
+    detector = detector if detector is not None else DeviationThresholdDetector()
+    header = _read_header(path)
+    attribute_names = [column for column in header if column not in VALUE_COLUMNS]
+    if tuple(attribute_names) != schema.names:
+        raise ValueError(
+            f"{path} attribute columns {attribute_names} do not match "
+            f"schema {list(schema.names)}"
+        )
+    code_rows: List[List[int]] = []
+    v_list: List[float] = []
+    f_list: List[float] = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            code_rows.append(
+                [schema.encode(i, row[name]) for i, name in enumerate(schema.names)]
+            )
+            v_list.append(float(row["real"]))
+            f_list.append(float(row["predict"]))
+    codes = np.asarray(code_rows, dtype=np.int64).reshape(-1, schema.n_attributes)
+    v = np.asarray(v_list)
+    f = np.asarray(f_list)
+    labels = detector.detect(v, f)
+    return FineGrainedDataset(schema, codes, v, f, labels)
+
+
+def load_squeeze_directory(
+    directory: PathLike,
+    schema: Optional[AttributeSchema] = None,
+    detector: Optional[Detector] = None,
+    injection_file: str = "injection_info.csv",
+) -> List[LocalizationCase]:
+    """Load a whole Squeeze-format directory into localization cases.
+
+    Parameters
+    ----------
+    schema:
+        Inferred from the first timestamp CSV when omitted.
+    detector:
+        Leaf labeller applied to every timestamp (deviation threshold by
+        default).
+
+    Returns cases ordered by timestamp; each carries ``metadata["timestamp"]``.
+    """
+    directory = Path(directory)
+    info_path = directory / injection_file
+    if not info_path.exists():
+        raise FileNotFoundError(f"{info_path} not found")
+
+    entries: List[Dict[str, str]] = []
+    with info_path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or "timestamp" not in reader.fieldnames:
+            raise ValueError(f"{info_path} needs a 'timestamp' column")
+        if "set" not in reader.fieldnames:
+            raise ValueError(f"{info_path} needs a 'set' ground-truth column")
+        entries.extend(reader)
+    if not entries:
+        raise ValueError(f"{info_path} lists no cases")
+
+    first_csv = directory / f"{entries[0]['timestamp']}.csv"
+    if schema is None:
+        schema = infer_schema_from_timestamp_csv(first_csv)
+
+    cases: List[LocalizationCase] = []
+    for entry in sorted(entries, key=lambda e: e["timestamp"]):
+        timestamp = entry["timestamp"]
+        csv_path = directory / f"{timestamp}.csv"
+        dataset = load_timestamp_csv(csv_path, schema, detector)
+        raps = parse_ground_truth_set(entry["set"], schema)
+        cases.append(
+            LocalizationCase(
+                case_id=f"squeeze-file-{timestamp}",
+                dataset=dataset,
+                true_raps=tuple(raps),
+                metadata={"timestamp": timestamp, "source": str(directory)},
+            )
+        )
+    return cases

@@ -1,0 +1,114 @@
+"""Workload digests: describe a case collection before evaluating on it.
+
+Localization scores are only interpretable against the workload's shape —
+how many RAPs per case, at which dimensions, covering what share of the
+leaves, over how skewed a volume distribution.  :func:`summarize_cases`
+computes that digest; ``repro generate`` prints it so a saved bundle is
+self-describing, and EXPERIMENTS.md's workload descriptions come from it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .injection import LocalizationCase
+
+__all__ = ["WorkloadSummary", "summarize_cases"]
+
+
+@dataclass
+class WorkloadSummary:
+    """Aggregate shape of a case collection."""
+
+    n_cases: int = 0
+    n_leaf_rows_min: int = 0
+    n_leaf_rows_max: int = 0
+    #: Distribution of per-case RAP counts, e.g. {1: 40, 2: 35, 3: 30}.
+    rap_count_distribution: Counter = field(default_factory=Counter)
+    #: Distribution of RAP dimensions over all RAPs.
+    rap_dimension_distribution: Counter = field(default_factory=Counter)
+    #: Per-case anomalous-leaf ratios.
+    anomaly_ratios: List[float] = field(default_factory=list)
+    #: Per-RAP leaf-coverage fractions.
+    rap_coverages: List[float] = field(default_factory=list)
+    #: Share of total volume held by the top decile of leaves, per case.
+    volume_top_decile_shares: List[float] = field(default_factory=list)
+    #: Fraction of cases whose RAPs span more than one cuboid.
+    mixed_cuboid_fraction: float = 0.0
+
+    @property
+    def total_raps(self) -> int:
+        return sum(self.rap_dimension_distribution.values())
+
+    @property
+    def mean_anomaly_ratio(self) -> float:
+        if not self.anomaly_ratios:
+            return 0.0
+        return float(np.mean(self.anomaly_ratios))
+
+    @property
+    def median_rap_coverage(self) -> float:
+        if not self.rap_coverages:
+            return 0.0
+        return float(np.median(self.rap_coverages))
+
+    def render(self) -> str:
+        lines = [
+            f"{self.n_cases} cases, {self.n_leaf_rows_min}-{self.n_leaf_rows_max} leaf rows each",
+            "RAPs per case:  "
+            + ", ".join(
+                f"{count}x{n}" for n, count in sorted(self.rap_count_distribution.items())
+            ),
+            "RAP dimensions: "
+            + ", ".join(
+                f"{count}x{d}-dim"
+                for d, count in sorted(self.rap_dimension_distribution.items())
+            ),
+            f"mean anomalous-leaf ratio: {self.mean_anomaly_ratio * 100:.1f}%",
+            f"median RAP leaf coverage:  {self.median_rap_coverage * 100:.2f}%",
+            f"mixed-cuboid cases:        {self.mixed_cuboid_fraction * 100:.0f}%",
+        ]
+        if self.volume_top_decile_shares:
+            lines.append(
+                "volume skew (top-decile share): "
+                f"{float(np.mean(self.volume_top_decile_shares)) * 100:.0f}%"
+            )
+        return "\n".join(lines)
+
+
+def summarize_cases(cases: Sequence[LocalizationCase]) -> WorkloadSummary:
+    """Compute the digest of *cases*."""
+    summary = WorkloadSummary(n_cases=len(cases))
+    if not cases:
+        return summary
+    row_counts = [case.dataset.n_rows for case in cases]
+    summary.n_leaf_rows_min = min(row_counts)
+    summary.n_leaf_rows_max = max(row_counts)
+    mixed = 0
+    for case in cases:
+        dataset = case.dataset
+        summary.rap_count_distribution[case.n_raps] += 1
+        summary.anomaly_ratios.append(dataset.anomaly_ratio)
+        cuboids = set()
+        for rap in case.true_raps:
+            summary.rap_dimension_distribution[rap.layer] += 1
+            cuboids.add(rap.specified_indices)
+            support = dataset.support_count(rap)
+            summary.rap_coverages.append(
+                support / dataset.n_rows if dataset.n_rows else 0.0
+            )
+        if len(cuboids) > 1:
+            mixed += 1
+        if dataset.n_rows:
+            ordered = np.sort(dataset.v)[::-1]
+            top = ordered[: max(1, len(ordered) // 10)].sum()
+            total = ordered.sum()
+            summary.volume_top_decile_shares.append(
+                float(top / total) if total > 0 else 0.0
+            )
+    summary.mixed_cuboid_fraction = mixed / len(cases)
+    return summary

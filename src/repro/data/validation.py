@@ -1,0 +1,159 @@
+"""Well-posedness validation of localization cases and bundles.
+
+Generated or imported benchmarks can silently violate the assumptions the
+algorithms and metrics rely on; :func:`validate_case` audits one
+:class:`~repro.data.injection.LocalizationCase` and returns a structured
+list of findings instead of failing on first error:
+
+* **errors** (the case is unusable as ground truth):
+  schema violations; duplicate / ancestor-related RAPs (Definition 1
+  cannot hold for both); RAPs with zero support in the leaf table;
+* **warnings** (legal but suspicious):
+  RAPs whose anomaly confidence is below a plausibility floor (a
+  "ground-truth" scope that is mostly healthy); anomalous leaves entirely
+  outside every RAP (label noise beyond the declared level); RAPs covering
+  most of the table (near-degenerate localization).
+
+``repro validate --cases bundle.json`` runs this over a saved bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from .injection import LocalizationCase
+
+__all__ = ["Finding", "ValidationReport", "validate_case", "validate_cases"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation finding."""
+
+    case_id: str
+    severity: str  # "error" | "warning"
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.case_id}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """All findings over a case collection."""
+
+    findings: List[Finding] = field(default_factory=list)
+    n_cases: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *errors* were found (warnings allowed)."""
+        return not self.errors
+
+    def render(self) -> str:
+        lines = [
+            f"validated {self.n_cases} cases: "
+            f"{len(self.errors)} errors, {len(self.warnings)} warnings"
+        ]
+        lines.extend(str(f) for f in self.findings)
+        return "\n".join(lines)
+
+
+def validate_case(
+    case: LocalizationCase,
+    min_rap_confidence: float = 0.5,
+    max_unexplained_ratio: float = 0.1,
+    max_rap_coverage: float = 0.8,
+) -> List[Finding]:
+    """Audit one case; returns findings (empty = clean)."""
+    findings: List[Finding] = []
+    dataset = case.dataset
+
+    def error(message: str) -> None:
+        findings.append(Finding(case.case_id, "error", message))
+
+    def warning(message: str) -> None:
+        findings.append(Finding(case.case_id, "warning", message))
+
+    if not case.true_raps:
+        error("case has no ground-truth RAPs")
+        return findings
+
+    # Schema conformance.
+    for rap in case.true_raps:
+        try:
+            dataset.schema.validate(rap)
+        except (KeyError, ValueError) as exc:
+            error(f"RAP {rap} does not fit the schema: {exc}")
+            return findings
+        if rap.layer == 0:
+            error("the all-wildcard combination cannot be a RAP")
+
+    # Mutual incomparability (Definition 1 must be satisfiable).
+    raps = list(case.true_raps)
+    for i, a in enumerate(raps):
+        for b in raps[i + 1 :]:
+            if a == b:
+                error(f"duplicate RAP {a}")
+            elif a.is_ancestor_of(b):
+                error(f"RAP {a} is an ancestor of RAP {b}")
+            elif b.is_ancestor_of(a):
+                error(f"RAP {b} is an ancestor of RAP {a}")
+
+    covered = np.zeros(dataset.n_rows, dtype=bool)
+    for rap in raps:
+        mask = dataset.mask_of(rap)
+        support = int(mask.sum())
+        if support == 0:
+            error(f"RAP {rap} covers no leaf rows")
+            continue
+        covered |= mask
+        confidence = float(dataset.labels[mask].sum()) / support
+        if confidence < min_rap_confidence:
+            warning(
+                f"RAP {rap} has anomaly confidence {confidence:.2f} "
+                f"(< {min_rap_confidence}) — ground truth is mostly healthy"
+            )
+        if support > max_rap_coverage * dataset.n_rows:
+            warning(
+                f"RAP {rap} covers {support}/{dataset.n_rows} leaves "
+                f"(> {max_rap_coverage:.0%}) — near-degenerate scope"
+            )
+
+    n_anomalous = dataset.n_anomalous
+    if n_anomalous == 0:
+        warning("no leaf is labelled anomalous")
+    else:
+        unexplained = int((dataset.labels & ~covered).sum())
+        ratio = unexplained / n_anomalous
+        if ratio > max_unexplained_ratio:
+            warning(
+                f"{unexplained}/{n_anomalous} anomalous leaves "
+                f"({ratio:.0%}) lie outside every RAP"
+            )
+    return findings
+
+
+def validate_cases(cases: Sequence[LocalizationCase], **kwargs) -> ValidationReport:
+    """Audit a whole collection."""
+    report = ValidationReport(n_cases=len(cases))
+    seen_ids = set()
+    for case in cases:
+        if case.case_id in seen_ids:
+            report.findings.append(
+                Finding(case.case_id, "error", "duplicate case_id in bundle")
+            )
+        seen_ids.add(case.case_id)
+        report.findings.extend(validate_case(case, **kwargs))
+    return report

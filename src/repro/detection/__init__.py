@@ -1,0 +1,29 @@
+"""Leaf-level forecasting and anomaly detection."""
+
+from .detectors import Detector, DeviationThresholdDetector, KSigmaDetector, label_dataset
+from .forecasting import (
+    EWMAForecaster,
+    Forecaster,
+    HoltWintersForecaster,
+    MovingAverageForecaster,
+    SeasonalNaiveForecaster,
+)
+from .ensembles import IntersectionDetector, MajorityDetector, UnionDetector
+from .streaming import OnlineEWMADetector, SeasonalZScoreDetector
+
+__all__ = [
+    "Detector",
+    "DeviationThresholdDetector",
+    "KSigmaDetector",
+    "label_dataset",
+    "EWMAForecaster",
+    "Forecaster",
+    "HoltWintersForecaster",
+    "MovingAverageForecaster",
+    "SeasonalNaiveForecaster",
+    "IntersectionDetector",
+    "MajorityDetector",
+    "UnionDetector",
+    "OnlineEWMADetector",
+    "SeasonalZScoreDetector",
+]

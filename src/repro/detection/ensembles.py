@@ -1,0 +1,66 @@
+"""Detector ensembles: combining leaf-label sources.
+
+Operations teams rarely trust a single detector; they run several and
+combine the verdicts.  The combination rule changes RAPMiner's input in
+exactly the directions the robustness study measures
+(:func:`repro.experiments.extensions.detector_robustness_study`):
+
+* :class:`UnionDetector` (any-of) maximizes recall — more false
+  positives, the error direction RAPMiner degrades gracefully under;
+* :class:`IntersectionDetector` (all-of) maximizes precision — more
+  false negatives, tolerable until Criteria 2's headroom is exhausted;
+* :class:`MajorityDetector` balances the two.
+
+All satisfy the :class:`~repro.detection.detectors.Detector` interface so
+they drop into :func:`label_dataset` and the service unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .detectors import Detector
+
+__all__ = ["UnionDetector", "IntersectionDetector", "MajorityDetector"]
+
+
+class _Ensemble(Detector):
+    """Shared plumbing: validate members, stack their verdicts."""
+
+    def __init__(self, members: Sequence[Detector]):
+        members = list(members)
+        if not members:
+            raise ValueError("an ensemble needs at least one member detector")
+        self.members = members
+
+    def _votes(self, v: np.ndarray, f: np.ndarray) -> np.ndarray:
+        """Stacked member verdicts, shape ``(n_members, n_rows)``."""
+        return np.stack([member.detect(v, f) for member in self.members])
+
+
+class UnionDetector(_Ensemble):
+    """Anomalous when *any* member flags the leaf (recall-oriented)."""
+
+    def detect(self, v: np.ndarray, f: np.ndarray) -> np.ndarray:
+        return self._votes(v, f).any(axis=0)
+
+
+class IntersectionDetector(_Ensemble):
+    """Anomalous only when *every* member flags the leaf (precision-oriented)."""
+
+    def detect(self, v: np.ndarray, f: np.ndarray) -> np.ndarray:
+        return self._votes(v, f).all(axis=0)
+
+
+class MajorityDetector(_Ensemble):
+    """Anomalous when more than half the members flag the leaf.
+
+    With an even member count, exactly half is *not* a majority (strict
+    ``>``), matching the usual voting convention.
+    """
+
+    def detect(self, v: np.ndarray, f: np.ndarray) -> np.ndarray:
+        votes = self._votes(v, f)
+        return votes.sum(axis=0) * 2 > len(self.members)

@@ -1,0 +1,152 @@
+"""Leaf-KPI forecasters.
+
+The paper treats forecasting as given ("we do not take the prediction
+methods as our primary work") but localization still needs a forecast
+``f`` for every leaf.  This module supplies the standard lightweight
+forecasters an operations pipeline would run per leaf series: moving
+average, exponentially weighted moving average, seasonal naive, and
+additive Holt–Winters.  All operate column-wise on a history matrix of
+shape ``(n_steps, n_series)`` and predict the next step, so forecasting the
+10 560 CDN leaves is a single vectorized call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "Forecaster",
+    "MovingAverageForecaster",
+    "EWMAForecaster",
+    "SeasonalNaiveForecaster",
+    "HoltWintersForecaster",
+]
+
+
+class Forecaster:
+    """Interface: predict the next value of each series from its history."""
+
+    def forecast(self, history: np.ndarray) -> np.ndarray:
+        """Predict step ``n`` from ``history`` of shape ``(n, n_series)``.
+
+        Returns an array of shape ``(n_series,)``.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(history: np.ndarray, min_steps: int = 1) -> np.ndarray:
+        history = np.asarray(history, dtype=float)
+        if history.ndim == 1:
+            history = history[:, None]
+        if history.ndim != 2:
+            raise ValueError("history must be 1-D or (n_steps, n_series)")
+        if history.shape[0] < min_steps:
+            raise ValueError(f"need at least {min_steps} history steps")
+        return history
+
+
+@dataclass
+class MovingAverageForecaster(Forecaster):
+    """Mean of the last *window* observations."""
+
+    window: int = 10
+
+    def forecast(self, history: np.ndarray) -> np.ndarray:
+        history = self._validate(history)
+        window = min(self.window, history.shape[0])
+        if window < 1:
+            raise ValueError("window must be positive")
+        return history[-window:].mean(axis=0)
+
+
+@dataclass
+class EWMAForecaster(Forecaster):
+    """Exponentially weighted moving average with smoothing factor *alpha*."""
+
+    alpha: float = 0.3
+
+    def forecast(self, history: np.ndarray) -> np.ndarray:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        history = self._validate(history)
+        level = history[0].copy()
+        for step in range(1, history.shape[0]):
+            level = self.alpha * history[step] + (1.0 - self.alpha) * level
+        return level
+
+
+@dataclass
+class SeasonalNaiveForecaster(Forecaster):
+    """Repeat the observation one season ago (e.g. 1 440 minutes = 1 day).
+
+    Falls back to the last observation when the history is shorter than one
+    season.
+    """
+
+    period: int = 1440
+
+    def forecast(self, history: np.ndarray) -> np.ndarray:
+        if self.period < 1:
+            raise ValueError("period must be positive")
+        history = self._validate(history)
+        if history.shape[0] >= self.period:
+            return history[-self.period].copy()
+        return history[-1].copy()
+
+
+@dataclass
+class HoltWintersForecaster(Forecaster):
+    """Additive Holt–Winters (level + trend + seasonal) one-step forecast.
+
+    A compact vectorized implementation sufficient for producing leaf
+    forecasts; seasonal components are initialized from the first full
+    season, the trend from the first two observations.
+    """
+
+    period: int = 1440
+    alpha: float = 0.3
+    beta: float = 0.05
+    gamma: float = 0.1
+
+    def forecast(self, history: np.ndarray) -> np.ndarray:
+        for name, value in (("alpha", self.alpha), ("beta", self.beta), ("gamma", self.gamma)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        history = self._validate(history, min_steps=2)
+        n_steps, n_series = history.shape
+        period = self.period
+        if n_steps < 2 * period:
+            # Not enough data to estimate seasonality; degrade to Holt's
+            # linear (level + trend) smoothing.
+            period = 0
+
+        level = history[0].copy()
+        trend = history[1] - history[0]
+        if period:
+            season_mean = history[:period].mean(axis=0)
+            seasonal = history[:period] - season_mean  # shape (period, n_series)
+            start = period
+            level = history[:period].mean(axis=0)
+            trend = (history[period : 2 * period].mean(axis=0) - level) / period
+        else:
+            seasonal = np.zeros((1, n_series))
+            start = 2
+
+        for step in range(start, n_steps):
+            seasonal_index = step % period if period else 0
+            observed = history[step]
+            previous_level = level
+            deseasonalized = observed - (seasonal[seasonal_index] if period else 0.0)
+            level = self.alpha * deseasonalized + (1.0 - self.alpha) * (level + trend)
+            trend = self.beta * (level - previous_level) + (1.0 - self.beta) * trend
+            if period:
+                seasonal[seasonal_index] = (
+                    self.gamma * (observed - level)
+                    + (1.0 - self.gamma) * seasonal[seasonal_index]
+                )
+
+        next_seasonal = seasonal[n_steps % period] if period else 0.0
+        return level + trend + next_seasonal

@@ -1,0 +1,191 @@
+"""Online (incremental) leaf anomaly detectors.
+
+The batch detectors in :mod:`repro.detection.detectors` need a forecast
+per observation; production monitors often skip the explicit forecasting
+stage and score each new observation against *self-maintained* per-leaf
+state instead.  These detectors update in O(n_leaves) per step and plug
+into :class:`repro.service.LocalizationService` as label sources:
+
+* :class:`OnlineEWMADetector` — per-leaf exponentially weighted mean and
+  variance (a Shewhart/EWMA control chart); an observation is anomalous
+  when it falls more than ``k`` standard deviations *below* the tracked
+  level (one-sided by default, matching the traffic-drop failure model).
+* :class:`SeasonalZScoreDetector` — per-leaf, per-phase mean/variance over
+  a fixed season (e.g. 1 440 minutes); robust to strong diurnal patterns
+  that would inflate an EWMA's variance estimate.
+
+Both expose ``update(values) -> labels`` (score, then learn) and a
+``forecast`` view so the service can also report expected values.
+Anomalous observations are *not* absorbed into the state, so a long
+incident does not teach the detector that failure is normal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["OnlineEWMADetector", "SeasonalZScoreDetector"]
+
+
+class OnlineEWMADetector:
+    """EWMA control chart per leaf series.
+
+    Parameters
+    ----------
+    n_series:
+        Number of leaf series tracked.
+    alpha:
+        Smoothing factor for the level and variance estimates.
+    k:
+        Control limit in standard deviations.
+    min_observations:
+        Steps to learn before any anomaly is reported.
+    two_sided:
+        Flag surges as well as drops.
+    min_relative_scale:
+        Floor on the standard deviation as a fraction of the level, so a
+        near-constant series does not alarm on microscopic wiggles.
+    """
+
+    def __init__(
+        self,
+        n_series: int,
+        alpha: float = 0.1,
+        k: float = 4.0,
+        min_observations: int = 10,
+        two_sided: bool = False,
+        min_relative_scale: float = 0.01,
+    ):
+        if n_series < 1:
+            raise ValueError("need at least one series")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if k <= 0.0:
+            raise ValueError("k must be positive")
+        self.n_series = n_series
+        self.alpha = alpha
+        self.k = k
+        self.min_observations = min_observations
+        self.two_sided = two_sided
+        self.min_relative_scale = min_relative_scale
+        self._level = np.zeros(n_series)
+        self._variance = np.zeros(n_series)
+        self._count = 0
+
+    @property
+    def ready(self) -> bool:
+        """True once the warm-up period has passed."""
+        return self._count >= self.min_observations
+
+    @property
+    def forecast(self) -> np.ndarray:
+        """Current expected value per leaf (the tracked level)."""
+        return self._level.copy()
+
+    def update(self, values: np.ndarray) -> np.ndarray:
+        """Score *values* against the current state, then learn from them.
+
+        Returns the per-leaf anomaly labels (all ``False`` during warm-up).
+        Anomalous observations do not update the state.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.n_series,):
+            raise ValueError(f"expected {self.n_series} values, got {values.shape}")
+
+        if self._count == 0:
+            labels = np.zeros(self.n_series, dtype=bool)
+        else:
+            scale = np.sqrt(self._variance)
+            scale = np.maximum(scale, self.min_relative_scale * np.abs(self._level))
+            scale = np.maximum(scale, 1e-12)
+            z = (values - self._level) / scale
+            if self.two_sided:
+                exceeds = np.abs(z) > self.k
+            else:
+                exceeds = z < -self.k  # drops only
+            labels = exceeds if self.ready else np.zeros(self.n_series, dtype=bool)
+
+        learn = ~labels
+        if self._count == 0:
+            self._level = values.copy()
+        else:
+            residual = values - self._level
+            self._level[learn] += self.alpha * residual[learn]
+            self._variance[learn] = (
+                (1.0 - self.alpha) * self._variance[learn]
+                + self.alpha * residual[learn] ** 2
+            )
+        self._count += 1
+        return labels
+
+
+class SeasonalZScoreDetector:
+    """Per-phase mean/variance z-score detector over a fixed season.
+
+    Maintains, for every leaf and every phase of the season, a running
+    mean and (Welford) variance of past same-phase observations; the
+    current observation is anomalous when its z-score against its own
+    phase falls below ``-k`` (or outside ``±k`` when two-sided).
+    """
+
+    def __init__(
+        self,
+        n_series: int,
+        period: int,
+        k: float = 4.0,
+        min_cycles: int = 2,
+        two_sided: bool = False,
+        min_relative_scale: float = 0.01,
+    ):
+        if n_series < 1 or period < 1:
+            raise ValueError("n_series and period must be positive")
+        if k <= 0.0:
+            raise ValueError("k must be positive")
+        self.n_series = n_series
+        self.period = period
+        self.k = k
+        self.min_cycles = min_cycles
+        self.two_sided = two_sided
+        self.min_relative_scale = min_relative_scale
+        self._mean = np.zeros((period, n_series))
+        self._m2 = np.zeros((period, n_series))
+        self._counts = np.zeros(period, dtype=np.int64)
+        self._step = 0
+
+    def _phase(self) -> int:
+        return self._step % self.period
+
+    @property
+    def forecast(self) -> np.ndarray:
+        """Expected value for the *next* observation (its phase mean)."""
+        return self._mean[self._phase()].copy()
+
+    def update(self, values: np.ndarray) -> np.ndarray:
+        """Score against this phase's statistics, then fold the values in."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.n_series,):
+            raise ValueError(f"expected {self.n_series} values, got {values.shape}")
+        phase = self._phase()
+        count = self._counts[phase]
+
+        if count >= self.min_cycles:
+            variance = self._m2[phase] / max(count - 1, 1)
+            scale = np.sqrt(variance)
+            scale = np.maximum(scale, self.min_relative_scale * np.abs(self._mean[phase]))
+            scale = np.maximum(scale, 1e-12)
+            z = (values - self._mean[phase]) / scale
+            labels = np.abs(z) > self.k if self.two_sided else z < -self.k
+        else:
+            labels = np.zeros(self.n_series, dtype=bool)
+
+        learn = ~labels
+        new_count = count + 1
+        delta = values - self._mean[phase]
+        mean = self._mean[phase]
+        mean[learn] += delta[learn] / new_count
+        self._m2[phase][learn] += delta[learn] * (values[learn] - mean[learn])
+        self._counts[phase] = new_count
+        self._step += 1
+        return labels

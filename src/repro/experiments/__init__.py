@@ -1,0 +1,77 @@
+"""Experiment harness: one entry point per table/figure of the paper."""
+
+from .figures import (
+    DEFAULT_TCONF_GRID,
+    DEFAULT_TCP_GRID,
+    figure8a,
+    figure8b,
+    figure9a,
+    figure9b,
+    figure10a,
+    figure10b,
+    run_rapmd_comparison,
+    run_squeeze_comparison,
+)
+from .crossover import SpreadStudyConfig, generate_spread_cases, magnitude_spread_study
+from .extensions import (
+    AttributeScalingResult,
+    attribute_scaling_study,
+    detector_robustness_study,
+    noise_level_study,
+)
+from .multi_seed import SeedStatistics, replicate_rapmd_comparison
+from .report_builder import ReportSections, build_report
+from .temporal import TemporalEvaluation, evaluate_service
+from .presets import ExperimentPreset, all_methods, fast_preset, paper_methods, paper_preset
+from .reporting import (
+    format_group,
+    format_percent,
+    format_seconds,
+    render_series_table,
+    render_table,
+)
+from .runner import CaseResult, MethodEvaluation, run_cases
+from .tables import Table6Result, table4, table5, table6
+
+__all__ = [
+    "DEFAULT_TCONF_GRID",
+    "DEFAULT_TCP_GRID",
+    "figure8a",
+    "figure8b",
+    "figure9a",
+    "figure9b",
+    "figure10a",
+    "figure10b",
+    "run_rapmd_comparison",
+    "run_squeeze_comparison",
+    "SpreadStudyConfig",
+    "generate_spread_cases",
+    "magnitude_spread_study",
+    "AttributeScalingResult",
+    "attribute_scaling_study",
+    "detector_robustness_study",
+    "noise_level_study",
+    "SeedStatistics",
+    "replicate_rapmd_comparison",
+    "ReportSections",
+    "build_report",
+    "TemporalEvaluation",
+    "evaluate_service",
+    "ExperimentPreset",
+    "all_methods",
+    "fast_preset",
+    "paper_methods",
+    "paper_preset",
+    "format_group",
+    "format_percent",
+    "format_seconds",
+    "render_series_table",
+    "render_table",
+    "CaseResult",
+    "MethodEvaluation",
+    "run_cases",
+    "Table6Result",
+    "table4",
+    "table5",
+    "table6",
+]

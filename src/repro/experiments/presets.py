@@ -1,0 +1,93 @@
+"""Experiment presets: dataset scales and the paper's method cohort.
+
+``paper_preset`` matches the paper's scale (full Table I CDN schema, 105
+RAPMD failures, 9 Squeeze groups); ``fast_preset`` shrinks everything so
+the whole table/figure suite runs in seconds — used by tests and the
+pytest-benchmark harness, where relative shapes (who wins, by how much)
+are what is checked, not absolute scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from ..baselines import (
+    Adtributor,
+    AssociationRuleLocalizer,
+    HotSpot,
+    IDice,
+    Localizer,
+    RecursiveAdtributor,
+    Squeeze,
+)
+from ..core.config import RAPMinerConfig
+from ..core.miner import RAPMiner
+from ..data.cdn_simulator import CDNSimulatorConfig
+from ..data.injection import LocalizationCase
+from ..data.rapmd import RAPMDConfig, generate_rapmd
+from ..data.schema import cdn_schema
+from ..data.squeeze_dataset import SqueezeDatasetConfig, generate_squeeze_dataset
+
+__all__ = ["ExperimentPreset", "fast_preset", "paper_preset", "paper_methods", "all_methods"]
+
+
+@dataclass
+class ExperimentPreset:
+    """A reproducible pair of dataset configurations."""
+
+    name: str
+    squeeze_config: SqueezeDatasetConfig
+    rapmd_config: RAPMDConfig
+    #: Builder of the CDN schema RAPMD is generated over.
+    rapmd_schema: Callable = cdn_schema
+
+    def squeeze_cases(self) -> List[LocalizationCase]:
+        return generate_squeeze_dataset(self.squeeze_config)
+
+    def rapmd_cases(self) -> List[LocalizationCase]:
+        return generate_rapmd(self.rapmd_schema(), self.rapmd_config)
+
+
+def fast_preset(seed: int = 0) -> ExperimentPreset:
+    """Seconds-scale preset for tests and benchmarks."""
+    return ExperimentPreset(
+        name="fast",
+        squeeze_config=SqueezeDatasetConfig(
+            attribute_sizes=(6, 5, 4, 4),
+            cases_per_group=4,
+            seed=seed,
+        ),
+        rapmd_config=RAPMDConfig(n_cases=15, n_days=7, seed=seed),
+        rapmd_schema=lambda: cdn_schema(10, 3, 3, 8),
+    )
+
+
+def paper_preset(seed: int = 0) -> ExperimentPreset:
+    """Paper-scale preset (full CDN schema, 105 failures, 9 groups)."""
+    return ExperimentPreset(
+        name="paper",
+        squeeze_config=SqueezeDatasetConfig(
+            attribute_sizes=(10, 8, 6, 5),
+            cases_per_group=25,
+            seed=seed,
+        ),
+        rapmd_config=RAPMDConfig(n_cases=105, n_days=35, seed=seed),
+        rapmd_schema=cdn_schema,
+    )
+
+
+def paper_methods(rapminer_config: RAPMinerConfig | None = None) -> List[Localizer]:
+    """The five methods of Fig. 8/9, in the paper's presentation order."""
+    return [
+        RAPMiner(rapminer_config),
+        Squeeze(),
+        AssociationRuleLocalizer(),
+        Adtributor(),
+        IDice(),
+    ]
+
+
+def all_methods() -> List[Localizer]:
+    """Paper cohort plus the HotSpot and R-Adtributor extensions."""
+    return paper_methods() + [HotSpot(), RecursiveAdtributor()]

@@ -1,0 +1,250 @@
+"""One-shot reproduction report: every table/figure into a Markdown document.
+
+``build_report`` executes the complete evaluation (Fig. 8(a)/(b),
+Fig. 9(a)/(b), Fig. 10(a)/(b), Tables IV and VI, plus the extension
+studies when requested) at a chosen preset scale and renders a single
+Markdown report.  The committed EXPERIMENTS.md is a curated version of
+this output with paper-comparison commentary; the builder exists so a
+fresh environment can regenerate the raw numbers with one call::
+
+    from repro.experiments.report_builder import build_report
+    text = build_report(scale="paper", seed=1)
+    Path("report.md").write_text(text)
+
+or ``python -m repro.experiments.report_builder --scale paper``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .extensions import attribute_scaling_study, noise_level_study
+from .figures import (
+    figure8a,
+    figure8b,
+    figure9a,
+    figure9b,
+    figure10a,
+    figure10b,
+    run_rapmd_comparison,
+    run_squeeze_comparison,
+)
+from .paper_reference import FIG8B_RC, TABLE6
+from .presets import fast_preset, paper_preset
+from .reporting import (
+    format_percent,
+    format_seconds,
+    render_bar_chart,
+    render_series_table,
+    render_table,
+)
+from .tables import table4, table6
+
+__all__ = ["ReportSections", "build_report"]
+
+GROUP_ORDER = [(d, r) for d in (1, 2, 3) for r in (1, 2, 3)]
+
+
+@dataclass
+class ReportSections:
+    """Which parts of the evaluation to run."""
+
+    squeeze: bool = True
+    rapmd: bool = True
+    sensitivity: bool = True
+    ablation: bool = True
+    extensions: bool = False
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n{body}\n"
+
+
+def build_report(
+    scale: str = "fast",
+    seed: int = 1,
+    sections: Optional[ReportSections] = None,
+    methods: Optional[Sequence] = None,
+) -> str:
+    """Run the evaluation and return the Markdown report text."""
+    if scale not in ("fast", "paper"):
+        raise ValueError("scale must be 'fast' or 'paper'")
+    sections = sections if sections is not None else ReportSections()
+    preset = paper_preset(seed) if scale == "paper" else fast_preset(seed)
+
+    parts: List[str] = [
+        "# RAPMiner reproduction report",
+        "",
+        f"preset: **{preset.name}**, seed: **{seed}**",
+        "",
+    ]
+
+    parts.append(
+        _section(
+            "Table IV — DecreaseRatio@k",
+            render_table(
+                ["k"] + [str(k) for k in table4()],
+                [["DecreaseRatio@k"] + [f"{v:.5f}" for v in table4().values()]],
+            ),
+        )
+    )
+
+    if sections.squeeze:
+        squeeze_cases = preset.squeeze_cases()
+        evaluations = run_squeeze_comparison(squeeze_cases, methods)
+        parts.append(
+            _section(
+                "Fig. 8(a) — F1 on Squeeze-B0 by (n_dim, n_raps)",
+                render_series_table(figure8a(evaluations), column_order=GROUP_ORDER),
+            )
+        )
+        parts.append(
+            _section(
+                "Fig. 9(a) — mean running time (s) on Squeeze-B0",
+                render_series_table(
+                    figure9a(evaluations), value_format="{:.4f}", column_order=GROUP_ORDER
+                ),
+            )
+        )
+
+    rapmd_cases = None
+    if sections.rapmd or sections.sensitivity or sections.ablation:
+        rapmd_cases = preset.rapmd_cases()
+
+    if sections.rapmd:
+        evaluations = run_rapmd_comparison(rapmd_cases, methods)
+        rc = figure8b(evaluations)
+        body = render_series_table(rc, column_order=[3, 4, 5], first_header="method \\ k")
+        body += "\n\nRC@3, measured (paper quotes RAPMiner at "
+        body += f"{FIG8B_RC['RAPMiner RC@3']:.3f}):\n\n```\n"
+        body += render_bar_chart({name: series[3] for name, series in rc.items()})
+        body += "\n```"
+        parts.append(_section("Fig. 8(b) — RC@k on RAPMD", body))
+        seconds = figure9b(evaluations)
+        body = render_table(
+            ["method", "mean time"],
+            [[name, format_seconds(s)] for name, s in seconds.items()],
+        )
+        body += "\n\n```\n" + render_bar_chart(seconds, value_format="{:.4f}s") + "\n```"
+        parts.append(_section("Fig. 9(b) — mean running time on RAPMD", body))
+
+    if sections.sensitivity:
+        curve_a = figure10a(rapmd_cases)
+        curve_b = figure10b(rapmd_cases)
+        parts.append(
+            _section(
+                "Fig. 10(a) — RC@3 vs t_CP",
+                render_table(
+                    ["t_CP"] + [f"{t:g}" for t in curve_a],
+                    [["RC@3"] + [f"{v:.3f}" for v in curve_a.values()]],
+                ),
+            )
+        )
+        parts.append(
+            _section(
+                "Fig. 10(b) — RC@3 vs t_conf",
+                render_table(
+                    ["t_conf"] + [f"{t:g}" for t in curve_b],
+                    [["RC@3"] + [f"{v:.3f}" for v in curve_b.values()]],
+                ),
+            )
+        )
+
+    if sections.ablation:
+        ablation = table6(rapmd_cases)
+        body = render_table(
+            ["variant", "RC@3", "mean time"],
+            [
+                [
+                    "with deletion",
+                    f"{ablation.rc3_with_deletion * 100:.1f}%",
+                    format_seconds(ablation.seconds_with_deletion),
+                ],
+                [
+                    "without deletion",
+                    f"{ablation.rc3_without_deletion * 100:.1f}%",
+                    format_seconds(ablation.seconds_without_deletion),
+                ],
+            ],
+        )
+        body += (
+            f"\n\nefficiency improvement: {format_percent(ablation.efficiency_improvement)} "
+            f"(paper: {format_percent(TABLE6['efficiency_improvement'])}); "
+            f"effectiveness decreased: {format_percent(ablation.effectiveness_decrease)} "
+            f"(paper: {format_percent(TABLE6['effectiveness_decrease'])})"
+        )
+        parts.append(_section("Table VI — redundant-attribute-deletion ablation", body))
+
+    if sections.extensions:
+        noise = noise_level_study(seed=seed)
+        parts.append(
+            _section(
+                "Extension — RAPMiner F1 vs label-noise level",
+                render_table(
+                    ["level"] + list(noise),
+                    [["mean F1"] + [f"{v:.3f}" for v in noise.values()]],
+                ),
+            )
+        )
+        by_attributes, by_dimension = attribute_scaling_study(seed=seed)
+        parts.append(
+            _section(
+                "Extension — running time vs schema width (RAP dim fixed)",
+                render_table(
+                    ["n_attributes", "mean time (ms)", "kept attrs"],
+                    [
+                        [
+                            str(r.n_attributes),
+                            f"{r.mean_seconds * 1000:.2f}",
+                            f"{r.mean_kept_attributes:.1f}",
+                        ]
+                        for r in by_attributes
+                    ],
+                ),
+            )
+        )
+        parts.append(
+            _section(
+                "Extension — running time vs RAP dimension (width fixed)",
+                render_table(
+                    ["rap_dim", "mean time (ms)", "kept attrs"],
+                    [
+                        [
+                            str(r.rap_dimension),
+                            f"{r.mean_seconds * 1000:.2f}",
+                            f"{r.mean_kept_attributes:.1f}",
+                        ]
+                        for r in by_dimension
+                    ],
+                ),
+            )
+        )
+
+    return "\n".join(parts)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["fast", "paper"], default="fast")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default=None, help="write to file instead of stdout")
+    parser.add_argument("--extensions", action="store_true")
+    args = parser.parse_args(argv)
+    text = build_report(
+        scale=args.scale,
+        seed=args.seed,
+        sections=ReportSections(extensions=args.extensions),
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmark harness and the example scripts print the paper's rows and
+series through these helpers, so every regenerated table/figure has a
+stable, diffable textual form (recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "render_table",
+    "render_series_table",
+    "render_bar_chart",
+    "format_group",
+    "format_seconds",
+    "format_percent",
+]
+
+
+def format_group(group: Hashable) -> str:
+    """Render a (n_dim, n_raps) group key the way the paper writes it."""
+    if isinstance(group, (tuple, list)) and len(group) == 2:
+        return f"({group[0]},{group[1]})"
+    return str(group)
+
+
+def format_seconds(seconds: float) -> str:
+    """Seconds with magnitude-appropriate precision (the Fig. 9 scale)."""
+    if seconds >= 10.0:
+        return f"{seconds:.1f}s"
+    if seconds >= 0.01:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1000.0:.2f}ms"
+
+
+def format_percent(fraction: float) -> str:
+    return f"{fraction * 100.0:.2f}%"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """ASCII table with per-column width fitting."""
+    materialized: List[List[str]] = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(widths):
+            raise ValueError("row arity does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)) + " |"
+
+    separator = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    out = [line(list(headers)), separator]
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def render_bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    value_format: str = "{:.3f}",
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal ASCII bar chart, one row per labelled value.
+
+    Gives the paper's bar figures (Fig. 8/9) a terminal-friendly shape
+    next to the exact tables.  Bars scale to *max_value* (default: the
+    data maximum); zero/negative values render as empty bars.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    items = list(values.items())
+    if not items:
+        return "(no data)"
+    peak = max_value if max_value is not None else max(v for __, v in items)
+    if peak <= 0.0:
+        peak = 1.0
+    label_width = max(len(str(label)) for label, __ in items)
+    lines = []
+    for label, value in items:
+        filled = int(round(width * max(value, 0.0) / peak))
+        filled = min(filled, width)
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"{str(label).ljust(label_width)} |{bar}| {value_format.format(value)}")
+    return "\n".join(lines)
+
+
+def render_series_table(
+    series: Mapping[str, Mapping[Hashable, float]],
+    value_format: str = "{:.3f}",
+    column_order: Optional[Sequence[Hashable]] = None,
+    first_header: str = "method",
+) -> str:
+    """Render {row_name: {column_key: value}} as an ASCII table.
+
+    Used for the Fig. 8(a)/9(a) method-by-group matrices and the Fig. 8(b)
+    method-by-k matrix.
+    """
+    columns: List[Hashable] = []
+    if column_order is not None:
+        columns = list(column_order)
+    else:
+        seen: Dict[Hashable, None] = {}
+        for row in series.values():
+            for key in row:
+                if key not in seen:
+                    seen[key] = None
+        columns = sorted(seen, key=lambda c: (str(type(c)), str(c)))
+
+    headers = [first_header] + [format_group(c) for c in columns]
+    rows = []
+    for name, row in series.items():
+        cells = [name]
+        for column in columns:
+            value = row.get(column)
+            cells.append("-" if value is None else value_format.format(value))
+        rows.append(cells)
+    return render_table(headers, rows)

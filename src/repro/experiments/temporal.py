@@ -1,0 +1,122 @@
+"""Operational evaluation: the full Fig. 1 loop over a continuous trace.
+
+Where Fig. 8/9 evaluate localizers on frozen alarmed snapshots, this
+harness evaluates the *whole service* — forecaster, alarm, detector,
+localizer — against a trace with scheduled incidents, reporting the
+quantities an SRE team actually tunes for:
+
+* **detection rate / delay** — was each incident alarmed, and how many
+  intervals after onset;
+* **false alarms** — alarmed intervals with no active incident;
+* **localization accuracy at alarm time** — among the intervals that both
+  had an active incident and raised an alarm, the fraction whose active
+  scopes appear in the report's top-k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.attribute import AttributeCombination
+from ..data.cdn_simulator import CDNSimulator
+from ..data.trace import IncidentSchedule, generate_trace
+from ..service.pipeline import IncidentReport, LocalizationService
+
+__all__ = ["TemporalEvaluation", "evaluate_service"]
+
+
+@dataclass
+class TemporalEvaluation:
+    """Outcome of one service-over-trace run."""
+
+    n_steps: int = 0
+    #: step -> report for every alarmed interval.
+    reports: Dict[int, IncidentReport] = field(default_factory=dict)
+    #: steps with an active incident.
+    incident_steps: List[int] = field(default_factory=list)
+    #: per-incident alarm delay in intervals (None = never alarmed).
+    detection_delays: Dict[int, Optional[int]] = field(default_factory=dict)
+    #: alarmed steps with no active incident.
+    false_alarm_steps: List[int] = field(default_factory=list)
+    #: (step, truth, reported) for alarmed incident steps.
+    localizations: List[Tuple[int, Tuple[AttributeCombination, ...], List[AttributeCombination]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of incidents that were alarmed at least once."""
+        if not self.detection_delays:
+            return 1.0
+        detected = sum(1 for d in self.detection_delays.values() if d is not None)
+        return detected / len(self.detection_delays)
+
+    @property
+    def mean_detection_delay(self) -> Optional[float]:
+        """Mean intervals from onset to first alarm (detected incidents only)."""
+        delays = [d for d in self.detection_delays.values() if d is not None]
+        if not delays:
+            return None
+        return sum(delays) / len(delays)
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """False alarms per quiet interval."""
+        quiet = self.n_steps - len(self.incident_steps)
+        if quiet <= 0:
+            return 0.0
+        return len(self.false_alarm_steps) / quiet
+
+    def localization_accuracy(self, k: int = 3) -> float:
+        """Fraction of alarmed incident intervals whose truth scopes all
+        appear in the report's top-``k``."""
+        if not self.localizations:
+            return 0.0
+        hits = 0
+        for __, truth, reported in self.localizations:
+            top = reported[:k]
+            if all(pattern in top for pattern in truth):
+                hits += 1
+        return hits / len(self.localizations)
+
+
+def evaluate_service(
+    service: LocalizationService,
+    simulator: CDNSimulator,
+    schedule: IncidentSchedule,
+    n_steps: int,
+    sample_every: int = 30,
+    start_minute: int = 0,
+) -> TemporalEvaluation:
+    """Drive *service* through the trace and collect operational metrics.
+
+    The service must already be warmed up (its forecaster needs history);
+    intervals observed here continue its internal state.
+    """
+    evaluation = TemporalEvaluation(n_steps=n_steps)
+    incident_first_step: Dict[int, int] = {
+        i: incident.start for i, incident in enumerate(schedule.incidents)
+    }
+    evaluation.detection_delays = {i: None for i in incident_first_step}
+    evaluation.incident_steps = [
+        s for s in schedule.incident_steps if s < n_steps
+    ]
+
+    for step in generate_trace(
+        simulator, schedule, n_steps, sample_every=sample_every, start_minute=start_minute
+    ):
+        report = service.observe(step.values)
+        if report is None:
+            continue
+        evaluation.reports[step.index] = report
+        if step.truth:
+            evaluation.localizations.append(
+                (step.index, step.truth, report.patterns)
+            )
+            for i, incident in enumerate(schedule.incidents):
+                if incident.active_at(step.index) and evaluation.detection_delays[i] is None:
+                    evaluation.detection_delays[i] = step.index - incident.start
+        else:
+            evaluation.false_alarm_steps.append(step.index)
+    return evaluation

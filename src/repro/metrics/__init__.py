@@ -1,0 +1,24 @@
+"""Evaluation metrics: localization quality (F1, RC@k) and timing."""
+
+from .localization import PRF, f1_score, mean_f1, precision_recall_f1, recall_at_k
+from .ranking import (
+    average_precision,
+    mean_average_precision,
+    mean_reciprocal_rank,
+    precision_at_k,
+)
+from .timing import TimingAccumulator, time_localization
+
+__all__ = [
+    "PRF",
+    "f1_score",
+    "mean_f1",
+    "precision_recall_f1",
+    "recall_at_k",
+    "average_precision",
+    "mean_average_precision",
+    "mean_reciprocal_rank",
+    "precision_at_k",
+    "TimingAccumulator",
+    "time_localization",
+]

@@ -1,0 +1,93 @@
+"""Localization quality metrics: F1 over RAP sets (Eq. 6) and RC@k (Eq. 7).
+
+The paper uses two protocols:
+
+* On the grouped Squeeze dataset the true RAP count is known, so each
+  method returns exactly that many patterns and **set-level F1** compares
+  the prediction set with the ground truth (a predicted pattern counts only
+  on exact match — same cuboid, same elements).
+* On RAPMD the RAP count is unknown and recall matters most, so **RC@k**
+  (Eq. 7) measures, over a whole case collection, the fraction of all true
+  RAPs that appear among each case's top-``k`` recommendations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..core.attribute import AttributeCombination
+
+__all__ = ["PRF", "precision_recall_f1", "f1_score", "recall_at_k", "mean_f1"]
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+    f1: float
+
+
+def precision_recall_f1(
+    predicted: Sequence[AttributeCombination],
+    actual: Sequence[AttributeCombination],
+) -> PRF:
+    """Exact-match set precision/recall/F1 between prediction and truth.
+
+    Duplicate predictions are collapsed; matching is exact combination
+    equality (the paper's criterion — a parent or child of a true RAP does
+    not count).
+    """
+    predicted_set = set(predicted)
+    actual_set = set(actual)
+    true_positives = len(predicted_set & actual_set)
+    precision = true_positives / len(predicted_set) if predicted_set else 0.0
+    recall = true_positives / len(actual_set) if actual_set else 0.0
+    if precision + recall == 0.0:
+        return PRF(precision, recall, 0.0)
+    f1 = 2.0 * precision * recall / (precision + recall)
+    return PRF(precision, recall, f1)
+
+
+def f1_score(
+    predicted: Sequence[AttributeCombination],
+    actual: Sequence[AttributeCombination],
+) -> float:
+    """F1 of one case (Eq. 6)."""
+    return precision_recall_f1(predicted, actual).f1
+
+
+def mean_f1(
+    cases: Iterable[Tuple[Sequence[AttributeCombination], Sequence[AttributeCombination]]],
+) -> float:
+    """Mean per-case F1 over ``(predicted, actual)`` pairs."""
+    scores = [f1_score(predicted, actual) for predicted, actual in cases]
+    return sum(scores) / len(scores) if scores else 0.0
+
+
+def recall_at_k(
+    results: Iterable[Tuple[Sequence[AttributeCombination], Sequence[AttributeCombination]]],
+    k: int,
+) -> float:
+    """RC@k over a case collection (Eq. 7).
+
+    ``results`` yields ``(predicted_ranked, actual)`` pairs; the metric is
+    the total number of true RAPs found within each case's top-``k``
+    predictions, divided by the total number of true RAPs::
+
+        RC@k = sum_t sum_{i<=k} [Pred_t^i in Real_t] / sum_t |Real_t|
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    hits = 0
+    total = 0
+    for predicted, actual in results:
+        actual_set = set(actual)
+        total += len(actual_set)
+        top = list(predicted)[:k]
+        hits += sum(1 for pattern in set(top) if pattern in actual_set)
+    if total == 0:
+        return 0.0
+    return hits / total

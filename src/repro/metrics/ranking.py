@@ -1,0 +1,96 @@
+"""Ranking-quality metrics complementing the paper's F1 and RC@k.
+
+RC@k (Eq. 7) only asks whether a true RAP appears in the top-k; these
+metrics additionally reward putting it *high* in the list, which matters
+operationally — the first scope an operator acts on should be a real one:
+
+* :func:`precision_at_k` — fraction of the top-k that are true RAPs;
+* :func:`mean_reciprocal_rank` — 1/rank of the first true RAP, averaged;
+* :func:`average_precision` / :func:`mean_average_precision` — classic
+  MAP over the ranked prediction lists.
+
+All operate on the same ``(predicted_ranked, actual)`` pairs as
+:func:`repro.metrics.localization.recall_at_k`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from ..core.attribute import AttributeCombination
+
+__all__ = [
+    "precision_at_k",
+    "mean_reciprocal_rank",
+    "average_precision",
+    "mean_average_precision",
+]
+
+ResultPair = Tuple[Sequence[AttributeCombination], Sequence[AttributeCombination]]
+
+
+def precision_at_k(results: Iterable[ResultPair], k: int) -> float:
+    """Mean fraction of the top-``k`` predictions that are true RAPs.
+
+    Cases contribute ``hits / min(k, len(predicted))`` (empty predictions
+    count as 0); duplicates in the top-k are collapsed.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    scores = []
+    for predicted, actual in results:
+        top = list(dict.fromkeys(list(predicted)[:k]))
+        if not top:
+            scores.append(0.0)
+            continue
+        actual_set = set(actual)
+        hits = sum(1 for p in top if p in actual_set)
+        scores.append(hits / len(top))
+    return sum(scores) / len(scores) if scores else 0.0
+
+
+def mean_reciprocal_rank(results: Iterable[ResultPair]) -> float:
+    """Mean of ``1 / rank`` of the first true RAP (0 when none is found)."""
+    scores = []
+    for predicted, actual in results:
+        actual_set = set(actual)
+        score = 0.0
+        for rank, pattern in enumerate(predicted, start=1):
+            if pattern in actual_set:
+                score = 1.0 / rank
+                break
+        scores.append(score)
+    return sum(scores) / len(scores) if scores else 0.0
+
+
+def average_precision(
+    predicted: Sequence[AttributeCombination],
+    actual: Sequence[AttributeCombination],
+) -> float:
+    """Average precision of one ranked list against the truth set.
+
+    Sum of precision-at-hit over the hit positions, normalized by the
+    truth-set size; duplicates in the prediction are skipped.
+    """
+    actual_set = set(actual)
+    if not actual_set:
+        return 0.0
+    seen = set()
+    hits = 0
+    precision_sum = 0.0
+    position = 0
+    for pattern in predicted:
+        if pattern in seen:
+            continue
+        seen.add(pattern)
+        position += 1
+        if pattern in actual_set:
+            hits += 1
+            precision_sum += hits / position
+    return precision_sum / len(actual_set)
+
+
+def mean_average_precision(results: Iterable[ResultPair]) -> float:
+    """MAP over a case collection."""
+    scores = [average_precision(predicted, actual) for predicted, actual in results]
+    return sum(scores) / len(scores) if scores else 0.0

@@ -1,0 +1,132 @@
+"""Statistical comparison of localizers over a shared case collection.
+
+The paper compares point estimates (mean F1, RC@k); for a repository that
+downstream users will run on their own (smaller) datasets, a point
+difference needs an uncertainty statement.  Two standard paired tests over
+per-case scores:
+
+* :func:`paired_bootstrap` — bootstrap distribution of the mean score
+  difference; reports the confidence interval and the achieved
+  significance level (fraction of resamples where the sign flips);
+* :func:`wilcoxon_signed_rank` — the scipy Wilcoxon signed-rank test
+  (exact or normal-approximated), as the classical nonparametric check.
+
+Both consume the aligned per-case score arrays that
+:func:`per_case_scores` extracts from two
+:class:`~repro.experiments.runner.MethodEvaluation` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+from scipy import stats
+
+from ..experiments.runner import MethodEvaluation
+
+__all__ = [
+    "BootstrapResult",
+    "paired_bootstrap",
+    "wilcoxon_signed_rank",
+    "per_case_scores",
+]
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Outcome of a paired bootstrap comparison (A minus B)."""
+
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    #: Achieved significance: fraction of resamples with the opposite sign
+    #: (or zero) to the observed mean difference.
+    p_value: float
+    n_resamples: int
+
+    @property
+    def significant(self) -> bool:
+        """True when the 95% CI excludes zero."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+
+def per_case_scores(
+    evaluation_a: MethodEvaluation,
+    evaluation_b: MethodEvaluation,
+    score: Callable = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Aligned per-case score arrays for two evaluations of the same cases.
+
+    ``score`` maps a :class:`~repro.experiments.runner.CaseResult` to a
+    float; defaults to per-case F1.  Results are aligned by ``case_id`` —
+    a mismatch in the case sets is an error, not a silent intersection.
+    """
+    if score is None:
+        score = lambda result: result.f1  # noqa: E731
+    by_id_a = {r.case_id: r for r in evaluation_a.results}
+    by_id_b = {r.case_id: r for r in evaluation_b.results}
+    if set(by_id_a) != set(by_id_b):
+        raise ValueError("evaluations cover different case sets")
+    ids = sorted(by_id_a)
+    a = np.array([score(by_id_a[i]) for i in ids], dtype=float)
+    b = np.array([score(by_id_b[i]) for i in ids], dtype=float)
+    return a, b
+
+
+def paired_bootstrap(
+    scores_a: np.ndarray,
+    scores_b: np.ndarray,
+    n_resamples: int = 10_000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> BootstrapResult:
+    """Paired bootstrap of ``mean(scores_a - scores_b)``."""
+    scores_a = np.asarray(scores_a, dtype=float)
+    scores_b = np.asarray(scores_b, dtype=float)
+    if scores_a.shape != scores_b.shape or scores_a.ndim != 1:
+        raise ValueError("need two 1-D score arrays of equal length")
+    if scores_a.size == 0:
+        raise ValueError("need at least one paired score")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    differences = scores_a - scores_b
+    observed = float(differences.mean())
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, differences.size, size=(n_resamples, differences.size))
+    resampled = differences[indices].mean(axis=1)
+    alpha = 1.0 - confidence
+    ci_low, ci_high = np.quantile(resampled, [alpha / 2.0, 1.0 - alpha / 2.0])
+    if observed > 0:
+        p = float((resampled <= 0.0).mean())
+    elif observed < 0:
+        p = float((resampled >= 0.0).mean())
+    else:
+        p = 1.0
+    return BootstrapResult(
+        mean_difference=observed,
+        ci_low=float(ci_low),
+        ci_high=float(ci_high),
+        p_value=p,
+        n_resamples=n_resamples,
+    )
+
+
+def wilcoxon_signed_rank(
+    scores_a: np.ndarray, scores_b: np.ndarray
+) -> Tuple[float, float]:
+    """Wilcoxon signed-rank test on the paired scores.
+
+    Returns ``(statistic, p_value)``.  All-zero differences (identical
+    methods) return ``(0.0, 1.0)`` instead of raising.
+    """
+    scores_a = np.asarray(scores_a, dtype=float)
+    scores_b = np.asarray(scores_b, dtype=float)
+    if scores_a.shape != scores_b.shape or scores_a.ndim != 1:
+        raise ValueError("need two 1-D score arrays of equal length")
+    differences = scores_a - scores_b
+    if not np.any(differences):
+        return 0.0, 1.0
+    statistic, p_value = stats.wilcoxon(scores_a, scores_b)
+    return float(statistic), float(p_value)

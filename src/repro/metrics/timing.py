@@ -1,0 +1,69 @@
+"""Wall-clock measurement of localizer runs (the paper's efficiency metric).
+
+The paper compares methods by their *average running time in identifying
+the RAPs* (Fig. 9).  :func:`time_localization` measures a single run with a
+monotonic high-resolution clock; :class:`TimingAccumulator` aggregates many
+runs into the mean/percentile summary the figures report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.attribute import AttributeCombination
+from ..data.dataset import FineGrainedDataset
+
+__all__ = ["time_localization", "TimingAccumulator"]
+
+
+def time_localization(
+    localize: Callable[..., List[AttributeCombination]],
+    dataset: FineGrainedDataset,
+    k: Optional[int] = None,
+) -> Tuple[List[AttributeCombination], float]:
+    """Run ``localize(dataset, k)`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = localize(dataset, k)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+@dataclass
+class TimingAccumulator:
+    """Collects per-run durations and summarizes them."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        if seconds < 0.0:
+            raise ValueError("durations cannot be negative")
+        self.samples.append(seconds)
+
+    @property
+    def n(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile, ``q`` in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = (len(ordered) - 1) * q / 100.0
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction

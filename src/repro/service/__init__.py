@@ -1,0 +1,15 @@
+"""Online localization service: the operational loop of the paper's Fig. 1."""
+
+from .alarm import Alarm, DeviationAlarm, ResidualSigmaAlarm
+from .history import RollingHistory
+from .pipeline import IncidentReport, LocalizationService, ScopeImpact
+
+__all__ = [
+    "Alarm",
+    "DeviationAlarm",
+    "ResidualSigmaAlarm",
+    "RollingHistory",
+    "IncidentReport",
+    "LocalizationService",
+    "ScopeImpact",
+]

@@ -1,0 +1,77 @@
+"""Overall-KPI anomaly alarms: the trigger of the localization flow.
+
+The paper's pipeline (Fig. 1 / §II-C) runs localization only "when a
+failure alarm occurs [and] the overall KPI of the CDN usually shows
+abnormal behaviors" — anomaly *detection* on the aggregate KPI gates
+anomaly *localization*.  These alarms decide, per step, whether the
+aggregate actual value is anomalous against its aggregate forecast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+__all__ = ["Alarm", "DeviationAlarm", "ResidualSigmaAlarm"]
+
+
+class Alarm:
+    """Interface: should localization be triggered for this step?"""
+
+    def should_trigger(self, actual_total: float, forecast_total: float) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class DeviationAlarm:
+    """Trigger when the aggregate relative deviation crosses a threshold.
+
+    One-sided by default (traffic drops), mirroring the leaf detector.
+    """
+
+    threshold: float = 0.05
+    two_sided: bool = False
+    epsilon: float = 1e-9
+
+    def should_trigger(self, actual_total: float, forecast_total: float) -> bool:
+        dev = (forecast_total - actual_total) / (forecast_total + self.epsilon)
+        if self.two_sided:
+            return abs(dev) > self.threshold
+        return dev > self.threshold
+
+
+@dataclass
+class ResidualSigmaAlarm:
+    """Trigger on a k-sigma outlier of the aggregate residual history.
+
+    Keeps a window of recent relative residuals and flags a step whose
+    residual deviates from the window median by more than ``k`` robust
+    standard deviations.  Self-calibrating: no absolute threshold needed.
+    """
+
+    k: float = 4.0
+    window: int = 200
+    min_history: int = 10
+    epsilon: float = 1e-9
+    _residuals: List[float] = field(default_factory=list)
+
+    def should_trigger(self, actual_total: float, forecast_total: float) -> bool:
+        residual = (forecast_total - actual_total) / (forecast_total + self.epsilon)
+        history = self._residuals
+        triggered = False
+        if len(history) >= self.min_history:
+            center = float(np.median(history))
+            mad = float(np.median(np.abs(np.asarray(history) - center)))
+            scale = 1.4826 * mad
+            if scale <= 0.0:
+                scale = float(np.std(history)) or self.epsilon
+            triggered = abs(residual - center) > self.k * scale
+        # Anomalous steps are excluded from the calibration window so a
+        # long incident cannot teach the alarm that failure is normal.
+        if not triggered:
+            history.append(residual)
+            if len(history) > self.window:
+                del history[: len(history) - self.window]
+        return triggered

@@ -1,0 +1,75 @@
+"""Rolling per-leaf KPI history for the online localization service.
+
+The operational flow of the paper's Fig. 1 needs, at every collection
+interval, the recent history of every leaf KPI to produce a forecast.
+:class:`RollingHistory` is a fixed-capacity ring buffer over the leaf
+population: O(1) appends, contiguous matrix views for the vectorized
+forecasters, no per-step allocation once warm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["RollingHistory"]
+
+
+class RollingHistory:
+    """Ring buffer of ``capacity`` steps x ``n_series`` leaf values."""
+
+    def __init__(self, n_series: int, capacity: int):
+        if n_series < 1:
+            raise ValueError("need at least one series")
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._buffer = np.empty((capacity, n_series))
+        self._capacity = capacity
+        self._n_series = n_series
+        self._size = 0
+        self._next = 0
+
+    @property
+    def n_series(self) -> int:
+        return self._n_series
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        return self._size == self._capacity
+
+    def append(self, values: np.ndarray) -> None:
+        """Add one step; evicts the oldest step when full."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self._n_series,):
+            raise ValueError(
+                f"expected {self._n_series} values, got shape {values.shape}"
+            )
+        self._buffer[self._next] = values
+        self._next = (self._next + 1) % self._capacity
+        self._size = min(self._size + 1, self._capacity)
+
+    def to_matrix(self) -> np.ndarray:
+        """Chronological ``(len(self), n_series)`` copy, oldest row first."""
+        if self._size < self._capacity:
+            return self._buffer[: self._size].copy()
+        return np.concatenate(
+            [self._buffer[self._next :], self._buffer[: self._next]], axis=0
+        )
+
+    def last(self) -> Optional[np.ndarray]:
+        """The most recent step, or ``None`` when empty."""
+        if self._size == 0:
+            return None
+        return self._buffer[(self._next - 1) % self._capacity].copy()
+
+    def clear(self) -> None:
+        self._size = 0
+        self._next = 0

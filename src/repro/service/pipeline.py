@@ -1,0 +1,181 @@
+"""The online localization service: forecast -> alarm -> detect -> localize.
+
+Wires the repository's pieces into the operational loop of the paper's
+Fig. 1.  At every collection interval the service receives the actual
+per-leaf KPI vector; it forecasts from the rolling history, checks the
+overall-KPI alarm, and — only when the alarm fires — labels the leaf table
+with the detector and runs the localizer, emitting an
+:class:`IncidentReport` with the affected scopes an operator can act on.
+
+The localizer is pluggable (:class:`~repro.core.miner.RAPMiner` by
+default, any :class:`~repro.baselines.base.Localizer` works), as are the
+forecaster, detector, and alarm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.attribute import AttributeCombination, AttributeSchema
+from ..core.miner import RAPMiner
+from ..data.dataset import FineGrainedDataset
+from ..detection.detectors import Detector, DeviationThresholdDetector
+from ..detection.forecasting import Forecaster, SeasonalNaiveForecaster
+from .alarm import Alarm, DeviationAlarm
+from .history import RollingHistory
+
+__all__ = ["ScopeImpact", "IncidentReport", "LocalizationService"]
+
+
+@dataclass(frozen=True)
+class ScopeImpact:
+    """One localized scope with its measured impact."""
+
+    pattern: AttributeCombination
+    actual: float
+    forecast: float
+    anomalous_leaves: int
+    total_leaves: int
+
+    @property
+    def drop_fraction(self) -> float:
+        """Relative KPI shortfall of the scope (positive = below forecast)."""
+        if self.forecast == 0.0:
+            return 0.0
+        return (self.forecast - self.actual) / self.forecast
+
+
+@dataclass
+class IncidentReport:
+    """Everything the service learned about one alarmed step."""
+
+    step: int
+    total_actual: float
+    total_forecast: float
+    anomalous_leaves: int
+    scopes: List[ScopeImpact] = field(default_factory=list)
+
+    @property
+    def patterns(self) -> List[AttributeCombination]:
+        return [scope.pattern for scope in self.scopes]
+
+    def render(self) -> str:
+        """Human-readable incident summary."""
+        lines = [
+            f"INCIDENT at step {self.step}: "
+            f"total {self.total_actual:,.0f} vs expected {self.total_forecast:,.0f}, "
+            f"{self.anomalous_leaves} anomalous leaf KPIs",
+        ]
+        for rank, scope in enumerate(self.scopes, start=1):
+            lines.append(
+                f"  {rank}. {scope.pattern}  "
+                f"{scope.drop_fraction * 100:.0f}% down "
+                f"({scope.anomalous_leaves}/{scope.total_leaves} leaves anomalous)"
+            )
+        if not self.scopes:
+            lines.append("  (no scope localized — escalate to manual triage)")
+        return "\n".join(lines)
+
+
+class LocalizationService:
+    """Stateful per-interval monitor emitting incident reports.
+
+    Parameters
+    ----------
+    schema, codes:
+        The fixed leaf population being monitored (one row of ``codes``
+        per leaf, matching every ``observe`` call's value vector).
+    forecaster / detector / alarm / localizer:
+        Pluggable pipeline stages; paper-faithful defaults.
+    history_capacity:
+        Ring-buffer length; must cover the forecaster's needs (one season
+        for the default seasonal-naive forecaster).
+    min_history:
+        Observations required before the service starts judging steps.
+    max_scopes:
+        Upper bound on reported scopes per incident.
+    """
+
+    def __init__(
+        self,
+        schema: AttributeSchema,
+        codes: np.ndarray,
+        forecaster: Optional[Forecaster] = None,
+        detector: Optional[Detector] = None,
+        alarm: Optional[Alarm] = None,
+        localizer=None,
+        history_capacity: int = 1440,
+        min_history: int = 10,
+        max_scopes: int = 5,
+    ):
+        self.schema = schema
+        self.codes = np.ascontiguousarray(codes, dtype=np.int64)
+        self.forecaster = forecaster if forecaster is not None else SeasonalNaiveForecaster()
+        self.detector = detector if detector is not None else DeviationThresholdDetector()
+        self.alarm = alarm if alarm is not None else DeviationAlarm()
+        self.localizer = localizer if localizer is not None else RAPMiner()
+        if min_history < 1:
+            raise ValueError("min_history must be positive")
+        self.min_history = min_history
+        self.max_scopes = max_scopes
+        self.history = RollingHistory(self.codes.shape[0], history_capacity)
+        self._step = 0
+        #: Count of observed steps that raised an incident.
+        self.incidents_raised = 0
+
+    @property
+    def current_step(self) -> int:
+        return self._step
+
+    def warm_up(self, values_matrix: np.ndarray) -> None:
+        """Preload history rows (no alarm evaluation), oldest first."""
+        for row in np.asarray(values_matrix, dtype=float):
+            self.history.append(row)
+            self._step += 1
+
+    def observe(self, values: np.ndarray) -> Optional[IncidentReport]:
+        """Process one collection interval; returns a report when alarmed.
+
+        The observed values are appended to the history *after* judging the
+        step, so the forecast never sees the value it is predicting.
+        """
+        values = np.asarray(values, dtype=float)
+        step = self._step
+        report: Optional[IncidentReport] = None
+        if len(self.history) >= self.min_history:
+            forecast = self.forecaster.forecast(self.history.to_matrix())
+            if self.alarm.should_trigger(float(values.sum()), float(forecast.sum())):
+                report = self._localize(step, values, forecast)
+                self.incidents_raised += 1
+        self.history.append(values)
+        self._step += 1
+        return report
+
+    def _localize(
+        self, step: int, values: np.ndarray, forecast: np.ndarray
+    ) -> IncidentReport:
+        table = FineGrainedDataset(self.schema, self.codes, values, forecast)
+        labelled = table.with_labels(self.detector.detect(values, forecast))
+        patterns = self.localizer.localize(labelled, k=self.max_scopes)
+        scopes = []
+        for pattern in patterns:
+            mask = labelled.mask_of(pattern)
+            scopes.append(
+                ScopeImpact(
+                    pattern=pattern,
+                    actual=float(values[mask].sum()),
+                    forecast=float(forecast[mask].sum()),
+                    anomalous_leaves=int(labelled.labels[mask].sum()),
+                    total_leaves=int(mask.sum()),
+                )
+            )
+        return IncidentReport(
+            step=step,
+            total_actual=float(values.sum()),
+            total_forecast=float(forecast.sum()),
+            anomalous_leaves=labelled.n_anomalous,
+            scopes=scopes,
+        )

@@ -1,0 +1,79 @@
+"""Tests for the Classification-Power profiler."""
+
+import pytest
+
+from repro.analysis.cp_profile import CPProfile, profile_classification_power
+from repro.core.attribute import AttributeCombination
+from repro.data.injection import LocalizationCase
+from repro.data.rapmd import RAPMDConfig, generate_rapmd
+from repro.data.schema import cdn_schema
+from tests.conftest import make_labelled_dataset
+
+
+class TestCPProfile:
+    def test_auc_perfect_separation(self):
+        profile = CPProfile(in_rap=[0.5, 0.9], out_of_rap=[0.0, 0.1])
+        assert profile.auc() == 1.0
+
+    def test_auc_no_signal(self):
+        profile = CPProfile(in_rap=[0.3, 0.7], out_of_rap=[0.3, 0.7])
+        assert profile.auc() == pytest.approx(0.5)
+
+    def test_auc_empty_side_is_one(self):
+        assert CPProfile(in_rap=[0.5]).auc() == 1.0
+
+    def test_recommended_t_cp_below_in_rap_values(self):
+        profile = CPProfile(in_rap=[0.2, 0.3, 0.4], out_of_rap=[0.0, 0.01])
+        threshold = profile.recommended_t_cp(keep_fraction=1.0)
+        assert threshold < 0.2
+        # Criteria 1 keeps attributes with CP > t_cp: all in-RAP survive.
+        kept = [cp for cp in profile.in_rap if cp > threshold]
+        assert len(kept) == 3
+
+    def test_recommended_t_cp_capped(self):
+        profile = CPProfile(in_rap=[0.9, 0.95], out_of_rap=[0.0])
+        assert profile.recommended_t_cp() <= 0.1
+
+    def test_recommended_validates_fraction(self):
+        with pytest.raises(ValueError):
+            CPProfile(in_rap=[0.5]).recommended_t_cp(keep_fraction=0.0)
+
+    def test_deletion_rates(self):
+        profile = CPProfile(in_rap=[0.05, 0.5], out_of_rap=[0.0, 0.01, 0.2])
+        in_deleted, out_deleted = profile.deletion_rates(0.05)
+        assert in_deleted == pytest.approx(0.5)
+        assert out_deleted == pytest.approx(2.0 / 3.0)
+
+
+class TestProfileOverCases:
+    def test_fig6_case_profiles_cleanly(self, example_schema):
+        ds = make_labelled_dataset(example_schema, ["(a1, *, *)"])
+        case = LocalizationCase(
+            "c", ds, (AttributeCombination.parse("(a1, *, *)"),)
+        )
+        profile = profile_classification_power([case])
+        assert len(profile.in_rap) == 1   # attribute A
+        assert len(profile.out_of_rap) == 2  # B and C
+        assert profile.in_rap[0] == pytest.approx(1.0)
+        assert profile.auc() == 1.0
+
+    def test_rapmd_profile_has_positive_signal(self):
+        cases = generate_rapmd(
+            cdn_schema(6, 2, 2, 5), RAPMDConfig(n_cases=10, n_days=2, seed=23)
+        )
+        profile = profile_classification_power(cases)
+        assert profile.n_observations == 10 * 4
+        assert profile.auc() > 0.7  # CP genuinely separates membership
+
+    def test_recommended_threshold_tracks_fig10a(self):
+        """The profiler's recommendation must lie in the flat region of the
+        Fig. 10(a) curve (well below 0.1 on RAPMD-style data)."""
+        cases = generate_rapmd(
+            cdn_schema(6, 2, 2, 5), RAPMDConfig(n_cases=10, n_days=2, seed=23)
+        )
+        profile = profile_classification_power(cases)
+        threshold = profile.recommended_t_cp(keep_fraction=0.9)
+        assert 0.0 <= threshold < 0.1
+        in_deleted, out_deleted = profile.deletion_rates(threshold)
+        assert in_deleted <= 0.1 + 1e-9
+        assert out_deleted > in_deleted  # deletion hits the right side more

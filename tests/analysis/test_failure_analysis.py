@@ -1,0 +1,146 @@
+"""Tests for the failure taxonomy."""
+
+import pytest
+
+from repro.analysis.failure_analysis import (
+    CATEGORIES,
+    FailureBreakdown,
+    analyze_failures,
+    classify_truth,
+    patterns_intersect,
+)
+from repro.core.attribute import AttributeCombination
+from repro.experiments.runner import CaseResult, MethodEvaluation
+
+
+def ac(text):
+    return AttributeCombination.parse(text)
+
+
+class TestPatternsIntersect:
+    def test_identical(self):
+        assert patterns_intersect(ac("(a1, *)"), ac("(a1, *)"))
+
+    def test_disjoint_on_shared_attribute(self):
+        assert not patterns_intersect(ac("(a1, *)"), ac("(a2, *)"))
+
+    def test_orthogonal_attributes_intersect(self):
+        assert patterns_intersect(ac("(a1, *)"), ac("(*, b1)"))
+
+    def test_ancestor_intersects_descendant(self):
+        assert patterns_intersect(ac("(a1, *)"), ac("(a1, b1)"))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            patterns_intersect(ac("(a1, *)"), ac("(a1, *, *)"))
+
+
+class TestClassifyTruth:
+    TRUTH = ac("(a1, b1, *)")
+
+    def test_exact(self):
+        assert classify_truth(self.TRUTH, [ac("(a1, b1, *)")]) == "exact"
+
+    def test_over_coarse(self):
+        assert classify_truth(self.TRUTH, [ac("(a1, *, *)")]) == "over_coarse"
+
+    def test_over_fine(self):
+        assert classify_truth(self.TRUTH, [ac("(a1, b1, c1)")]) == "over_fine"
+
+    def test_overlapping(self):
+        assert classify_truth(self.TRUTH, [ac("(a1, *, c1)")]) == "overlapping"
+
+    def test_missed(self):
+        assert classify_truth(self.TRUTH, [ac("(a2, *, *)")]) == "missed"
+        assert classify_truth(self.TRUTH, []) == "missed"
+
+    def test_best_category_wins(self):
+        """Exact beats over_coarse beats overlapping."""
+        predicted = [ac("(a1, *, c1)"), ac("(a1, *, *)"), ac("(a1, b1, *)")]
+        assert classify_truth(self.TRUTH, predicted) == "exact"
+        predicted = [ac("(a1, *, c1)"), ac("(a1, *, *)")]
+        assert classify_truth(self.TRUTH, predicted) == "over_coarse"
+
+
+def make_evaluation(entries):
+    evaluation = MethodEvaluation("test-method")
+    for case_id, predicted, truths in entries:
+        evaluation.results.append(
+            CaseResult(
+                case_id=case_id,
+                predicted=[ac(p) for p in predicted],
+                true_raps=tuple(ac(t) for t in truths),
+                seconds=0.0,
+            )
+        )
+    return evaluation
+
+
+class TestAnalyzeFailures:
+    def test_counts_by_category(self):
+        evaluation = make_evaluation(
+            [
+                ("c1", ["(a1, b1, *)"], ["(a1, b1, *)"]),            # exact
+                ("c2", ["(a1, *, *)"], ["(a1, b1, *)"]),             # over_coarse
+                ("c3", ["(a2, *, *)"], ["(a1, b1, *)"]),             # missed
+            ]
+        )
+        breakdown = analyze_failures(evaluation)
+        assert breakdown.counts["exact"] == 1
+        assert breakdown.counts["over_coarse"] == 1
+        assert breakdown.counts["missed"] == 1
+        assert breakdown.total_truths == 3
+        assert breakdown.fraction("exact") == pytest.approx(1 / 3)
+
+    def test_spurious_predictions_counted(self):
+        evaluation = make_evaluation(
+            [("c1", ["(a1, b1, *)", "(a3, *, *)"], ["(a1, b1, *)"])]
+        )
+        breakdown = analyze_failures(evaluation)
+        assert breakdown.total_predictions == 2
+        assert breakdown.spurious_predictions == 1
+        assert breakdown.spurious_fraction == pytest.approx(0.5)
+
+    def test_top_k_limits_credit(self):
+        evaluation = make_evaluation(
+            [("c1", ["(a2, *, *)", "(a3, *, *)", "(a1, b1, *)"], ["(a1, b1, *)"])]
+        )
+        assert analyze_failures(evaluation, top_k=2).counts["missed"] == 1
+        assert analyze_failures(evaluation, top_k=3).counts["exact"] == 1
+
+    def test_examples_collected(self):
+        evaluation = make_evaluation([("c2", ["(a1, *, *)"], ["(a1, b1, *)"])])
+        breakdown = analyze_failures(evaluation)
+        case_id, truth, predicted = breakdown.examples["over_coarse"][0]
+        assert case_id == "c2"
+        assert truth == "(a1, b1, *)"
+
+    def test_render(self):
+        evaluation = make_evaluation([("c1", ["(a1, b1, *)"], ["(a1, b1, *)"])])
+        text = analyze_failures(evaluation).render()
+        assert "test-method" in text
+        for category in CATEGORIES:
+            assert category in text
+
+    def test_unknown_category_rejected(self):
+        breakdown = FailureBreakdown("m")
+        with pytest.raises(KeyError):
+            breakdown.fraction("weird")
+
+    def test_rapminer_mostly_exact_on_clean_data(self):
+        """On noise-free RAPMD, RAPMiner's misses are structured: mostly
+        exact, some over_coarse/over_fine from attribute deletion."""
+        from repro.core.miner import RAPMiner
+        from repro.data.rapmd import RAPMDConfig, generate_rapmd
+        from repro.data.schema import cdn_schema
+        from repro.experiments.runner import run_cases
+
+        cases = generate_rapmd(
+            cdn_schema(6, 2, 2, 5), RAPMDConfig(n_cases=10, n_days=2, seed=17)
+        )
+        evaluation = run_cases(RAPMiner(), cases, k=3)
+        breakdown = analyze_failures(evaluation)
+        assert breakdown.fraction("exact") > 0.5
+        assert breakdown.counts["missed"] + breakdown.counts["overlapping"] <= (
+            breakdown.total_truths // 2
+        )

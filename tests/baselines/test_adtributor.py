@@ -1,0 +1,73 @@
+"""Tests for the Adtributor baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.adtributor import Adtributor, AdtributorConfig, _surprise
+from repro.core.attribute import AttributeCombination
+from repro.data.injection import inject_failures, sample_raps
+from repro.data.dataset import FineGrainedDataset
+from tests.conftest import make_labelled_dataset
+
+
+class TestSurprise:
+    def test_zero_when_distributions_match(self):
+        assert _surprise(0.3, 0.3) == pytest.approx(0.0)
+
+    def test_positive_when_shares_shift(self):
+        assert _surprise(0.1, 0.4) > 0.0
+
+    def test_handles_zero_probabilities(self):
+        assert _surprise(0.0, 0.5) > 0.0
+        assert _surprise(0.5, 0.0) > 0.0
+        assert _surprise(0.0, 0.0) == 0.0
+
+
+class TestLocalization:
+    def test_finds_one_dimensional_rap(self, example_schema):
+        ds = make_labelled_dataset(example_schema, ["(a1, *, *)"])
+        result = Adtributor().localize(ds, k=1)
+        assert result == [AttributeCombination.parse("(a1, *, *)")]
+
+    def test_only_returns_one_dimensional_patterns(self, four_attr_schema):
+        ds = make_labelled_dataset(four_attr_schema, ["(e0_0, e1_1, *, *)"])
+        for pattern in Adtributor().localize(ds, k=5):
+            assert pattern.layer == 1
+
+    def test_no_change_returns_empty(self, example_schema):
+        n = example_schema.n_leaves
+        ds = FineGrainedDataset.full(example_schema, np.ones(n), np.ones(n))
+        assert Adtributor().localize(ds) == []
+
+    def test_finds_multiple_elements_of_one_attribute(self, example_schema):
+        ds = make_labelled_dataset(example_schema, ["(a1, *, *)", "(a2, *, *)"])
+        result = Adtributor().localize(ds, k=2)
+        texts = {str(p) for p in result}
+        assert texts == {"(a1, *, *)", "(a2, *, *)"}
+
+    def test_succinctness_bound_respected(self, example_schema):
+        config = AdtributorConfig(max_elements_per_attribute=1, tep=0.4)
+        ds = make_labelled_dataset(example_schema, ["(a1, *, *)", "(a2, *, *)"])
+        result = Adtributor(config).localize(ds)
+        per_attr = {}
+        for pattern in result:
+            attr = pattern.specified_indices[0]
+            per_attr[attr] = per_attr.get(attr, 0) + 1
+        assert all(count <= 1 for count in per_attr.values())
+
+    def test_k_truncates(self, example_schema):
+        ds = make_labelled_dataset(example_schema, ["(a1, *, *)", "(a2, *, *)"])
+        assert len(Adtributor().localize(ds, k=1)) == 1
+
+    def test_rapmd_style_one_dim_recovery(self):
+        """On injected CDN data with a 1-D RAP, Adtributor should score it top."""
+        from repro.data.cdn_simulator import CDNSimulator, CDNSimulatorConfig
+        from repro.data.schema import cdn_schema
+
+        sim = CDNSimulator(cdn_schema(6, 2, 2, 5), CDNSimulatorConfig(seed=13))
+        background = sim.snapshot(400).to_dataset()
+        rng = np.random.default_rng(13)
+        raps = sample_raps(background, 1, rng, dimensions=[1])
+        labelled, __ = inject_failures(background, raps, rng)
+        result = Adtributor().localize(labelled, k=1)
+        assert result == list(raps)

@@ -1,0 +1,56 @@
+"""Tests for the Apriori miner and the pluggable rule backend."""
+
+import pytest
+
+from repro.baselines.apriori import apriori
+from repro.baselines.assoc_rules import AssociationRuleConfig, AssociationRuleLocalizer
+from repro.baselines.fpgrowth import fpgrowth
+from tests.baselines.test_fpgrowth import CLASSIC, brute_force_itemsets
+
+
+class TestApriori:
+    def test_matches_brute_force_classic(self):
+        for min_support in (1, 2, 3, 4):
+            assert apriori(CLASSIC, min_support) == brute_force_itemsets(
+                CLASSIC, min_support
+            )
+
+    def test_matches_fpgrowth(self):
+        for min_support in (1, 2, 3):
+            assert apriori(CLASSIC, min_support) == fpgrowth(CLASSIC, min_support)
+
+    def test_max_length(self):
+        result = apriori(CLASSIC, 1, max_length=2)
+        assert result == brute_force_itemsets(CLASSIC, 1, max_length=2)
+
+    def test_empty_and_invalid(self):
+        assert apriori([], 1) == {}
+        with pytest.raises(ValueError):
+            apriori(CLASSIC, 0)
+
+    def test_random_agreement_with_fpgrowth(self):
+        import random
+
+        rng = random.Random(11)
+        alphabet = list("abcdefgh")
+        transactions = [
+            rng.sample(alphabet, rng.randint(1, 6)) for __ in range(30)
+        ]
+        for min_support in (2, 4, 8):
+            assert apriori(transactions, min_support) == fpgrowth(
+                transactions, min_support
+            )
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            AssociationRuleConfig(backend="eclat")
+
+    def test_both_backends_localize_identically(self, example_schema):
+        from tests.conftest import make_labelled_dataset
+
+        ds = make_labelled_dataset(example_schema, ["(a1, *, *)", "(a2, b2, *)"])
+        fp = AssociationRuleLocalizer(AssociationRuleConfig(backend="fpgrowth"))
+        ap = AssociationRuleLocalizer(AssociationRuleConfig(backend="apriori"))
+        assert fp.localize(ds, k=5) == ap.localize(ds, k=5)

@@ -1,0 +1,64 @@
+"""Tests for the FP-growth association-rule localizer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.assoc_rules import AssociationRuleConfig, AssociationRuleLocalizer
+from repro.core.attribute import AttributeCombination
+from repro.data.dataset import FineGrainedDataset
+from tests.conftest import make_labelled_dataset
+
+
+class TestLocalization:
+    def test_finds_single_rap(self, example_schema):
+        ds = make_labelled_dataset(example_schema, ["(a1, *, *)"])
+        result = AssociationRuleLocalizer().localize(ds, k=1)
+        assert result == [AttributeCombination.parse("(a1, *, *)")]
+
+    def test_finds_multi_dimensional_rap(self, four_attr_schema):
+        ds = make_labelled_dataset(four_attr_schema, ["(e0_0, *, e2_1, *)"])
+        result = AssociationRuleLocalizer().localize(ds, k=1)
+        assert result == [AttributeCombination.parse("(e0_0, *, e2_1, *)")]
+
+    def test_finds_multiple_raps(self, four_attr_schema):
+        ds = make_labelled_dataset(
+            four_attr_schema, ["(e0_0, *, *, *)", "(*, e1_1, e2_0, *)"]
+        )
+        result = AssociationRuleLocalizer().localize(ds, k=2)
+        assert AttributeCombination.parse("(e0_0, *, *, *)") in result
+
+    def test_no_anomalies_empty(self, example_schema):
+        n = example_schema.n_leaves
+        ds = FineGrainedDataset.full(example_schema, np.ones(n), np.ones(n))
+        assert AssociationRuleLocalizer().localize(ds) == []
+
+    def test_min_confidence_filters_weak_rules(self, example_schema):
+        """With anomalies only under (a1,b1,*), the rule for (a1,*,*) has
+        confidence 0.5 and must be dropped at min_confidence=0.8."""
+        ds = make_labelled_dataset(example_schema, ["(a1, b1, *)"])
+        config = AssociationRuleConfig(min_confidence=0.8)
+        result = AssociationRuleLocalizer(config).localize(ds, k=10)
+        assert AttributeCombination.parse("(a1, *, *)") not in result
+        assert AttributeCombination.parse("(a1, b1, *)") in result
+
+    def test_coarser_rule_preferred_on_equal_evidence(self, example_schema):
+        """(a1,*,*) and its children all have confidence 1; coverage ranks
+        the coarse pattern first."""
+        ds = make_labelled_dataset(example_schema, ["(a1, *, *)"])
+        ranked = AssociationRuleLocalizer().localize(ds, k=5)
+        assert ranked[0] == AttributeCombination.parse("(a1, *, *)")
+
+    def test_max_length_bound(self, four_attr_schema):
+        ds = make_labelled_dataset(four_attr_schema, ["(e0_0, e1_1, e2_0, *)"])
+        config = AssociationRuleConfig(max_length=2)
+        result = AssociationRuleLocalizer(config).localize(ds, k=10)
+        assert all(p.layer <= 2 for p in result)
+
+    def test_min_support_ratio_prunes_rare_patterns(self, four_attr_schema):
+        """A RAP covering few anomalies disappears at a high support ratio."""
+        ds = make_labelled_dataset(
+            four_attr_schema, ["(e0_0, *, *, *)", "(e0_1, e1_0, e2_0, e3_0)"]
+        )
+        config = AssociationRuleConfig(min_support_ratio=0.5)
+        result = AssociationRuleLocalizer(config).localize(ds, k=10)
+        assert AttributeCombination.parse("(e0_1, e1_0, e2_0, e3_0)") not in result

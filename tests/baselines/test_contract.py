@@ -1,0 +1,84 @@
+"""Contract tests: every localizer honours the shared interface.
+
+Parametrized over the full method cohort (RAPMiner + 5 baselines), these
+tests pin the behavioural guarantees the experiment harness and the
+service layer rely on, independent of each method's quality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.data.cdn_simulator import CDNSimulator, CDNSimulatorConfig
+from repro.data.dataset import FineGrainedDataset
+from repro.data.injection import inject_failures, sample_raps
+from repro.data.schema import cdn_schema
+from repro.experiments.presets import all_methods
+
+
+@pytest.fixture(scope="module")
+def labelled_case():
+    sim = CDNSimulator(cdn_schema(6, 2, 2, 5), CDNSimulatorConfig(seed=71))
+    background = sim.snapshot(400).to_dataset()
+    rng = np.random.default_rng(71)
+    raps = sample_raps(background, 2, rng, min_support=6)
+    labelled, __ = inject_failures(background, raps, rng, per_rap_dev=[0.5, 0.5])
+    return labelled
+
+
+@pytest.fixture(scope="module")
+def empty_case():
+    """A genuinely quiet interval: no labels AND actuals match forecasts
+    (value-based methods like Adtributor see nothing to explain either)."""
+    sim = CDNSimulator(cdn_schema(6, 2, 2, 5), CDNSimulatorConfig(seed=71))
+    snap = sim.snapshot(400)
+    return FineGrainedDataset(snap.schema, snap.codes, snap.f.copy(), snap.f.copy())
+
+
+METHODS = all_methods()
+
+
+@pytest.mark.parametrize("method", METHODS, ids=lambda m: m.name)
+class TestLocalizerContract:
+    def test_returns_attribute_combinations(self, method, labelled_case):
+        result = method.localize(labelled_case, k=3)
+        assert isinstance(result, list)
+        assert all(isinstance(p, AttributeCombination) for p in result)
+
+    def test_patterns_fit_schema(self, method, labelled_case):
+        for pattern in method.localize(labelled_case, k=3):
+            labelled_case.schema.validate(pattern)
+
+    def test_respects_k(self, method, labelled_case):
+        assert len(method.localize(labelled_case, k=1)) <= 1
+        assert len(method.localize(labelled_case, k=3)) <= 3
+
+    def test_no_anomalies_returns_empty(self, method, empty_case):
+        assert method.localize(empty_case, k=3) == []
+
+    def test_deterministic(self, method, labelled_case):
+        first = method.localize(labelled_case, k=3)
+        second = method.localize(labelled_case, k=3)
+        assert first == second
+
+    def test_does_not_mutate_dataset(self, method, labelled_case):
+        codes = labelled_case.codes.copy()
+        v = labelled_case.v.copy()
+        f = labelled_case.f.copy()
+        labels = labelled_case.labels.copy()
+        method.localize(labelled_case, k=3)
+        assert np.array_equal(labelled_case.codes, codes)
+        assert np.array_equal(labelled_case.v, v)
+        assert np.array_equal(labelled_case.f, f)
+        assert np.array_equal(labelled_case.labels, labels)
+
+    def test_no_duplicate_patterns(self, method, labelled_case):
+        result = method.localize(labelled_case, k=5)
+        assert len(result) == len(set(result))
+
+    def test_k_none_is_allowed(self, method, labelled_case):
+        result = method.localize(labelled_case, k=None)
+        assert isinstance(result, list)
+
+    def test_has_display_name(self, method):
+        assert isinstance(method.name, str) and method.name

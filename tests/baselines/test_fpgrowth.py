@@ -1,0 +1,115 @@
+"""Tests for the from-scratch FP-growth implementation."""
+
+import itertools
+from collections import defaultdict
+
+import pytest
+
+from repro.baselines.fpgrowth import FPTree, fpgrowth
+
+
+def brute_force_itemsets(transactions, min_support, max_length=None):
+    """Reference implementation: count every subset directly."""
+    counts = defaultdict(int)
+    for transaction in transactions:
+        items = sorted(set(transaction))
+        limit = len(items) if max_length is None else min(max_length, len(items))
+        for r in range(1, limit + 1):
+            for subset in itertools.combinations(items, r):
+                counts[frozenset(subset)] += 1
+    return {s: c for s, c in counts.items() if c >= min_support}
+
+
+CLASSIC = [
+    ["a", "b", "c"],
+    ["a", "b"],
+    ["a", "c"],
+    ["b", "c"],
+    ["a", "b", "c", "d"],
+]
+
+
+class TestFPTree:
+    def test_insert_shares_prefixes(self):
+        tree = FPTree()
+        tree.insert(["a", "b"], 1)
+        tree.insert(["a", "c"], 1)
+        assert len(tree.root.children) == 1
+        assert tree.root.children["a"].count == 2
+
+    def test_header_chains_all_nodes(self):
+        tree = FPTree()
+        tree.insert(["a", "b"], 1)
+        tree.insert(["c", "b"], 1)
+        assert len(list(tree.nodes_of("b"))) == 2
+
+    def test_prefix_paths(self):
+        tree = FPTree()
+        tree.insert(["a", "b"], 2)
+        tree.insert(["c", "b"], 1)
+        paths = {tuple(p): c for p, c in tree.prefix_paths("b")}
+        assert paths == {("a",): 2, ("c",): 1}
+
+    def test_single_path_detection(self):
+        tree = FPTree()
+        tree.insert(["a", "b", "c"], 3)
+        assert tree.is_single_path() == [("a", 3), ("b", 3), ("c", 3)]
+        tree.insert(["a", "x"], 1)
+        assert tree.is_single_path() is None
+
+    def test_empty_tree(self):
+        assert FPTree().is_empty
+
+
+class TestFPGrowth:
+    def test_matches_brute_force_classic(self):
+        for min_support in (1, 2, 3):
+            assert fpgrowth(CLASSIC, min_support) == brute_force_itemsets(
+                CLASSIC, min_support
+            )
+
+    def test_max_length_bound(self):
+        result = fpgrowth(CLASSIC, 1, max_length=2)
+        assert all(len(s) <= 2 for s in result)
+        expected = brute_force_itemsets(CLASSIC, 1, max_length=2)
+        assert result == expected
+
+    def test_duplicates_within_transaction_collapsed(self):
+        result = fpgrowth([["a", "a", "b"]], 1)
+        assert result[frozenset(["a"])] == 1
+        assert result[frozenset(["a", "b"])] == 1
+
+    def test_min_support_filters(self):
+        result = fpgrowth(CLASSIC, 4)
+        assert result == {frozenset(["a"]): 4, frozenset(["b"]): 4, frozenset(["c"]): 4}
+
+    def test_empty_transactions(self):
+        assert fpgrowth([], 1) == {}
+        assert fpgrowth([[], []], 1) == {}
+
+    def test_invalid_min_support(self):
+        with pytest.raises(ValueError):
+            fpgrowth(CLASSIC, 0)
+
+    def test_tuple_items_supported(self):
+        transactions = [[(0, 1), (1, 2)], [(0, 1)], [(0, 1), (1, 2)]]
+        result = fpgrowth(transactions, 2)
+        assert result[frozenset([(0, 1)])] == 3
+        assert result[frozenset([(0, 1), (1, 2)])] == 2
+
+    def test_matches_brute_force_random(self):
+        import random
+
+        rng = random.Random(7)
+        alphabet = list("abcdefg")
+        transactions = [
+            rng.sample(alphabet, rng.randint(1, len(alphabet))) for __ in range(40)
+        ]
+        for min_support in (2, 5, 10):
+            assert fpgrowth(transactions, min_support) == brute_force_itemsets(
+                transactions, min_support
+            )
+
+    def test_single_transaction_all_subsets(self):
+        result = fpgrowth([["x", "y", "z"]], 1)
+        assert len(result) == 7  # 2**3 - 1 subsets

@@ -1,0 +1,71 @@
+"""Tests for the HotSpot extension baseline (MCTS + ripple effect)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hotspot import HotSpot, HotSpotConfig
+from repro.core.attribute import AttributeCombination
+from repro.data.dataset import FineGrainedDataset
+from repro.data.injection import inject_failures, sample_raps
+from repro.data.schema import schema_from_sizes
+
+
+@pytest.fixture
+def background():
+    schema = schema_from_sizes([5, 4, 4, 3])
+    rng = np.random.default_rng(37)
+    n = schema.n_leaves
+    v = rng.lognormal(3.0, 1.0, n)
+    return FineGrainedDataset.full(schema, v, v.copy())
+
+
+class TestLocalization:
+    def test_single_cuboid_rap_recovered(self, background):
+        rng = np.random.default_rng(41)
+        raps = sample_raps(background, 1, rng, dimensions=[1])
+        labelled, __ = inject_failures(background, raps, rng, per_rap_dev=[0.5])
+        assert HotSpot().localize(labelled, k=1) == list(raps)
+
+    def test_two_raps_same_cuboid(self, background):
+        """HotSpot's stated scope: multiple root causes in one cuboid."""
+        from repro.core.cuboid import Cuboid
+
+        rng = np.random.default_rng(43)
+        raps = sample_raps(background, 2, rng, cuboid=Cuboid([0, 1]))
+        labelled, __ = inject_failures(background, raps, rng, per_rap_dev=[0.5, 0.5])
+        predicted = HotSpot().localize(labelled, k=2)
+        assert set(predicted) == set(raps)
+
+    def test_empty_without_anomalies(self, background):
+        assert HotSpot().localize(background) == []
+
+    def test_deterministic_under_seed(self, background):
+        rng = np.random.default_rng(47)
+        raps = sample_raps(background, 1, rng, dimensions=[2])
+        labelled, __ = inject_failures(background, raps, rng, per_rap_dev=[0.4])
+        a = HotSpot(HotSpotConfig(seed=5)).localize(labelled, k=2)
+        b = HotSpot(HotSpotConfig(seed=5)).localize(labelled, k=2)
+        assert a == b
+
+    def test_max_layer_caps_depth(self, background):
+        rng = np.random.default_rng(53)
+        raps = sample_raps(background, 1, rng, dimensions=[1])
+        labelled, __ = inject_failures(background, raps, rng, per_rap_dev=[0.5])
+        config = HotSpotConfig(max_layer=1)
+        result = HotSpot(config).localize(labelled, k=3)
+        assert all(p.layer == 1 for p in result)
+
+    def test_target_score_early_exit_still_correct(self, background):
+        rng = np.random.default_rng(59)
+        raps = sample_raps(background, 1, rng, dimensions=[1])
+        labelled, __ = inject_failures(background, raps, rng, per_rap_dev=[0.5])
+        config = HotSpotConfig(target_score=0.5)
+        assert HotSpot(config).localize(labelled, k=1) == list(raps)
+
+    def test_k_truncates(self, background):
+        from repro.core.cuboid import Cuboid
+
+        rng = np.random.default_rng(61)
+        raps = sample_raps(background, 2, rng, cuboid=Cuboid([0]))
+        labelled, __ = inject_failures(background, raps, rng, per_rap_dev=[0.5, 0.5])
+        assert len(HotSpot().localize(labelled, k=1)) == 1

@@ -1,0 +1,134 @@
+"""Tests for the Squeeze baseline (clustering + GPS)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.squeeze import (
+    Squeeze,
+    SqueezeConfig,
+    cluster_deviations,
+    deviation_score,
+    generalized_potential_score,
+)
+from repro.core.attribute import AttributeCombination
+from repro.data.dataset import FineGrainedDataset
+from repro.data.injection import InjectionConfig, inject_failures, sample_raps
+from repro.data.schema import schema_from_sizes
+
+
+@pytest.fixture
+def background():
+    schema = schema_from_sizes([6, 5, 4, 4])
+    rng = np.random.default_rng(17)
+    n = schema.n_leaves
+    v = rng.lognormal(3.0, 1.0, n)
+    return FineGrainedDataset.full(schema, v, v.copy())
+
+
+class TestDeviationScore:
+    def test_zero_when_matching(self):
+        v = np.array([10.0])
+        assert deviation_score(v, v)[0] == pytest.approx(0.0)
+
+    def test_positive_for_drops(self):
+        assert deviation_score(np.array([5.0]), np.array([10.0]))[0] > 0.0
+
+    def test_bounded_by_two(self):
+        d = deviation_score(np.array([0.0]), np.array([10.0]))[0]
+        assert d == pytest.approx(2.0)
+
+
+class TestClustering:
+    def test_single_tight_mode(self):
+        values = np.full(50, 0.4) + np.random.default_rng(0).normal(0, 1e-4, 50)
+        clusters = cluster_deviations(values)
+        assert len(clusters) == 1
+        assert len(clusters[0]) == 50
+
+    def test_two_separated_modes(self):
+        rng = np.random.default_rng(1)
+        values = np.concatenate(
+            [rng.normal(0.2, 0.005, 40), rng.normal(0.7, 0.005, 60)]
+        )
+        clusters = cluster_deviations(values)
+        assert len(clusters) == 2
+        assert len(clusters[0]) == 60  # largest first
+
+    def test_empty_input(self):
+        assert cluster_deviations(np.array([])) == []
+
+    def test_identical_values_one_cluster(self):
+        clusters = cluster_deviations(np.full(10, 0.3))
+        assert len(clusters) == 1
+
+    def test_min_cluster_size_filters(self):
+        rng = np.random.default_rng(2)
+        values = np.concatenate([rng.normal(0.2, 0.005, 50), [0.9]])
+        clusters = cluster_deviations(values, min_cluster_size=3)
+        assert all(len(c) >= 3 for c in clusters)
+
+    def test_uniform_spread_fragments(self):
+        """RAPMD-style uniform deviations at realistic case sizes (a few
+        dozen anomalous leaves) fragment into several clusters — part of
+        the mechanism behind Squeeze's degradation in Fig. 8(b)."""
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.1, 0.9, 60)
+        clusters = cluster_deviations(values)
+        assert len(clusters) >= 2
+
+
+class TestGPS:
+    def make_case(self, background, dev=0.5):
+        rng = np.random.default_rng(23)
+        raps = sample_raps(background, 1, rng, dimensions=[2])
+        labelled, __ = inject_failures(background, raps, rng, per_rap_dev=[dev])
+        return labelled, raps[0]
+
+    def test_true_rap_scores_near_one(self, background):
+        labelled, rap = self.make_case(background)
+        score = generalized_potential_score(
+            labelled, labelled.mask_of(rap), labelled.labels
+        )
+        assert score > 0.95
+
+    def test_partial_coverage_scores_lower(self, background):
+        labelled, rap = self.make_case(background)
+        full = generalized_potential_score(labelled, labelled.mask_of(rap), labelled.labels)
+        half_mask = labelled.mask_of(rap).copy()
+        half_mask[np.flatnonzero(half_mask)[::2]] = False
+        half = generalized_potential_score(labelled, half_mask, labelled.labels)
+        assert half < full
+
+    def test_over_coverage_scores_lower(self, background):
+        labelled, rap = self.make_case(background)
+        full = generalized_potential_score(labelled, labelled.mask_of(rap), labelled.labels)
+        over = generalized_potential_score(
+            labelled, np.ones(labelled.n_rows, dtype=bool), labelled.labels
+        )
+        assert over < full
+
+    def test_empty_selection_is_minus_one(self, background):
+        assert generalized_potential_score(
+            background, np.zeros(background.n_rows, dtype=bool), background.labels
+        ) == -1.0
+
+
+class TestLocalization:
+    def test_recovers_raps_under_its_assumptions(self, background):
+        """Same cuboid + shared magnitude: the Squeeze dataset's setting."""
+        from repro.core.cuboid import Cuboid
+
+        rng = np.random.default_rng(29)
+        raps = sample_raps(background, 2, rng, cuboid=Cuboid([0, 1]))
+        labelled, __ = inject_failures(background, raps, rng, per_rap_dev=[0.5, 0.5])
+        predicted = Squeeze().localize(labelled, k=2)
+        assert set(predicted) == set(raps)
+
+    def test_empty_without_anomalies(self, background):
+        assert Squeeze().localize(background) == []
+
+    def test_k_truncates(self, background):
+        rng = np.random.default_rng(31)
+        raps = sample_raps(background, 2, rng, dimensions=[1])
+        labelled, __ = inject_failures(background, raps, rng, per_rap_dev=[0.4, 0.4])
+        assert len(Squeeze().localize(labelled, k=1)) == 1

@@ -1,0 +1,65 @@
+"""Tests for Anomaly Confidence (Criteria 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.anomaly_confidence import anomaly_confidence, cuboid_confidences, is_anomalous
+from repro.core.attribute import AttributeCombination
+from repro.core.cuboid import Cuboid
+
+
+class TestAnomalyConfidence:
+    def test_fully_anomalous_pattern(self, example_dataset):
+        assert anomaly_confidence(
+            example_dataset, AttributeCombination.parse("(a1, *, *)")
+        ) == pytest.approx(1.0)
+
+    def test_fully_normal_pattern(self, example_dataset):
+        assert anomaly_confidence(
+            example_dataset, AttributeCombination.parse("(a2, *, *)")
+        ) == pytest.approx(0.0)
+
+    def test_mixed_pattern(self, example_dataset):
+        """(*, b1, *) covers 6 leaves of which 2 (under a1) are anomalous."""
+        assert anomaly_confidence(
+            example_dataset, AttributeCombination.parse("(*, b1, *)")
+        ) == pytest.approx(2.0 / 6.0)
+
+    def test_total_combination_equals_anomaly_ratio(self, fig7_dataset):
+        total = AttributeCombination([None, None, None])
+        assert anomaly_confidence(fig7_dataset, total) == pytest.approx(
+            fig7_dataset.anomaly_ratio
+        )
+
+
+class TestCriteria2:
+    def test_above_threshold_is_anomalous(self, example_dataset):
+        assert is_anomalous(example_dataset, AttributeCombination.parse("(a1, *, *)"), 0.8)
+
+    def test_below_threshold_is_not(self, example_dataset):
+        assert not is_anomalous(example_dataset, AttributeCombination.parse("(*, b1, *)"), 0.8)
+
+    def test_strict_inequality(self, example_dataset):
+        """Criteria 2 uses >, so confidence exactly at the threshold fails."""
+        pattern = AttributeCombination.parse("(*, b1, *)")
+        conf = anomaly_confidence(example_dataset, pattern)
+        assert not is_anomalous(example_dataset, pattern, conf)
+
+    def test_invalid_threshold(self, example_dataset):
+        pattern = AttributeCombination.parse("(a1, *, *)")
+        for bad in (0.0, 1.0, -1.0):
+            with pytest.raises(ValueError):
+                is_anomalous(example_dataset, pattern, bad)
+
+
+class TestBulkConfidences:
+    def test_matches_scalar_computation(self, fig7_dataset):
+        aggregate, confidences = cuboid_confidences(fig7_dataset, Cuboid([0, 1]))
+        for i in range(len(aggregate)):
+            assert confidences[i] == pytest.approx(
+                fig7_dataset.confidence(aggregate.combination(i))
+            )
+
+    def test_shape_matches_occupied_combinations(self, fig7_dataset):
+        aggregate, confidences = cuboid_confidences(fig7_dataset, Cuboid([0]))
+        assert confidences.shape == (len(aggregate),) == (3,)

@@ -1,0 +1,184 @@
+"""Tests for the attribute schema and wildcard combinations."""
+
+import pytest
+
+from repro.core.attribute import WILDCARD, AttributeCombination, AttributeSchema
+
+
+class TestAttributeSchema:
+    def test_names_and_order_preserved(self):
+        schema = AttributeSchema({"b": ["x"], "a": ["y", "z"]})
+        assert schema.names == ("b", "a")
+
+    def test_sizes_and_leaf_count(self, example_schema):
+        assert example_schema.sizes == (3, 2, 2)
+        assert example_schema.n_leaves == 12
+
+    def test_cdn_scale_leaf_count(self):
+        from repro.data.schema import cdn_schema
+
+        assert cdn_schema().n_leaves == 10560  # 33 * 4 * 4 * 20 (Table I)
+
+    def test_index_of_by_name_and_int(self, example_schema):
+        assert example_schema.index_of("B") == 1
+        assert example_schema.index_of(2) == 2
+
+    def test_index_of_unknown_raises(self, example_schema):
+        with pytest.raises(KeyError):
+            example_schema.index_of("missing")
+        with pytest.raises(IndexError):
+            example_schema.index_of(7)
+
+    def test_encode_decode_roundtrip(self, example_schema):
+        for i, name in enumerate(example_schema.names):
+            for element in example_schema.elements(name):
+                assert example_schema.decode(i, example_schema.encode(i, element)) == element
+
+    def test_encode_unknown_element_raises(self, example_schema):
+        with pytest.raises(KeyError):
+            example_schema.encode("A", "nope")
+
+    def test_decode_out_of_range_raises(self, example_schema):
+        with pytest.raises(IndexError):
+            example_schema.decode("A", 99)
+
+    def test_rejects_empty_schema(self):
+        with pytest.raises(ValueError):
+            AttributeSchema({})
+
+    def test_rejects_empty_elements(self):
+        with pytest.raises(ValueError):
+            AttributeSchema({"a": []})
+
+    def test_rejects_duplicate_elements(self):
+        with pytest.raises(ValueError):
+            AttributeSchema({"a": ["x", "x"]})
+
+    def test_rejects_wildcard_element(self):
+        with pytest.raises(ValueError):
+            AttributeSchema({"a": [WILDCARD]})
+
+    def test_iter_leaf_values_row_major(self, tiny_schema):
+        leaves = list(tiny_schema.iter_leaf_values())
+        assert len(leaves) == 4
+        assert leaves[0] == ("e0_0", "e1_0")
+        assert leaves[-1] == ("e0_1", "e1_1")
+
+    def test_leaf_constructor_validates(self, example_schema):
+        leaf = example_schema.leaf(["a1", "b1", "c1"])
+        assert leaf.is_leaf(example_schema)
+        with pytest.raises(ValueError):
+            example_schema.leaf(["a1", None, "c1"])
+
+    def test_equality_and_hash(self, example_schema):
+        from repro.data.schema import paper_example_schema
+
+        other = paper_example_schema()
+        assert example_schema == other
+        assert hash(example_schema) == hash(other)
+
+    def test_validate_wrong_arity(self, example_schema):
+        with pytest.raises(ValueError):
+            example_schema.validate(AttributeCombination(["a1", "b1"]))
+
+    def test_validate_unknown_element(self, example_schema):
+        with pytest.raises(KeyError):
+            example_schema.validate(AttributeCombination(["zz", None, None]))
+
+
+class TestAttributeCombination:
+    def test_wildcard_normalization(self):
+        ac = AttributeCombination(["a1", WILDCARD, None])
+        assert ac.values == ("a1", None, None)
+
+    def test_layer_counts_specified(self):
+        assert AttributeCombination(["a1", None, "c1"]).layer == 2
+        assert AttributeCombination([None, None, None]).layer == 0
+
+    def test_specified_indices(self):
+        ac = AttributeCombination(["a1", None, "c1", None])
+        assert ac.specified_indices == (0, 2)
+
+    def test_parse_and_str_roundtrip(self):
+        text = "(L1, *, *, Site1)"
+        ac = AttributeCombination.parse(text)
+        assert str(ac) == text
+        assert ac.values == ("L1", None, None, "Site1")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AttributeCombination.parse("()")
+
+    def test_matches_leaf(self):
+        ac = AttributeCombination.parse("(a1, *, c1)")
+        assert ac.matches(("a1", "b2", "c1"))
+        assert not ac.matches(("a2", "b2", "c1"))
+
+    def test_matches_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            AttributeCombination.parse("(a1, *)").matches(("a1",))
+
+    def test_ancestor_descendant(self):
+        parent = AttributeCombination.parse("(a1, *, *)")
+        child = AttributeCombination.parse("(a1, b1, *)")
+        assert parent.is_ancestor_of(child)
+        assert child.is_descendant_of(parent)
+        assert not child.is_ancestor_of(parent)
+        assert not parent.is_ancestor_of(parent)  # strict
+
+    def test_ancestor_requires_matching_elements(self):
+        a = AttributeCombination.parse("(a1, *, *)")
+        b = AttributeCombination.parse("(a2, b1, *)")
+        assert not a.is_ancestor_of(b)
+
+    def test_parents_replace_one_attribute(self):
+        ac = AttributeCombination.parse("(a1, b1, *)")
+        parents = set(map(str, ac.parents()))
+        assert parents == {"(*, b1, *)", "(a1, *, *)"}
+
+    def test_layer0_has_no_parents(self):
+        assert AttributeCombination([None, None]).parents() == []
+
+    def test_children_bind_each_free_attribute(self, example_schema):
+        ac = AttributeCombination.parse("(a1, *, *)")
+        children = set(map(str, ac.children(example_schema)))
+        assert "(a1, b1, *)" in children
+        assert "(a1, *, c2)" in children
+        assert len(children) == 4  # 2 elements of B + 2 of C
+
+    def test_leaf_has_no_children(self, example_schema):
+        leaf = AttributeCombination.parse("(a1, b1, c1)")
+        assert leaf.children(example_schema) == []
+
+    def test_ancestors_enumerates_all_strict(self):
+        ac = AttributeCombination.parse("(a1, b1, c1)")
+        ancestors = set(map(str, ac.ancestors()))
+        assert ancestors == {
+            "(a1, *, *)",
+            "(*, b1, *)",
+            "(*, *, c1)",
+            "(a1, b1, *)",
+            "(a1, *, c1)",
+            "(*, b1, c1)",
+        }
+
+    def test_every_ancestor_is_ancestor(self):
+        ac = AttributeCombination.parse("(a1, b1, c1)")
+        for ancestor in ac.ancestors():
+            assert ancestor.is_ancestor_of(ac)
+
+    def test_n_covered_leaves(self, example_schema):
+        assert AttributeCombination.parse("(a1, *, *)").n_covered_leaves(example_schema) == 4
+        assert AttributeCombination.parse("(a1, b1, c1)").n_covered_leaves(example_schema) == 1
+        assert AttributeCombination.parse("(*, *, *)").n_covered_leaves(example_schema) == 12
+
+    def test_hashable_and_equal(self):
+        a = AttributeCombination.parse("(a1, *, c1)")
+        b = AttributeCombination(["a1", None, "c1"])
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_ordering_wildcards_first(self):
+        coarse = AttributeCombination.parse("(*, b1, *)")
+        fine = AttributeCombination.parse("(a1, b1, *)")
+        assert coarse < fine

@@ -1,0 +1,120 @@
+"""Tests for Classification Power and Algorithm 1 (Fig. 6, Criteria 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.classification_power import (
+    all_classification_powers,
+    binary_entropy,
+    classification_power,
+    delete_redundant_attributes,
+)
+from repro.data.dataset import FineGrainedDataset
+from tests.conftest import make_labelled_dataset
+
+
+class TestBinaryEntropy:
+    def test_extremes_are_zero(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_maximum_at_half(self):
+        assert binary_entropy(0.5) == pytest.approx(math.log(2.0))
+
+    def test_symmetric(self):
+        assert binary_entropy(0.2) == pytest.approx(binary_entropy(0.8))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            binary_entropy(-0.1)
+        with pytest.raises(ValueError):
+            binary_entropy(1.1)
+
+
+class TestClassificationPower:
+    def test_fig6_scenario_rap_attribute_has_cp_one(self, example_dataset):
+        """Splitting by A perfectly separates when (a1,*,*) is the RAP."""
+        assert classification_power(example_dataset, "A") == pytest.approx(1.0)
+
+    def test_fig6_scenario_other_attributes_near_zero(self, example_dataset):
+        """B and C split anomalies evenly: no entropy reduction at all."""
+        assert classification_power(example_dataset, "B") == pytest.approx(0.0, abs=1e-12)
+        assert classification_power(example_dataset, "C") == pytest.approx(0.0, abs=1e-12)
+
+    def test_cp_bounded_between_zero_and_one(self, example_schema):
+        rng = np.random.default_rng(2)
+        n = example_schema.n_leaves
+        for seed in range(5):
+            labels = np.random.default_rng(seed).random(n) < 0.3
+            ds = FineGrainedDataset.full(example_schema, np.ones(n), np.ones(n), labels)
+            for name in example_schema.names:
+                cp = classification_power(ds, name)
+                assert -1e-12 <= cp <= 1.0 + 1e-12
+
+    def test_all_normal_gives_zero(self, example_schema):
+        n = example_schema.n_leaves
+        ds = FineGrainedDataset.full(example_schema, np.ones(n), np.ones(n))
+        assert all(v == 0.0 for v in all_classification_powers(ds).values())
+
+    def test_all_anomalous_gives_zero(self, example_schema):
+        n = example_schema.n_leaves
+        ds = FineGrainedDataset.full(
+            example_schema, np.ones(n), np.ones(n), np.ones(n, dtype=bool)
+        )
+        assert all(v == 0.0 for v in all_classification_powers(ds).values())
+
+    def test_empty_dataset_gives_zero(self, tiny_schema):
+        ds = FineGrainedDataset(
+            tiny_schema, np.empty((0, 2), dtype=np.int64), np.empty(0), np.empty(0)
+        )
+        assert classification_power(ds, 0) == 0.0
+
+    def test_accepts_attribute_index(self, example_dataset):
+        assert classification_power(example_dataset, 0) == pytest.approx(1.0)
+
+    def test_two_raps_both_attributes_informative(self, fig7_dataset):
+        """Fig. 7: RAPs (a1,*,*) and (a2,b2,*) make both A and B informative."""
+        cps = all_classification_powers(fig7_dataset)
+        assert cps["A"] > 0.1
+        assert cps["B"] > 0.01
+        assert cps["C"] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestAlgorithm1:
+    def test_deletes_unrelated_attributes(self, example_dataset):
+        result = delete_redundant_attributes(example_dataset, t_cp=0.02)
+        assert result.kept_names(example_dataset) == ("A",)
+        assert set(result.deleted_names(example_dataset)) == {"B", "C"}
+
+    def test_kept_sorted_by_cp_descending(self, fig7_dataset):
+        result = delete_redundant_attributes(fig7_dataset, t_cp=0.001)
+        cps = result.cp_values
+        kept = result.kept_names(fig7_dataset)
+        assert list(kept) == sorted(kept, key=lambda n: cps[n], reverse=True)
+
+    def test_threshold_zero_keeps_positive_cp_only(self, example_dataset):
+        result = delete_redundant_attributes(example_dataset, t_cp=0.0)
+        assert result.kept_names(example_dataset) == ("A",)
+
+    def test_degenerate_all_below_threshold_keeps_everything(self, example_schema):
+        n = example_schema.n_leaves
+        ds = FineGrainedDataset.full(example_schema, np.ones(n), np.ones(n))
+        result = delete_redundant_attributes(ds, t_cp=0.02)
+        assert set(result.kept_indices) == {0, 1, 2}
+        assert result.deleted_indices == ()
+
+    def test_negative_threshold_rejected(self, example_dataset):
+        with pytest.raises(ValueError):
+            delete_redundant_attributes(example_dataset, t_cp=-0.1)
+
+    def test_cp_values_cover_all_attributes(self, example_dataset):
+        result = delete_redundant_attributes(example_dataset)
+        assert set(result.cp_values) == {"A", "B", "C"}
+
+    def test_larger_threshold_deletes_at_least_as_much(self, four_attr_schema):
+        ds = make_labelled_dataset(four_attr_schema, ["(e0_0, *, *, *)", "(*, e1_1, e2_0, *)"])
+        small = delete_redundant_attributes(ds, t_cp=0.001)
+        large = delete_redundant_attributes(ds, t_cp=0.2)
+        assert set(large.kept_indices) <= set(small.kept_indices)

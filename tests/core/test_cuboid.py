@@ -1,0 +1,163 @@
+"""Tests for the cuboid lattice (Fig. 2, Table IV, Table V)."""
+
+import math
+
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.core.cuboid import (
+    Cuboid,
+    cuboid_count,
+    cuboids_in_layer,
+    decrease_ratio,
+    decrease_ratio_lower_bound,
+    enumerate_cuboids,
+    lattice_vertex_labels,
+)
+
+
+class TestCuboid:
+    def test_indices_sorted_and_deduped(self):
+        assert Cuboid([2, 0, 2]).attribute_indices == (0, 2)
+
+    def test_requires_at_least_one_attribute(self):
+        with pytest.raises(ValueError):
+            Cuboid([])
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ValueError):
+            Cuboid([-1])
+
+    def test_dimension_equals_layer(self):
+        cuboid = Cuboid([0, 2, 3])
+        assert cuboid.dimension == 3
+
+    def test_length_matches_paper_cdn_examples(self):
+        """Section II-B: |Cub_L|=33, |Cub_{L,S}|=660, |Cub_{L,A,O,S}|=10560."""
+        from repro.data.schema import cdn_schema
+
+        schema = cdn_schema()
+        location, website = 0, 3
+        assert Cuboid([location]).length(schema) == 33
+        assert Cuboid([location, website]).length(schema) == 660
+        assert Cuboid([0, 1, 2, 3]).length(schema) == 10560
+
+    def test_names(self, example_schema):
+        assert Cuboid([0, 2]).names(example_schema) == ("A", "C")
+
+    def test_is_parent_of(self):
+        assert Cuboid([0]).is_parent_of(Cuboid([0, 1]))
+        assert not Cuboid([0]).is_parent_of(Cuboid([1, 2]))
+        assert not Cuboid([0, 1]).is_parent_of(Cuboid([0]))
+
+    def test_combinations_enumerates_cartesian_product(self, example_schema):
+        combos = list(Cuboid([0, 1]).combinations(example_schema))
+        assert len(combos) == 6  # 3 x 2
+        assert AttributeCombination.parse("(a2, b2, *)") in combos
+        assert all(c.specified_indices == (0, 1) for c in combos)
+
+    def test_combinations_out_of_range_schema(self, tiny_schema):
+        with pytest.raises(IndexError):
+            list(Cuboid([5]).combinations(tiny_schema))
+
+
+class TestLatticeEnumeration:
+    def test_cuboid_count_formula(self):
+        """Fig. 2's generalized form 2**n - 1."""
+        for n in range(0, 8):
+            assert cuboid_count(n) == 2**n - 1
+
+    def test_enumerate_matches_count(self):
+        for n in range(1, 7):
+            assert len(enumerate_cuboids(n)) == cuboid_count(n)
+
+    def test_four_attribute_lattice_has_15_cuboids(self):
+        """The paper's CDN case: 15 cuboids in 4 layers."""
+        cuboids = enumerate_cuboids(4)
+        assert len(cuboids) == 15
+        per_layer = {layer: len(cuboids_in_layer(4, layer)) for layer in range(1, 5)}
+        assert per_layer == {1: 4, 2: 6, 3: 4, 4: 1}  # C(4, d)
+
+    def test_layer_sizes_are_binomials(self):
+        for n in range(1, 7):
+            for layer in range(1, n + 1):
+                assert len(cuboids_in_layer(n, layer)) == math.comb(n, layer)
+
+    def test_enumerate_is_bfs_ordered(self):
+        layers = [c.dimension for c in enumerate_cuboids(5)]
+        assert layers == sorted(layers)
+
+    def test_out_of_range_layer_is_empty(self):
+        assert cuboids_in_layer(3, 0) == []
+        assert cuboids_in_layer(3, 4) == []
+
+
+class TestDecreaseRatio:
+    def test_table4_lower_bounds(self):
+        """Table IV: 0.5, 0.75, 0.875, 0.9375, 0.96875."""
+        expected = {1: 0.5, 2: 0.75, 3: 0.875, 4: 0.9375, 5: 0.96875}
+        for k, value in expected.items():
+            assert decrease_ratio_lower_bound(k) == pytest.approx(value)
+
+    def test_exact_ratio_exceeds_lower_bound(self):
+        """Proof 1: the exact Eq. 2 ratio is strictly above (2^k-1)/2^k."""
+        for n in range(2, 9):
+            for k in range(1, n):
+                assert decrease_ratio(n, k) > decrease_ratio_lower_bound(k)
+
+    def test_deleting_nothing_or_everything(self):
+        assert decrease_ratio(4, 0) == 0.0
+        assert decrease_ratio(4, 4) == 1.0
+
+    def test_rejects_invalid_k(self):
+        with pytest.raises(ValueError):
+            decrease_ratio(3, 4)
+        with pytest.raises(ValueError):
+            decrease_ratio(3, -1)
+        with pytest.raises(ValueError):
+            decrease_ratio_lower_bound(-1)
+
+    def test_monotone_in_k(self):
+        ratios = [decrease_ratio(6, k) for k in range(0, 7)]
+        assert ratios == sorted(ratios)
+
+
+class TestTableVMapping:
+    def test_layer1_labels(self, example_schema):
+        labels = lattice_vertex_labels(example_schema)
+        assert str(labels["1-1"]) == "(a1, *, *)"
+        assert str(labels["1-3"]) == "(a3, *, *)"
+        assert str(labels["1-4"]) == "(*, b1, *)"
+        assert str(labels["1-7"]) == "(*, *, c2)"
+
+    def test_layer2_labels_match_table5(self, example_schema):
+        """Exact spot checks against the paper's Table V."""
+        labels = lattice_vertex_labels(example_schema)
+        expected = {
+            "2-1": "(a1, b1, *)",
+            "2-3": "(a1, *, c1)",
+            "2-6": "(a2, b2, *)",
+            "2-13": "(*, b1, c1)",
+            "2-16": "(*, b2, c2)",
+        }
+        for key, text in expected.items():
+            assert str(labels[key]) == text
+
+    def test_layer3_labels_match_table5(self, example_schema):
+        labels = lattice_vertex_labels(example_schema)
+        assert str(labels["3-1"]) == "(a1, b1, c1)"
+        assert str(labels["3-8"]) == "(a2, b2, c2)"
+        assert str(labels["3-12"]) == "(a3, b2, c2)"
+
+    def test_label_counts_per_layer(self, example_schema):
+        labels = lattice_vertex_labels(example_schema)
+        layer_counts = {}
+        for key in labels:
+            layer = int(key.split("-")[0])
+            layer_counts[layer] = layer_counts.get(layer, 0) + 1
+        assert layer_counts == {1: 7, 2: 16, 3: 12}
+
+    def test_max_layer_truncates(self, example_schema):
+        labels = lattice_vertex_labels(example_schema, max_layer=1)
+        assert all(key.startswith("1-") for key in labels)
+        assert len(labels) == 7

@@ -1,0 +1,97 @@
+"""Tests for the localization-result audit (repro.core.explain)."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.core.explain import explain
+from repro.core.miner import RAPMiner
+from repro.data.dataset import FineGrainedDataset
+from tests.conftest import make_labelled_dataset
+
+
+def ac(text):
+    return AttributeCombination.parse(text)
+
+
+class TestExplain:
+    def test_perfect_result_has_full_coverage(self, fig7_dataset):
+        patterns = RAPMiner().localize(fig7_dataset)
+        audit = explain(fig7_dataset, patterns)
+        assert audit.coverage == 1.0
+        assert audit.residual_leaves == []
+        assert audit.excess_normal_leaves == 0
+
+    def test_partial_result_reports_residual(self, fig7_dataset):
+        audit = explain(fig7_dataset, [ac("(a1, *, *)")])  # misses (a2,b2,*)
+        assert audit.coverage < 1.0
+        assert audit.covered_anomalous_leaves == 4
+        assert len(audit.residual_leaves) == 2
+        assert all(leaf.values[0] == "a2" for leaf in audit.residual_leaves)
+
+    def test_empty_result_all_residual(self, fig7_dataset):
+        audit = explain(fig7_dataset, [])
+        assert audit.coverage == 0.0
+        assert len(audit.residual_leaves) == fig7_dataset.n_anomalous
+
+    def test_no_anomalies_is_vacuously_covered(self, example_schema):
+        n = example_schema.n_leaves
+        ds = FineGrainedDataset.full(example_schema, np.ones(n), np.ones(n))
+        audit = explain(ds, [])
+        assert audit.coverage == 1.0
+
+    def test_evidence_fields(self, example_dataset):
+        audit = explain(example_dataset, [ac("(a1, *, *)")])
+        evidence = audit.evidence[0]
+        assert evidence.rank == 1
+        assert evidence.support == 4
+        assert evidence.anomalous_support == 4
+        assert evidence.confidence == pytest.approx(1.0)
+        assert evidence.new_anomalies_covered == 4
+        assert evidence.normal_leaves_covered == 0
+        assert not evidence.is_redundant
+
+    def test_redundant_pattern_flagged(self, example_dataset):
+        """A child of an already-returned RAP adds no new coverage."""
+        audit = explain(example_dataset, [ac("(a1, *, *)"), ac("(a1, b1, *)")])
+        assert audit.evidence[1].is_redundant
+
+    def test_overbroad_pattern_counts_healthy_leaves(self, example_dataset):
+        audit = explain(example_dataset, [ac("(*, b1, *)")])
+        evidence = audit.evidence[0]
+        assert evidence.normal_leaves_covered == 4  # b1 under a2/a3
+        assert evidence.anomalous_support == 2
+
+    def test_aggregated_kpi_values(self, example_dataset):
+        audit = explain(example_dataset, [ac("(a1, *, *)")])
+        evidence = audit.evidence[0]
+        v, f = example_dataset.values_of(ac("(a1, *, *)"))
+        assert evidence.actual == pytest.approx(v)
+        assert evidence.forecast == pytest.approx(f)
+
+    def test_residual_listing_bounded(self, four_attr_schema):
+        ds = make_labelled_dataset(four_attr_schema, ["(e0_0, *, *, *)"])
+        audit = explain(ds, [], max_residual_listed=3)
+        assert len(audit.residual_leaves) == 3
+        assert audit.covered_anomalous_leaves == 0
+
+
+class TestRender:
+    def test_mentions_coverage_and_patterns(self, fig7_dataset):
+        patterns = RAPMiner().localize(fig7_dataset)
+        text = explain(fig7_dataset, patterns).render()
+        assert "coverage: 6/6" in text
+        assert "(a1, *, *)" in text
+
+    def test_flags_in_render(self, example_dataset):
+        audit = explain(example_dataset, [ac("(a1, *, *)"), ac("(a1, b1, *)")])
+        assert "redundant" in audit.render()
+
+    def test_residual_in_render(self, fig7_dataset):
+        text = explain(fig7_dataset, [ac("(a1, *, *)")]).render()
+        assert "unexplained anomalous leaves" in text
+
+    def test_residual_render_truncates(self, four_attr_schema):
+        ds = make_labelled_dataset(four_attr_schema, ["(e0_0, *, *, *)"])
+        text = explain(ds, []).render()
+        assert "more)" in text

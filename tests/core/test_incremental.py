@@ -1,0 +1,126 @@
+"""Tests for the warm-start incremental miner."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.core.config import RAPMinerConfig
+from repro.core.incremental import IncrementalRAPMiner
+from repro.core.miner import RAPMiner
+from repro.data.cdn_simulator import CDNSimulator, CDNSimulatorConfig
+from repro.data.injection import inject_failures, sample_raps
+from repro.data.schema import cdn_schema
+from tests.conftest import make_labelled_dataset
+
+
+def ac(text):
+    return AttributeCombination.parse(text)
+
+
+@pytest.fixture
+def incident_intervals():
+    """Five consecutive intervals of the same 2-RAP incident."""
+    sim = CDNSimulator(cdn_schema(6, 3, 3, 5), CDNSimulatorConfig(seed=31))
+    rng = np.random.default_rng(31)
+    background = sim.snapshot(100).to_dataset()
+    raps = sample_raps(background, 2, rng, min_support=6)
+    intervals = []
+    for step in range(5):
+        snapshot = sim.snapshot(100 + step).to_dataset()
+        labelled, __ = inject_failures(snapshot, raps, rng)
+        intervals.append(labelled)
+    return raps, intervals
+
+
+class TestFastPath:
+    def test_first_interval_is_a_full_run(self, incident_intervals):
+        __, intervals = incident_intervals
+        miner = IncrementalRAPMiner(RAPMinerConfig(enable_attribute_deletion=False))
+        miner.run(intervals[0])
+        assert miner.stats.full_runs == 1
+        assert miner.stats.fast_path_hits == 0
+
+    def test_persisted_incident_takes_fast_path(self, incident_intervals):
+        raps, intervals = incident_intervals
+        miner = IncrementalRAPMiner(RAPMinerConfig(enable_attribute_deletion=False))
+        for interval in intervals:
+            result = miner.run(interval)
+            assert set(result.patterns) == set(raps)
+        assert miner.stats.full_runs == 1
+        assert miner.stats.fast_path_hits == len(intervals) - 1
+
+    def test_fast_path_matches_full_run(self, incident_intervals):
+        """The warm-started answer equals an independent full localization."""
+        __, intervals = incident_intervals
+        config = RAPMinerConfig(enable_attribute_deletion=False)
+        incremental = IncrementalRAPMiner(config)
+        full = RAPMiner(config)
+        for interval in intervals:
+            assert set(incremental.localize(interval)) == set(full.localize(interval))
+
+    def test_reset_forces_full_run(self, incident_intervals):
+        __, intervals = incident_intervals
+        miner = IncrementalRAPMiner(RAPMinerConfig(enable_attribute_deletion=False))
+        miner.run(intervals[0])
+        miner.reset()
+        miner.run(intervals[1])
+        assert miner.stats.full_runs == 2
+
+
+class TestFallback:
+    def test_incident_change_triggers_full_run(self, example_schema):
+        miner = IncrementalRAPMiner(RAPMinerConfig(enable_attribute_deletion=False))
+        first = make_labelled_dataset(example_schema, ["(a1, *, *)"])
+        second = make_labelled_dataset(example_schema, ["(a2, b2, *)"])
+        assert miner.localize(first) == [ac("(a1, *, *)")]
+        assert miner.localize(second) == [ac("(a2, b2, *)")]
+        assert miner.stats.full_runs == 2
+
+    def test_incident_widening_triggers_full_run(self, example_schema):
+        """When a parent scope lights up, the cached child is no longer a RAP."""
+        miner = IncrementalRAPMiner(RAPMinerConfig(enable_attribute_deletion=False))
+        narrow = make_labelled_dataset(example_schema, ["(a1, b1, *)"])
+        wide = make_labelled_dataset(example_schema, ["(a1, *, *)"])
+        assert miner.localize(narrow) == [ac("(a1, b1, *)")]
+        assert miner.localize(wide) == [ac("(a1, *, *)")]
+        assert miner.stats.full_runs == 2
+
+    def test_new_unexplained_anomalies_trigger_full_run(self, example_schema):
+        miner = IncrementalRAPMiner(RAPMinerConfig(enable_attribute_deletion=False))
+        first = make_labelled_dataset(example_schema, ["(a1, *, *)"])
+        grown = make_labelled_dataset(example_schema, ["(a1, *, *)", "(a2, b2, *)"])
+        miner.localize(first)
+        patterns = miner.localize(grown)
+        assert set(patterns) == {ac("(a1, *, *)"), ac("(a2, b2, *)")}
+        assert miner.stats.full_runs == 2
+
+    def test_incident_clearing_falls_back_to_empty(self, example_schema):
+        import numpy as np
+
+        from repro.data.dataset import FineGrainedDataset
+
+        miner = IncrementalRAPMiner(RAPMinerConfig(enable_attribute_deletion=False))
+        first = make_labelled_dataset(example_schema, ["(a1, *, *)"])
+        miner.localize(first)
+        n = example_schema.n_leaves
+        quiet = FineGrainedDataset.full(example_schema, np.ones(n), np.ones(n))
+        assert miner.localize(quiet) == []
+
+    def test_small_k_does_not_starve_verification(self, example_schema):
+        """Caching the untruncated candidate list: k=1 on interval 1 must not
+        make interval 2's verification miss the second RAP."""
+        miner = IncrementalRAPMiner(RAPMinerConfig(enable_attribute_deletion=False))
+        both = make_labelled_dataset(example_schema, ["(a1, *, *)", "(a2, b2, *)"])
+        top1 = miner.localize(both, k=1)
+        assert len(top1) == 1
+        again = miner.localize(both, k=2)
+        assert set(again) == {ac("(a1, *, *)"), ac("(a2, b2, *)")}
+        assert miner.stats.fast_path_hits == 1
+
+
+class TestValidation:
+    def test_min_coverage_bounds(self):
+        with pytest.raises(ValueError):
+            IncrementalRAPMiner(min_coverage=0.0)
+        with pytest.raises(ValueError):
+            IncrementalRAPMiner(min_coverage=1.5)

@@ -1,0 +1,82 @@
+"""Tests for the Fig. 2 / Fig. 7 structural renderings."""
+
+import pytest
+
+from repro.core.lattice_viz import (
+    render_cuboid_hierarchy,
+    render_search_dag_dot,
+    search_dag,
+)
+from repro.core.search import layerwise_topdown_search
+from repro.data.schema import cdn_schema, paper_example_schema
+
+
+class TestCuboidHierarchy:
+    def test_cdn_schema_matches_fig2(self):
+        text = render_cuboid_hierarchy(cdn_schema())
+        lines = text.splitlines()
+        assert len(lines) == 4  # four layers
+        assert "Cub_{location}(33)" in lines[0]
+        assert "Cub_{location,website}(660)" in lines[1]
+        assert "Cub_{location,access_type,os,website}(10560)" in lines[3]
+
+    def test_layer_cuboid_counts(self):
+        text = render_cuboid_hierarchy(cdn_schema())
+        lines = text.splitlines()
+        assert lines[0].count("Cub_") == 4
+        assert lines[1].count("Cub_") == 6
+        assert lines[2].count("Cub_") == 4
+        assert lines[3].count("Cub_") == 1
+
+
+class TestSearchDag:
+    @pytest.fixture
+    def outcome_and_dataset(self, fig7_dataset):
+        outcome = layerwise_topdown_search(
+            fig7_dataset, [0, 1, 2], t_conf=0.8, early_stop=False
+        )
+        return fig7_dataset, outcome
+
+    def test_fig7_candidate_vertices(self, outcome_and_dataset):
+        dataset, outcome = outcome_and_dataset
+        vertices, __ = search_dag(dataset, outcome)
+        status = {v.label: v.status for v in vertices}
+        # Fig. 7: (a1,*,*) is vertex 1-1 and (a2,b2,*) is vertex 2-6.
+        assert status["1-1"] == "candidate"
+        assert status["2-6"] == "candidate"
+
+    def test_fig7_pruned_descendants(self, outcome_and_dataset):
+        dataset, outcome = outcome_and_dataset
+        vertices, __ = search_dag(dataset, outcome)
+        status = {v.label: v.status for v in vertices}
+        assert status["2-1"] == "pruned"   # (a1,b1,*) under candidate 1-1
+        assert status["3-7"] == "pruned"   # (a2,b2,c1,*) under candidate 2-6
+        assert status["1-2"] == "visited"  # (a2,*,*): evaluated, normal
+
+    def test_vertex_count_matches_table5(self, outcome_and_dataset):
+        dataset, outcome = outcome_and_dataset
+        vertices, __ = search_dag(dataset, outcome)
+        assert len(vertices) == 35
+
+    def test_edges_connect_adjacent_layers(self, outcome_and_dataset):
+        dataset, outcome = outcome_and_dataset
+        __, edges = search_dag(dataset, outcome)
+        assert edges
+        for parent, child in edges:
+            assert int(parent.split("-")[0]) + 1 == int(child.split("-")[0])
+
+    def test_dot_output_well_formed(self, outcome_and_dataset):
+        dataset, outcome = outcome_and_dataset
+        dot = render_search_dag_dot(dataset, outcome)
+        assert dot.startswith("digraph search_dag {")
+        assert dot.rstrip().endswith("}")
+        assert '"1-1" [label="1-1"' in dot
+        assert "#e06666" in dot  # candidate fill (red)
+        assert "#6fa8dc" in dot  # visited fill (blue)
+        assert '"1-1" -> "2-1";' in dot
+        assert "rank=same" in dot
+
+    def test_dot_tooltips_carry_combinations(self, outcome_and_dataset):
+        dataset, outcome = outcome_and_dataset
+        dot = render_search_dag_dot(dataset, outcome)
+        assert "(a1, *, *)" in dot

@@ -1,0 +1,119 @@
+"""Tests for the RAPMiner facade (the full Fig. 5 pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.core.config import RAPMinerConfig
+from repro.core.miner import RAPMiner
+from repro.data.dataset import FineGrainedDataset
+from tests.conftest import make_labelled_dataset
+
+
+class TestPipeline:
+    def test_single_rap(self, example_dataset):
+        result = RAPMiner().run(example_dataset)
+        assert [str(p) for p in result.patterns] == ["(a1, *, *)"]
+
+    def test_fig7_two_raps_ranked_by_rapscore(self, fig7_dataset):
+        result = RAPMiner().run(fig7_dataset)
+        # Both confidence 1.0; (a1,*,*) is layer 1 so Eq. 3 ranks it first.
+        assert [str(p) for p in result.patterns] == ["(a1, *, *)", "(a2, b2, *)"]
+
+    def test_top_k_truncation(self, fig7_dataset):
+        assert len(RAPMiner().run(fig7_dataset, k=1).patterns) == 1
+        assert RAPMiner().run(fig7_dataset, k=1).top(1) == [
+            AttributeCombination.parse("(a1, *, *)")
+        ]
+
+    def test_localize_interface(self, fig7_dataset):
+        patterns = RAPMiner().localize(fig7_dataset, k=2)
+        assert AttributeCombination.parse("(a1, *, *)") in patterns
+
+    def test_no_anomalies_empty_result(self, example_schema):
+        n = example_schema.n_leaves
+        ds = FineGrainedDataset.full(example_schema, np.ones(n), np.ones(n))
+        result = RAPMiner().run(ds)
+        assert result.patterns == []
+
+    def test_deletion_diagnostics_exposed(self, example_dataset):
+        result = RAPMiner().run(example_dataset)
+        assert result.deletion is not None
+        assert result.deletion.kept_names(example_dataset) == ("A",)
+        assert set(result.deletion.cp_values) == {"A", "B", "C"}
+
+    def test_stats_populated(self, example_dataset):
+        result = RAPMiner().run(example_dataset)
+        assert result.stats.n_cuboids_visited >= 1
+        assert result.stats.n_candidates == 1
+
+
+class TestConfigSwitches:
+    def test_deletion_disabled_searches_all_attributes(self, example_dataset):
+        config = RAPMinerConfig(enable_attribute_deletion=False, early_stop=False)
+        result = RAPMiner(config).run(example_dataset)
+        assert result.deletion is None
+        assert result.stats.n_cuboids_visited == 7  # full 3-attribute lattice
+
+    def test_deletion_enabled_shrinks_lattice(self, example_dataset):
+        config = RAPMinerConfig(enable_attribute_deletion=True, early_stop=False)
+        result = RAPMiner(config).run(example_dataset)
+        assert result.stats.n_cuboids_visited == 1  # only attribute A survives
+
+    def test_deletion_can_lose_low_cp_raps(self, four_attr_schema):
+        """The Table VI trade-off: an aggressive t_cp drops a weak RAP."""
+        ds = make_labelled_dataset(
+            four_attr_schema, ["(e0_0, *, *, *)", "(*, *, e2_0, e3_1)"]
+        )
+        aggressive = RAPMiner(RAPMinerConfig(t_cp=0.5)).run(ds)
+        lenient = RAPMiner(RAPMinerConfig(enable_attribute_deletion=False)).run(ds)
+        assert len(aggressive.patterns) <= len(lenient.patterns)
+
+    def test_layer_normalization_toggle(self, example_schema):
+        """With raw-confidence ranking, a deeper higher-confidence pattern
+        can outrank a shallower lower-confidence one."""
+        ds = make_labelled_dataset(
+            example_schema, ["(a1, b1, *)", "(a1, b2, c1)", "(a2, b2, *)"]
+        )
+        normalized = RAPMiner(
+            RAPMinerConfig(t_conf=0.7, enable_attribute_deletion=False)
+        ).run(ds)
+        raw = RAPMiner(
+            RAPMinerConfig(
+                t_conf=0.7,
+                enable_attribute_deletion=False,
+                layer_normalized_ranking=False,
+            )
+        ).run(ds)
+        assert set(normalized.patterns) == set(raw.patterns)
+        raw_order = [c.confidence for c in raw.candidates]
+        assert raw_order == sorted(raw_order, reverse=True)
+
+    def test_max_layer_respected(self, four_attr_schema):
+        ds = make_labelled_dataset(four_attr_schema, ["(e0_0, e1_0, e2_0, *)"])
+        result = RAPMiner(
+            RAPMinerConfig(max_layer=2, enable_attribute_deletion=False)
+        ).run(ds)
+        assert all(c.layer <= 2 for c in result.candidates)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            RAPMinerConfig(t_cp=-0.1)
+        with pytest.raises(ValueError):
+            RAPMinerConfig(t_conf=1.5)
+        with pytest.raises(ValueError):
+            RAPMinerConfig(max_layer=0)
+
+
+class TestGeneralizedAttributes:
+    def test_works_with_two_attributes(self, tiny_schema):
+        ds = make_labelled_dataset(tiny_schema, ["(e0_0, *)"])
+        assert [str(p) for p in RAPMiner().localize(ds)] == ["(e0_0, *)"]
+
+    def test_works_with_five_attributes(self):
+        from repro.data.schema import schema_from_sizes
+
+        schema = schema_from_sizes([3, 2, 2, 2, 2])
+        ds = make_labelled_dataset(schema, ["(*, e1_0, *, e3_1, *)"])
+        patterns = RAPMiner().localize(ds)
+        assert AttributeCombination.parse("(*, e1_0, *, e3_1, *)") in patterns

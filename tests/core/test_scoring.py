@@ -1,0 +1,84 @@
+"""Tests for RAPScore (Eq. 3) and candidate ranking."""
+
+import math
+
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.core.scoring import RAPCandidate, rank_candidates, rap_score
+
+
+def candidate(text, confidence, layer, support=10, anomalous=None):
+    return RAPCandidate(
+        combination=AttributeCombination.parse(text),
+        confidence=confidence,
+        layer=layer,
+        support=support,
+        anomalous_support=anomalous if anomalous is not None else support,
+    )
+
+
+class TestRapScore:
+    def test_eq3_value(self):
+        assert rap_score(0.9, 4) == pytest.approx(0.9 / 2.0)
+
+    def test_layer_one_is_identity(self):
+        assert rap_score(0.7, 1) == pytest.approx(0.7)
+
+    def test_layer_penalty_is_sqrt(self):
+        assert rap_score(1.0, 2) == pytest.approx(1.0 / math.sqrt(2.0))
+
+    def test_invalid_layer(self):
+        with pytest.raises(ValueError):
+            rap_score(0.5, 0)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            rap_score(1.5, 1)
+        with pytest.raises(ValueError):
+            rap_score(-0.1, 1)
+
+    def test_candidate_score_property(self):
+        c = candidate("(a1, *, *)", 0.8, 1)
+        assert c.score == pytest.approx(0.8)
+
+
+class TestRanking:
+    def test_orders_by_score_descending(self):
+        low = candidate("(a1, b1, *)", 0.9, 2)  # score 0.636
+        high = candidate("(a2, *, *)", 0.8, 1)  # score 0.8
+        assert rank_candidates([low, high]) == [high, low]
+
+    def test_coarser_wins_at_equal_confidence(self):
+        """Eq. 3's purpose: prefer the shallower pattern at the same confidence."""
+        shallow = candidate("(a1, *, *)", 1.0, 1)
+        deep = candidate("(a1, b1, *)", 1.0, 2)
+        assert rank_candidates([deep, shallow])[0] is shallow
+
+    def test_top_k_truncation(self):
+        cands = [candidate(f"(a{i}, *, *)", 0.5 + i * 0.1, 1) for i in range(1, 4)]
+        top = rank_candidates(cands, k=2)
+        assert len(top) == 2
+        assert top[0].confidence == pytest.approx(0.8)
+
+    def test_k_zero_and_none(self):
+        cands = [candidate("(a1, *, *)", 0.9, 1)]
+        assert rank_candidates(cands, k=0) == []
+        assert len(rank_candidates(cands, k=None)) == 1
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            rank_candidates([], k=-1)
+
+    def test_tie_break_on_support(self):
+        small = candidate("(a1, *, *)", 0.9, 1, support=5)
+        big = candidate("(a2, *, *)", 0.9, 1, support=50)
+        assert rank_candidates([small, big])[0] is big
+
+    def test_deterministic_final_tie_break(self):
+        a = candidate("(a1, *, *)", 0.9, 1)
+        b = candidate("(a2, *, *)", 0.9, 1)
+        assert rank_candidates([b, a]) == rank_candidates([a, b])
+
+    def test_empty_input(self):
+        assert rank_candidates([]) == []

@@ -1,0 +1,136 @@
+"""Tests for Algorithm 2: AC-guided layer-by-layer top-down search."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.core.search import layerwise_topdown_search
+from repro.data.dataset import FineGrainedDataset
+from tests.conftest import make_labelled_dataset
+
+
+def patterns(outcome):
+    return {str(c.combination) for c in outcome.candidates}
+
+
+class TestSearchCorrectness:
+    def test_single_rap_found(self, example_dataset):
+        outcome = layerwise_topdown_search(example_dataset, [0, 1, 2], t_conf=0.8)
+        assert patterns(outcome) == {"(a1, *, *)"}
+
+    def test_fig7_scenario_finds_both_raps(self, fig7_dataset):
+        """Fig. 7: (a1,*,*) in layer 1 and (a2,b2,*) in layer 2."""
+        outcome = layerwise_topdown_search(fig7_dataset, [0, 1, 2], t_conf=0.8)
+        assert patterns(outcome) == {"(a1, *, *)", "(a2, b2, *)"}
+        layers = {str(c.combination): c.layer for c in outcome.candidates}
+        assert layers["(a1, *, *)"] == 1
+        assert layers["(a2, b2, *)"] == 2
+
+    def test_descendants_of_candidates_pruned(self, example_dataset):
+        """Criteria 3: children of (a1,*,*) are anomalous but must not appear."""
+        outcome = layerwise_topdown_search(
+            example_dataset, [0, 1, 2], t_conf=0.8, early_stop=False
+        )
+        assert "(a1, b1, *)" not in patterns(outcome)
+        assert "(a1, b1, c1)" not in patterns(outcome)
+
+    def test_no_anomalies_returns_empty(self, example_schema):
+        n = example_schema.n_leaves
+        ds = FineGrainedDataset.full(example_schema, np.ones(n), np.ones(n))
+        outcome = layerwise_topdown_search(ds, [0, 1, 2], t_conf=0.8)
+        assert outcome.candidates == []
+        assert outcome.stats.n_cuboids_visited == 0
+
+    def test_candidates_never_have_anomalous_parents(self, four_attr_schema):
+        """Definition 1 invariant on a multi-RAP dataset."""
+        ds = make_labelled_dataset(
+            four_attr_schema, ["(e0_0, *, *, *)", "(*, e1_1, e2_0, *)"]
+        )
+        outcome = layerwise_topdown_search(ds, [0, 1, 2, 3], t_conf=0.8, early_stop=False)
+        for candidate in outcome.candidates:
+            for parent in candidate.combination.parents():
+                assert ds.confidence(parent) <= 0.8
+
+    def test_candidates_cover_all_anomalies_without_early_stop(self, fig7_dataset):
+        outcome = layerwise_topdown_search(fig7_dataset, [0, 1, 2], t_conf=0.8, early_stop=False)
+        covered = np.zeros(fig7_dataset.n_rows, dtype=bool)
+        for candidate in outcome.candidates:
+            covered |= fig7_dataset.mask_of(candidate.combination)
+        assert covered[fig7_dataset.labels].all()
+
+    def test_restricted_attributes_limit_search(self, fig7_dataset):
+        """Searching only attribute C finds nothing (no RAP involves C)."""
+        outcome = layerwise_topdown_search(fig7_dataset, [2], t_conf=0.8)
+        assert outcome.candidates == []
+
+    def test_max_layer_caps_depth(self, four_attr_schema):
+        ds = make_labelled_dataset(four_attr_schema, ["(e0_0, e1_0, e2_0, *)"])
+        outcome = layerwise_topdown_search(
+            ds, [0, 1, 2, 3], t_conf=0.8, max_layer=2, early_stop=False
+        )
+        assert outcome.stats.deepest_layer_visited == 2
+        assert all(c.layer <= 2 for c in outcome.candidates)
+
+    def test_candidate_evidence_fields(self, example_dataset):
+        outcome = layerwise_topdown_search(example_dataset, [0, 1, 2], t_conf=0.8)
+        candidate = outcome.candidates[0]
+        assert candidate.support == 4
+        assert candidate.anomalous_support == 4
+        assert candidate.confidence == pytest.approx(1.0)
+
+
+class TestEarlyStop:
+    def test_early_stop_triggers_when_covered(self, example_dataset):
+        outcome = layerwise_topdown_search(example_dataset, [0, 1, 2], t_conf=0.8)
+        assert outcome.stats.early_stopped
+
+    def test_early_stop_reduces_visited_cuboids(self, fig7_dataset):
+        eager = layerwise_topdown_search(fig7_dataset, [0, 1, 2], t_conf=0.8, early_stop=True)
+        full = layerwise_topdown_search(fig7_dataset, [0, 1, 2], t_conf=0.8, early_stop=False)
+        assert eager.stats.n_cuboids_visited <= full.stats.n_cuboids_visited
+        assert not full.stats.early_stopped
+
+    def test_early_stop_preserves_found_raps(self, fig7_dataset):
+        eager = layerwise_topdown_search(fig7_dataset, [0, 1, 2], t_conf=0.8, early_stop=True)
+        assert patterns(eager) == {"(a1, *, *)", "(a2, b2, *)"}
+
+
+class TestThresholdBehaviour:
+    def test_high_threshold_misses_partial_anomalies(self, example_schema):
+        """A combination with 75% anomalous children needs t_conf < 0.75."""
+        ds = make_labelled_dataset(example_schema, ["(a1, b1, *)", "(a1, b2, c1)"])
+        # (a1,*,*) has 3/4 anomalous leaves.
+        strict = layerwise_topdown_search(ds, [0, 1, 2], t_conf=0.9, early_stop=False)
+        loose = layerwise_topdown_search(ds, [0, 1, 2], t_conf=0.7, early_stop=False)
+        assert "(a1, *, *)" not in patterns(strict)
+        assert "(a1, *, *)" in patterns(loose)
+
+    def test_invalid_threshold_rejected(self, example_dataset):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                layerwise_topdown_search(example_dataset, [0, 1, 2], t_conf=bad)
+
+    def test_empty_attribute_set_rejected(self, example_dataset):
+        with pytest.raises(ValueError):
+            layerwise_topdown_search(example_dataset, [], t_conf=0.8)
+
+
+class TestStats:
+    def test_cuboid_count_without_early_stop(self, fig7_dataset):
+        outcome = layerwise_topdown_search(
+            fig7_dataset, [0, 1, 2], t_conf=0.8, early_stop=False
+        )
+        assert outcome.stats.n_cuboids_visited == 7  # 2**3 - 1
+
+    def test_combination_evaluations_accumulate(self, fig7_dataset):
+        outcome = layerwise_topdown_search(
+            fig7_dataset, [0, 1, 2], t_conf=0.8, early_stop=False
+        )
+        # 7 + 16 + 12 combinations over the three layers (Table V counts).
+        assert outcome.stats.n_combinations_evaluated == 35
+
+    def test_n_candidates_recorded(self, fig7_dataset):
+        outcome = layerwise_topdown_search(
+            fig7_dataset, [0, 1, 2], t_conf=0.8, early_stop=False
+        )
+        assert outcome.stats.n_candidates == len(outcome.candidates) == 2

@@ -1,0 +1,109 @@
+"""Tests for the synthetic CDN traffic substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data.cdn_simulator import STEPS_PER_DAY, CDNSimulator, CDNSimulatorConfig
+from repro.data.schema import cdn_schema
+
+
+@pytest.fixture
+def simulator():
+    return CDNSimulator(cdn_schema(6, 2, 2, 5), CDNSimulatorConfig(seed=11))
+
+
+class TestConstruction:
+    def test_requires_four_attributes(self):
+        from repro.data.schema import schema_from_sizes
+
+        with pytest.raises(ValueError):
+            CDNSimulator(schema_from_sizes([2, 2]))
+
+    def test_inactive_fraction_thins_leaves(self):
+        schema = cdn_schema(6, 2, 2, 5)
+        dense = CDNSimulator(schema, CDNSimulatorConfig(inactive_fraction=0.0, seed=1))
+        sparse = CDNSimulator(schema, CDNSimulatorConfig(inactive_fraction=0.5, seed=1))
+        assert dense.n_active_leaves == schema.n_leaves
+        assert sparse.n_active_leaves < dense.n_active_leaves
+        assert sparse.n_active_leaves > 0
+
+    def test_deterministic_under_seed(self):
+        schema = cdn_schema(6, 2, 2, 5)
+        a = CDNSimulator(schema, CDNSimulatorConfig(seed=3)).snapshot(100)
+        b = CDNSimulator(schema, CDNSimulatorConfig(seed=3)).snapshot(100)
+        assert np.array_equal(a.codes, b.codes)
+        assert np.allclose(a.v, b.v)
+
+    def test_different_seeds_differ(self):
+        schema = cdn_schema(6, 2, 2, 5)
+        a = CDNSimulator(schema, CDNSimulatorConfig(seed=3)).snapshot(100)
+        b = CDNSimulator(schema, CDNSimulatorConfig(seed=4)).snapshot(100)
+        assert not np.allclose(a.v[: min(len(a.v), len(b.v))], b.v[: min(len(a.v), len(b.v))])
+
+
+class TestSeasonality:
+    def test_factor_bounded(self, simulator):
+        cfg = simulator.config
+        for step in range(0, STEPS_PER_DAY, 97):
+            factor = simulator.seasonal_factor(step)
+            assert cfg.trough_to_peak - 1e-9 <= factor <= 1.0 + 1e-9
+
+    def test_daily_period(self, simulator):
+        assert simulator.seasonal_factor(100) == pytest.approx(
+            simulator.seasonal_factor(100 + STEPS_PER_DAY)
+        )
+
+    def test_evening_peak_exceeds_morning(self, simulator):
+        evening = simulator.seasonal_factor(21 * 60)
+        morning = simulator.seasonal_factor(9 * 60)
+        assert evening > morning
+
+    def test_peak_total_volume_scale(self):
+        schema = cdn_schema(6, 2, 2, 5)
+        cfg = CDNSimulatorConfig(seed=5, total_peak_volume=5.0e5)
+        sim = CDNSimulator(schema, cfg)
+        peak = sim.expected_values(21 * 60).sum()
+        assert peak == pytest.approx(5.0e5, rel=1e-6)
+
+
+class TestSnapshots:
+    def test_snapshot_shapes_consistent(self, simulator):
+        snap = simulator.snapshot(300)
+        assert snap.codes.shape == (simulator.n_active_leaves, 4)
+        assert snap.v.shape == snap.f.shape == (simulator.n_active_leaves,)
+
+    def test_values_positive(self, simulator):
+        snap = simulator.snapshot(300)
+        assert (snap.v > 0).all()
+        assert (snap.f > 0).all()
+
+    def test_forecast_is_noise_free_baseline(self, simulator):
+        snap = simulator.snapshot(300)
+        assert np.allclose(snap.f, simulator.expected_values(300))
+
+    def test_to_dataset(self, simulator):
+        ds = simulator.snapshot(300).to_dataset()
+        assert ds.n_rows == simulator.n_active_leaves
+        assert ds.n_anomalous == 0
+
+    def test_heavy_tail_across_leaves(self, simulator):
+        """A handful of leaves should dominate the volume (Zipf websites)."""
+        snap = simulator.snapshot(300)
+        ordered = np.sort(snap.v)[::-1]
+        top_decile = ordered[: max(1, len(ordered) // 10)].sum()
+        assert top_decile > 0.4 * ordered.sum()
+
+
+class TestSeries:
+    def test_generate_series_shapes(self, simulator):
+        values, expected = simulator.generate_series(5, start_step=10)
+        assert values.shape == expected.shape == (5, simulator.n_active_leaves)
+
+    def test_generate_series_rejects_negative(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.generate_series(-1)
+
+    def test_noise_around_baseline(self, simulator):
+        values, expected = simulator.generate_series(20)
+        ratio = values / expected
+        assert abs(np.log(ratio).mean()) < 0.05

@@ -1,0 +1,189 @@
+"""Tests for the leaf table: masks, supports, confidence, aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.core.cuboid import Cuboid
+from repro.data.dataset import EPSILON, FineGrainedDataset, deviation
+from repro.data.schema import schema_from_sizes
+
+
+@pytest.fixture
+def table(tiny_schema):
+    """4 leaves: (e0_0,e1_0), (e0_0,e1_1), (e0_1,e1_0), (e0_1,e1_1)."""
+    v = np.array([10.0, 20.0, 30.0, 40.0])
+    f = np.array([12.0, 20.0, 33.0, 40.0])
+    labels = np.array([True, True, False, False])
+    return FineGrainedDataset.full(tiny_schema, v, f, labels)
+
+
+class TestConstruction:
+    def test_full_builds_cross_product(self, table):
+        assert table.n_rows == 4
+        assert table.codes.tolist() == [[0, 0], [0, 1], [1, 0], [1, 1]]
+
+    def test_full_wrong_length_raises(self, tiny_schema):
+        with pytest.raises(ValueError):
+            FineGrainedDataset.full(tiny_schema, np.ones(3), np.ones(3))
+
+    def test_from_rows_encodes_names(self, tiny_schema):
+        ds = FineGrainedDataset.from_rows(
+            tiny_schema,
+            [(("e0_1", "e1_0"), 5.0, 6.0)],
+            labels=[True],
+        )
+        assert ds.codes.tolist() == [[1, 0]]
+        assert ds.v[0] == 5.0
+        assert bool(ds.labels[0])
+
+    def test_from_rows_wrong_arity(self, tiny_schema):
+        with pytest.raises(ValueError):
+            FineGrainedDataset.from_rows(tiny_schema, [(("e0_1",), 5.0, 6.0)])
+
+    def test_codes_out_of_range_rejected(self, tiny_schema):
+        with pytest.raises(ValueError):
+            FineGrainedDataset(tiny_schema, np.array([[0, 5]]), np.ones(1), np.ones(1))
+
+    def test_shape_mismatches_rejected(self, tiny_schema):
+        codes = np.array([[0, 0]])
+        with pytest.raises(ValueError):
+            FineGrainedDataset(tiny_schema, codes, np.ones(2), np.ones(1))
+        with pytest.raises(ValueError):
+            FineGrainedDataset(tiny_schema, codes, np.ones(1), np.ones(1), np.ones(2, dtype=bool))
+
+    def test_default_labels_all_normal(self, tiny_schema):
+        ds = FineGrainedDataset(tiny_schema, np.array([[0, 0]]), np.ones(1), np.ones(1))
+        assert ds.n_anomalous == 0
+
+    def test_with_labels_copies(self, table):
+        flipped = table.with_labels(~table.labels)
+        assert flipped.n_anomalous == 2
+        assert table.n_anomalous == 2
+        assert flipped is not table
+
+
+class TestQueries:
+    def test_mask_of_wildcard_covers_all(self, table):
+        total = AttributeCombination([None, None])
+        assert table.mask_of(total).all()
+
+    def test_mask_of_partial(self, table):
+        ac = AttributeCombination.parse("(e0_0, *)")
+        assert table.mask_of(ac).tolist() == [True, True, False, False]
+
+    def test_support_counts(self, table):
+        ac = AttributeCombination.parse("(e0_0, *)")
+        assert table.support_count(ac) == 2
+        assert table.anomalous_support_count(ac) == 2
+
+    def test_confidence_values(self, table):
+        assert table.confidence(AttributeCombination.parse("(e0_0, *)")) == 1.0
+        assert table.confidence(AttributeCombination.parse("(e0_1, *)")) == 0.0
+        assert table.confidence(AttributeCombination.parse("(*, e1_0)")) == 0.5
+
+    def test_confidence_empty_support_is_zero(self, tiny_schema):
+        partial = FineGrainedDataset(
+            tiny_schema, np.array([[0, 0]]), np.ones(1), np.ones(1), np.array([True])
+        )
+        missing = AttributeCombination.parse("(e0_1, *)")
+        assert partial.confidence(missing) == 0.0
+
+    def test_values_of_aggregates_v_and_f(self, table):
+        v, f = table.values_of(AttributeCombination.parse("(e0_0, *)"))
+        assert v == pytest.approx(30.0)
+        assert f == pytest.approx(32.0)
+
+    def test_anomaly_ratio(self, table):
+        assert table.anomaly_ratio == pytest.approx(0.5)
+
+    def test_deviation_eq4(self, table):
+        dev = table.deviation()
+        assert dev[0] == pytest.approx((12.0 - 10.0) / (12.0 + EPSILON))
+        assert dev[1] == pytest.approx(0.0)
+
+
+class TestAggregation:
+    def test_aggregate_single_attribute(self, table):
+        agg = table.aggregate(Cuboid([0]))
+        assert len(agg) == 2
+        assert agg.support.tolist() == [2, 2]
+        assert agg.anomalous_support.tolist() == [2, 0]
+        assert agg.v_sum.tolist() == [30.0, 70.0]
+        assert agg.f_sum.tolist() == [32.0, 73.0]
+
+    def test_aggregate_confidence_matches_scalar(self, table):
+        agg = table.aggregate(Cuboid([1]))
+        for i in range(len(agg)):
+            combination = agg.combination(i)
+            assert agg.confidence[i] == pytest.approx(table.confidence(combination))
+
+    def test_aggregate_skips_absent_combinations(self, tiny_schema):
+        ds = FineGrainedDataset(
+            tiny_schema,
+            np.array([[0, 0], [0, 1]]),
+            np.array([1.0, 2.0]),
+            np.array([1.0, 2.0]),
+        )
+        agg = ds.aggregate(Cuboid([0]))
+        assert len(agg) == 1  # e0_1 never occurs
+        assert str(agg.combination(0)) == "(e0_0, *)"
+
+    def test_aggregate_full_lattice_conservation(self, four_attr_schema):
+        """Fig. 4: coarse sums equal the sum of their leaves, per cuboid."""
+        rng = np.random.default_rng(5)
+        n = four_attr_schema.n_leaves
+        ds = FineGrainedDataset.full(
+            four_attr_schema, rng.uniform(1, 10, n), rng.uniform(1, 10, n)
+        )
+        for indices in [[0], [1, 3], [0, 1, 2, 3]]:
+            agg = ds.aggregate(Cuboid(indices))
+            assert agg.v_sum.sum() == pytest.approx(ds.v.sum())
+            assert agg.f_sum.sum() == pytest.approx(ds.f.sum())
+            assert agg.support.sum() == n
+
+    def test_aggregate_leaf_cuboid_is_identity(self, table):
+        agg = table.aggregate(Cuboid([0, 1]))
+        assert len(agg) == 4
+        assert agg.support.tolist() == [1, 1, 1, 1]
+
+    def test_combinations_decoding(self, table):
+        agg = table.aggregate(Cuboid([0]))
+        assert [str(c) for c in agg.combinations()] == ["(e0_0, *)", "(e0_1, *)"]
+
+    def test_linear_keys_unique_per_combination(self, four_attr_schema):
+        rng = np.random.default_rng(0)
+        n = four_attr_schema.n_leaves
+        ds = FineGrainedDataset.full(four_attr_schema, np.ones(n), np.ones(n))
+        keys = ds.linear_keys(Cuboid([1, 2]))
+        assert len(np.unique(keys)) == 9  # 3 x 3 combinations
+
+    def test_cuboid_out_of_range(self, table):
+        with pytest.raises(IndexError):
+            table.aggregate(Cuboid([9]))
+
+
+class TestInterchange:
+    def test_to_records_roundtrip(self, table, tiny_schema):
+        records = table.to_records()
+        rebuilt = FineGrainedDataset.from_rows(
+            tiny_schema,
+            [(values, v, f) for values, v, f, __ in records],
+            [label for __, __, __, label in records],
+        )
+        assert np.array_equal(rebuilt.codes, table.codes)
+        assert np.array_equal(rebuilt.labels, table.labels)
+        assert np.allclose(rebuilt.v, table.v)
+
+    def test_repr_mentions_counts(self, table):
+        assert "rows=4" in repr(table)
+        assert "anomalous=2" in repr(table)
+
+
+class TestDeviationFunction:
+    def test_basic_value(self):
+        assert deviation(np.array([5.0]), np.array([10.0]))[0] == pytest.approx(0.5)
+
+    def test_zero_forecast_guarded(self):
+        result = deviation(np.array([0.0]), np.array([0.0]))
+        assert np.isfinite(result).all()

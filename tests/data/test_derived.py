@@ -1,0 +1,154 @@
+"""Tests for derived (non-additive) KPIs (§III-A, Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.core.cuboid import Cuboid
+from repro.data.derived import RATIO, SAFE_DIV, DerivedKPI, MultiKPIDataset
+from repro.detection.detectors import DeviationThresholdDetector
+
+
+@pytest.fixture
+def multi(tiny_schema):
+    """4 leaves with hits and requests; hit ratio is the derived KPI."""
+    codes = np.array([[0, 0], [0, 1], [1, 0], [1, 1]])
+    requests_v = np.array([100.0, 200.0, 300.0, 400.0])
+    requests_f = np.array([100.0, 200.0, 300.0, 400.0])
+    hits_v = np.array([90.0, 100.0, 270.0, 360.0])  # leaf 1 degraded (0.5 vs 0.9)
+    hits_f = np.array([90.0, 180.0, 270.0, 360.0])
+    return MultiKPIDataset(
+        tiny_schema,
+        codes,
+        {"hits": (hits_v, hits_f), "requests": (requests_v, requests_f)},
+    )
+
+
+HIT_RATIO = DerivedKPI("hit_ratio", ("hits", "requests"), RATIO)
+
+
+class TestSafeDiv:
+    def test_normal_division(self):
+        assert SAFE_DIV(np.array([6.0]), np.array([3.0]))[0] == 2.0
+
+    def test_zero_denominator(self):
+        assert SAFE_DIV(np.array([6.0]), np.array([0.0]))[0] == 0.0
+
+    def test_scalar_inputs(self):
+        assert float(SAFE_DIV(6.0, 3.0)) == 2.0
+
+
+class TestConstruction:
+    def test_measure_names(self, multi):
+        assert set(multi.measure_names) == {"hits", "requests"}
+
+    def test_unknown_measure_rejected(self, multi):
+        with pytest.raises(KeyError):
+            multi.measure("latency")
+
+    def test_empty_measures_rejected(self, tiny_schema):
+        with pytest.raises(ValueError):
+            MultiKPIDataset(tiny_schema, np.zeros((0, 2), dtype=np.int64), {})
+
+    def test_mismatched_shapes_rejected(self, tiny_schema):
+        codes = np.array([[0, 0]])
+        with pytest.raises(ValueError):
+            MultiKPIDataset(tiny_schema, codes, {"x": (np.ones(2), np.ones(1))})
+
+    def test_derived_kpi_requires_inputs(self):
+        with pytest.raises(ValueError):
+            DerivedKPI("empty", (), RATIO)
+
+
+class TestDerivedEvaluation:
+    def test_leaf_derived_values(self, multi):
+        actual, forecast = multi.leaf_derived(HIT_RATIO)
+        assert actual[0] == pytest.approx(0.9)
+        assert actual[1] == pytest.approx(0.5)
+        assert forecast[1] == pytest.approx(0.9)
+
+    def test_aggregate_then_transform_not_transform_then_aggregate(self, multi):
+        """The ratio of sums differs from the mean of ratios — Fig. 4's order."""
+        combo = AttributeCombination.parse("(e0_0, *)")
+        v, f = multi.derived_values(HIT_RATIO, combo)
+        assert v == pytest.approx((90.0 + 100.0) / (100.0 + 200.0))
+        mean_of_ratios = (0.9 + 0.5) / 2.0
+        assert v != pytest.approx(mean_of_ratios)
+        assert f == pytest.approx(0.9)
+
+    def test_derived_cuboid_matches_scalar(self, multi):
+        codes, v, f = multi.derived_cuboid(HIT_RATIO, Cuboid([0]))
+        assert codes.shape == (2, 1)
+        for i in range(2):
+            element = multi.schema.decode(0, int(codes[i, 0]))
+            combo = AttributeCombination([element, None])
+            sv, sf = multi.derived_values(HIT_RATIO, combo)
+            assert v[i] == pytest.approx(sv)
+            assert f[i] == pytest.approx(sf)
+
+    def test_total_combination(self, multi):
+        total = AttributeCombination([None, None])
+        v, __ = multi.derived_values(HIT_RATIO, total)
+        assert v == pytest.approx((90 + 100 + 270 + 360) / 1000.0)
+
+
+class TestLabelByDerived:
+    def test_detector_sees_derived_pair(self, multi):
+        # hit ratio of leaf 1 dropped 0.9 -> 0.5: Dev = (0.9-0.5)/0.9 = 0.44.
+        detector = DeviationThresholdDetector(threshold=0.2)
+        labelled = multi.label_by_derived(HIT_RATIO, detector)
+        assert labelled.labels.tolist() == [False, True, False, False]
+
+    def test_values_come_from_requested_measure(self, multi):
+        detector = DeviationThresholdDetector(threshold=0.2)
+        labelled = multi.label_by_derived(HIT_RATIO, detector, measure_for_values="requests")
+        assert labelled.v.tolist() == [100.0, 200.0, 300.0, 400.0]
+
+    def test_rapminer_localizes_derived_kpi_anomaly(self, multi):
+        """The paper's generality claim: labels in, RAPs out — no derived-KPI
+        special-casing anywhere in RAPMiner."""
+        from repro.core.config import RAPMinerConfig
+        from repro.core.miner import RAPMiner
+
+        detector = DeviationThresholdDetector(threshold=0.2)
+        labelled = multi.label_by_derived(HIT_RATIO, detector)
+        patterns = RAPMiner(RAPMinerConfig(enable_attribute_deletion=False)).localize(
+            labelled, k=1
+        )
+        assert patterns == [AttributeCombination.parse("(e0_0, e1_1)")]
+
+
+class TestEndToEndDerivedScenario:
+    def test_cache_hit_ratio_incident(self, four_attr_schema):
+        """A cache cluster failure drops the hit ratio of one location while
+        request volumes stay flat — only a derived KPI can see it."""
+        rng = np.random.default_rng(11)
+        n = four_attr_schema.n_leaves
+        grids = np.meshgrid(
+            *[np.arange(s) for s in four_attr_schema.sizes], indexing="ij"
+        )
+        codes = np.stack([g.reshape(-1) for g in grids], axis=1)
+        requests = rng.uniform(100.0, 1000.0, n)
+        hit_rate = np.full(n, 0.95)
+        affected = codes[:, 0] == 2
+        degraded = hit_rate.copy()
+        degraded[affected] = 0.4
+        multi = MultiKPIDataset(
+            four_attr_schema,
+            codes,
+            {
+                "hits": (requests * degraded, requests * hit_rate),
+                "requests": (requests, requests.copy()),
+            },
+        )
+        kpi = DerivedKPI("hit_ratio", ("hits", "requests"), RATIO)
+        labelled = multi.label_by_derived(
+            kpi, DeviationThresholdDetector(threshold=0.3)
+        )
+        from repro.core.miner import RAPMiner
+
+        patterns = RAPMiner().localize(labelled, k=1)
+        expected = AttributeCombination(
+            [four_attr_schema.elements(0)[2], None, None, None]
+        )
+        assert patterns == [expected]

@@ -1,0 +1,144 @@
+"""Tests for RAP sampling and Dev-based failure injection (Eq. 4/5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.core.cuboid import Cuboid
+from repro.data.dataset import FineGrainedDataset, deviation
+from repro.data.injection import InjectionConfig, inject_failures, sample_raps
+from repro.data.schema import schema_from_sizes
+
+
+@pytest.fixture
+def background(four_attr_schema):
+    rng = np.random.default_rng(9)
+    n = four_attr_schema.n_leaves
+    v = rng.uniform(50.0, 150.0, n)
+    return FineGrainedDataset.full(four_attr_schema, v, v.copy())
+
+
+class TestSampleRaps:
+    def test_samples_requested_count(self, background):
+        rng = np.random.default_rng(1)
+        raps = sample_raps(background, 3, rng)
+        assert len(raps) == 3
+
+    def test_raps_mutually_incomparable(self, background):
+        rng = np.random.default_rng(2)
+        raps = sample_raps(background, 3, rng)
+        for i, a in enumerate(raps):
+            for b in raps[i + 1 :]:
+                assert a != b
+                assert not a.is_ancestor_of(b)
+                assert not b.is_ancestor_of(a)
+
+    def test_respects_dimensions(self, background):
+        rng = np.random.default_rng(3)
+        raps = sample_raps(background, 4, rng, dimensions=[2])
+        assert all(r.layer == 2 for r in raps)
+
+    def test_respects_fixed_cuboid(self, background):
+        rng = np.random.default_rng(4)
+        cuboid = Cuboid([0, 3])
+        raps = sample_raps(background, 2, rng, cuboid=cuboid)
+        assert all(r.specified_indices == (0, 3) for r in raps)
+
+    def test_min_support_respected(self, background):
+        rng = np.random.default_rng(5)
+        raps = sample_raps(background, 2, rng, min_support=6)
+        assert all(background.support_count(r) >= 6 for r in raps)
+
+    def test_max_coverage_respected(self, background):
+        rng = np.random.default_rng(6)
+        raps = sample_raps(background, 2, rng, max_coverage=0.4)
+        assert all(
+            background.support_count(r) <= 0.4 * background.n_rows for r in raps
+        )
+
+    def test_impossible_request_raises(self, tiny_schema):
+        ds = FineGrainedDataset.full(tiny_schema, np.ones(4), np.ones(4))
+        rng = np.random.default_rng(7)
+        with pytest.raises(RuntimeError):
+            # 2x2 schema cannot host 10 disjoint high-support RAPs.
+            sample_raps(ds, 10, rng, min_support=3, max_attempts=30)
+
+
+class TestInjection:
+    def test_ground_truth_matches_rap_masks(self, background):
+        rng = np.random.default_rng(8)
+        raps = sample_raps(background, 2, rng)
+        __, truth = inject_failures(background, raps, rng)
+        expected = np.zeros(background.n_rows, dtype=bool)
+        for rap in raps:
+            expected |= background.mask_of(rap)
+        assert np.array_equal(truth, expected)
+
+    def test_actual_values_untouched(self, background):
+        rng = np.random.default_rng(9)
+        raps = sample_raps(background, 1, rng)
+        labelled, __ = inject_failures(background, raps, rng)
+        assert np.array_equal(labelled.v, background.v)
+
+    def test_eq5_reconstruction_roundtrips_dev(self, background):
+        """Recomputing Eq. 4 on the injected forecast recovers the drawn Dev."""
+        rng = np.random.default_rng(10)
+        raps = sample_raps(background, 1, rng)
+        cfg = InjectionConfig()
+        labelled, truth = inject_failures(background, raps, rng, cfg)
+        dev = deviation(labelled.v, labelled.f, cfg.epsilon)
+        lo, hi = cfg.anomalous_dev_range
+        assert (dev[truth] >= lo - 1e-9).all()
+        assert (dev[truth] <= hi + 1e-9).all()
+        nlo, nhi = cfg.normal_dev_range
+        assert (dev[~truth] >= nlo - 1e-9).all()
+        assert (dev[~truth] <= nhi + 1e-9).all()
+
+    def test_default_labels_match_truth_when_noise_free(self, background):
+        rng = np.random.default_rng(11)
+        raps = sample_raps(background, 2, rng)
+        labelled, truth = inject_failures(background, raps, rng)
+        assert np.array_equal(labelled.labels, truth)
+
+    def test_per_rap_dev_vertical_assumption(self, background):
+        """All leaves of one RAP share its deviation exactly."""
+        rng = np.random.default_rng(12)
+        raps = sample_raps(background, 2, rng)
+        cfg = InjectionConfig()
+        labelled, __ = inject_failures(
+            background, raps, rng, cfg, per_rap_dev=[0.3, 0.6]
+        )
+        dev = deviation(labelled.v, labelled.f, cfg.epsilon)
+        for rap, expected_dev in zip(raps, [0.3, 0.6]):
+            mask = background.mask_of(rap)
+            assert np.allclose(dev[mask], expected_dev, atol=1e-9)
+
+    def test_per_rap_dev_length_mismatch(self, background):
+        rng = np.random.default_rng(13)
+        raps = sample_raps(background, 2, rng)
+        with pytest.raises(ValueError):
+            inject_failures(background, raps, rng, per_rap_dev=[0.5])
+
+    def test_label_noise_flips_some_labels(self, background):
+        rng = np.random.default_rng(14)
+        raps = sample_raps(background, 1, rng)
+        cfg = InjectionConfig(label_noise=0.3)
+        labelled, truth = inject_failures(background, raps, rng, cfg)
+        assert (labelled.labels != truth).any()
+
+    def test_custom_detection_threshold(self, background):
+        rng = np.random.default_rng(15)
+        raps = sample_raps(background, 1, rng)
+        cfg = InjectionConfig(detection_threshold=0.95)  # above every Dev
+        labelled, __ = inject_failures(background, raps, rng, cfg)
+        assert labelled.n_anomalous == 0
+
+    def test_threshold_default_midpoint(self):
+        cfg = InjectionConfig(anomalous_dev_range=(0.2, 0.8), normal_dev_range=(-0.1, 0.1))
+        assert cfg.threshold() == pytest.approx(0.15)
+
+    def test_no_raps_all_normal(self, background):
+        rng = np.random.default_rng(16)
+        labelled, truth = inject_failures(background, [], rng)
+        assert labelled.n_anomalous == 0
+        assert not truth.any()

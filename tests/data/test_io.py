@@ -1,0 +1,128 @@
+"""Tests for dataset/case serialization round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.data.dataset import FineGrainedDataset
+from repro.data.injection import LocalizationCase
+from repro.data.io import (
+    case_from_dict,
+    case_to_dict,
+    dataset_from_csv,
+    dataset_to_csv,
+    load_cases,
+    save_cases,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.data.schema import paper_example_schema
+
+
+@pytest.fixture
+def labelled(example_schema):
+    rng = np.random.default_rng(3)
+    n = example_schema.n_leaves
+    return FineGrainedDataset.full(
+        example_schema,
+        rng.uniform(1, 100, n),
+        rng.uniform(1, 100, n),
+        rng.random(n) < 0.3,
+    )
+
+
+class TestSchemaDict:
+    def test_roundtrip(self, example_schema):
+        assert schema_from_dict(schema_to_dict(example_schema)) == example_schema
+
+    def test_order_preserved(self):
+        schema = schema_from_dict({"z": ["1"], "a": ["2", "3"]})
+        assert schema.names == ("z", "a")
+
+
+class TestCsv:
+    def test_roundtrip(self, labelled, example_schema, tmp_path):
+        path = tmp_path / "leaf.csv"
+        dataset_to_csv(labelled, path)
+        rebuilt = dataset_from_csv(path, example_schema)
+        assert np.array_equal(rebuilt.codes, labelled.codes)
+        assert np.allclose(rebuilt.v, labelled.v)
+        assert np.allclose(rebuilt.f, labelled.f)
+        assert np.array_equal(rebuilt.labels, labelled.labels)
+
+    def test_header_layout(self, labelled, tmp_path):
+        path = tmp_path / "leaf.csv"
+        dataset_to_csv(labelled, path)
+        header = path.read_text().splitlines()[0]
+        assert header == "A,B,C,v,f,label"
+
+    def test_wrong_schema_rejected(self, labelled, tmp_path, tiny_schema):
+        path = tmp_path / "leaf.csv"
+        dataset_to_csv(labelled, path)
+        with pytest.raises(ValueError):
+            dataset_from_csv(path, tiny_schema)
+
+    def test_empty_file_rejected(self, tmp_path, example_schema):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            dataset_from_csv(path, example_schema)
+
+    def test_float_precision_preserved(self, example_schema, tmp_path):
+        n = example_schema.n_leaves
+        v = np.full(n, 1.0 / 3.0)
+        ds = FineGrainedDataset.full(example_schema, v, v * 7.0)
+        path = tmp_path / "precise.csv"
+        dataset_to_csv(ds, path)
+        rebuilt = dataset_from_csv(path, example_schema)
+        assert np.array_equal(rebuilt.v, ds.v)  # exact, via repr()
+
+
+class TestCaseBundles:
+    def make_case(self, labelled):
+        return LocalizationCase(
+            case_id="case-1",
+            dataset=labelled,
+            true_raps=(AttributeCombination.parse("(a1, *, *)"),),
+            metadata={"group": (1, 1), "seed": np.int64(7)},
+        )
+
+    def test_dict_roundtrip(self, labelled):
+        case = self.make_case(labelled)
+        rebuilt = case_from_dict(case_to_dict(case))
+        assert rebuilt.case_id == case.case_id
+        assert rebuilt.true_raps == case.true_raps
+        assert np.allclose(rebuilt.dataset.v, case.dataset.v)
+        assert np.array_equal(rebuilt.dataset.labels, case.dataset.labels)
+        assert rebuilt.dataset.schema == case.dataset.schema
+
+    def test_metadata_jsonified(self, labelled):
+        data = case_to_dict(self.make_case(labelled))
+        assert data["metadata"]["seed"] == 7
+        assert data["metadata"]["group"] == [1, 1]
+
+    def test_file_roundtrip(self, labelled, tmp_path):
+        cases = [self.make_case(labelled)]
+        path = tmp_path / "cases.json"
+        save_cases(cases, path)
+        loaded = load_cases(path)
+        assert len(loaded) == 1
+        assert loaded[0].true_raps == cases[0].true_raps
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(ValueError):
+            load_cases(path)
+
+    def test_generated_cases_roundtrip(self, tmp_path):
+        from repro.data.rapmd import RAPMDConfig, generate_rapmd
+        from repro.data.schema import cdn_schema
+
+        cases = generate_rapmd(cdn_schema(4, 2, 2, 3), RAPMDConfig(n_cases=3, n_days=2, seed=1))
+        path = tmp_path / "rapmd.json"
+        save_cases(cases, path)
+        loaded = load_cases(path)
+        for original, copy in zip(cases, loaded):
+            assert original.true_raps == copy.true_raps
+            assert np.allclose(original.dataset.f, copy.dataset.f)

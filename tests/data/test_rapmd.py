@@ -1,0 +1,90 @@
+"""Tests for the RAPMD generator (§V-A Randomness 1 & 2)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import deviation
+from repro.data.rapmd import RAPMDConfig, generate_rapmd
+from repro.data.schema import cdn_schema
+
+
+@pytest.fixture(scope="module")
+def rapmd_cases():
+    config = RAPMDConfig(n_cases=10, n_days=3, seed=42)
+    return generate_rapmd(cdn_schema(6, 2, 2, 5), config)
+
+
+class TestGeneration:
+    def test_case_count(self, rapmd_cases):
+        assert len(rapmd_cases) == 10
+
+    def test_case_ids_unique(self, rapmd_cases):
+        assert len({c.case_id for c in rapmd_cases}) == 10
+
+    def test_rap_count_in_range(self, rapmd_cases):
+        """Randomness 1: between 1 and 3 RAPs per time point."""
+        for case in rapmd_cases:
+            assert 1 <= case.n_raps <= 3
+
+    def test_rap_counts_vary_across_cases(self, rapmd_cases):
+        assert len({case.n_raps for case in rapmd_cases}) > 1
+
+    def test_rap_dimensions_within_configured(self, rapmd_cases):
+        for case in rapmd_cases:
+            for rap in case.true_raps:
+                assert rap.layer in (1, 2, 3)
+
+    def test_mixed_cuboids_allowed(self, rapmd_cases):
+        """Randomness 1: RAPs of one case may live in different cuboids."""
+        mixed = any(
+            len({rap.specified_indices for rap in case.true_raps}) > 1
+            for case in rapmd_cases
+            if case.n_raps > 1
+        )
+        assert mixed
+
+    def test_metadata_records_step_and_count(self, rapmd_cases):
+        for case in rapmd_cases:
+            assert "step" in case.metadata
+            assert case.metadata["n_raps"] == case.n_raps
+
+    def test_deterministic_under_seed(self):
+        config = RAPMDConfig(n_cases=3, n_days=2, seed=7)
+        schema = cdn_schema(5, 2, 2, 4)
+        a = generate_rapmd(schema, config)
+        b = generate_rapmd(schema, config)
+        assert [c.true_raps for c in a] == [c.true_raps for c in b]
+        for ca, cb in zip(a, b):
+            assert np.allclose(ca.dataset.f, cb.dataset.f)
+
+
+class TestRandomness2:
+    def test_per_leaf_deviations_vary_within_one_rap(self, rapmd_cases):
+        """RAPMD deliberately breaks the vertical assumption."""
+        cfg = RAPMDConfig().injection
+        spread_seen = False
+        for case in rapmd_cases:
+            dev = deviation(case.dataset.v, case.dataset.f, cfg.epsilon)
+            for rap in case.true_raps:
+                mask = case.dataset.mask_of(rap)
+                if mask.sum() >= 4 and dev[mask].std() > 0.05:
+                    spread_seen = True
+        assert spread_seen
+
+    def test_anomalous_devs_in_paper_range(self, rapmd_cases):
+        cfg = RAPMDConfig().injection
+        for case in rapmd_cases:
+            dev = deviation(case.dataset.v, case.dataset.f, cfg.epsilon)
+            truth = np.zeros(case.dataset.n_rows, dtype=bool)
+            for rap in case.true_raps:
+                truth |= case.dataset.mask_of(rap)
+            assert (dev[truth] >= 0.1 - 1e-9).all()
+            assert (dev[truth] <= 0.9 + 1e-9).all()
+            assert (dev[~truth] <= 0.09 + 1e-9).all()
+
+    def test_labels_flag_exactly_the_injected_scope(self, rapmd_cases):
+        for case in rapmd_cases:
+            truth = np.zeros(case.dataset.n_rows, dtype=bool)
+            for rap in case.true_raps:
+                truth |= case.dataset.mask_of(rap)
+            assert np.array_equal(case.dataset.labels, truth)

@@ -1,0 +1,63 @@
+"""Tests for canonical schema builders."""
+
+import pytest
+
+from repro.data.schema import cdn_schema, paper_example_schema, schema_from_sizes, small_schema
+
+
+class TestCdnSchema:
+    def test_default_matches_table1(self):
+        schema = cdn_schema()
+        assert schema.names == ("location", "access_type", "os", "website")
+        assert schema.sizes == (33, 4, 4, 20)
+        assert schema.n_leaves == 10560
+
+    def test_paper_element_names(self):
+        schema = cdn_schema()
+        assert schema.elements("location")[0] == "L1"
+        assert schema.elements("location")[-1] == "L33"
+        assert "Wireless" in schema.elements("access_type")
+        assert "Fixed" in schema.elements("access_type")
+        assert "Android" in schema.elements("os")
+        assert "IOS" in schema.elements("os")
+        assert schema.elements("website") == tuple(f"Site{i}" for i in range(1, 21))
+
+    def test_scaled_down(self):
+        schema = cdn_schema(5, 2, 2, 3)
+        assert schema.sizes == (5, 2, 2, 3)
+        assert schema.n_leaves == 60
+
+    def test_scaling_beyond_named_elements(self):
+        schema = cdn_schema(2, 6, 6, 2)
+        assert len(schema.elements("access_type")) == 6
+        assert len(set(schema.elements("access_type"))) == 6
+        assert len(set(schema.elements("os"))) == 6
+
+
+class TestExampleSchema:
+    def test_matches_fig6(self):
+        schema = paper_example_schema()
+        assert schema.names == ("A", "B", "C")
+        assert schema.elements("A") == ("a1", "a2", "a3")
+        assert schema.elements("B") == ("b1", "b2")
+        assert schema.elements("C") == ("c1", "c2")
+
+
+class TestGenericBuilders:
+    def test_schema_from_sizes(self):
+        schema = schema_from_sizes([2, 3])
+        assert schema.names == ("attr0", "attr1")
+        assert schema.elements("attr1") == ("e1_0", "e1_1", "e1_2")
+
+    def test_schema_from_sizes_custom_prefix(self):
+        schema = schema_from_sizes([2], prefix="dim")
+        assert schema.names == ("dim0",)
+
+    def test_rejects_empty_attribute(self):
+        with pytest.raises(ValueError):
+            schema_from_sizes([2, 0])
+
+    def test_small_schema_shape(self):
+        schema = small_schema()
+        assert schema.n_attributes == 4
+        assert schema.n_leaves == 4 * 3 * 3 * 2

@@ -1,0 +1,109 @@
+"""Tests for the Squeeze-style grouped generator (vertical/horizontal assumptions)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import deviation
+from repro.data.squeeze_dataset import (
+    NOISE_LEVELS,
+    SqueezeDatasetConfig,
+    generate_squeeze_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def squeeze_cases():
+    config = SqueezeDatasetConfig(
+        attribute_sizes=(5, 4, 3, 3), cases_per_group=3, seed=21
+    )
+    return generate_squeeze_dataset(config)
+
+
+class TestGrouping:
+    def test_total_case_count(self, squeeze_cases):
+        assert len(squeeze_cases) == 9 * 3
+
+    def test_groups_cover_fig8a_grid(self, squeeze_cases):
+        groups = {case.metadata["group"] for case in squeeze_cases}
+        assert groups == {(d, r) for d in (1, 2, 3) for r in (1, 2, 3)}
+
+    def test_rap_count_matches_group(self, squeeze_cases):
+        for case in squeeze_cases:
+            __, n_raps = case.metadata["group"]
+            assert case.n_raps == n_raps
+
+    def test_rap_dimension_matches_group(self, squeeze_cases):
+        for case in squeeze_cases:
+            n_dim, __ = case.metadata["group"]
+            assert all(rap.layer == n_dim for rap in case.true_raps)
+
+    def test_raps_share_one_cuboid(self, squeeze_cases):
+        """The Squeeze dataset's single-cuboid-per-failure property."""
+        for case in squeeze_cases:
+            cuboids = {rap.specified_indices for rap in case.true_raps}
+            assert len(cuboids) == 1
+
+
+class TestAssumptions:
+    def test_vertical_assumption_constant_dev_per_case(self, squeeze_cases):
+        cfg = SqueezeDatasetConfig()
+        for case in squeeze_cases:
+            dev = deviation(case.dataset.v, case.dataset.f, cfg.injection.epsilon)
+            for rap in case.true_raps:
+                mask = case.dataset.mask_of(rap)
+                assert dev[mask].std() < 1e-9
+                assert dev[mask].mean() == pytest.approx(case.metadata["case_dev"])
+
+    def test_horizontal_assumption_devs_differ_across_cases(self, squeeze_cases):
+        devs = [round(case.metadata["case_dev"], 6) for case in squeeze_cases]
+        assert len(set(devs)) == len(devs)
+
+    def test_b0_labels_are_clean(self, squeeze_cases):
+        for case in squeeze_cases:
+            truth = np.zeros(case.dataset.n_rows, dtype=bool)
+            for rap in case.true_raps:
+                truth |= case.dataset.mask_of(rap)
+            assert np.array_equal(case.dataset.labels, truth)
+
+
+class TestNoiseLevels:
+    def test_known_levels(self):
+        assert set(NOISE_LEVELS) == {"B0", "B1", "B2", "B3"}
+        assert NOISE_LEVELS["B0"] == 0.0
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(KeyError):
+            generate_squeeze_dataset(SqueezeDatasetConfig(noise_level="B9"))
+
+    def test_noisy_level_flips_labels(self):
+        config = SqueezeDatasetConfig(
+            attribute_sizes=(5, 4, 3, 3),
+            cases_per_group=2,
+            groups=((1, 1),),
+            noise_level="B3",
+            seed=5,
+        )
+        cases = generate_squeeze_dataset(config)
+        any_flipped = False
+        for case in cases:
+            truth = np.zeros(case.dataset.n_rows, dtype=bool)
+            for rap in case.true_raps:
+                truth |= case.dataset.mask_of(rap)
+            if (case.dataset.labels != truth).any():
+                any_flipped = True
+        assert any_flipped
+
+
+class TestValidation:
+    def test_group_dimension_must_stay_below_attribute_count(self):
+        config = SqueezeDatasetConfig(attribute_sizes=(3, 3), groups=((2, 1),))
+        with pytest.raises(ValueError):
+            generate_squeeze_dataset(config)
+
+    def test_deterministic_under_seed(self):
+        config = SqueezeDatasetConfig(
+            attribute_sizes=(5, 4, 3, 3), cases_per_group=2, groups=((2, 2),), seed=8
+        )
+        a = generate_squeeze_dataset(config)
+        b = generate_squeeze_dataset(config)
+        assert [c.true_raps for c in a] == [c.true_raps for c in b]

@@ -1,0 +1,208 @@
+"""Tests for the published-Squeeze-format loader.
+
+A synthetic directory in the release's exact layout is written to disk
+and loaded back; a round-trip fixture also exports one of our generated
+cases into the format and verifies every method can consume it.
+"""
+
+import csv
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeCombination, AttributeSchema
+from repro.data.squeeze_format import (
+    infer_schema_from_timestamp_csv,
+    load_squeeze_directory,
+    load_timestamp_csv,
+    parse_ground_truth_set,
+)
+
+
+@pytest.fixture
+def schema():
+    return AttributeSchema(
+        {
+            "a": ["a1", "a2", "a3"],
+            "b": ["b1", "b2"],
+            "c": ["c1", "c2"],
+        }
+    )
+
+
+def write_timestamp_csv(path: Path, schema, anomalous_patterns, base=100.0):
+    """Full leaf table in the release layout; anomalous rows get real << predict."""
+    patterns = [AttributeCombination.parse(p) for p in anomalous_patterns]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(schema.names) + ["real", "predict"])
+        for values in schema.iter_leaf_values():
+            predict = base
+            real = base * (0.5 if any(p.matches(values) for p in patterns) else 1.0)
+            writer.writerow(list(values) + [real, predict])
+
+
+@pytest.fixture
+def squeeze_dir(tmp_path, schema):
+    directory = tmp_path / "B0"
+    directory.mkdir()
+    write_timestamp_csv(directory / "1501475700.csv", schema, ["(a1, *, *)"])
+    write_timestamp_csv(directory / "1501476000.csv", schema, ["(a2, b2, *)", "(a3, b2, *)"])
+    with (directory / "injection_info.csv").open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp", "kpi", "set"])
+        writer.writerow(["1501475700", "kpi1", "a1"])
+        writer.writerow(["1501476000", "kpi1", "a2&b2;a3&b2"])
+    return directory
+
+
+class TestSchemaInference:
+    def test_infers_attributes_and_vocabulary(self, squeeze_dir, schema):
+        inferred = infer_schema_from_timestamp_csv(squeeze_dir / "1501475700.csv")
+        assert inferred == schema
+
+    def test_rejects_csv_without_value_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\na1,b1\n")
+        with pytest.raises(ValueError):
+            infer_schema_from_timestamp_csv(path)
+
+
+class TestGroundTruthParsing:
+    def test_single_rap(self, schema):
+        assert parse_ground_truth_set("a1", schema) == [
+            AttributeCombination.parse("(a1, *, *)")
+        ]
+
+    def test_multi_attribute_rap(self, schema):
+        assert parse_ground_truth_set("a2&b2", schema) == [
+            AttributeCombination.parse("(a2, b2, *)")
+        ]
+
+    def test_multiple_raps(self, schema):
+        raps = parse_ground_truth_set("a2&b2;a3&b1", schema)
+        assert [str(r) for r in raps] == ["(a2, b2, *)", "(a3, b1, *)"]
+
+    def test_whitespace_tolerated(self, schema):
+        raps = parse_ground_truth_set(" a1 ; b2 & c1 ", schema)
+        assert [str(r) for r in raps] == ["(a1, *, *)", "(*, b2, c1)"]
+
+    def test_unknown_token_rejected(self, schema):
+        with pytest.raises(KeyError):
+            parse_ground_truth_set("z9", schema)
+
+    def test_double_binding_rejected(self, schema):
+        with pytest.raises(ValueError):
+            parse_ground_truth_set("a1&a2", schema)
+
+    def test_empty_rejected(self, schema):
+        with pytest.raises(ValueError):
+            parse_ground_truth_set(";", schema)
+
+    def test_ambiguous_vocabulary_rejected(self):
+        ambiguous = AttributeSchema({"x": ["v1"], "y": ["v1", "v2"]})
+        with pytest.raises(ValueError):
+            parse_ground_truth_set("v1", ambiguous)
+
+
+class TestTimestampLoading:
+    def test_values_and_labels(self, squeeze_dir, schema):
+        dataset = load_timestamp_csv(squeeze_dir / "1501475700.csv", schema)
+        assert dataset.n_rows == schema.n_leaves
+        assert dataset.n_anomalous == 4  # leaves under (a1,*,*)
+        assert dataset.confidence(AttributeCombination.parse("(a1, *, *)")) == 1.0
+
+    def test_schema_mismatch_rejected(self, squeeze_dir):
+        other = AttributeSchema({"x": ["1"], "y": ["2"]})
+        with pytest.raises(ValueError):
+            load_timestamp_csv(squeeze_dir / "1501475700.csv", other)
+
+
+class TestDirectoryLoading:
+    def test_loads_cases_in_timestamp_order(self, squeeze_dir):
+        cases = load_squeeze_directory(squeeze_dir)
+        assert [c.metadata["timestamp"] for c in cases] == ["1501475700", "1501476000"]
+        assert cases[0].true_raps == (AttributeCombination.parse("(a1, *, *)"),)
+        assert len(cases[1].true_raps) == 2
+
+    def test_complementary_raps_defeat_cp_deletion(self, tmp_path, schema):
+        """A documented Criteria-1 pathology: RAPs (a2,b2) + (a3,b1) split
+        attribute B's anomalies exactly evenly, so CP(B) = 0 and Algorithm 1
+        deletes an attribute that genuinely occurs in both RAPs.  Disabling
+        deletion recovers them — the Table VI trade-off in its sharpest form.
+        """
+        from repro.core.config import RAPMinerConfig
+        from repro.core.miner import RAPMiner
+
+        directory = tmp_path / "adversarial"
+        directory.mkdir()
+        write_timestamp_csv(
+            directory / "7.csv", schema, ["(a2, b2, *)", "(a3, b1, *)"]
+        )
+        with (directory / "injection_info.csv").open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["timestamp", "set"])
+            writer.writerow(["7", "a2&b2;a3&b1"])
+        case = load_squeeze_directory(directory, schema=schema)[0]
+
+        from repro.core.classification_power import classification_power
+
+        assert classification_power(case.dataset, "b") == pytest.approx(0.0, abs=1e-12)
+        with_deletion = RAPMiner().localize(case.dataset, k=2)
+        without_deletion = RAPMiner(
+            RAPMinerConfig(enable_attribute_deletion=False)
+        ).localize(case.dataset, k=2)
+        assert set(without_deletion) == set(case.true_raps)
+        assert set(with_deletion) != set(case.true_raps)
+
+    def test_end_to_end_localization(self, squeeze_dir):
+        from repro.core.miner import RAPMiner
+        from repro.experiments.runner import run_cases
+
+        cases = load_squeeze_directory(squeeze_dir)
+        evaluation = run_cases(RAPMiner(), cases, k_from_truth=True)
+        assert evaluation.mean_f1 == 1.0
+
+    def test_missing_injection_info(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_squeeze_directory(tmp_path)
+
+    def test_injection_info_requires_columns(self, tmp_path):
+        (tmp_path / "injection_info.csv").write_text("timestamp\n123\n")
+        with pytest.raises(ValueError):
+            load_squeeze_directory(tmp_path)
+
+    def test_explicit_schema_used(self, squeeze_dir, schema):
+        cases = load_squeeze_directory(squeeze_dir, schema=schema)
+        assert cases[0].dataset.schema == schema
+
+    def test_roundtrip_of_generated_case(self, tmp_path):
+        """Export one of our generated cases to the release format, load it
+        back, and check the ground truth and values survive."""
+        from repro.data.squeeze_dataset import SqueezeDatasetConfig, generate_squeeze_dataset
+
+        config = SqueezeDatasetConfig(
+            attribute_sizes=(4, 3, 3), cases_per_group=1, groups=((2, 1),), seed=3
+        )
+        case = generate_squeeze_dataset(config)[0]
+        schema = case.dataset.schema
+        directory = tmp_path / "export"
+        directory.mkdir()
+        with (directory / "100.csv").open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(list(schema.names) + ["real", "predict"])
+            for values, v, f, __ in case.dataset.to_records():
+                writer.writerow(list(values) + [repr(v), repr(f)])
+        set_text = ";".join(
+            "&".join(v for v in rap.values if v is not None) for rap in case.true_raps
+        )
+        with (directory / "injection_info.csv").open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["timestamp", "set"])
+            writer.writerow(["100", set_text])
+
+        loaded = load_squeeze_directory(directory, schema=schema)
+        assert loaded[0].true_raps == case.true_raps
+        assert np.allclose(np.sort(loaded[0].dataset.v), np.sort(case.dataset.v))
+        assert loaded[0].dataset.n_anomalous == case.dataset.n_anomalous

@@ -1,0 +1,83 @@
+"""Tests for the workload digest."""
+
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.data.injection import LocalizationCase
+from repro.data.summary import WorkloadSummary, summarize_cases
+from tests.conftest import make_labelled_dataset
+
+
+def ac(text):
+    return AttributeCombination.parse(text)
+
+
+@pytest.fixture
+def mixed_cases(example_schema):
+    one = LocalizationCase(
+        "c1",
+        make_labelled_dataset(example_schema, ["(a1, *, *)"]),
+        (ac("(a1, *, *)"),),
+    )
+    two = LocalizationCase(
+        "c2",
+        make_labelled_dataset(example_schema, ["(a2, b2, *)", "(*, *, c1)"]),
+        (ac("(a2, b2, *)"), ac("(*, *, c1)")),
+    )
+    return [one, two]
+
+
+class TestSummarize:
+    def test_counts(self, mixed_cases):
+        summary = summarize_cases(mixed_cases)
+        assert summary.n_cases == 2
+        assert summary.total_raps == 3
+        assert summary.rap_count_distribution == {1: 1, 2: 1}
+        assert summary.rap_dimension_distribution == {1: 2, 2: 1}
+
+    def test_leaf_row_bounds(self, mixed_cases):
+        summary = summarize_cases(mixed_cases)
+        assert summary.n_leaf_rows_min == summary.n_leaf_rows_max == 12
+
+    def test_anomaly_ratio(self, mixed_cases):
+        summary = summarize_cases(mixed_cases)
+        assert summary.anomaly_ratios[0] == pytest.approx(4 / 12)
+
+    def test_rap_coverage(self, mixed_cases):
+        summary = summarize_cases(mixed_cases)
+        # (a1,*,*) covers 4/12; (a2,b2,*) 2/12; (*,*,c1) 6/12.
+        assert sorted(round(c, 4) for c in summary.rap_coverages) == [
+            round(2 / 12, 4),
+            round(4 / 12, 4),
+            round(6 / 12, 4),
+        ]
+
+    def test_mixed_cuboid_fraction(self, mixed_cases):
+        summary = summarize_cases(mixed_cases)
+        assert summary.mixed_cuboid_fraction == pytest.approx(0.5)
+
+    def test_empty_collection(self):
+        summary = summarize_cases([])
+        assert summary.n_cases == 0
+        assert summary.mean_anomaly_ratio == 0.0
+        assert summary.render()  # renders without crashing
+
+    def test_render_mentions_key_facts(self, mixed_cases):
+        text = summarize_cases(mixed_cases).render()
+        assert "2 cases" in text
+        assert "RAP dimensions" in text
+        assert "mixed-cuboid cases" in text
+
+    def test_rapmd_digest_matches_generator_properties(self):
+        """The digest of a generated RAPMD must reflect Randomness 1."""
+        from repro.data.rapmd import RAPMDConfig, generate_rapmd
+        from repro.data.schema import cdn_schema
+
+        cases = generate_rapmd(
+            cdn_schema(6, 2, 2, 5), RAPMDConfig(n_cases=12, n_days=2, seed=3)
+        )
+        summary = summarize_cases(cases)
+        assert set(summary.rap_count_distribution) <= {1, 2, 3}
+        assert set(summary.rap_dimension_distribution) <= {1, 2, 3}
+        assert 0.0 < summary.mean_anomaly_ratio < 0.6
+        assert summary.volume_top_decile_shares  # heavy-tailed substrate

@@ -1,0 +1,93 @@
+"""Tests for temporal traces with scheduled incidents."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.data.cdn_simulator import CDNSimulator, CDNSimulatorConfig
+from repro.data.schema import cdn_schema
+from repro.data.trace import Incident, IncidentSchedule, generate_trace
+
+
+def ac(text):
+    return AttributeCombination.parse(text)
+
+
+@pytest.fixture
+def simulator():
+    return CDNSimulator(cdn_schema(5, 2, 2, 4), CDNSimulatorConfig(seed=61, noise_sigma=0.0))
+
+
+class TestIncident:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            Incident(ac("(L1, *, *, *)"), start=5, end=3)
+        with pytest.raises(ValueError):
+            Incident(ac("(L1, *, *, *)"), start=-1, end=3)
+        with pytest.raises(ValueError):
+            Incident(ac("(L1, *, *, *)"), start=0, end=1, retain_fraction=1.0)
+
+    def test_active_window_inclusive(self):
+        incident = Incident(ac("(L1, *, *, *)"), start=2, end=4)
+        assert not incident.active_at(1)
+        assert incident.active_at(2)
+        assert incident.active_at(4)
+        assert not incident.active_at(5)
+
+
+class TestSchedule:
+    def test_truth_at(self):
+        schedule = IncidentSchedule()
+        schedule.add(Incident(ac("(L1, *, *, *)"), 2, 4))
+        schedule.add(Incident(ac("(*, *, *, Site1)"), 3, 5))
+        assert schedule.truth_at(1) == []
+        assert len(schedule.truth_at(3)) == 2
+
+    def test_incident_steps_deduplicated(self):
+        schedule = IncidentSchedule(
+            [Incident(ac("(L1, *, *, *)"), 2, 4), Incident(ac("(L2, *, *, *)"), 3, 6)]
+        )
+        assert schedule.incident_steps == [2, 3, 4, 5, 6]
+
+
+class TestGenerateTrace:
+    def test_quiet_trace_matches_simulator(self, simulator):
+        steps = list(generate_trace(simulator, IncidentSchedule(), 3, sample_every=10))
+        assert len(steps) == 3
+        for step in steps:
+            expected = simulator.snapshot(step.simulator_step).v
+            assert np.allclose(step.values, expected)
+            assert step.truth == ()
+
+    def test_incident_scales_scope_only(self, simulator):
+        pattern = ac("(L2, *, *, *)")
+        schedule = IncidentSchedule([Incident(pattern, 1, 1, retain_fraction=0.5)])
+        steps = list(generate_trace(simulator, schedule, 3, sample_every=10))
+        probe = simulator.snapshot(steps[1].simulator_step).to_dataset()
+        mask = probe.mask_of(pattern)
+        baseline = simulator.snapshot(steps[1].simulator_step).v
+        assert np.allclose(steps[1].values[mask], 0.5 * baseline[mask])
+        assert np.allclose(steps[1].values[~mask], baseline[~mask])
+        assert steps[1].truth == (pattern,)
+        # adjacent steps untouched
+        assert np.allclose(steps[0].values, simulator.snapshot(steps[0].simulator_step).v)
+
+    def test_overlapping_incidents_compose(self, simulator):
+        a = Incident(ac("(L1, *, *, *)"), 0, 0, retain_fraction=0.5)
+        b = Incident(ac("(*, *, *, Site1)"), 0, 0, retain_fraction=0.5)
+        schedule = IncidentSchedule([a, b])
+        step = next(iter(generate_trace(simulator, schedule, 1, sample_every=10)))
+        probe = simulator.snapshot(0).to_dataset()
+        both = probe.mask_of(ac("(L1, *, *, Site1)"))
+        baseline = simulator.snapshot(0).v
+        assert np.allclose(step.values[both], 0.25 * baseline[both])
+
+    def test_sample_spacing(self, simulator):
+        steps = list(generate_trace(simulator, IncidentSchedule(), 4, sample_every=15, start_minute=100))
+        assert [s.simulator_step for s in steps] == [100, 115, 130, 145]
+
+    def test_validation(self, simulator):
+        with pytest.raises(ValueError):
+            list(generate_trace(simulator, IncidentSchedule(), -1))
+        with pytest.raises(ValueError):
+            list(generate_trace(simulator, IncidentSchedule(), 2, sample_every=0))

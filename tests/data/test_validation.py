@@ -1,0 +1,138 @@
+"""Tests for case/bundle well-posedness validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.data.injection import LocalizationCase
+from repro.data.validation import validate_case, validate_cases
+from tests.conftest import make_labelled_dataset
+
+
+def ac(text):
+    return AttributeCombination.parse(text)
+
+
+def case_with(dataset, raps, case_id="c"):
+    return LocalizationCase(case_id, dataset, tuple(raps))
+
+
+@pytest.fixture
+def clean_case(example_schema):
+    ds = make_labelled_dataset(example_schema, ["(a1, *, *)"])
+    return case_with(ds, [ac("(a1, *, *)")])
+
+
+class TestValidateCase:
+    def test_clean_case_has_no_findings(self, clean_case):
+        assert validate_case(clean_case) == []
+
+    def test_generated_benchmarks_are_clean(self):
+        from repro.data.rapmd import RAPMDConfig, generate_rapmd
+        from repro.data.schema import cdn_schema
+        from repro.data.squeeze_dataset import SqueezeDatasetConfig, generate_squeeze_dataset
+
+        rapmd = generate_rapmd(cdn_schema(5, 2, 2, 4), RAPMDConfig(n_cases=4, n_days=2, seed=1))
+        squeeze = generate_squeeze_dataset(
+            SqueezeDatasetConfig(attribute_sizes=(5, 4, 3, 3), cases_per_group=2,
+                                 groups=((1, 1), (2, 2)), seed=1)
+        )
+        report = validate_cases(rapmd + squeeze)
+        assert report.ok, report.render()
+        assert report.findings == []
+
+    def test_no_raps_is_an_error(self, clean_case):
+        broken = LocalizationCase("c", clean_case.dataset, ())
+        findings = validate_case(broken)
+        assert any(f.severity == "error" for f in findings)
+
+    def test_schema_violation_is_an_error(self, clean_case):
+        broken = case_with(clean_case.dataset, [ac("(zz, *, *)")])
+        findings = validate_case(broken)
+        assert any("does not fit the schema" in f.message for f in findings)
+
+    def test_total_combination_rejected(self, clean_case):
+        broken = case_with(clean_case.dataset, [ac("(*, *, *)")])
+        findings = validate_case(broken)
+        assert any("all-wildcard" in f.message for f in findings)
+
+    def test_duplicate_raps_error(self, clean_case):
+        broken = case_with(clean_case.dataset, [ac("(a1, *, *)"), ac("(a1, *, *)")])
+        assert any("duplicate RAP" in f.message for f in validate_case(broken))
+
+    def test_ancestor_related_raps_error(self, clean_case):
+        broken = case_with(clean_case.dataset, [ac("(a1, *, *)"), ac("(a1, b1, *)")])
+        assert any("ancestor" in f.message for f in validate_case(broken))
+
+    def test_zero_support_rap_error(self, tiny_schema):
+        import numpy as np
+
+        from repro.data.dataset import FineGrainedDataset
+
+        partial = FineGrainedDataset(
+            tiny_schema, np.array([[0, 0]]), np.ones(1), np.ones(1), np.array([True])
+        )
+        broken = case_with(partial, [ac("(e0_1, *)")])
+        assert any("covers no leaf rows" in f.message for f in validate_case(broken))
+
+    def test_low_confidence_rap_warns(self, example_schema):
+        ds = make_labelled_dataset(example_schema, ["(a1, b1, c1)"])  # 1 of 4 leaves
+        suspicious = case_with(ds, [ac("(a1, *, *)")])
+        findings = validate_case(suspicious)
+        assert any(f.severity == "warning" and "mostly healthy" in f.message for f in findings)
+
+    def test_unexplained_anomalies_warn(self, example_schema):
+        ds = make_labelled_dataset(example_schema, ["(a1, *, *)", "(a3, b2, c2)"])
+        incomplete = case_with(ds, [ac("(a1, *, *)")])
+        findings = validate_case(incomplete)
+        assert any("outside every RAP" in f.message for f in findings)
+
+    def test_no_anomalous_labels_warn(self, example_schema):
+        import numpy as np
+
+        from repro.data.dataset import FineGrainedDataset
+
+        n = example_schema.n_leaves
+        ds = FineGrainedDataset.full(example_schema, np.ones(n), np.ones(n))
+        quiet = case_with(ds, [ac("(a1, *, *)")])
+        findings = validate_case(quiet)
+        assert any("no leaf is labelled anomalous" in f.message for f in findings)
+
+
+class TestValidateCases:
+    def test_duplicate_ids_flagged(self, clean_case):
+        report = validate_cases([clean_case, clean_case])
+        assert not report.ok
+        assert any("duplicate case_id" in f.message for f in report.errors)
+
+    def test_report_counts(self, clean_case, example_schema):
+        ds = make_labelled_dataset(example_schema, ["(a1, b1, c1)"])
+        warny = LocalizationCase("w", ds, (ac("(a1, *, *)"),))
+        report = validate_cases([clean_case, warny])
+        assert report.n_cases == 2
+        assert report.ok  # warnings only
+        assert len(report.warnings) >= 1
+
+    def test_render_mentions_summary(self, clean_case):
+        text = validate_cases([clean_case]).render()
+        assert "validated 1 cases" in text
+
+
+class TestCliValidate:
+    def test_clean_bundle_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "bundle.json"
+        assert main(["generate", "rapmd", "--out", str(path), "--seed", "4"]) == 0
+        assert main(["validate", "--cases", str(path)]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_broken_bundle_exits_nonzero(self, tmp_path, clean_case, capsys):
+        from repro.cli import main
+        from repro.data.io import save_cases
+        from repro.data.injection import LocalizationCase
+
+        broken = LocalizationCase("b", clean_case.dataset, ())
+        path = tmp_path / "broken.json"
+        save_cases([broken], path)
+        assert main(["validate", "--cases", str(path)]) == 1

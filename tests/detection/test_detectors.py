@@ -1,0 +1,75 @@
+"""Tests for leaf-level anomaly detectors."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import FineGrainedDataset
+from repro.detection.detectors import (
+    DeviationThresholdDetector,
+    KSigmaDetector,
+    label_dataset,
+)
+
+
+class TestDeviationThreshold:
+    def test_flags_drops_above_threshold(self):
+        detector = DeviationThresholdDetector(threshold=0.095)
+        v = np.array([100.0, 100.0, 100.0])
+        f = np.array([100.0, 112.0, 200.0])  # Dev = 0, 0.107, 0.5
+        assert detector.detect(v, f).tolist() == [False, True, True]
+
+    def test_one_sided_ignores_surges(self):
+        detector = DeviationThresholdDetector(threshold=0.095, two_sided=False)
+        v = np.array([200.0])
+        f = np.array([100.0])  # Dev = -1.0 (surge)
+        assert detector.detect(v, f).tolist() == [False]
+
+    def test_two_sided_catches_surges(self):
+        detector = DeviationThresholdDetector(threshold=0.095, two_sided=True)
+        v = np.array([200.0])
+        f = np.array([100.0])
+        assert detector.detect(v, f).tolist() == [True]
+
+    def test_matches_injection_ranges(self):
+        """Default threshold separates the paper's Dev ranges exactly."""
+        detector = DeviationThresholdDetector()
+        v = np.array([1.0, 1.0])
+        f_normal = 1.0 / (1.0 - 0.09)  # Dev = 0.09
+        f_anomalous = 1.0 / (1.0 - 0.10)  # Dev = 0.10
+        result = detector.detect(v, np.array([f_normal, f_anomalous]))
+        assert result.tolist() == [False, True]
+
+
+class TestKSigma:
+    def test_flags_extreme_outlier(self):
+        rng = np.random.default_rng(0)
+        v = np.full(200, 100.0)
+        f = v * (1.0 + rng.normal(0.0, 0.01, 200))
+        f[7] = 300.0  # huge residual
+        flags = KSigmaDetector(k=3.0).detect(v, f)
+        assert flags[7]
+        assert flags.sum() < 10
+
+    def test_robust_to_many_outliers(self):
+        """MAD-based scale: 10% outliers must not mask each other."""
+        rng = np.random.default_rng(1)
+        v = np.full(200, 100.0)
+        f = v * (1.0 + rng.normal(0.0, 0.005, 200))
+        f[:20] = 160.0
+        flags = KSigmaDetector(k=3.0).detect(v, f)
+        assert flags[:20].all()
+
+    def test_degenerate_constant_residuals(self):
+        v = np.full(10, 100.0)
+        flags = KSigmaDetector().detect(v, v.copy())
+        assert not flags.any()
+
+
+class TestLabelDataset:
+    def test_attaches_labels_nondestructively(self, tiny_schema):
+        v = np.array([100.0, 100.0, 100.0, 100.0])
+        f = np.array([100.0, 100.0, 100.0, 180.0])
+        ds = FineGrainedDataset.full(tiny_schema, v, f)
+        labelled = label_dataset(ds, DeviationThresholdDetector())
+        assert labelled.n_anomalous == 1
+        assert ds.n_anomalous == 0

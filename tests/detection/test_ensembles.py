@@ -1,0 +1,106 @@
+"""Tests for detector ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.detection.detectors import Detector, DeviationThresholdDetector
+from repro.detection.ensembles import (
+    IntersectionDetector,
+    MajorityDetector,
+    UnionDetector,
+)
+
+
+class FixedDetector(Detector):
+    """Returns a canned verdict regardless of input."""
+
+    def __init__(self, verdict):
+        self.verdict = np.asarray(verdict, dtype=bool)
+
+    def detect(self, v, f):
+        return self.verdict.copy()
+
+
+V = np.zeros(4)
+F = np.zeros(4)
+
+A = FixedDetector([True, True, False, False])
+B = FixedDetector([True, False, True, False])
+C = FixedDetector([True, False, False, False])
+
+
+class TestUnion:
+    def test_any_member_flags(self):
+        assert UnionDetector([A, B]).detect(V, F).tolist() == [True, True, True, False]
+
+    def test_single_member_identity(self):
+        assert UnionDetector([A]).detect(V, F).tolist() == A.verdict.tolist()
+
+
+class TestIntersection:
+    def test_all_members_must_agree(self):
+        assert IntersectionDetector([A, B]).detect(V, F).tolist() == [
+            True, False, False, False,
+        ]
+
+    def test_subset_of_union(self):
+        union = UnionDetector([A, B, C]).detect(V, F)
+        intersection = IntersectionDetector([A, B, C]).detect(V, F)
+        assert (intersection <= union).all()
+
+
+class TestMajority:
+    def test_two_of_three(self):
+        assert MajorityDetector([A, B, C]).detect(V, F).tolist() == [
+            True, False, False, False,
+        ]
+
+    def test_exact_half_is_not_majority(self):
+        assert MajorityDetector([A, B]).detect(V, F).tolist() == [
+            True, False, False, False,
+        ]
+
+    def test_between_intersection_and_union(self):
+        union = UnionDetector([A, B, C]).detect(V, F)
+        majority = MajorityDetector([A, B, C]).detect(V, F)
+        intersection = IntersectionDetector([A, B, C]).detect(V, F)
+        assert (intersection <= majority).all()
+        assert (majority <= union).all()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("cls", [UnionDetector, IntersectionDetector, MajorityDetector])
+    def test_empty_ensemble_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls([])
+
+
+class TestWithRealDetectors:
+    def test_threshold_pair_union_and_intersection(self):
+        """Loose+strict thresholds: union == loose, intersection == strict."""
+        rng = np.random.default_rng(0)
+        v = np.full(100, 100.0)
+        f = v / (1.0 - rng.uniform(0.0, 0.5, 100))  # Dev in [0, 0.5)
+        loose = DeviationThresholdDetector(threshold=0.1)
+        strict = DeviationThresholdDetector(threshold=0.3)
+        union = UnionDetector([loose, strict]).detect(v, f)
+        intersection = IntersectionDetector([loose, strict]).detect(v, f)
+        assert np.array_equal(union, loose.detect(v, f))
+        assert np.array_equal(intersection, strict.detect(v, f))
+
+    def test_ensemble_feeds_localization(self, example_schema):
+        from repro.core.miner import RAPMiner
+        from repro.detection.detectors import label_dataset
+        from tests.conftest import make_labelled_dataset
+
+        ds = make_labelled_dataset(example_schema, ["(a1, *, *)"])
+        ensemble = MajorityDetector(
+            [
+                DeviationThresholdDetector(threshold=0.2),
+                DeviationThresholdDetector(threshold=0.3),
+                DeviationThresholdDetector(threshold=0.35),
+            ]
+        )
+        relabelled = label_dataset(ds, ensemble)
+        patterns = RAPMiner().localize(relabelled, k=1)
+        assert [str(p) for p in patterns] == ["(a1, *, *)"]

@@ -1,0 +1,119 @@
+"""Tests for the leaf-KPI forecasters."""
+
+import numpy as np
+import pytest
+
+from repro.detection.forecasting import (
+    EWMAForecaster,
+    HoltWintersForecaster,
+    MovingAverageForecaster,
+    SeasonalNaiveForecaster,
+)
+
+
+class TestMovingAverage:
+    def test_mean_of_window(self):
+        history = np.array([[1.0], [2.0], [3.0], [4.0]])
+        assert MovingAverageForecaster(window=2).forecast(history)[0] == pytest.approx(3.5)
+
+    def test_window_longer_than_history(self):
+        history = np.array([[1.0], [3.0]])
+        assert MovingAverageForecaster(window=10).forecast(history)[0] == pytest.approx(2.0)
+
+    def test_vectorized_over_series(self):
+        history = np.array([[1.0, 10.0], [3.0, 30.0]])
+        forecast = MovingAverageForecaster(window=2).forecast(history)
+        assert forecast.tolist() == [2.0, 20.0]
+
+    def test_1d_history_promoted(self):
+        assert MovingAverageForecaster(window=3).forecast(np.array([1.0, 2.0, 3.0]))[0] == 2.0
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            MovingAverageForecaster().forecast(np.empty((0, 1)))
+
+
+class TestEWMA:
+    def test_constant_series_is_fixed_point(self):
+        history = np.full((10, 1), 5.0)
+        assert EWMAForecaster(alpha=0.3).forecast(history)[0] == pytest.approx(5.0)
+
+    def test_alpha_one_returns_last(self):
+        history = np.array([[1.0], [9.0]])
+        assert EWMAForecaster(alpha=1.0).forecast(history)[0] == pytest.approx(9.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EWMAForecaster(alpha=0.0).forecast(np.ones((3, 1)))
+        with pytest.raises(ValueError):
+            EWMAForecaster(alpha=1.5).forecast(np.ones((3, 1)))
+
+    def test_tracks_level_shift(self):
+        history = np.concatenate([np.full((20, 1), 1.0), np.full((20, 1), 10.0)])
+        forecast = EWMAForecaster(alpha=0.5).forecast(history)[0]
+        assert forecast == pytest.approx(10.0, abs=0.01)
+
+
+class TestSeasonalNaive:
+    def test_repeats_one_period_ago(self):
+        history = np.arange(10.0).reshape(-1, 1)
+        assert SeasonalNaiveForecaster(period=3).forecast(history)[0] == pytest.approx(7.0)
+
+    def test_short_history_falls_back_to_last(self):
+        history = np.array([[1.0], [2.0]])
+        assert SeasonalNaiveForecaster(period=100).forecast(history)[0] == pytest.approx(2.0)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            SeasonalNaiveForecaster(period=0).forecast(np.ones((3, 1)))
+
+    def test_exact_on_perfectly_periodic_series(self):
+        pattern = np.array([1.0, 5.0, 3.0])
+        history = np.tile(pattern, 4).reshape(-1, 1)
+        forecast = SeasonalNaiveForecaster(period=3).forecast(history)[0]
+        assert forecast == pytest.approx(pattern[0])  # next step is phase 0
+
+
+class TestHoltWinters:
+    def test_linear_trend_extrapolated(self):
+        history = np.arange(30.0).reshape(-1, 1)
+        forecast = HoltWintersForecaster(period=0, alpha=0.8, beta=0.5).forecast(history)[0]
+        assert forecast == pytest.approx(30.0, abs=1.0)
+
+    def test_seasonal_series_tracked(self):
+        t = np.arange(96.0)
+        series = 100.0 + 10.0 * np.sin(2 * np.pi * t / 24.0)
+        forecast = HoltWintersForecaster(period=24).forecast(series.reshape(-1, 1))[0]
+        expected = 100.0 + 10.0 * np.sin(2 * np.pi * 96.0 / 24.0)
+        assert forecast == pytest.approx(expected, abs=2.0)
+
+    def test_invalid_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            HoltWintersForecaster(alpha=1.5).forecast(np.ones((10, 1)))
+
+    def test_needs_two_observations(self):
+        with pytest.raises(ValueError):
+            HoltWintersForecaster().forecast(np.ones((1, 1)))
+
+    def test_short_history_degrades_to_holt(self):
+        history = np.arange(10.0).reshape(-1, 1)
+        forecast = HoltWintersForecaster(period=1440).forecast(history)
+        assert np.isfinite(forecast).all()
+
+
+class TestOnSimulatedCdn:
+    def test_seasonal_naive_beats_moving_average_on_cdn_series(self):
+        """The diurnal CDN pattern is what seasonal forecasters exist for."""
+        from repro.data.cdn_simulator import CDNSimulator, CDNSimulatorConfig
+        from repro.data.schema import cdn_schema
+
+        sim = CDNSimulator(cdn_schema(3, 2, 2, 3), CDNSimulatorConfig(seed=2, noise_sigma=0.01))
+        period = 144  # compress a day into 144 steps by sampling every 10 min
+        steps = np.arange(0, 3 * 1440, 10)
+        values = np.stack([sim.expected_values(int(s)) for s in steps])
+        history, target = values[:-1], values[-1]
+        seasonal = SeasonalNaiveForecaster(period=period).forecast(history)
+        moving = MovingAverageForecaster(window=12).forecast(history)
+        seasonal_err = np.abs(seasonal - target).sum()
+        moving_err = np.abs(moving - target).sum()
+        assert seasonal_err < moving_err

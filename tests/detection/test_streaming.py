@@ -1,0 +1,178 @@
+"""Tests for the online (incremental) detectors."""
+
+import numpy as np
+import pytest
+
+from repro.detection.streaming import OnlineEWMADetector, SeasonalZScoreDetector
+
+
+class TestOnlineEWMA:
+    def feed_stable(self, detector, level=100.0, n=50, noise=0.5, seed=0):
+        rng = np.random.default_rng(seed)
+        for __ in range(n):
+            values = level + rng.normal(0.0, noise, detector.n_series)
+            labels = detector.update(values)
+            assert not labels.any()
+
+    def test_warmup_is_silent(self):
+        detector = OnlineEWMADetector(n_series=3, min_observations=10)
+        for __ in range(9):
+            labels = detector.update(np.array([100.0, 100.0, 0.0]))
+            assert not labels.any()
+
+    def test_detects_sudden_drop(self):
+        detector = OnlineEWMADetector(n_series=4, k=4.0)
+        self.feed_stable(detector)
+        values = np.full(4, 100.0)
+        values[2] = 40.0
+        labels = detector.update(values)
+        assert labels.tolist() == [False, False, True, False]
+
+    def test_one_sided_ignores_surges(self):
+        detector = OnlineEWMADetector(n_series=1, k=4.0, two_sided=False)
+        self.feed_stable(detector)
+        assert not detector.update(np.array([300.0]))[0]
+
+    def test_two_sided_catches_surges(self):
+        detector = OnlineEWMADetector(n_series=1, k=4.0, two_sided=True)
+        self.feed_stable(detector)
+        assert detector.update(np.array([300.0]))[0]
+
+    def test_incident_does_not_poison_state(self):
+        """During an outage the level must not chase the failed values."""
+        detector = OnlineEWMADetector(n_series=1, k=4.0)
+        self.feed_stable(detector)
+        level_before = detector.forecast[0]
+        for __ in range(20):
+            assert detector.update(np.array([20.0]))[0]
+        assert detector.forecast[0] == pytest.approx(level_before, rel=0.05)
+
+    def test_recovery_after_incident(self):
+        detector = OnlineEWMADetector(n_series=1, k=4.0)
+        self.feed_stable(detector)
+        for __ in range(5):
+            detector.update(np.array([20.0]))
+        assert not detector.update(np.array([100.0]))[0]
+
+    def test_adapts_to_slow_drift(self):
+        detector = OnlineEWMADetector(n_series=1, alpha=0.2, k=4.0)
+        rng = np.random.default_rng(1)
+        level = 100.0
+        for __ in range(300):
+            level *= 1.002  # +0.2% per step
+            labels = detector.update(np.array([level + rng.normal(0, 0.5)]))
+            assert not labels[0]
+
+    def test_constant_series_does_not_alarm_on_noise_floor(self):
+        detector = OnlineEWMADetector(n_series=1, k=4.0, min_relative_scale=0.01)
+        for __ in range(30):
+            assert not detector.update(np.array([100.0]))[0]
+        # a 2% dip is inside the relative-scale floor at k=4 (4 * 1%)
+        assert not detector.update(np.array([98.0]))[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineEWMADetector(n_series=0)
+        with pytest.raises(ValueError):
+            OnlineEWMADetector(n_series=1, alpha=0.0)
+        with pytest.raises(ValueError):
+            OnlineEWMADetector(n_series=1, k=0.0)
+        detector = OnlineEWMADetector(n_series=2)
+        with pytest.raises(ValueError):
+            detector.update(np.array([1.0]))
+
+
+class TestSeasonalZScore:
+    def seasonal_values(self, step, n_series=3, amplitude=50.0, period=24):
+        phase = 2.0 * np.pi * (step % period) / period
+        return 100.0 + amplitude * np.sin(phase) * np.ones(n_series)
+
+    def feed_cycles(self, detector, cycles=4, noise=0.5, seed=0):
+        rng = np.random.default_rng(seed)
+        step = 0
+        for __ in range(cycles * detector.period):
+            values = self.seasonal_values(step, detector.n_series) + rng.normal(
+                0.0, noise, detector.n_series
+            )
+            labels = detector.update(values)
+            step += 1
+        return step
+
+    def test_quiet_on_seasonal_pattern(self):
+        detector = SeasonalZScoreDetector(n_series=3, period=24, k=5.0)
+        rng = np.random.default_rng(2)
+        step = 0
+        for __ in range(5 * 24):
+            values = self.seasonal_values(step) + rng.normal(0.0, 0.5, 3)
+            labels = detector.update(values)
+            assert not labels.any(), step
+            step += 1
+
+    def test_detects_drop_at_any_phase(self):
+        detector = SeasonalZScoreDetector(n_series=3, period=24, k=4.0)
+        step = self.feed_cycles(detector)
+        values = self.seasonal_values(step)
+        values[1] *= 0.3
+        labels = detector.update(values)
+        assert labels.tolist() == [False, True, False]
+
+    def test_seasonal_trough_is_not_an_anomaly(self):
+        """A 50% swing that repeats every period must never alarm, even
+        though it would blow past a non-seasonal control chart."""
+        detector = SeasonalZScoreDetector(n_series=1, period=24, k=4.0)
+        step = 0
+        rng = np.random.default_rng(3)
+        for __ in range(6 * 24):
+            values = self.seasonal_values(step, n_series=1) + rng.normal(0.0, 0.3, 1)
+            assert not detector.update(values)[0]
+            step += 1
+
+    def test_warmup_cycles_silent(self):
+        detector = SeasonalZScoreDetector(n_series=1, period=4, min_cycles=3)
+        for step in range(3 * 4):
+            assert not detector.update(np.array([0.0 if step % 4 else 100.0]))[0]
+
+    def test_forecast_returns_phase_mean(self):
+        detector = SeasonalZScoreDetector(n_series=1, period=2, min_cycles=1)
+        detector.update(np.array([10.0]))  # phase 0
+        detector.update(np.array([20.0]))  # phase 1
+        assert detector.forecast[0] == pytest.approx(10.0)  # next is phase 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeasonalZScoreDetector(n_series=1, period=0)
+        with pytest.raises(ValueError):
+            SeasonalZScoreDetector(n_series=1, period=5, k=-1.0)
+        detector = SeasonalZScoreDetector(n_series=2, period=5)
+        with pytest.raises(ValueError):
+            detector.update(np.ones(3))
+
+
+class TestStreamingWithLocalization:
+    def test_ewma_labels_feed_rapminer(self, four_attr_schema):
+        """Online detection + RAPMiner: no forecaster needed at all."""
+        import numpy as np
+
+        from repro.core.attribute import AttributeCombination
+        from repro.core.miner import RAPMiner
+        from repro.data.dataset import FineGrainedDataset
+
+        rng = np.random.default_rng(6)
+        n = four_attr_schema.n_leaves
+        base = rng.uniform(50.0, 150.0, n)
+        detector = OnlineEWMADetector(n_series=n, k=4.0)
+        for __ in range(40):
+            detector.update(base * (1.0 + rng.normal(0.0, 0.01, n)))
+
+        grids = np.meshgrid(*[np.arange(s) for s in four_attr_schema.sizes], indexing="ij")
+        codes = np.stack([g.reshape(-1) for g in grids], axis=1)
+        crashed = base.copy()
+        mask = codes[:, 1] == 2
+        crashed[mask] *= 0.3
+        labels = detector.update(crashed)
+        dataset = FineGrainedDataset(four_attr_schema, codes, crashed, detector.forecast, labels)
+        patterns = RAPMiner().localize(dataset, k=1)
+        expected = AttributeCombination(
+            [None, four_attr_schema.elements(1)[2], None, None]
+        )
+        assert patterns == [expected]

@@ -1,0 +1,99 @@
+"""Tests for the assumption-violation crossover study."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Squeeze
+from repro.core.miner import RAPMiner
+from repro.data.dataset import deviation
+from repro.experiments.crossover import (
+    SpreadStudyConfig,
+    generate_spread_cases,
+    magnitude_spread_study,
+)
+
+SMALL = SpreadStudyConfig(attribute_sizes=(6, 5, 4), rap_dimensions=(1,), n_raps=1,
+                          n_cases=6, seed=11)
+
+
+class TestGenerateSpreadCases:
+    def test_zero_spread_is_vertical_assumption(self):
+        cases = generate_spread_cases(0.0, SMALL)
+        for case in cases:
+            dev = deviation(case.dataset.v, case.dataset.f)
+            for rap in case.true_raps:
+                mask = case.dataset.mask_of(rap)
+                assert dev[mask].std() < 1e-9
+
+    def test_positive_spread_varies_leaf_deviations(self):
+        cases = generate_spread_cases(0.3, SMALL)
+        spread_seen = False
+        for case in cases:
+            dev = deviation(case.dataset.v, case.dataset.f)
+            for rap in case.true_raps:
+                mask = case.dataset.mask_of(rap)
+                if mask.sum() > 3 and dev[mask].std() > 0.05:
+                    spread_seen = True
+        assert spread_seen
+
+    def test_labels_identical_across_spreads(self):
+        """The detector's labels (hence RAPMiner's input) do not depend on
+        the spread — only the value pattern Squeeze reads does."""
+        a = generate_spread_cases(0.0, SMALL)
+        b = generate_spread_cases(0.4, SMALL)
+        for case_a, case_b in zip(a, b):
+            assert case_a.true_raps == case_b.true_raps
+            assert np.array_equal(case_a.dataset.labels, case_b.dataset.labels)
+
+    def test_anomalous_devs_bounded(self):
+        cfg = SMALL
+        cases = generate_spread_cases(0.5, cfg)
+        for case in cases:
+            dev = deviation(case.dataset.v, case.dataset.f)
+            truth = np.zeros(case.dataset.n_rows, dtype=bool)
+            for rap in case.true_raps:
+                truth |= case.dataset.mask_of(rap)
+            assert (dev[truth] >= cfg.min_anomalous_dev - 1e-9).all()
+            assert (dev[truth] <= cfg.max_anomalous_dev + 1e-9).all()
+
+    def test_negative_spread_rejected(self):
+        with pytest.raises(ValueError):
+            generate_spread_cases(-0.1, SMALL)
+
+    def test_metadata_records_spread(self):
+        cases = generate_spread_cases(0.2, SMALL)
+        assert all(case.metadata["spread"] == 0.2 for case in cases)
+
+
+class TestSpreadStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return magnitude_spread_study(
+            spreads=(0.0, 0.4),
+            methods=[RAPMiner(), Squeeze()],
+            config=SpreadStudyConfig(
+                attribute_sizes=(6, 5, 4, 4), n_cases=8, seed=13
+            ),
+        )
+
+    def test_structure(self, study):
+        assert set(study) == {"RAPMiner", "Squeeze"}
+        assert set(study["RAPMiner"]) == {0.0, 0.4}
+
+    def test_rapminer_flat_across_spreads(self, study):
+        """Label-driven: same labels, same answer."""
+        values = study["RAPMiner"]
+        assert abs(values[0.0] - values[0.4]) < 0.15
+
+    def test_squeeze_degrades_with_spread(self, study):
+        """The crossover mechanism: Squeeze competitive at spread 0,
+        collapsing once the vertical assumption erodes."""
+        values = study["Squeeze"]
+        assert values[0.0] > 0.6
+        assert values[0.4] < values[0.0] - 0.2
+
+    def test_crossover_exists(self, study):
+        """At spread 0 the gap is small; at 0.4 RAPMiner clearly wins."""
+        gap_at_zero = study["RAPMiner"][0.0] - study["Squeeze"][0.0]
+        gap_at_large = study["RAPMiner"][0.4] - study["Squeeze"][0.4]
+        assert gap_at_large > gap_at_zero + 0.2

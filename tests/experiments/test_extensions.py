@@ -1,0 +1,70 @@
+"""Tests for the extension studies (noise levels, attribute scaling)."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    AttributeScalingResult,
+    attribute_scaling_study,
+    noise_level_study,
+)
+
+
+class TestNoiseLevelStudy:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return noise_level_study(
+            levels=("B0", "B3"),
+            cases_per_group=3,
+            groups=((1, 1), (2, 1)),
+            attribute_sizes=(5, 4, 3, 3),
+            seed=4,
+        )
+
+    def test_returns_requested_levels(self, curve):
+        assert set(curve) == {"B0", "B3"}
+
+    def test_clean_labels_near_perfect(self, curve):
+        assert curve["B0"] > 0.9
+
+    def test_noise_degrades_f1(self, curve):
+        assert curve["B3"] <= curve["B0"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(KeyError):
+            noise_level_study(levels=("B7",))
+
+
+class TestAttributeScalingStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return attribute_scaling_study(
+            attribute_counts=(4, 6),
+            rap_dimensions=(1, 3),
+            n_cases=4,
+            target_leaves=256,
+            seed=5,
+        )
+
+    def test_series_shapes(self, study):
+        by_attributes, by_dimension = study
+        assert [r.n_attributes for r in by_attributes] == [4, 6]
+        assert [r.rap_dimension for r in by_dimension] == [1, 3]
+        assert all(isinstance(r, AttributeScalingResult) for r in by_attributes)
+
+    def test_deletion_keeps_roughly_the_rap_attributes(self, study):
+        """The mechanism behind the claim: surviving attributes track the
+        RAP dimension, not the schema size."""
+        by_attributes, __ = study
+        for result in by_attributes:
+            assert result.mean_kept_attributes <= result.n_attributes
+            assert result.mean_kept_attributes < result.n_attributes  # something deleted
+
+    def test_localization_stays_accurate(self, study):
+        by_attributes, by_dimension = study
+        for result in by_attributes:
+            assert result.recall_at_1 >= 0.5
+        assert by_dimension[0].recall_at_1 >= 0.5
+
+    def test_times_positive(self, study):
+        by_attributes, by_dimension = study
+        assert all(r.mean_seconds > 0 for r in by_attributes + by_dimension)

@@ -1,0 +1,75 @@
+"""Tests for the figure-regeneration entry points (small scale)."""
+
+import pytest
+
+from repro.data.rapmd import RAPMDConfig, generate_rapmd
+from repro.data.schema import cdn_schema
+from repro.data.squeeze_dataset import SqueezeDatasetConfig, generate_squeeze_dataset
+from repro.experiments.figures import (
+    figure8a,
+    figure8b,
+    figure9a,
+    figure9b,
+    figure10a,
+    figure10b,
+    run_rapmd_comparison,
+    run_squeeze_comparison,
+)
+from repro.core.miner import RAPMiner
+
+
+@pytest.fixture(scope="module")
+def squeeze_evals():
+    config = SqueezeDatasetConfig(
+        attribute_sizes=(5, 4, 3, 3),
+        cases_per_group=2,
+        groups=((1, 1), (2, 2)),
+        seed=2,
+    )
+    cases = generate_squeeze_dataset(config)
+    return run_squeeze_comparison(cases, methods=[RAPMiner()])
+
+
+@pytest.fixture(scope="module")
+def rapmd_cases():
+    return generate_rapmd(
+        cdn_schema(5, 2, 2, 4), RAPMDConfig(n_cases=6, n_days=2, seed=3)
+    )
+
+
+class TestSqueezeFigures:
+    def test_figure8a_structure(self, squeeze_evals):
+        data = figure8a(squeeze_evals)
+        assert set(data) == {"RAPMiner"}
+        assert set(data["RAPMiner"]) == {(1, 1), (2, 2)}
+        assert all(0.0 <= v <= 1.0 for v in data["RAPMiner"].values())
+
+    def test_figure9a_structure(self, squeeze_evals):
+        data = figure9a(squeeze_evals)
+        assert all(v > 0.0 for v in data["RAPMiner"].values())
+
+
+class TestRapmdFigures:
+    def test_figure8b_structure(self, rapmd_cases):
+        evals = run_rapmd_comparison(rapmd_cases, methods=[RAPMiner()])
+        data = figure8b(evals)
+        assert set(data["RAPMiner"]) == {3, 4, 5}
+        rc = data["RAPMiner"]
+        assert rc[3] <= rc[4] <= rc[5]  # monotone in k
+
+    def test_figure9b_structure(self, rapmd_cases):
+        evals = run_rapmd_comparison(rapmd_cases, methods=[RAPMiner()])
+        data = figure9b(evals)
+        assert data["RAPMiner"] > 0.0
+
+
+class TestSensitivityFigures:
+    def test_figure10a_curve(self, rapmd_cases):
+        curve = figure10a(rapmd_cases, t_cp_values=(0.01, 0.05))
+        assert set(curve) == {0.01, 0.05}
+        assert all(0.0 <= v <= 1.0 for v in curve.values())
+
+    def test_figure10b_curve(self, rapmd_cases):
+        curve = figure10b(rapmd_cases, t_conf_values=(0.6, 0.9))
+        assert set(curve) == {0.6, 0.9}
+        assert all(0.0 <= v <= 1.0 for v in curve.values())

@@ -1,0 +1,67 @@
+"""Tests for multi-seed replication."""
+
+import pytest
+
+from repro.baselines import Adtributor
+from repro.core.miner import RAPMiner
+from repro.experiments.multi_seed import SeedStatistics, replicate_rapmd_comparison
+from repro.experiments.presets import fast_preset
+
+
+class TestSeedStatistics:
+    def test_mean_and_std(self):
+        stats = SeedStatistics()
+        for value in (0.8, 0.9, 1.0):
+            stats.add("m", value)
+        assert stats.mean("m") == pytest.approx(0.9)
+        assert stats.std("m") == pytest.approx(0.1)
+
+    def test_single_sample_std_zero(self):
+        stats = SeedStatistics()
+        stats.add("m", 0.5)
+        assert stats.std("m") == 0.0
+
+    def test_summary_format(self):
+        stats = SeedStatistics()
+        stats.add("m", 0.8)
+        stats.add("m", 1.0)
+        assert stats.summary()["m"] == "0.900 ± 0.141"
+
+    def test_always_better(self):
+        stats = SeedStatistics()
+        for a, b in ((0.9, 0.5), (0.8, 0.6)):
+            stats.add("A", a)
+            stats.add("B", b)
+        assert stats.always_better("A", "B")
+        assert stats.always_better("A", "B", margin=0.2)
+        assert not stats.always_better("A", "B", margin=0.35)
+
+    def test_always_better_mismatched_counts(self):
+        stats = SeedStatistics()
+        stats.add("A", 0.9)
+        stats.add("A", 0.8)
+        stats.add("B", 0.5)
+        with pytest.raises(ValueError):
+            stats.always_better("A", "B")
+
+
+class TestReplication:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return replicate_rapmd_comparison(
+            seeds=(1, 2, 3),
+            preset_factory=fast_preset,
+            methods_factory=lambda: [RAPMiner(), Adtributor()],
+        )
+
+    def test_collects_all_methods_and_seeds(self, stats):
+        assert set(stats.samples) == {"RAPMiner", "Adtributor"}
+        assert len(stats.samples["RAPMiner"]) == 3
+
+    def test_rapminer_beats_adtributor_on_every_seed(self, stats):
+        """The Fig. 8(b) ordering must be seed-robust, not a lucky draw."""
+        assert stats.always_better("RAPMiner", "Adtributor", margin=0.1)
+
+    def test_scores_in_unit_interval(self, stats):
+        for values in stats.samples.values():
+            assert all(0.0 <= v <= 1.0 for v in values)

@@ -1,0 +1,55 @@
+"""Tests for the experiment presets and method cohort factories."""
+
+import pytest
+
+from repro.core.miner import RAPMiner
+from repro.experiments.presets import all_methods, fast_preset, paper_methods, paper_preset
+
+
+class TestPresets:
+    def test_fast_preset_generates_quickly(self):
+        preset = fast_preset(seed=5)
+        squeeze = preset.squeeze_cases()
+        rapmd = preset.rapmd_cases()
+        assert len(squeeze) == 9 * 4
+        assert len(rapmd) == 15
+        assert rapmd[0].dataset.n_rows < 2000  # genuinely small
+
+    def test_paper_preset_scales(self):
+        preset = paper_preset(seed=5)
+        assert preset.rapmd_config.n_cases == 105
+        assert preset.rapmd_config.n_days == 35
+        assert preset.squeeze_config.cases_per_group == 25
+        assert preset.rapmd_schema().n_leaves == 10560
+
+    def test_presets_deterministic(self):
+        a = fast_preset(seed=7).rapmd_cases()
+        b = fast_preset(seed=7).rapmd_cases()
+        assert [c.true_raps for c in a] == [c.true_raps for c in b]
+
+    def test_seeds_differ(self):
+        a = fast_preset(seed=1).rapmd_cases()
+        b = fast_preset(seed=2).rapmd_cases()
+        assert [c.true_raps for c in a] != [c.true_raps for c in b]
+
+
+class TestMethodFactories:
+    def test_paper_cohort_order_and_names(self):
+        names = [m.name for m in paper_methods()]
+        assert names == ["RAPMiner", "Squeeze", "FP-growth", "Adtributor", "iDice"]
+
+    def test_all_methods_adds_extensions(self):
+        names = [m.name for m in all_methods()]
+        assert names[5:] == ["HotSpot", "R-Adtributor"]
+        assert len(names) == 7
+
+    def test_rapminer_config_injection(self):
+        from repro.core.config import RAPMinerConfig
+
+        config = RAPMinerConfig(t_conf=0.66)
+        methods = paper_methods(config)
+        assert isinstance(methods[0], RAPMiner)
+        assert methods[0].config.t_conf == 0.66
+
+    def test_factories_return_fresh_instances(self):
+        assert paper_methods()[0] is not paper_methods()[0]

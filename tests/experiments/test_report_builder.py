@@ -1,0 +1,65 @@
+"""Tests for the one-shot report builder."""
+
+import pytest
+
+from repro.core.miner import RAPMiner
+from repro.experiments.report_builder import ReportSections, build_report, main
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    """A minimal fast report with only RAPMiner (keeps the test quick)."""
+    return build_report(
+        scale="fast",
+        seed=3,
+        sections=ReportSections(squeeze=False, rapmd=True, sensitivity=False, ablation=True),
+        methods=[RAPMiner()],
+    )
+
+
+class TestBuildReport:
+    def test_contains_requested_sections(self, small_report):
+        assert "# RAPMiner reproduction report" in small_report
+        assert "Fig. 8(b)" in small_report
+        assert "Table VI" in small_report
+        assert "Table IV" in small_report  # always present
+
+    def test_omits_disabled_sections(self, small_report):
+        assert "Fig. 8(a)" not in small_report
+        assert "Fig. 10(a)" not in small_report
+
+    def test_mentions_preset_and_seed(self, small_report):
+        assert "**fast**" in small_report
+        assert "seed: **3**" in small_report
+
+    def test_table4_values_present(self, small_report):
+        assert "0.96875" in small_report
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_report(scale="huge")
+
+    def test_full_fast_report_has_all_figures(self):
+        text = build_report(scale="fast", seed=2, methods=[RAPMiner()])
+        for marker in ("Fig. 8(a)", "Fig. 8(b)", "Fig. 9(a)", "Fig. 9(b)",
+                       "Fig. 10(a)", "Fig. 10(b)", "Table IV", "Table VI"):
+            assert marker in text, marker
+
+
+class TestMain:
+    def test_writes_file(self, tmp_path, capsys, monkeypatch):
+        # Patch the builder to avoid rerunning the full fast evaluation.
+        import repro.experiments.report_builder as module
+
+        monkeypatch.setattr(module, "build_report", lambda **kw: "# stub report")
+        out = tmp_path / "report.md"
+        assert main(["--out", str(out)]) == 0
+        assert out.read_text() == "# stub report"
+        assert "wrote" in capsys.readouterr().out
+
+    def test_prints_to_stdout(self, capsys, monkeypatch):
+        import repro.experiments.report_builder as module
+
+        monkeypatch.setattr(module, "build_report", lambda **kw: "# stub report")
+        assert main([]) == 0
+        assert "# stub report" in capsys.readouterr().out

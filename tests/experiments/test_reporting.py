@@ -1,0 +1,67 @@
+"""Tests for text rendering of experiment outputs."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    format_group,
+    format_percent,
+    format_seconds,
+    render_series_table,
+    render_table,
+)
+
+
+class TestFormatting:
+    def test_group_tuple(self):
+        assert format_group((1, 3)) == "(1,3)"
+
+    def test_group_scalar(self):
+        assert format_group(3) == "3"
+        assert format_group("B0") == "B0"
+
+    def test_seconds_scales(self):
+        assert format_seconds(42.0) == "42.0s"
+        assert format_seconds(0.618) == "0.618s"
+        assert format_seconds(0.0005) == "0.50ms"
+
+    def test_percent(self):
+        assert format_percent(0.4207) == "42.07%"
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["k", "ratio"], [["1", "0.5"], ["2", "0.75"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "k" in lines[0] and "ratio" in lines[0]
+        assert set(lines[1]) <= {"|", "-"}
+
+    def test_column_widths_fit_content(self):
+        text = render_table(["m"], [["a-very-long-cell"]])
+        header, __, row = text.splitlines()
+        assert len(header) == len(row)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+
+class TestRenderSeriesTable:
+    def test_renders_method_by_group(self):
+        series = {
+            "RAPMiner": {(1, 1): 1.0, (1, 2): 0.95},
+            "Squeeze": {(1, 1): 0.9},
+        }
+        text = render_series_table(series, column_order=[(1, 1), (1, 2)])
+        assert "(1,1)" in text
+        assert "RAPMiner" in text
+        assert "-" in text.splitlines()[-1]  # missing cell placeholder
+
+    def test_auto_column_discovery(self):
+        series = {"m1": {3: 0.5}, "m2": {4: 0.6}}
+        text = render_series_table(series)
+        assert "3" in text and "4" in text
+
+    def test_value_format_applied(self):
+        text = render_series_table({"m": {1: 0.123456}}, value_format="{:.2f}")
+        assert "0.12" in text

@@ -1,0 +1,60 @@
+"""Tests for the asymmetric detector-robustness study."""
+
+import pytest
+
+from repro.data.rapmd import RAPMDConfig, generate_rapmd
+from repro.data.schema import cdn_schema
+from repro.experiments.extensions import detector_robustness_study
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return generate_rapmd(
+        cdn_schema(6, 2, 2, 5), RAPMDConfig(n_cases=8, n_days=2, seed=9)
+    )
+
+
+@pytest.fixture(scope="module")
+def study(cases):
+    return detector_robustness_study(
+        cases,
+        false_negative_rates=(0.0, 0.3),
+        false_positive_rates=(0.0, 0.05),
+        seed=9,
+    )
+
+
+class TestRobustnessStudy:
+    def test_returns_both_directions(self, study):
+        assert set(study) == {"false_negative", "false_positive"}
+        assert set(study["false_negative"]) == {0.0, 0.3}
+        assert set(study["false_positive"]) == {0.0, 0.05}
+
+    def test_clean_labels_baseline_matches(self, study):
+        assert study["false_negative"][0.0] == study["false_positive"][0.0]
+        assert study["false_negative"][0.0] > 0.5
+
+    def test_errors_never_help(self, study):
+        baseline = study["false_negative"][0.0]
+        assert study["false_negative"][0.3] <= baseline + 1e-9
+        assert study["false_positive"][0.05] <= baseline + 1e-9
+
+    def test_moderate_false_negatives_tolerated(self, cases):
+        """Criteria 2's error tolerance: 10% missed leaves should cost
+        little because t_conf=0.8 leaves headroom below confidence 1.0."""
+        study = detector_robustness_study(
+            cases, false_negative_rates=(0.0, 0.1), false_positive_rates=(), seed=3
+        )
+        baseline = study["false_negative"][0.0]
+        degraded = study["false_negative"][0.1]
+        assert degraded >= baseline - 0.25
+
+    def test_original_cases_untouched(self, cases, study):
+        """The study perturbs copies, not the input datasets."""
+        import numpy as np
+
+        for case in cases:
+            truth = np.zeros(case.dataset.n_rows, dtype=bool)
+            for rap in case.true_raps:
+                truth |= case.dataset.mask_of(rap)
+            assert np.array_equal(case.dataset.labels, truth)

@@ -1,0 +1,83 @@
+"""End-to-end pipeline tests: simulate -> forecast -> detect -> localize."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RAPMinerConfig
+from repro.core.miner import RAPMiner
+from repro.data.cdn_simulator import CDNSimulator, CDNSimulatorConfig
+from repro.data.dataset import FineGrainedDataset
+from repro.data.injection import inject_failures, sample_raps
+from repro.data.schema import cdn_schema
+from repro.detection.detectors import DeviationThresholdDetector, label_dataset
+from repro.detection.forecasting import SeasonalNaiveForecaster
+
+
+class TestFullPipelineWithInjectedForecasts:
+    """The paper's own evaluation pipeline: injected Dev, threshold labels."""
+
+    @pytest.mark.parametrize("n_raps", [1, 2, 3])
+    def test_rapminer_recovers_injected_raps(self, n_raps):
+        sim = CDNSimulator(cdn_schema(8, 3, 3, 6), CDNSimulatorConfig(seed=100 + n_raps))
+        background = sim.snapshot(720).to_dataset()
+        rng = np.random.default_rng(200 + n_raps)
+        raps = sample_raps(background, n_raps, rng, min_support=6)
+        labelled, __ = inject_failures(background, raps, rng)
+        config = RAPMinerConfig(enable_attribute_deletion=False)
+        predicted = RAPMiner(config).localize(labelled, k=n_raps)
+        assert set(predicted) == set(raps)
+
+    def test_detector_reproduces_injected_labels(self):
+        sim = CDNSimulator(cdn_schema(8, 3, 3, 6), CDNSimulatorConfig(seed=7))
+        background = sim.snapshot(720).to_dataset()
+        rng = np.random.default_rng(7)
+        raps = sample_raps(background, 2, rng)
+        labelled, truth = inject_failures(background, raps, rng)
+        relabelled = label_dataset(
+            FineGrainedDataset(
+                labelled.schema, labelled.codes, labelled.v, labelled.f
+            ),
+            DeviationThresholdDetector(),
+        )
+        assert np.array_equal(relabelled.labels, truth)
+
+
+class TestFullPipelineWithRealForecasts:
+    """Operational pipeline: the forecast comes from a model over history,
+    and an anomaly is an actual traffic drop — not an injected Dev."""
+
+    def test_localization_from_seasonal_forecast(self):
+        schema = cdn_schema(6, 2, 2, 5)
+        sim = CDNSimulator(schema, CDNSimulatorConfig(seed=3, noise_sigma=0.02))
+        period = 72  # sample every 20 simulated minutes over 2 days
+        steps = list(range(0, 2 * 1440 + 20, 20))
+        values = np.stack([sim.snapshot(s).v for s in steps[:-1]])
+        target_step = steps[-1]
+
+        # Actual values at the target step, with a real traffic drop on one
+        # location: every leaf of L2 loses 60% of its volume.
+        snapshot = sim.snapshot(target_step)
+        dataset = snapshot.to_dataset()
+        drop_mask = dataset.codes[:, 0] == 1  # L2
+        v = snapshot.v.copy()
+        v[drop_mask] *= 0.4
+
+        f = SeasonalNaiveForecaster(period=period).forecast(values)
+        dropped = FineGrainedDataset(schema, dataset.codes, v, f)
+        labelled = label_dataset(dropped, DeviationThresholdDetector(threshold=0.3))
+        predicted = RAPMiner().localize(labelled, k=1)
+        assert [str(p) for p in predicted] == ["(L2, *, *, *)"]
+
+
+class TestCrossMethodAgreement:
+    def test_all_methods_agree_on_an_easy_case(self):
+        """A clean 1-D failure is unambiguous: every method must find it."""
+        from repro.experiments.presets import all_methods
+
+        sim = CDNSimulator(cdn_schema(6, 2, 2, 5), CDNSimulatorConfig(seed=17))
+        background = sim.snapshot(300).to_dataset()
+        rng = np.random.default_rng(17)
+        raps = sample_raps(background, 1, rng, dimensions=[1], min_support=20)
+        labelled, __ = inject_failures(background, raps, rng, per_rap_dev=[0.6])
+        for method in all_methods():
+            assert method.localize(labelled, k=1) == list(raps), method.name

@@ -1,0 +1,146 @@
+"""Paper-shape assertions: the qualitative claims of §V must hold at small scale.
+
+These tests regenerate (miniature versions of) the paper's comparisons and
+assert the *relationships* the paper reports — who wins, where methods
+break down — rather than absolute numbers.  They are the automated check
+behind EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.baselines import Adtributor, AssociationRuleLocalizer, Squeeze
+from repro.core.config import RAPMinerConfig
+from repro.core.miner import RAPMiner
+from repro.experiments.figures import (
+    figure8a,
+    figure8b,
+    figure10a,
+    figure10b,
+    run_rapmd_comparison,
+    run_squeeze_comparison,
+)
+from repro.experiments.presets import fast_preset, paper_methods
+from repro.experiments.tables import table6
+
+
+@pytest.fixture(scope="module")
+def preset():
+    return fast_preset(seed=1)
+
+
+@pytest.fixture(scope="module")
+def squeeze_evals(preset):
+    return run_squeeze_comparison(preset.squeeze_cases())
+
+
+@pytest.fixture(scope="module")
+def rapmd_cases(preset):
+    return preset.rapmd_cases()
+
+
+@pytest.fixture(scope="module")
+def rapmd_evals(rapmd_cases):
+    return run_rapmd_comparison(rapmd_cases)
+
+
+class TestFig8aShapes:
+    def test_rapminer_strong_everywhere(self, squeeze_evals):
+        f1 = figure8a(squeeze_evals)["RAPMiner"]
+        assert all(value >= 0.8 for value in f1.values()), f1
+
+    def test_adtributor_good_only_on_1d_groups(self, squeeze_evals):
+        f1 = figure8a(squeeze_evals)["Adtributor"]
+        one_dim = [f1[(1, r)] for r in (1, 2, 3)]
+        multi_dim = [f1[(d, r)] for d in (2, 3) for r in (1, 2, 3)]
+        assert min(one_dim) > max(multi_dim)
+        assert all(value < 0.3 for value in multi_dim)
+
+    def test_top_three_methods_comparable(self, squeeze_evals):
+        """RAPMiner, Squeeze, FP-growth are comparable on Squeeze-B0."""
+        f1 = figure8a(squeeze_evals)
+        for name in ("RAPMiner", "Squeeze", "FP-growth"):
+            mean = sum(f1[name].values()) / len(f1[name])
+            assert mean > 0.75, (name, f1[name])
+
+    def test_idice_never_the_best_overall(self, squeeze_evals):
+        f1 = figure8a(squeeze_evals)
+        idice_mean = sum(f1["iDice"].values()) / len(f1["iDice"])
+        rapminer_mean = sum(f1["RAPMiner"].values()) / len(f1["RAPMiner"])
+        assert idice_mean < rapminer_mean
+
+
+class TestFig8bShapes:
+    def test_rapminer_best_rc_at_k(self, rapmd_evals):
+        rc = figure8b(rapmd_evals)
+        for k in (3, 4, 5):
+            best = max(rc, key=lambda name: rc[name][k])
+            assert best == "RAPMiner", (k, {n: rc[n][k] for n in rc})
+
+    def test_squeeze_degrades_on_rapmd(self, rapmd_evals):
+        """Its assumptions are violated by Randomness 2."""
+        rc = figure8b(rapmd_evals)
+        assert rc["Squeeze"][3] < 0.5 * rc["RAPMiner"][3]
+
+    def test_adtributor_about_one_third(self, rapmd_evals):
+        """Only the 1-D share of RAPMD's RAPs is reachable (paper: ~33%)."""
+        rc = figure8b(rapmd_evals)
+        assert 0.15 <= rc["Adtributor"][3] <= 0.55
+
+    def test_fp_growth_is_runner_up_tier(self, rapmd_evals):
+        rc = figure8b(rapmd_evals)
+        assert rc["FP-growth"][3] > rc["Squeeze"][3]
+        assert rc["FP-growth"][3] > rc["Adtributor"][3]
+
+
+class TestFig9Shapes:
+    def test_rapminer_fast_on_low_dim_groups(self, squeeze_evals):
+        """Sub-second localization, and quicker in 1-D groups than 3-D."""
+        from repro.experiments.figures import figure9a
+
+        seconds = figure9a(squeeze_evals)["RAPMiner"]
+        assert all(value < 1.0 for value in seconds.values())
+
+    def test_rapminer_quick_on_rapmd(self, rapmd_evals):
+        from repro.experiments.figures import figure9b
+
+        seconds = figure9b(rapmd_evals)
+        assert seconds["RAPMiner"] < 1.0
+
+
+class TestFig10Shapes:
+    def test_tcp_sensitivity_flat_or_declining(self, rapmd_cases):
+        curve = figure10a(rapmd_cases, t_cp_values=(0.01, 0.05, 0.10))
+        values = [curve[t] for t in sorted(curve)]
+        assert max(values) - min(values) < 0.35  # stable plateau
+        assert values[-1] <= values[0] + 0.05  # no improvement with larger t_CP
+
+    def test_tconf_sensitivity_stable(self, rapmd_cases):
+        curve = figure10b(rapmd_cases, t_conf_values=(0.55, 0.75, 0.95))
+        values = [curve[t] for t in sorted(curve)]
+        assert max(values) - min(values) < 0.35
+
+
+class TestTable6Shape:
+    def test_deletion_trades_effectiveness_for_efficiency(self, rapmd_cases):
+        """Assert the deterministic halves of the trade-off: deletion never
+        improves recall and strictly shrinks the searched lattice.  (Wall
+        time at this tiny scale is too noisy to assert on; the paper-scale
+        run in EXPERIMENTS.md shows the 37.7% speedup.)"""
+        result = table6(rapmd_cases)
+        assert result.rc3_with_deletion <= result.rc3_without_deletion
+        assert result.seconds_with_deletion > 0.0
+        assert result.seconds_without_deletion > 0.0
+
+        with_deletion = RAPMiner(RAPMinerConfig(enable_attribute_deletion=True))
+        without_deletion = RAPMiner(RAPMinerConfig(enable_attribute_deletion=False))
+        visited_with = visited_without = 0
+        deleted_anything = False
+        for case in rapmd_cases:
+            run_a = with_deletion.run(case.dataset, k=3)
+            run_b = without_deletion.run(case.dataset, k=3)
+            visited_with += run_a.stats.n_cuboids_visited
+            visited_without += run_b.stats.n_cuboids_visited
+            if run_a.deletion and run_a.deletion.deleted_indices:
+                deleted_anything = True
+        assert deleted_anything
+        assert visited_with < visited_without

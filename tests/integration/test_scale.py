@@ -1,0 +1,71 @@
+"""Scale tests: the full Table I CDN schema (10 560 leaves), end to end.
+
+These pin the performance envelope that makes RAPMiner deployable at the
+paper's scale — per-minute localization on commodity hardware — and check
+correctness does not silently degrade with size.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import RAPMinerConfig
+from repro.core.cuboid import Cuboid, enumerate_cuboids
+from repro.core.miner import RAPMiner
+from repro.data.cdn_simulator import CDNSimulator, CDNSimulatorConfig
+from repro.data.injection import inject_failures, sample_raps
+from repro.data.schema import cdn_schema
+
+
+@pytest.fixture(scope="module")
+def full_scale_case():
+    schema = cdn_schema()  # 33 x 4 x 4 x 20
+    simulator = CDNSimulator(schema, CDNSimulatorConfig(seed=101))
+    background = simulator.snapshot(720).to_dataset()
+    rng = np.random.default_rng(101)
+    raps = sample_raps(background, 3, rng, min_support=8)
+    labelled, __ = inject_failures(background, raps, rng)
+    return labelled, raps
+
+
+class TestFullScale:
+    def test_leaf_population(self, full_scale_case):
+        labelled, __ = full_scale_case
+        assert 8000 < labelled.n_rows <= 10560  # 15% inactive fraction
+
+    def test_localization_correct_at_scale(self, full_scale_case):
+        labelled, raps = full_scale_case
+        config = RAPMinerConfig(enable_attribute_deletion=False)
+        predicted = RAPMiner(config).localize(labelled, k=len(raps))
+        assert set(predicted) == set(raps)
+
+    def test_localization_under_100ms(self, full_scale_case):
+        """The paper's per-minute collection interval leaves huge headroom."""
+        labelled, __ = full_scale_case
+        miner = RAPMiner()
+        miner.localize(labelled, k=3)  # warm any lazy state
+        start = time.perf_counter()
+        miner.localize(labelled, k=3)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.1, f"localization took {elapsed:.3f}s"
+
+    def test_full_lattice_aggregation_consistent(self, full_scale_case):
+        """Every cuboid's aggregate conserves counts and sums at scale."""
+        labelled, __ = full_scale_case
+        for cuboid in enumerate_cuboids(4):
+            aggregate = labelled.aggregate(cuboid)
+            assert aggregate.support.sum() == labelled.n_rows
+            assert aggregate.anomalous_support.sum() == labelled.n_anomalous
+            assert aggregate.v_sum.sum() == pytest.approx(labelled.v.sum(), rel=1e-9)
+
+    def test_deep_cuboid_sizes(self, full_scale_case):
+        labelled, __ = full_scale_case
+        leaf_aggregate = labelled.aggregate(Cuboid([0, 1, 2, 3]))
+        assert len(leaf_aggregate) == labelled.n_rows  # every leaf distinct
+
+    def test_stats_report_search_effort(self, full_scale_case):
+        labelled, __ = full_scale_case
+        result = RAPMiner(RAPMinerConfig(enable_attribute_deletion=False)).run(labelled)
+        assert result.stats.n_combinations_evaluated > 0
+        assert result.stats.n_cuboids_visited <= 15

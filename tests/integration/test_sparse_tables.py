@@ -1,0 +1,96 @@
+"""Sparse leaf tables: 15% of CDN leaves carry no traffic (§V-A sparsity).
+
+The paper stresses that real leaf KPIs are sparse; every component must
+behave when the leaf table is a strict subset of the cross product —
+supports shrink, some combinations disappear entirely, and confidence is
+defined over *present* rows only (``support_count_D`` semantics).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.core.config import RAPMinerConfig
+from repro.core.cuboid import Cuboid
+from repro.core.miner import RAPMiner
+from repro.data.dataset import FineGrainedDataset
+from repro.data.injection import inject_failures, sample_raps
+from repro.data.schema import schema_from_sizes
+from repro.experiments.presets import all_methods
+
+
+@pytest.fixture
+def sparse_background():
+    """A (6,5,4,4) table with 40% of leaves missing."""
+    schema = schema_from_sizes([6, 5, 4, 4])
+    rng = np.random.default_rng(151)
+    full = FineGrainedDataset.full(
+        schema, rng.lognormal(3.0, 1.0, schema.n_leaves), np.ones(schema.n_leaves)
+    )
+    keep = rng.random(schema.n_leaves) >= 0.4
+    return FineGrainedDataset(
+        schema, full.codes[keep], full.v[keep], full.v[keep].copy()
+    )
+
+
+class TestSparseBasics:
+    def test_strictly_fewer_rows(self, sparse_background):
+        assert sparse_background.n_rows < sparse_background.schema.n_leaves
+
+    def test_absent_combinations_have_zero_support(self, sparse_background):
+        """Some leaf combination must be gone; its support is 0 and its
+        confidence is defined as 0 rather than raising."""
+        schema = sparse_background.schema
+        present = {tuple(row) for row in sparse_background.codes.tolist()}
+        missing = None
+        for codes in np.ndindex(*schema.sizes):
+            if codes not in present:
+                missing = codes
+                break
+        assert missing is not None
+        combination = AttributeCombination(
+            [schema.decode(i, c) for i, c in enumerate(missing)]
+        )
+        assert sparse_background.support_count(combination) == 0
+        assert sparse_background.confidence(combination) == 0.0
+
+    def test_aggregate_covers_present_rows_exactly(self, sparse_background):
+        for indices in ([0], [1, 2], [0, 1, 2, 3]):
+            aggregate = sparse_background.aggregate(Cuboid(indices))
+            assert aggregate.support.sum() == sparse_background.n_rows
+
+
+class TestSparseLocalization:
+    def test_rapminer_recovers_raps_on_sparse_table(self, sparse_background):
+        rng = np.random.default_rng(151)
+        raps = sample_raps(sparse_background, 2, rng, min_support=4)
+        labelled, __ = inject_failures(sparse_background, raps, rng)
+        config = RAPMinerConfig(enable_attribute_deletion=False)
+        assert set(RAPMiner(config).localize(labelled, k=2)) == set(raps)
+
+    def test_confidence_uses_present_rows_only(self, sparse_background):
+        """A RAP whose absent leaves would dilute confidence in a dense
+        table must still reach confidence 1.0 over the present rows."""
+        rng = np.random.default_rng(152)
+        raps = sample_raps(sparse_background, 1, rng, min_support=4)
+        labelled, __ = inject_failures(sparse_background, raps, rng)
+        assert labelled.confidence(raps[0]) == pytest.approx(1.0)
+
+    def test_every_method_runs_on_sparse_tables(self, sparse_background):
+        rng = np.random.default_rng(153)
+        raps = sample_raps(sparse_background, 1, rng, dimensions=[1], min_support=10)
+        labelled, __ = inject_failures(sparse_background, raps, rng, per_rap_dev=[0.5])
+        for method in all_methods():
+            patterns = method.localize(labelled, k=2)
+            assert isinstance(patterns, list), method.name
+
+    def test_search_stats_reflect_occupied_combinations(self, sparse_background):
+        rng = np.random.default_rng(154)
+        raps = sample_raps(sparse_background, 1, rng, min_support=4)
+        labelled, __ = inject_failures(sparse_background, raps, rng)
+        result = RAPMiner(RAPMinerConfig(enable_attribute_deletion=False, early_stop=False)).run(
+            labelled
+        )
+        # The leaf cuboid alone contributes n_rows combinations; a dense
+        # lattice would exceed that by the schema's full cross product.
+        assert result.stats.n_combinations_evaluated >= labelled.n_rows

@@ -1,0 +1,101 @@
+"""Tests for F1 (Eq. 6) and RC@k (Eq. 7)."""
+
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.metrics.localization import (
+    f1_score,
+    mean_f1,
+    precision_recall_f1,
+    recall_at_k,
+)
+
+
+def ac(text):
+    return AttributeCombination.parse(text)
+
+
+A1 = ac("(a1, *, *)")
+A2 = ac("(a2, *, *)")
+B1 = ac("(*, b1, *)")
+CHILD = ac("(a1, b1, *)")
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_match(self):
+        prf = precision_recall_f1([A1, A2], [A2, A1])
+        assert prf.precision == prf.recall == prf.f1 == 1.0
+
+    def test_half_right(self):
+        prf = precision_recall_f1([A1, B1], [A1, A2])
+        assert prf.precision == pytest.approx(0.5)
+        assert prf.recall == pytest.approx(0.5)
+        assert prf.f1 == pytest.approx(0.5)
+
+    def test_nothing_predicted(self):
+        prf = precision_recall_f1([], [A1])
+        assert prf == precision_recall_f1([], [A1])
+        assert prf.f1 == 0.0
+
+    def test_exact_match_only(self):
+        """A child of a true RAP must not count (the paper's criterion)."""
+        assert f1_score([CHILD], [A1]) == 0.0
+
+    def test_duplicates_collapsed(self):
+        prf = precision_recall_f1([A1, A1], [A1])
+        assert prf.precision == 1.0
+        assert prf.f1 == 1.0
+
+    def test_asymmetric_counts(self):
+        prf = precision_recall_f1([A1], [A1, A2, B1])
+        assert prf.precision == 1.0
+        assert prf.recall == pytest.approx(1.0 / 3.0)
+        assert prf.f1 == pytest.approx(0.5)
+
+    def test_mean_f1(self):
+        cases = [([A1], [A1]), ([A2], [A1])]
+        assert mean_f1(cases) == pytest.approx(0.5)
+
+    def test_mean_f1_empty(self):
+        assert mean_f1([]) == 0.0
+
+
+class TestRecallAtK:
+    def test_eq7_basic(self):
+        results = [
+            ([A1, B1, A2], (A1,)),       # hit at rank 1
+            ([B1, A2, CHILD], (A1, A2)),  # one of two found
+        ]
+        assert recall_at_k(results, 3) == pytest.approx(2.0 / 3.0)
+
+    def test_k_truncates_ranking(self):
+        results = [([B1, CHILD, A1], (A1,))]
+        assert recall_at_k(results, 2) == 0.0
+        assert recall_at_k(results, 3) == 1.0
+
+    def test_monotone_in_k(self):
+        results = [([A1, A2, B1, CHILD], (A1, A2, B1))]
+        values = [recall_at_k(results, k) for k in range(1, 5)]
+        assert values == sorted(values)
+
+    def test_duplicate_predictions_count_once(self):
+        results = [([A1, A1, A1], (A1, A2))]
+        assert recall_at_k(results, 3) == pytest.approx(0.5)
+
+    def test_empty_truth_total(self):
+        assert recall_at_k([([A1], ())], 3) == 0.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            recall_at_k([], -1)
+
+    def test_k_zero(self):
+        assert recall_at_k([([A1], (A1,))], 0) == 0.0
+
+    def test_weighting_by_rap_count(self):
+        """Eq. 7 pools hits over all cases (cases with more RAPs weigh more)."""
+        results = [
+            ([A1], (A1,)),                  # 1/1
+            ([B1, CHILD], (A1, A2, B1)),    # 1/3
+        ]
+        assert recall_at_k(results, 2) == pytest.approx(2.0 / 4.0)

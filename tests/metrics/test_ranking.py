@@ -1,0 +1,106 @@
+"""Tests for the ranking-quality metrics (precision@k, MRR, MAP)."""
+
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.metrics.ranking import (
+    average_precision,
+    mean_average_precision,
+    mean_reciprocal_rank,
+    precision_at_k,
+)
+
+
+def ac(text):
+    return AttributeCombination.parse(text)
+
+
+A1, A2, B1, B2 = ac("(a1, *)"), ac("(a2, *)"), ac("(*, b1)"), ac("(*, b2)")
+
+
+class TestPrecisionAtK:
+    def test_perfect_top_k(self):
+        assert precision_at_k([([A1, A2], (A1, A2))], 2) == 1.0
+
+    def test_half_right(self):
+        assert precision_at_k([([A1, B1], (A1,))], 2) == 0.5
+
+    def test_k_truncates(self):
+        assert precision_at_k([([B1, A1], (A1,))], 1) == 0.0
+
+    def test_short_prediction_normalized_by_returned(self):
+        assert precision_at_k([([A1], (A1, A2))], 5) == 1.0
+
+    def test_empty_prediction_zero(self):
+        assert precision_at_k([([], (A1,))], 3) == 0.0
+
+    def test_duplicates_collapsed(self):
+        assert precision_at_k([([A1, A1, B1], (A1,))], 3) == 0.5
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k([], 0)
+
+    def test_empty_collection(self):
+        assert precision_at_k([], 3) == 0.0
+
+
+class TestMRR:
+    def test_hit_at_rank_one(self):
+        assert mean_reciprocal_rank([([A1, B1], (A1,))]) == 1.0
+
+    def test_hit_at_rank_three(self):
+        assert mean_reciprocal_rank([([B1, B2, A1], (A1,))]) == pytest.approx(1 / 3)
+
+    def test_miss_scores_zero(self):
+        assert mean_reciprocal_rank([([B1, B2], (A1,))]) == 0.0
+
+    def test_averages_over_cases(self):
+        results = [([A1], (A1,)), ([B1, A1], (A1,))]
+        assert mean_reciprocal_rank(results) == pytest.approx(0.75)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([A1, A2], (A1, A2)) == 1.0
+
+    def test_interleaved_hits(self):
+        # hits at positions 1 and 3: (1/1 + 2/3) / 2
+        assert average_precision([A1, B1, A2], (A1, A2)) == pytest.approx(
+            (1.0 + 2.0 / 3.0) / 2.0
+        )
+
+    def test_truth_first_matters(self):
+        good = average_precision([A1, B1], (A1,))
+        bad = average_precision([B1, A1], (A1,))
+        assert good > bad
+
+    def test_empty_truth(self):
+        assert average_precision([A1], ()) == 0.0
+
+    def test_missing_truth_penalized(self):
+        assert average_precision([A1], (A1, A2)) == pytest.approx(0.5)
+
+    def test_duplicates_do_not_inflate(self):
+        assert average_precision([A1, A1], (A1,)) == 1.0
+
+    def test_map_averages(self):
+        results = [([A1], (A1,)), ([B1], (A1,))]
+        assert mean_average_precision(results) == pytest.approx(0.5)
+
+    def test_map_empty(self):
+        assert mean_average_precision([]) == 0.0
+
+
+class TestAgainstLocalizers:
+    def test_rapminer_ranks_true_raps_first(self, fig7_dataset):
+        from repro.core.miner import RAPMiner
+
+        truth = (ac("(a1, *, *)").__class__(["a1", None, None]),)
+        predicted = RAPMiner().localize(fig7_dataset, k=3)
+        truth = (
+            AttributeCombination(["a1", None, None]),
+            AttributeCombination(["a2", "b2", None]),
+        )
+        assert mean_reciprocal_rank([(predicted, truth)]) == 1.0
+        assert average_precision(predicted, truth) == 1.0

@@ -1,0 +1,61 @@
+"""Tests for the timing harness."""
+
+import time
+
+import pytest
+
+from repro.metrics.timing import TimingAccumulator, time_localization
+
+
+class TestTimeLocalization:
+    def test_returns_result_and_duration(self, example_dataset):
+        def slow_localize(dataset, k=None):
+            time.sleep(0.01)
+            return ["sentinel"]
+
+        result, seconds = time_localization(slow_localize, example_dataset)
+        assert result == ["sentinel"]
+        assert seconds >= 0.01
+
+    def test_passes_k(self, example_dataset):
+        captured = {}
+
+        def localize(dataset, k=None):
+            captured["k"] = k
+            return []
+
+        time_localization(localize, example_dataset, k=7)
+        assert captured["k"] == 7
+
+
+class TestAccumulator:
+    def test_mean_and_total(self):
+        acc = TimingAccumulator()
+        for value in (1.0, 2.0, 3.0):
+            acc.add(value)
+        assert acc.n == 3
+        assert acc.mean == pytest.approx(2.0)
+        assert acc.total == pytest.approx(6.0)
+
+    def test_empty(self):
+        acc = TimingAccumulator()
+        assert acc.mean == 0.0
+        assert acc.percentile(50) == 0.0
+
+    def test_percentiles(self):
+        acc = TimingAccumulator(samples=[1.0, 2.0, 3.0, 4.0])
+        assert acc.percentile(0) == 1.0
+        assert acc.percentile(100) == 4.0
+        assert acc.percentile(50) == pytest.approx(2.5)
+
+    def test_single_sample_percentile(self):
+        acc = TimingAccumulator(samples=[5.0])
+        assert acc.percentile(75) == 5.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            TimingAccumulator().add(-1.0)
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(ValueError):
+            TimingAccumulator(samples=[1.0]).percentile(101)

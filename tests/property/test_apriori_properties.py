@@ -1,0 +1,27 @@
+"""Property test: Apriori and FP-growth are interchangeable miners."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.baselines.apriori import apriori
+from repro.baselines.fpgrowth import fpgrowth
+
+transactions_strategy = st.lists(
+    st.lists(st.sampled_from("abcde"), min_size=0, max_size=4),
+    min_size=0,
+    max_size=15,
+)
+
+
+@given(transactions_strategy, st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_apriori_equals_fpgrowth(transactions, min_support):
+    assert apriori(transactions, min_support) == fpgrowth(transactions, min_support)
+
+
+@given(transactions_strategy, st.integers(1, 4), st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_apriori_equals_fpgrowth_with_max_length(transactions, min_support, max_length):
+    assert apriori(transactions, min_support, max_length=max_length) == fpgrowth(
+        transactions, min_support, max_length=max_length
+    )

@@ -1,0 +1,103 @@
+"""Property-based tests on baseline building blocks."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.baselines.adtributor import _surprise
+from repro.baselines.squeeze import cluster_deviations, generalized_potential_score
+from repro.data.dataset import FineGrainedDataset
+from repro.data.schema import schema_from_sizes
+
+
+@given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+def test_surprise_non_negative(p, q):
+    assert _surprise(p, q) >= 0.0
+
+
+@given(st.floats(0.0, 1.0))
+def test_surprise_zero_iff_equal(p):
+    assert _surprise(p, p) == 0.0
+
+
+@given(st.floats(0.001, 1.0), st.floats(0.001, 1.0))
+@settings(max_examples=60)
+def test_surprise_symmetric(p, q):
+    assert abs(_surprise(p, q) - _surprise(q, p)) < 1e-12
+
+
+@given(
+    st.lists(st.floats(-1.9, 1.9), min_size=0, max_size=60),
+)
+@settings(max_examples=80)
+def test_cluster_deviations_partitions_indices(values):
+    """Clusters are a partition of the input indices, largest first."""
+    array = np.asarray(values)
+    clusters = cluster_deviations(array)
+    all_indices = sorted(i for members in clusters for i in members)
+    assert all_indices == list(range(array.size))
+    sizes = [len(members) for members in clusters]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+@given(
+    st.lists(st.floats(-1.9, 1.9), min_size=1, max_size=60),
+    st.floats(0.01, 0.1),
+)
+@settings(max_examples=60)
+def test_cluster_members_are_contiguous_in_value(values, bin_width):
+    """Clusters never interleave: sorting by value keeps members together."""
+    array = np.asarray(values)
+    clusters = cluster_deviations(array, bin_width=bin_width)
+    intervals = []
+    for members in clusters:
+        member_values = array[members]
+        intervals.append((member_values.min(), member_values.max()))
+    intervals.sort()
+    for (__, hi), (lo, __) in zip(intervals, intervals[1:]):
+        assert hi <= lo + 1e-12
+
+
+@st.composite
+def gps_scenarios(draw):
+    schema = schema_from_sizes(draw(st.lists(st.integers(2, 3), min_size=2, max_size=3)))
+    n = schema.n_leaves
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    v = rng.uniform(1.0, 100.0, n)
+    f = v * rng.uniform(0.5, 1.5, n)
+    labels = np.array(draw(st.lists(st.booleans(), min_size=n, max_size=n)))
+    selection = np.array(draw(st.lists(st.booleans(), min_size=n, max_size=n)))
+    return FineGrainedDataset.full(schema, v, f, labels), selection
+
+
+@given(gps_scenarios())
+@settings(max_examples=80, deadline=None)
+def test_gps_bounded_above_by_one(scenario):
+    dataset, selection = scenario
+    score = generalized_potential_score(dataset, selection, dataset.labels)
+    assert score <= 1.0 + 1e-9
+
+
+@given(gps_scenarios())
+@settings(max_examples=60, deadline=None)
+def test_gps_empty_selection_sentinel(scenario):
+    dataset, __ = scenario
+    empty = np.zeros(dataset.n_rows, dtype=bool)
+    assert generalized_potential_score(dataset, empty, dataset.labels) == -1.0
+
+
+@given(gps_scenarios())
+@settings(max_examples=60, deadline=None)
+def test_gps_perfect_hypothesis_scores_one(scenario):
+    """When the selection exactly explains the anomaly and its ripple
+    prediction is exact, GPS is 1."""
+    dataset, __ = scenario
+    if dataset.n_anomalous == 0 or dataset.n_anomalous == dataset.n_rows:
+        return
+    # Build an exact-world: anomalous leaves uniformly deflated, others exact.
+    f = dataset.v.copy()
+    f[dataset.labels] = dataset.v[dataset.labels] / 0.6
+    exact = FineGrainedDataset(dataset.schema, dataset.codes, dataset.v, f, dataset.labels)
+    score = generalized_potential_score(exact, exact.labels, exact.labels)
+    assert score == np.float64(1.0) or abs(score - 1.0) < 1e-9

@@ -1,0 +1,134 @@
+"""Property-based tests on CP, confidence, search, and the RAP definition."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.attribute import AttributeCombination
+from repro.core.classification_power import (
+    all_classification_powers,
+    binary_entropy,
+    classification_power,
+)
+from repro.core.cuboid import Cuboid, enumerate_cuboids
+from repro.core.search import layerwise_topdown_search
+from repro.data.dataset import FineGrainedDataset
+from repro.data.schema import schema_from_sizes
+
+
+@st.composite
+def labelled_datasets(draw, max_attrs=3, max_elements=3):
+    sizes = draw(st.lists(st.integers(2, max_elements), min_size=2, max_size=max_attrs))
+    schema = schema_from_sizes(sizes)
+    n = schema.n_leaves
+    labels = np.array(draw(st.lists(st.booleans(), min_size=n, max_size=n)))
+    v = np.ones(n) * 10.0
+    return FineGrainedDataset.full(schema, v, v.copy(), labels)
+
+
+@given(st.floats(0.0, 1.0))
+def test_binary_entropy_bounded(p):
+    assert 0.0 <= binary_entropy(p) <= np.log(2.0) + 1e-12
+
+
+@given(labelled_datasets())
+@settings(max_examples=60, deadline=None)
+def test_cp_always_in_unit_interval(dataset):
+    for value in all_classification_powers(dataset).values():
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+@given(labelled_datasets())
+@settings(max_examples=60, deadline=None)
+def test_cp_matches_naive_entropy_computation(dataset):
+    """Vectorized CP equals a direct per-branch recomputation of Eq. 1."""
+    n = dataset.n_rows
+    if n == 0:
+        return
+    info_d = binary_entropy(dataset.n_anomalous / n)
+    for attr in range(dataset.schema.n_attributes):
+        expected = 0.0
+        if info_d > 0.0:
+            info_attr = 0.0
+            column = dataset.codes[:, attr]
+            for code in np.unique(column):
+                branch = dataset.labels[column == code]
+                info_attr += (len(branch) / n) * binary_entropy(branch.mean())
+            expected = (info_d - info_attr) / info_d
+        assert classification_power(dataset, attr) == np.float64(expected) or abs(
+            classification_power(dataset, attr) - expected
+        ) < 1e-9
+
+
+@given(labelled_datasets())
+@settings(max_examples=40, deadline=None)
+def test_aggregate_confidence_consistent_with_scalar(dataset):
+    for cuboid in enumerate_cuboids(dataset.schema.n_attributes):
+        agg = dataset.aggregate(cuboid)
+        for i in range(len(agg)):
+            assert abs(agg.confidence[i] - dataset.confidence(agg.combination(i))) < 1e-12
+
+
+@given(labelled_datasets(), st.floats(0.55, 0.95))
+@settings(max_examples=40, deadline=None)
+def test_search_candidates_satisfy_rap_definition(dataset, t_conf):
+    """Every candidate is anomalous; none of its parents is (Definition 1)."""
+    indices = list(range(dataset.schema.n_attributes))
+    outcome = layerwise_topdown_search(dataset, indices, t_conf=t_conf, early_stop=False)
+    for candidate in outcome.candidates:
+        assert dataset.confidence(candidate.combination) > t_conf
+        for parent in candidate.combination.parents():
+            # Layer-0 (the all-wildcard pattern) is the alarmed overall KPI
+            # itself and is outside the search lattice (Algorithm 2 starts
+            # at layer 1), so Definition 1's parent check does not apply.
+            if parent.layer >= 1:
+                assert dataset.confidence(parent) <= t_conf
+
+
+@given(labelled_datasets(), st.floats(0.55, 0.95))
+@settings(max_examples=40, deadline=None)
+def test_search_candidates_mutually_incomparable(dataset, t_conf):
+    """Criteria 3: no candidate may descend from another candidate."""
+    indices = list(range(dataset.schema.n_attributes))
+    outcome = layerwise_topdown_search(dataset, indices, t_conf=t_conf, early_stop=False)
+    combos = [c.combination for c in outcome.candidates]
+    for i, a in enumerate(combos):
+        for b in combos[i + 1 :]:
+            assert not a.is_ancestor_of(b)
+            assert not b.is_ancestor_of(a)
+
+
+@given(labelled_datasets(), st.floats(0.55, 0.95))
+@settings(max_examples=40, deadline=None)
+def test_search_equals_bruteforce_rap_definition(dataset, t_conf):
+    """Algorithm 2 (without early stop) finds exactly the Definition-1 RAPs.
+
+    Brute force: enumerate every combination of every cuboid; a RAP is an
+    anomalous combination none of whose ancestors is anomalous.
+    """
+    indices = list(range(dataset.schema.n_attributes))
+    outcome = layerwise_topdown_search(dataset, indices, t_conf=t_conf, early_stop=False)
+    found = {c.combination for c in outcome.candidates}
+
+    expected = set()
+    for cuboid in enumerate_cuboids(dataset.schema.n_attributes):
+        for combination in cuboid.combinations(dataset.schema):
+            if dataset.confidence(combination) <= t_conf:
+                continue
+            if any(
+                dataset.confidence(anc) > t_conf for anc in combination.ancestors()
+            ):
+                continue
+            expected.add(combination)
+    assert found == expected
+
+
+@given(labelled_datasets(), st.floats(0.55, 0.95))
+@settings(max_examples=30, deadline=None)
+def test_early_stop_result_is_prefix_of_full_search(dataset, t_conf):
+    indices = list(range(dataset.schema.n_attributes))
+    eager = layerwise_topdown_search(dataset, indices, t_conf=t_conf, early_stop=True)
+    full = layerwise_topdown_search(dataset, indices, t_conf=t_conf, early_stop=False)
+    eager_combos = [c.combination for c in eager.candidates]
+    full_combos = [c.combination for c in full.candidates]
+    assert eager_combos == full_combos[: len(eager_combos)]

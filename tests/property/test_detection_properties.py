@@ -1,0 +1,76 @@
+"""Property-based tests on detectors and their ensembles."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.detection.detectors import DeviationThresholdDetector
+from repro.detection.ensembles import (
+    IntersectionDetector,
+    MajorityDetector,
+    UnionDetector,
+)
+
+value_pairs = st.lists(
+    st.tuples(st.floats(0.1, 1e5), st.floats(0.1, 1e5)),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(value_pairs, st.floats(0.01, 0.9), st.floats(0.01, 0.9))
+@settings(max_examples=80)
+def test_threshold_monotonicity(pairs, t_low, t_high):
+    """A stricter threshold never flags a leaf the looser one cleared."""
+    t_low, t_high = sorted((t_low, t_high))
+    v = np.array([p[0] for p in pairs])
+    f = np.array([p[1] for p in pairs])
+    loose = DeviationThresholdDetector(threshold=t_low).detect(v, f)
+    strict = DeviationThresholdDetector(threshold=t_high).detect(v, f)
+    assert (strict <= loose).all()
+
+
+@given(value_pairs, st.floats(0.01, 0.9))
+@settings(max_examples=60)
+def test_two_sided_supersets_one_sided(pairs, threshold):
+    v = np.array([p[0] for p in pairs])
+    f = np.array([p[1] for p in pairs])
+    one = DeviationThresholdDetector(threshold=threshold, two_sided=False).detect(v, f)
+    two = DeviationThresholdDetector(threshold=threshold, two_sided=True).detect(v, f)
+    assert (one <= two).all()
+
+
+@given(
+    value_pairs,
+    st.lists(st.floats(0.05, 0.8), min_size=1, max_size=5),
+)
+@settings(max_examples=80)
+def test_ensemble_ordering(pairs, thresholds):
+    """intersection <= majority <= union, for any member set."""
+    v = np.array([p[0] for p in pairs])
+    f = np.array([p[1] for p in pairs])
+    members = [DeviationThresholdDetector(threshold=t) for t in thresholds]
+    union = UnionDetector(members).detect(v, f)
+    majority = MajorityDetector(members).detect(v, f)
+    intersection = IntersectionDetector(members).detect(v, f)
+    assert (intersection <= majority).all()
+    assert (majority <= union).all()
+
+
+@given(
+    value_pairs,
+    st.lists(st.floats(0.05, 0.8), min_size=1, max_size=5),
+)
+@settings(max_examples=60)
+def test_threshold_ensembles_collapse_to_extremes(pairs, thresholds):
+    """For nested detectors (thresholds), union == loosest member and
+    intersection == strictest member."""
+    v = np.array([p[0] for p in pairs])
+    f = np.array([p[1] for p in pairs])
+    members = [DeviationThresholdDetector(threshold=t) for t in thresholds]
+    union = UnionDetector(members).detect(v, f)
+    intersection = IntersectionDetector(members).detect(v, f)
+    loosest = DeviationThresholdDetector(threshold=min(thresholds)).detect(v, f)
+    strictest = DeviationThresholdDetector(threshold=max(thresholds)).detect(v, f)
+    assert np.array_equal(union, loosest)
+    assert np.array_equal(intersection, strictest)

@@ -1,0 +1,113 @@
+"""Property-based tests for the localization audit and candidate ranking."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.attribute import AttributeCombination
+from repro.core.explain import explain
+from repro.core.scoring import RAPCandidate, rank_candidates
+from repro.data.dataset import FineGrainedDataset
+from repro.data.schema import schema_from_sizes
+
+
+@st.composite
+def audited_scenarios(draw):
+    """A labelled dataset plus a random pattern list to audit."""
+    sizes = draw(st.lists(st.integers(2, 3), min_size=2, max_size=3))
+    schema = schema_from_sizes(sizes)
+    n = schema.n_leaves
+    labels = np.array(draw(st.lists(st.booleans(), min_size=n, max_size=n)))
+    dataset = FineGrainedDataset.full(schema, np.ones(n), np.ones(n), labels)
+    patterns = []
+    for __ in range(draw(st.integers(0, 4))):
+        values = [
+            draw(st.sampled_from((None,) + schema.elements(i)))
+            for i in range(schema.n_attributes)
+        ]
+        patterns.append(AttributeCombination(values))
+    return dataset, patterns
+
+
+@given(audited_scenarios())
+@settings(max_examples=80, deadline=None)
+def test_coverage_bounds(scenario):
+    dataset, patterns = scenario
+    audit = explain(dataset, patterns)
+    assert 0.0 <= audit.coverage <= 1.0
+    assert audit.covered_anomalous_leaves <= audit.total_anomalous_leaves
+
+
+@given(audited_scenarios())
+@settings(max_examples=80, deadline=None)
+def test_residual_plus_covered_is_total(scenario):
+    dataset, patterns = scenario
+    audit = explain(dataset, patterns, max_residual_listed=10_000)
+    assert (
+        audit.covered_anomalous_leaves + len(audit.residual_leaves)
+        == audit.total_anomalous_leaves
+    )
+
+
+@given(audited_scenarios())
+@settings(max_examples=60, deadline=None)
+def test_new_coverage_sums_to_covered(scenario):
+    """Per-pattern 'new anomalies' must sum to the overall covered count."""
+    dataset, patterns = scenario
+    audit = explain(dataset, patterns)
+    assert sum(e.new_anomalies_covered for e in audit.evidence) == (
+        audit.covered_anomalous_leaves
+    )
+
+
+@given(audited_scenarios())
+@settings(max_examples=60, deadline=None)
+def test_adding_patterns_never_reduces_coverage(scenario):
+    dataset, patterns = scenario
+    coverages = []
+    for end in range(len(patterns) + 1):
+        coverages.append(explain(dataset, patterns[:end]).coverage)
+    assert coverages == sorted(coverages)
+
+
+candidates_strategy = st.lists(
+    st.builds(
+        RAPCandidate,
+        combination=st.sampled_from(
+            [
+                AttributeCombination.parse(t)
+                for t in ("(a1, *)", "(a2, *)", "(*, b1)", "(a1, b1)", "(a2, b2)")
+            ]
+        ),
+        confidence=st.floats(0.0, 1.0),
+        layer=st.integers(1, 2),
+        support=st.integers(1, 100),
+        anomalous_support=st.integers(0, 100),
+    ),
+    max_size=8,
+)
+
+
+@given(candidates_strategy, st.data())
+@settings(max_examples=80)
+def test_ranking_permutation_invariant(candidates, data):
+    import random
+
+    shuffled = list(candidates)
+    random.Random(data.draw(st.integers(0, 100))).shuffle(shuffled)
+    assert rank_candidates(candidates) == rank_candidates(shuffled)
+
+
+@given(candidates_strategy, st.integers(0, 10))
+@settings(max_examples=80)
+def test_ranking_topk_is_prefix(candidates, k):
+    full = rank_candidates(candidates)
+    assert rank_candidates(candidates, k) == full[:k]
+
+
+@given(candidates_strategy)
+@settings(max_examples=80)
+def test_ranking_scores_monotone(candidates):
+    ranked = rank_candidates(candidates)
+    scores = [c.score for c in ranked]
+    assert scores == sorted(scores, reverse=True)

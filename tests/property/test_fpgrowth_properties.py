@@ -1,0 +1,63 @@
+"""Property-based tests: FP-growth vs brute-force subset counting."""
+
+import itertools
+from collections import defaultdict
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.baselines.fpgrowth import fpgrowth
+
+
+def brute_force(transactions, min_support, max_length=None):
+    counts = defaultdict(int)
+    for transaction in transactions:
+        items = sorted(set(transaction))
+        limit = len(items) if max_length is None else min(max_length, len(items))
+        for r in range(1, limit + 1):
+            for subset in itertools.combinations(items, r):
+                counts[frozenset(subset)] += 1
+    return {s: c for s, c in counts.items() if c >= min_support}
+
+
+transactions_strategy = st.lists(
+    st.lists(st.sampled_from("abcdef"), min_size=0, max_size=5),
+    min_size=0,
+    max_size=25,
+)
+
+
+@given(transactions_strategy, st.integers(1, 6))
+@settings(max_examples=80, deadline=None)
+def test_matches_brute_force(transactions, min_support):
+    assert fpgrowth(transactions, min_support) == brute_force(transactions, min_support)
+
+
+@given(transactions_strategy, st.integers(1, 4), st.integers(1, 3))
+@settings(max_examples=60, deadline=None)
+def test_max_length_matches_brute_force(transactions, min_support, max_length):
+    assert fpgrowth(transactions, min_support, max_length=max_length) == brute_force(
+        transactions, min_support, max_length=max_length
+    )
+
+
+@given(transactions_strategy, st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_downward_closure(transactions, min_support):
+    """Apriori property: every subset of a frequent itemset is frequent
+    with at least the same support."""
+    frequent = fpgrowth(transactions, min_support)
+    for itemset, support in frequent.items():
+        for item in itemset:
+            subset = itemset - {item}
+            if subset:
+                assert frequent[subset] >= support
+
+
+@given(transactions_strategy)
+@settings(max_examples=40, deadline=None)
+def test_support_one_counts_every_occurring_item(transactions):
+    frequent = fpgrowth(transactions, 1)
+    occurring = {item for t in transactions for item in t}
+    singletons = {next(iter(s)) for s in frequent if len(s) == 1}
+    assert singletons == occurring

@@ -1,0 +1,61 @@
+"""Property: the warm-start fast path never changes the answer."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.config import RAPMinerConfig
+from repro.core.incremental import IncrementalRAPMiner
+from repro.core.miner import RAPMiner
+from repro.data.dataset import FineGrainedDataset
+from repro.data.schema import schema_from_sizes
+
+
+@st.composite
+def interval_sequences(draw):
+    """A short sequence of labelled intervals over one leaf population.
+
+    Labels persist, drift, clear, or jump between intervals — the fast
+    path must agree with the stateless miner in every regime.
+    """
+    schema = schema_from_sizes(draw(st.lists(st.integers(2, 3), min_size=2, max_size=3)))
+    n = schema.n_leaves
+    n_intervals = draw(st.integers(1, 4))
+    base_labels = np.array(draw(st.lists(st.booleans(), min_size=n, max_size=n)))
+    intervals = []
+    labels = base_labels
+    for __ in range(n_intervals):
+        mutate = draw(st.sampled_from(["keep", "flip_one", "clear", "fresh"]))
+        if mutate == "flip_one" and n:
+            index = draw(st.integers(0, n - 1))
+            labels = labels.copy()
+            labels[index] = ~labels[index]
+        elif mutate == "clear":
+            labels = np.zeros(n, dtype=bool)
+        elif mutate == "fresh":
+            labels = np.array(draw(st.lists(st.booleans(), min_size=n, max_size=n)))
+        intervals.append(
+            FineGrainedDataset.full(schema, np.ones(n) * 10.0, np.ones(n) * 10.0, labels)
+        )
+    return intervals
+
+
+@given(interval_sequences(), st.floats(0.55, 0.95))
+@settings(max_examples=60, deadline=None)
+def test_incremental_equals_stateless(intervals, t_conf):
+    config = RAPMinerConfig(t_conf=t_conf, enable_attribute_deletion=False)
+    incremental = IncrementalRAPMiner(config)
+    stateless = RAPMiner(config)
+    for dataset in intervals:
+        assert set(incremental.localize(dataset)) == set(stateless.localize(dataset))
+
+
+@given(interval_sequences())
+@settings(max_examples=40, deadline=None)
+def test_incremental_rankings_match_on_fast_path(intervals):
+    """Not just the set: the ranked order agrees with the stateless miner."""
+    config = RAPMinerConfig(enable_attribute_deletion=False)
+    incremental = IncrementalRAPMiner(config)
+    stateless = RAPMiner(config)
+    for dataset in intervals:
+        assert incremental.localize(dataset) == stateless.localize(dataset)

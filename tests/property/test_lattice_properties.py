@@ -1,0 +1,107 @@
+"""Property-based tests on the attribute-combination lattice."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.attribute import AttributeCombination
+from repro.core.cuboid import Cuboid, cuboid_count, decrease_ratio, enumerate_cuboids
+from repro.data.schema import schema_from_sizes
+
+
+@st.composite
+def schemas(draw, max_attrs=4, max_elements=4):
+    sizes = draw(
+        st.lists(st.integers(2, max_elements), min_size=1, max_size=max_attrs)
+    )
+    return schema_from_sizes(sizes)
+
+
+@st.composite
+def schema_and_combination(draw):
+    schema = draw(schemas())
+    values = []
+    for i in range(schema.n_attributes):
+        elements = schema.elements(i)
+        choice = draw(st.sampled_from((None,) + elements))
+        values.append(choice)
+    return schema, AttributeCombination(values)
+
+
+@given(schema_and_combination())
+@settings(max_examples=80)
+def test_parse_str_roundtrip(pair):
+    __, combination = pair
+    assert AttributeCombination.parse(str(combination)) == combination
+
+
+@given(schema_and_combination())
+@settings(max_examples=80)
+def test_parents_are_exactly_one_layer_up(pair):
+    __, combination = pair
+    for parent in combination.parents():
+        assert parent.layer == combination.layer - 1
+        assert parent.is_ancestor_of(combination)
+
+
+@given(schema_and_combination())
+@settings(max_examples=80)
+def test_children_are_exactly_one_layer_down(pair):
+    schema, combination = pair
+    for child in combination.children(schema):
+        assert child.layer == combination.layer + 1
+        assert combination.is_ancestor_of(child)
+
+
+@given(schema_and_combination())
+@settings(max_examples=50)
+def test_ancestor_count_formula(pair):
+    """A layer-d combination has exactly 2^d - 2 strict non-total ancestors."""
+    __, combination = pair
+    d = combination.layer
+    assert len(combination.ancestors()) == max(0, 2**d - 2)
+
+
+@given(schema_and_combination())
+@settings(max_examples=50)
+def test_covered_leaves_matches_enumeration(pair):
+    schema, combination = pair
+    covered = sum(
+        1 for leaf in schema.iter_leaf_values() if combination.matches(leaf)
+    )
+    assert covered == combination.n_covered_leaves(schema)
+
+
+@given(schema_and_combination())
+@settings(max_examples=50)
+def test_ancestry_is_leafset_containment(pair):
+    """p ancestor of c  <=>  p covers strictly more leaves including all of c's."""
+    schema, combination = pair
+    for ancestor in combination.ancestors():
+        for leaf in schema.iter_leaf_values():
+            if combination.matches(leaf):
+                assert ancestor.matches(leaf)
+
+
+@given(st.integers(1, 10))
+def test_cuboid_count_matches_enumeration(n):
+    assert len(enumerate_cuboids(n)) == cuboid_count(n)
+
+
+@given(st.integers(1, 12), st.data())
+def test_decrease_ratio_in_unit_interval(n, data):
+    k = data.draw(st.integers(0, n))
+    ratio = decrease_ratio(n, k)
+    assert 0.0 <= ratio <= 1.0
+
+
+@given(schemas())
+@settings(max_examples=40)
+def test_cuboid_lengths_sum_to_lattice_size(schema):
+    """Sum of cuboid lengths = prod(1 + l(attr)) - 1 (every non-total pattern)."""
+    total = 1
+    for size in schema.sizes:
+        total *= 1 + size
+    lengths = sum(
+        c.length(schema) for c in enumerate_cuboids(schema.n_attributes)
+    )
+    assert lengths == total - 1

@@ -1,0 +1,75 @@
+"""Property-based tests on the evaluation metrics."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.attribute import AttributeCombination
+from repro.metrics.localization import precision_recall_f1, recall_at_k
+
+PATTERNS = [
+    AttributeCombination.parse(t)
+    for t in (
+        "(a1, *, *)",
+        "(a2, *, *)",
+        "(*, b1, *)",
+        "(*, b2, *)",
+        "(a1, b1, *)",
+        "(a1, *, c1)",
+        "(*, *, c2)",
+    )
+]
+
+pattern_lists = st.lists(st.sampled_from(PATTERNS), min_size=0, max_size=5)
+
+
+@given(pattern_lists, pattern_lists)
+@settings(max_examples=100)
+def test_prf_bounded(predicted, actual):
+    prf = precision_recall_f1(predicted, actual)
+    assert 0.0 <= prf.precision <= 1.0
+    assert 0.0 <= prf.recall <= 1.0
+    assert 0.0 <= prf.f1 <= 1.0
+
+
+@given(pattern_lists, pattern_lists)
+@settings(max_examples=100)
+def test_f1_between_precision_and_recall_extremes(predicted, actual):
+    prf = precision_recall_f1(predicted, actual)
+    assert prf.f1 <= max(prf.precision, prf.recall) + 1e-12
+    if prf.precision > 0.0 and prf.recall > 0.0:
+        assert prf.f1 >= min(prf.precision, prf.recall) ** 2  # harmonic mean bound
+
+
+@given(pattern_lists)
+@settings(max_examples=60)
+def test_self_prediction_is_perfect(patterns):
+    if not patterns:
+        return
+    prf = precision_recall_f1(patterns, patterns)
+    assert prf.f1 == 1.0
+
+
+@given(pattern_lists, pattern_lists)
+@settings(max_examples=60)
+def test_prf_symmetric_under_swap(predicted, actual):
+    """Swapping prediction and truth swaps precision and recall."""
+    a = precision_recall_f1(predicted, actual)
+    b = precision_recall_f1(actual, predicted)
+    assert a.precision == b.recall
+    assert a.recall == b.precision
+    assert abs(a.f1 - b.f1) < 1e-12
+
+
+@given(st.lists(st.tuples(pattern_lists, pattern_lists), max_size=5), st.integers(0, 6))
+@settings(max_examples=80)
+def test_rc_at_k_bounded(cases, k):
+    results = [(pred, tuple(actual)) for pred, actual in cases]
+    assert 0.0 <= recall_at_k(results, k) <= 1.0
+
+
+@given(st.lists(st.tuples(pattern_lists, pattern_lists), max_size=5))
+@settings(max_examples=60)
+def test_rc_at_k_monotone(cases):
+    results = [(pred, tuple(set(actual))) for pred, actual in cases]
+    values = [recall_at_k(results, k) for k in range(0, 6)]
+    assert values == sorted(values)

@@ -1,0 +1,56 @@
+"""Property-based tests for the service-layer building blocks."""
+
+from collections import deque
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.service.history import RollingHistory
+
+
+@given(
+    st.integers(1, 8),                       # capacity
+    st.lists(st.floats(-1e6, 1e6), min_size=0, max_size=40),
+)
+@settings(max_examples=100)
+def test_history_matches_deque_reference(capacity, values):
+    """The ring buffer behaves exactly like a bounded deque."""
+    history = RollingHistory(n_series=1, capacity=capacity)
+    reference = deque(maxlen=capacity)
+    for value in values:
+        history.append(np.array([value]))
+        reference.append(value)
+        assert len(history) == len(reference)
+        assert history.to_matrix().reshape(-1).tolist() == list(reference)
+        assert history.last()[0] == reference[-1]
+
+
+@given(st.integers(1, 5), st.integers(1, 8), st.integers(0, 30))
+@settings(max_examples=60)
+def test_history_shape_invariants(n_series, capacity, n_appends):
+    history = RollingHistory(n_series=n_series, capacity=capacity)
+    rng = np.random.default_rng(0)
+    for __ in range(n_appends):
+        history.append(rng.normal(size=n_series))
+    matrix = history.to_matrix()
+    assert matrix.shape == (min(n_appends, capacity), n_series)
+    assert history.is_full == (n_appends >= capacity)
+
+
+@given(
+    st.lists(st.floats(0.01, 1e6), min_size=1, max_size=30),
+    st.floats(0.01, 0.5),
+)
+@settings(max_examples=80)
+def test_deviation_alarm_threshold_semantics(totals, threshold):
+    """The alarm triggers exactly when the relative drop exceeds the threshold."""
+    from repro.service.alarm import DeviationAlarm
+
+    alarm = DeviationAlarm(threshold=threshold)
+    for forecast in totals:
+        for drop in (0.0, threshold / 2.0, threshold * 2.0):
+            actual = forecast * (1.0 - drop)
+            expected = drop > threshold * (1.0 + 1e-12)
+            # epsilon in the denominator only matters at forecast ~ 0
+            assert alarm.should_trigger(actual, forecast) == expected

@@ -1,0 +1,67 @@
+"""Property-based tests for incident schedules and traces."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.attribute import AttributeCombination
+from repro.data.cdn_simulator import CDNSimulator, CDNSimulatorConfig
+from repro.data.schema import cdn_schema
+from repro.data.trace import Incident, IncidentSchedule, generate_trace
+
+SCHEMA = cdn_schema(4, 2, 2, 3)
+SIMULATOR = CDNSimulator(SCHEMA, CDNSimulatorConfig(seed=7, noise_sigma=0.0))
+
+PATTERNS = [
+    AttributeCombination.parse(t)
+    for t in ("(L1, *, *, *)", "(L2, *, *, *)", "(*, *, *, Site1)", "(*, Wireless, *, *)")
+]
+
+
+@st.composite
+def schedules(draw, horizon=8):
+    incidents = []
+    for __ in range(draw(st.integers(0, 3))):
+        start = draw(st.integers(0, horizon - 1))
+        end = draw(st.integers(start, horizon - 1))
+        incidents.append(
+            Incident(
+                draw(st.sampled_from(PATTERNS)),
+                start=start,
+                end=end,
+                retain_fraction=draw(st.floats(0.0, 0.9)),
+            )
+        )
+    return IncidentSchedule(incidents)
+
+
+@given(schedules())
+@settings(max_examples=40, deadline=None)
+def test_truth_matches_active_windows(schedule):
+    for step in range(8):
+        truth = schedule.truth_at(step)
+        expected = [i.pattern for i in schedule.incidents if i.start <= step <= i.end]
+        assert truth == expected
+
+
+@given(schedules())
+@settings(max_examples=25, deadline=None)
+def test_trace_values_bounded_by_baseline(schedule):
+    """Incidents only ever remove traffic; no leaf exceeds its baseline."""
+    for step in generate_trace(SIMULATOR, schedule, 8, sample_every=10):
+        baseline = SIMULATOR.snapshot(step.simulator_step).v
+        assert (step.values <= baseline + 1e-9).all()
+        if not step.truth:
+            assert np.allclose(step.values, baseline)
+
+
+@given(schedules())
+@settings(max_examples=25, deadline=None)
+def test_unaffected_leaves_untouched(schedule):
+    probe = SIMULATOR.snapshot(0).to_dataset()
+    for step in generate_trace(SIMULATOR, schedule, 8, sample_every=10):
+        affected = np.zeros(probe.n_rows, dtype=bool)
+        for pattern in step.truth:
+            affected |= probe.mask_of(pattern)
+        baseline = SIMULATOR.snapshot(step.simulator_step).v
+        assert np.allclose(step.values[~affected], baseline[~affected])

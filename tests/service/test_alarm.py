@@ -1,0 +1,63 @@
+"""Tests for overall-KPI alarms."""
+
+import numpy as np
+import pytest
+
+from repro.service.alarm import DeviationAlarm, ResidualSigmaAlarm
+
+
+class TestDeviationAlarm:
+    def test_triggers_on_drop(self):
+        alarm = DeviationAlarm(threshold=0.05)
+        assert alarm.should_trigger(actual_total=90.0, forecast_total=100.0)
+
+    def test_quiet_within_threshold(self):
+        alarm = DeviationAlarm(threshold=0.05)
+        assert not alarm.should_trigger(actual_total=97.0, forecast_total=100.0)
+
+    def test_one_sided_ignores_surges(self):
+        alarm = DeviationAlarm(threshold=0.05, two_sided=False)
+        assert not alarm.should_trigger(actual_total=150.0, forecast_total=100.0)
+
+    def test_two_sided_catches_surges(self):
+        alarm = DeviationAlarm(threshold=0.05, two_sided=True)
+        assert alarm.should_trigger(actual_total=150.0, forecast_total=100.0)
+
+    def test_zero_forecast_guarded(self):
+        alarm = DeviationAlarm(threshold=0.05)
+        assert not alarm.should_trigger(actual_total=0.0, forecast_total=0.0)
+
+
+class TestResidualSigmaAlarm:
+    def feed_normal(self, alarm, n=50, noise=0.005, seed=0):
+        rng = np.random.default_rng(seed)
+        for __ in range(n):
+            actual = 100.0 * (1.0 + rng.normal(0.0, noise))
+            assert not alarm.should_trigger(actual, 100.0)
+
+    def test_quiet_during_calibration(self):
+        alarm = ResidualSigmaAlarm(min_history=10)
+        for __ in range(9):
+            assert not alarm.should_trigger(50.0, 100.0)  # even a huge drop
+
+    def test_triggers_on_outlier_after_calibration(self):
+        alarm = ResidualSigmaAlarm(k=4.0, min_history=10)
+        self.feed_normal(alarm)
+        assert alarm.should_trigger(actual_total=80.0, forecast_total=100.0)
+
+    def test_stays_quiet_on_normal_noise(self):
+        alarm = ResidualSigmaAlarm(k=5.0, min_history=10)
+        self.feed_normal(alarm, n=100)
+
+    def test_incident_does_not_recalibrate(self):
+        """A persistent outage keeps triggering: anomalous residuals are
+        excluded from the calibration window."""
+        alarm = ResidualSigmaAlarm(k=4.0, min_history=10)
+        self.feed_normal(alarm)
+        for __ in range(30):
+            assert alarm.should_trigger(actual_total=80.0, forecast_total=100.0)
+
+    def test_window_bounds_memory(self):
+        alarm = ResidualSigmaAlarm(window=20, min_history=5)
+        self.feed_normal(alarm, n=100)
+        assert len(alarm._residuals) <= 20

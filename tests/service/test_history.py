@@ -1,0 +1,61 @@
+"""Tests for the rolling history ring buffer."""
+
+import numpy as np
+import pytest
+
+from repro.service.history import RollingHistory
+
+
+class TestRollingHistory:
+    def test_starts_empty(self):
+        history = RollingHistory(n_series=3, capacity=5)
+        assert len(history) == 0
+        assert history.last() is None
+        assert history.to_matrix().shape == (0, 3)
+
+    def test_append_and_read_back(self):
+        history = RollingHistory(2, 4)
+        history.append(np.array([1.0, 2.0]))
+        history.append(np.array([3.0, 4.0]))
+        assert len(history) == 2
+        assert history.to_matrix().tolist() == [[1.0, 2.0], [3.0, 4.0]]
+        assert history.last().tolist() == [3.0, 4.0]
+
+    def test_eviction_keeps_chronological_order(self):
+        history = RollingHistory(1, 3)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            history.append(np.array([value]))
+        assert history.is_full
+        assert history.to_matrix().reshape(-1).tolist() == [3.0, 4.0, 5.0]
+
+    def test_wraparound_many_times(self):
+        history = RollingHistory(1, 4)
+        for value in range(100):
+            history.append(np.array([float(value)]))
+        assert history.to_matrix().reshape(-1).tolist() == [96.0, 97.0, 98.0, 99.0]
+        assert history.last()[0] == 99.0
+
+    def test_shape_mismatch_rejected(self):
+        history = RollingHistory(2, 3)
+        with pytest.raises(ValueError):
+            history.append(np.array([1.0]))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RollingHistory(0, 5)
+        with pytest.raises(ValueError):
+            RollingHistory(3, 0)
+
+    def test_clear(self):
+        history = RollingHistory(1, 3)
+        history.append(np.array([1.0]))
+        history.clear()
+        assert len(history) == 0
+        assert history.last() is None
+
+    def test_matrix_is_a_copy(self):
+        history = RollingHistory(1, 3)
+        history.append(np.array([1.0]))
+        matrix = history.to_matrix()
+        matrix[0, 0] = 99.0
+        assert history.last()[0] == 1.0

@@ -1,0 +1,154 @@
+"""Tests for the online localization service (Fig. 1 operational loop)."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribute import AttributeCombination
+from repro.data.cdn_simulator import CDNSimulator, CDNSimulatorConfig
+from repro.data.schema import cdn_schema
+from repro.detection.detectors import DeviationThresholdDetector
+from repro.detection.forecasting import SeasonalNaiveForecaster
+from repro.service.alarm import DeviationAlarm
+from repro.service.pipeline import IncidentReport, LocalizationService, ScopeImpact
+
+SAMPLE_EVERY = 30
+PERIOD = 1440 // SAMPLE_EVERY  # one simulated day of samples
+
+
+@pytest.fixture
+def simulator():
+    return CDNSimulator(cdn_schema(6, 2, 2, 5), CDNSimulatorConfig(seed=5, noise_sigma=0.02))
+
+
+@pytest.fixture
+def service(simulator):
+    svc = LocalizationService(
+        schema=simulator.schema,
+        codes=simulator.snapshot(0).codes,
+        forecaster=SeasonalNaiveForecaster(period=PERIOD),
+        detector=DeviationThresholdDetector(threshold=0.3),
+        alarm=DeviationAlarm(threshold=0.05),
+        history_capacity=PERIOD,
+        min_history=PERIOD,
+    )
+    # Warm up with one full day so the seasonal forecast is available.
+    day = np.stack(
+        [simulator.snapshot(step).v for step in range(0, 1440, SAMPLE_EVERY)]
+    )
+    svc.warm_up(day)
+    return svc
+
+
+def values_at(simulator, step):
+    return simulator.snapshot(step).v
+
+
+class TestQuietOperation:
+    def test_no_incident_on_normal_traffic(self, service, simulator):
+        for step in range(1440, 1440 + 10 * SAMPLE_EVERY, SAMPLE_EVERY):
+            assert service.observe(values_at(simulator, step)) is None
+        assert service.incidents_raised == 0
+
+    def test_insufficient_history_never_alarms(self, simulator):
+        svc = LocalizationService(
+            schema=simulator.schema,
+            codes=simulator.snapshot(0).codes,
+            min_history=50,
+            history_capacity=50,
+        )
+        crashed = values_at(simulator, 0) * 0.01
+        assert svc.observe(crashed) is None  # no history yet -> no judgment
+
+
+class TestIncidentFlow:
+    def drop(self, values, codes, location_code, factor=0.2):
+        out = values.copy()
+        out[codes[:, 0] == location_code] *= factor
+        return out
+
+    def test_incident_detected_and_localized(self, service, simulator):
+        # One quiet step, then location L3 collapses.
+        step = 1440
+        assert service.observe(values_at(simulator, step)) is None
+        step += SAMPLE_EVERY
+        crashed = self.drop(values_at(simulator, step), service.codes, 2)
+        report = service.observe(crashed)
+        assert report is not None
+        assert report.patterns[0] == AttributeCombination.parse("(L3, *, *, *)")
+        assert report.anomalous_leaves > 0
+        assert service.incidents_raised == 1
+
+    def test_report_impact_numbers(self, service, simulator):
+        step = 1440
+        values = values_at(simulator, step)
+        # Crash the highest-volume location so the aggregate alarm trips.
+        shares = [values[service.codes[:, 0] == c].sum() for c in range(6)]
+        heaviest = int(np.argmax(shares))
+        crashed = self.drop(values, service.codes, heaviest, factor=0.3)
+        report = service.observe(crashed)
+        assert report is not None
+        scope = report.scopes[0]
+        assert scope.pattern == AttributeCombination.parse(f"(L{heaviest + 1}, *, *, *)")
+        assert 0.5 < scope.drop_fraction < 0.9
+        assert scope.anomalous_leaves == scope.total_leaves
+        assert report.total_actual < report.total_forecast
+
+    def test_render_mentions_scope(self, service, simulator):
+        crashed = self.drop(values_at(simulator, 1440), service.codes, 0)
+        report = service.observe(crashed)
+        text = report.render()
+        assert "INCIDENT" in text
+        assert "(L1, *, *, *)" in text
+
+    def test_render_without_scopes(self):
+        report = IncidentReport(
+            step=5, total_actual=90.0, total_forecast=100.0, anomalous_leaves=3
+        )
+        assert "manual triage" in report.render()
+
+    def test_recovery_goes_quiet_again(self, service, simulator):
+        step = 1440
+        crashed = self.drop(values_at(simulator, step), service.codes, 2)
+        assert service.observe(crashed) is not None
+        # Next interval traffic is back to normal.
+        step += SAMPLE_EVERY
+        assert service.observe(values_at(simulator, step)) is None
+
+
+class TestPluggability:
+    def test_custom_localizer_used(self, simulator):
+        class StubLocalizer:
+            name = "stub"
+
+            def localize(self, dataset, k=None):
+                return [AttributeCombination.parse("(L1, *, *, *)")]
+
+        svc = LocalizationService(
+            schema=simulator.schema,
+            codes=simulator.snapshot(0).codes,
+            forecaster=SeasonalNaiveForecaster(period=PERIOD),
+            alarm=DeviationAlarm(threshold=0.01),
+            localizer=StubLocalizer(),
+            history_capacity=PERIOD,
+            min_history=1,
+        )
+        svc.warm_up(values_at(simulator, 0)[None, :])
+        report = svc.observe(values_at(simulator, 30) * 0.5)
+        assert report is not None
+        assert report.patterns == [AttributeCombination.parse("(L1, *, *, *)")]
+
+    def test_max_scopes_bounds_report(self, service, simulator):
+        values = values_at(simulator, 1440)
+        crashed = values * 0.1  # everything collapses
+        service.max_scopes = 2
+        report = service.observe(crashed)
+        assert report is not None
+        assert len(report.scopes) <= 2
+
+    def test_invalid_min_history(self, simulator):
+        with pytest.raises(ValueError):
+            LocalizationService(
+                schema=simulator.schema,
+                codes=simulator.snapshot(0).codes,
+                min_history=0,
+            )

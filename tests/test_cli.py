@@ -1,0 +1,148 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_path_factory):
+    """A small generated RAPMD bundle on disk."""
+    path = tmp_path_factory.mktemp("cli") / "rapmd.json"
+    code = main(["generate", "rapmd", "--out", str(path), "--scale", "fast", "--seed", "2"])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "fig99"])
+
+
+class TestGenerate:
+    def test_writes_bundle(self, bundle, capsys):
+        from repro.data.io import load_cases
+
+        cases = load_cases(bundle)
+        assert len(cases) > 0
+        assert all(case.true_raps for case in cases)
+
+    def test_squeeze_bundle(self, tmp_path, capsys):
+        path = tmp_path / "squeeze.json"
+        assert main(["generate", "squeeze", "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+
+class TestLocalize:
+    def test_localizes_single_case(self, bundle, capsys):
+        from repro.data.io import load_cases
+
+        case_id = load_cases(bundle)[0].case_id
+        code = main(
+            ["localize", "--cases", str(bundle), "--case-id", case_id, "--method", "RAPMiner"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert case_id in out
+        assert "truth:" in out
+        assert "hits:" in out
+
+    def test_unknown_case_id(self, bundle):
+        with pytest.raises(SystemExit):
+            main(["localize", "--cases", str(bundle), "--case-id", "nope"])
+
+    def test_unknown_method(self, bundle):
+        with pytest.raises(SystemExit):
+            main(["localize", "--cases", str(bundle), "--method", "Magic"])
+
+    def test_explicit_k(self, bundle, capsys):
+        from repro.data.io import load_cases
+
+        case_id = load_cases(bundle)[0].case_id
+        main(["localize", "--cases", str(bundle), "--case-id", case_id, "--k", "2"])
+        assert "k=2" in capsys.readouterr().out
+
+
+class TestEvaluate:
+    def test_rc_protocol(self, bundle, capsys):
+        code = main(
+            ["evaluate", "--cases", str(bundle), "--methods", "RAPMiner,Adtributor"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RC@3" in out
+        assert "RAPMiner" in out
+        assert "Adtributor" in out
+
+    def test_f1_protocol(self, bundle, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--cases",
+                str(bundle),
+                "--methods",
+                "RAPMiner",
+                "--protocol",
+                "f1",
+            ]
+        )
+        assert code == 0
+        assert "mean F1" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_analyze_prints_breakdown_and_profile(self, bundle, capsys):
+        code = main(["analyze", "--cases", str(bundle), "--method", "RAPMiner"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failure breakdown for RAPMiner" in out
+        assert "exact" in out
+        assert "recommended t_CP" in out
+
+    def test_analyze_respects_k(self, bundle, capsys):
+        assert main(["analyze", "--cases", str(bundle), "--k", "1"]) == 0
+        assert "failure breakdown" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_to_file(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli_module
+        import repro.experiments.report_builder as rb
+
+        monkeypatch.setattr(rb, "build_report", lambda **kw: "# stub")
+        out = tmp_path / "report.md"
+        assert main(["report", "--out", str(out)]) == 0
+        assert out.read_text() == "# stub"
+
+
+class TestGenerateDigest:
+    def test_generate_prints_workload_digest(self, tmp_path, capsys):
+        path = tmp_path / "digest.json"
+        assert main(["generate", "rapmd", "--out", str(path), "--seed", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "RAP dimensions" in out
+        assert "mean anomalous-leaf ratio" in out
+
+
+class TestReproduce:
+    def test_table4(self, capsys):
+        assert main(["reproduce", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "0.50000" in out
+        assert "0.96875" in out
+
+    def test_fig10b_fast(self, capsys):
+        assert main(["reproduce", "fig10b", "--scale", "fast", "--seed", "3"]) == 0
+        assert "t_conf" in capsys.readouterr().out
+
+    def test_fig8b_fast(self, capsys):
+        assert main(["reproduce", "fig8b", "--scale", "fast", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "RAPMiner" in out
+        assert "Squeeze" in out

@@ -1,0 +1,29 @@
+"""Execute the doctest examples embedded in module/class docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.attribute
+import repro.data.cdn_simulator
+
+MODULES_WITH_DOCTESTS = [
+    repro.core.attribute,
+    repro.data.cdn_simulator,
+]
+
+
+@pytest.mark.parametrize("module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests collected from {module.__name__}"
+
+
+def test_package_quickstart_doctest():
+    """The quickstart in the package docstring must stay runnable."""
+    import repro
+
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0
