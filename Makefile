@@ -1,4 +1,4 @@
-.PHONY: install test bench report examples paper clean
+.PHONY: install test bench bench-search report examples paper clean
 
 install:
 	pip install -e .[dev]
@@ -8,6 +8,10 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Engine vs. naive search speedup; writes BENCH_search.json at the repo root.
+bench-search:
+	pytest benchmarks/test_engine_speedup.py::test_engine_speedup_report -p no:cacheprovider
 
 # Regenerate every table/figure with printed output (fast preset).
 regen:

@@ -1,0 +1,160 @@
+"""Engine vs. naive-path speedup of Algorithm 2 on the fast-preset RAPMD cases.
+
+The measured workload is the repository's full sensitivity-sweep protocol
+(Fig. 10): per case, :func:`layerwise_topdown_search` runs once per
+``t_cp`` grid point (over that threshold's surviving attributes, at the
+default ``t_conf``) and once per ``t_conf`` grid point (over the default
+threshold's attributes) — eleven searches over one collection interval.
+This is the production shape of repeated search and exactly what the
+shared :class:`AggregationEngine` accelerates:
+
+* the **naive path** drives the shared search code through
+  :class:`NaiveAggregationEngine`, reproducing the pre-engine cost profile
+  (per-cuboid leaf-table aggregation with four separate bincounts and a
+  full-table mask per candidate, re-derived from scratch at every grid
+  point);
+* the **engine path** uses one :class:`AggregationEngine` per case,
+  created *inside* the timed region (no warm-start credit for the cold
+  first search) and shared across the grid, the way :func:`engine_for`
+  shares it in production — aggregates are threshold-independent, so
+  later grid points hit the cache.
+
+Attribute deletion (Algorithm 1) is precomputed outside the timed region:
+its cost is identical on both paths and the report isolates the search.
+Candidates must be bit-identical per (case, grid point); the wall-clock
+report is written to ``BENCH_search.json`` at the repository root (see
+``make bench-search``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.classification_power import delete_redundant_attributes
+from repro.core.config import RAPMinerConfig
+from repro.core.engine import AggregationEngine, NaiveAggregationEngine
+from repro.core.search import layerwise_topdown_search
+from repro.experiments.figures import DEFAULT_TCONF_GRID, DEFAULT_TCP_GRID
+
+REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_search.json"
+#: Timed repetitions per case and path; the minimum is reported.
+REPEATS = 9
+#: Acceptance floor from the issue: total naive time / total engine time.
+TARGET_SPEEDUP = 3.0
+
+
+def _grid_points(config):
+    """The Fig. 10 grid as (label, kept-set key, t_conf) triples."""
+    points = [(f"t_cp={t_cp}", t_cp, config.t_conf) for t_cp in DEFAULT_TCP_GRID]
+    points += [
+        (f"t_conf={t_conf}", config.t_cp, t_conf) for t_conf in DEFAULT_TCONF_GRID
+    ]
+    return points
+
+
+def _kept_indices(case, config):
+    """Algorithm 1 survivors per ``t_cp`` grid value (computed untimed)."""
+    thresholds = set(DEFAULT_TCP_GRID) | {config.t_cp}
+    return {
+        t_cp: delete_redundant_attributes(case.dataset, t_cp).kept_indices
+        for t_cp in thresholds
+    }
+
+
+def _run_sweep(case, kept, grid, engine_factory, shared_engine):
+    """One full grid sweep; returns outcomes keyed by grid-point label."""
+    engine = engine_factory(case.dataset) if shared_engine else None
+    outcomes = {}
+    for label, t_cp, t_conf in grid:
+        outcomes[label] = layerwise_topdown_search(
+            case.dataset,
+            kept[t_cp],
+            t_conf=t_conf,
+            engine=engine if shared_engine else engine_factory(case.dataset),
+        )
+    return outcomes
+
+
+def _time_sweep(case, kept, grid, engine_factory, shared_engine):
+    best = float("inf")
+    outcomes = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        outcomes = _run_sweep(case, kept, grid, engine_factory, shared_engine)
+        best = min(best, time.perf_counter() - start)
+    return best, outcomes
+
+
+def test_engine_speedup_report(rapmd_cases, capsys):
+    config = RAPMinerConfig()
+    grid = _grid_points(config)
+    rows = []
+    for case in rapmd_cases:
+        kept = _kept_indices(case, config)
+        naive_s, naive_outcomes = _time_sweep(
+            case, kept, grid, NaiveAggregationEngine, shared_engine=False
+        )
+        engine_s, engine_outcomes = _time_sweep(
+            case, kept, grid, AggregationEngine, shared_engine=True
+        )
+        # Bit-identical candidate sets at every grid point: same
+        # combinations, confidences, supports, in the same BFS order.
+        for label, __, __ in grid:
+            assert (
+                engine_outcomes[label].candidates == naive_outcomes[label].candidates
+            ), f"{case.case_id} diverged at {label}"
+            assert engine_outcomes[label].stats == naive_outcomes[label].stats
+        rows.append(
+            {
+                "case": case.case_id,
+                "naive_s": naive_s,
+                "engine_s": engine_s,
+                "speedup": naive_s / engine_s if engine_s > 0 else float("inf"),
+            }
+        )
+
+    naive_total = sum(r["naive_s"] for r in rows)
+    engine_total = sum(r["engine_s"] for r in rows)
+    overall = naive_total / engine_total if engine_total > 0 else float("inf")
+    report = {
+        "benchmark": "layerwise_topdown_search sensitivity-grid sweep",
+        "dataset": "rapmd-fast-preset",
+        "t_cp_grid": list(DEFAULT_TCP_GRID),
+        "t_conf_grid": list(DEFAULT_TCONF_GRID),
+        "searches_per_case": len(grid),
+        "repeats": REPEATS,
+        "cases": rows,
+        "naive_total_s": naive_total,
+        "engine_total_s": engine_total,
+        "speedup": overall,
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    with capsys.disabled():
+        print(f"\n[engine speedup] {len(rows)} cases x {len(grid)} grid points:")
+        print(f"  naive  total: {naive_total * 1e3:8.2f} ms")
+        print(f"  engine total: {engine_total * 1e3:8.2f} ms")
+        print(f"  speedup: {overall:.2f}x  (report: {REPORT_PATH.name})")
+
+    assert overall >= TARGET_SPEEDUP, (
+        f"engine speedup {overall:.2f}x below the {TARGET_SPEEDUP}x target"
+    )
+
+
+@pytest.mark.parametrize("path", ["naive", "engine"])
+def test_benchmark_search_path(benchmark, rapmd_cases, path):
+    """pytest-benchmark timings of one representative case's sweep per path."""
+    config = RAPMinerConfig()
+    grid = _grid_points(config)
+    case = rapmd_cases[0]
+    kept = _kept_indices(case, config)
+    factory = NaiveAggregationEngine if path == "naive" else AggregationEngine
+
+    def run():
+        return _run_sweep(case, kept, grid, factory, shared_engine=path == "engine")
+
+    benchmark(run)

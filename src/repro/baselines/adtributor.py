@@ -32,6 +32,7 @@ import numpy as np
 
 from ..core.attribute import AttributeCombination
 from ..core.cuboid import Cuboid
+from ..core.engine import engine_for
 from ..data.dataset import FineGrainedDataset
 from .base import Localizer
 
@@ -82,8 +83,9 @@ class Adtributor(Localizer):
         # (attribute surprise, per-element entries) per attribute.
         scored_sets: List[Tuple[float, List[Tuple[float, AttributeCombination]]]] = []
         n_attrs = dataset.schema.n_attributes
+        engine = engine_for(dataset)
         for attr_index in range(n_attrs):
-            aggregate = dataset.aggregate(Cuboid([attr_index]))
+            aggregate = engine.aggregate(Cuboid([attr_index]))
             entries: List[Tuple[float, float, int]] = []  # (surprise, ep, row)
             for row in range(len(aggregate)):
                 f_e = float(aggregate.f_sum[row])

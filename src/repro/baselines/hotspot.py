@@ -28,6 +28,7 @@ import numpy as np
 
 from ..core.attribute import AttributeCombination
 from ..core.cuboid import cuboids_in_layer
+from ..core.engine import engine_for
 from ..data.dataset import FineGrainedDataset
 from .base import Localizer
 from .squeeze import generalized_potential_score
@@ -166,10 +167,11 @@ class HotSpot(Localizer):
         n_attrs = dataset.schema.n_attributes
         depth = n_attrs if cfg.max_layer is None else min(cfg.max_layer, n_attrs)
 
+        engine = engine_for(dataset)
         overall_best: Tuple[float, int, List[AttributeCombination]] = (-math.inf, 0, [])
         for layer in range(1, depth + 1):
             for cuboid in cuboids_in_layer(n_attrs, layer):
-                aggregate = dataset.aggregate(cuboid)
+                aggregate = engine.aggregate(cuboid)
                 anomalous = aggregate.anomalous_support
                 relevant = np.flatnonzero(anomalous > 0)
                 if relevant.size == 0:
@@ -177,7 +179,11 @@ class HotSpot(Localizer):
                 order = relevant[np.argsort(-anomalous[relevant])]
                 order = order[: cfg.max_candidates_per_cuboid]
                 combinations = [aggregate.combination(int(row)) for row in order]
-                masks = [dataset.mask_of(c) for c in combinations]
+                masks = []
+                for combination in combinations:
+                    mask = np.zeros(dataset.n_rows, dtype=bool)
+                    mask[engine.rows_of(combination)] = True
+                    masks.append(mask)
                 state, score = self._search_cuboid(dataset, combinations, masks, rng)
                 # Occam bias: prefer the shallower cuboid on (near-)ties.
                 current = (score, -layer, [combinations[i] for i in sorted(state)])

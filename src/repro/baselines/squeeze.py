@@ -33,6 +33,7 @@ import numpy as np
 
 from ..core.attribute import AttributeCombination
 from ..core.cuboid import Cuboid, cuboids_in_layer
+from ..core.engine import AggregationEngine, engine_for
 from ..data.dataset import FineGrainedDataset
 from .base import Localizer
 
@@ -201,18 +202,26 @@ class Squeeze(Localizer):
     # -- per-cluster search -------------------------------------------------------
 
     def _search_cluster(
-        self, dataset: FineGrainedDataset, cluster_mask: np.ndarray
+        self,
+        dataset: FineGrainedDataset,
+        cluster_mask: np.ndarray,
+        engine: AggregationEngine,
     ) -> Tuple[List[AttributeCombination], float]:
-        """Best-GPS combination set explaining one deviation cluster."""
+        """Best-GPS combination set explaining one deviation cluster.
+
+        Cuboid aggregation goes through the dataset's shared engine: the
+        per-cuboid keys, supports and v/f sums are computed once and shared
+        across *all* clusters — only the per-cluster membership counts are
+        recomputed (one bincount over cached keys per cuboid).
+        """
         cfg = self.config
-        cluster_dataset = dataset.with_labels(cluster_mask)
         n_attrs = dataset.schema.n_attributes
         best_score = -np.inf
         best_set: List[AttributeCombination] = []
         best_layer = n_attrs + 1
         for layer in range(1, n_attrs + 1):
             for cuboid in cuboids_in_layer(n_attrs, layer):
-                aggregate = cluster_dataset.aggregate(cuboid)
+                aggregate = engine.aggregate_with_labels(cuboid, cluster_mask)
                 in_cluster = aggregate.anomalous_support
                 relevant = np.flatnonzero(in_cluster > 0)
                 if relevant.size == 0:
@@ -226,7 +235,7 @@ class Squeeze(Localizer):
                 for row in order:
                     combination = aggregate.combination(int(row))
                     prefix.append(combination)
-                    selection |= dataset.mask_of(combination)
+                    selection[engine.rows_of(combination)] = True
                     score = generalized_potential_score(
                         dataset, selection, cluster_mask, cfg.epsilon
                     )
@@ -258,12 +267,13 @@ class Squeeze(Localizer):
             min_cluster_size=cfg.min_cluster_size,
             valley_ratio=cfg.valley_ratio,
         )
+        engine = engine_for(dataset)
         ranked: List[AttributeCombination] = []
         seen = set()
         for members in clusters:
             cluster_mask = np.zeros(dataset.n_rows, dtype=bool)
             cluster_mask[anomalous_rows[members]] = True
-            combinations, __ = self._search_cluster(dataset, cluster_mask)
+            combinations, __ = self._search_cluster(dataset, cluster_mask, engine)
             for combination in combinations:
                 if combination not in seen:
                     seen.add(combination)

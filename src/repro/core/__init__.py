@@ -19,6 +19,13 @@ from .cuboid import (
     enumerate_cuboids,
     lattice_vertex_labels,
 )
+from .engine import (
+    AggregationEngine,
+    CandidateIndex,
+    NaiveAggregationEngine,
+    engine_for,
+    install_engine,
+)
 from .explain import Explanation, PatternEvidence, explain
 from .incremental import IncrementalRAPMiner, IncrementalStats
 from .lattice_viz import (
@@ -51,6 +58,11 @@ __all__ = [
     "decrease_ratio_lower_bound",
     "enumerate_cuboids",
     "lattice_vertex_labels",
+    "AggregationEngine",
+    "CandidateIndex",
+    "NaiveAggregationEngine",
+    "engine_for",
+    "install_engine",
     "Explanation",
     "PatternEvidence",
     "explain",

@@ -18,13 +18,14 @@ the criteria check and the bulk per-cuboid evaluation the search uses.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..data.dataset import CuboidAggregate, FineGrainedDataset
 from .attribute import AttributeCombination
 from .cuboid import Cuboid
+from .engine import AggregationEngine, engine_for
 
 __all__ = ["anomaly_confidence", "is_anomalous", "cuboid_confidences"]
 
@@ -46,12 +47,18 @@ def is_anomalous(
 
 
 def cuboid_confidences(
-    dataset: FineGrainedDataset, cuboid: Cuboid
+    dataset: FineGrainedDataset,
+    cuboid: Cuboid,
+    engine: Optional[AggregationEngine] = None,
 ) -> Tuple[CuboidAggregate, np.ndarray]:
     """Confidence of every occupied combination of *cuboid*, vectorized.
 
     Returns the aggregate (for decoding combinations and supports) together
-    with the per-combination confidence array.
+    with the per-combination confidence array.  Aggregation goes through
+    the dataset's shared :class:`AggregationEngine` so repeated calls (and
+    other consumers of the same interval) hit one cache.
     """
-    aggregate = dataset.aggregate(cuboid)
+    if engine is None:
+        engine = engine_for(dataset)
+    aggregate = engine.aggregate(cuboid)
     return aggregate, aggregate.confidence

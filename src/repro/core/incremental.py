@@ -3,21 +3,33 @@
 The paper localizes each alarmed time point independently, but a real
 incident spans many collection intervals (the paper's trace alarms every
 60 s) and its root anomaly patterns rarely change between adjacent
-intervals.  :class:`IncrementalRAPMiner` exploits that:
+intervals.  :class:`IncrementalRAPMiner` exploits that in two tiers:
 
-1. **Fast path** — re-verify the previous interval's patterns against the
-   new labels (Criteria 2 per pattern, plus the coverage condition: the
-   old patterns still explain at least ``min_coverage`` of the new
-   anomalous leaves, and none of their parents has become anomalous).
-   Verification costs one ``mask_of`` pass per previous pattern — orders
-   of magnitude below a lattice search.
-2. **Fallback** — anything changed (a pattern went quiet, a parent lit
-   up, coverage dropped), run the full two-stage RAPMiner and cache the
-   fresh result.
+1. **Prescreen** — re-verify the previous interval's patterns against the
+   new labels through the engine's inverted index: Criteria 2 per pattern,
+   no parent lit up, and the old patterns still explain at least
+   ``min_coverage`` of the new anomalous leaves.  This costs a handful of
+   posting-list intersections and fails fast on the common churn cases
+   (pattern went quiet, incident widened, new unexplained anomalies).
+2. **Exact replay** — when the prescreen passes, the full two-stage
+   pipeline still runs, but on a *warm* :class:`AggregationEngine` cloned
+   from the previous interval: linear keys, posting lists and per-cuboid
+   occupancy/support all survive (they depend only on the leaf codes,
+   which are stable across the intervals of one incident), so each cuboid
+   visit is one fused label/value bincount over cached keys instead of a
+   cold aggregation.  If the replay reproduces the cached pattern set the
+   interval counts as a fast-path hit; either way the caller receives
+   exactly what a stateless :class:`RAPMiner` would have produced.
 
-The fast path is *sound* for the persisted-incident case: a verified
-pattern satisfies Definition 1 on the new data exactly when it is
-anomalous and its parents are not — both are checked directly.
+Why replay instead of trusting the verified patterns?  Per-pattern checks
+cannot be sound on their own: the stateless search may return a *different*
+decomposition even when every cached pattern is still individually valid —
+a sibling combination in an earlier-visited cuboid can become confident and
+either join the result or, under early stop, displace later patterns
+entirely.  Detecting that requires visiting the same cuboids the search
+visits, so the cheapest *exact* fast path is the search itself on warm
+caches.  The prescreen merely avoids even that when the incident visibly
+changed.
 """
 
 from __future__ import annotations
@@ -25,13 +37,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-import numpy as np
-
 from ..data.dataset import FineGrainedDataset
 from .attribute import AttributeCombination
 from .config import RAPMinerConfig
+from .engine import AggregationEngine, engine_for
 from .miner import LocalizationResult, RAPMiner
-from .scoring import RAPCandidate, rank_candidates
 
 __all__ = ["IncrementalStats", "IncrementalRAPMiner"]
 
@@ -51,13 +61,20 @@ class IncrementalStats:
 class IncrementalRAPMiner:
     """RAPMiner with cross-interval warm starting.
 
+    Results are always identical to a stateless :class:`RAPMiner` run on
+    the same interval; the warm start changes only the cost.  An interval
+    counts as a *fast-path hit* when the prescreen accepted the cached
+    patterns and the (warm) replay reproduced them exactly.
+
     Parameters
     ----------
     config:
         Underlying :class:`RAPMinerConfig` (shared by both paths).
     min_coverage:
         Fraction of the new interval's anomalous leaves the previous
-        patterns must still explain for the fast path to be taken.
+        patterns must still explain for the prescreen to pass.  Purely a
+        prescreen knob — it decides how eagerly the cached patterns are
+        abandoned, never what the caller receives.
     """
 
     name = "IncrementalRAPMiner"
@@ -74,66 +91,82 @@ class IncrementalRAPMiner:
         self.min_coverage = min_coverage
         self.stats = IncrementalStats()
         self._previous: Optional[List[AttributeCombination]] = None
+        self._engine: Optional[AggregationEngine] = None
 
     def reset(self) -> None:
         """Forget the cached patterns (e.g. after an incident closes)."""
         self._previous = None
+        self._engine = None
 
-    # -- fast-path verification --------------------------------------------------
+    # -- engine adoption ----------------------------------------------------------
 
-    def _verify_previous(
-        self, dataset: FineGrainedDataset
-    ) -> Optional[List[RAPCandidate]]:
-        """Check the cached patterns against the new labels; None = fail."""
+    def _adopt_engine(self, dataset: FineGrainedDataset) -> AggregationEngine:
+        """The engine for this interval, warm-cloned from the last if possible.
+
+        A clone is taken when the new interval has the same schema and leaf
+        codes as the previous one (the persisted-incident case): every
+        code-derived cache survives, only label/value-dependent aggregates
+        are recomputed.  Otherwise the dataset's own shared engine is used.
+        Holding the engine keeps (at most) one previous interval alive.
+        """
+        previous = self._engine
+        if (
+            previous is not None
+            and previous.dataset is not dataset
+            and previous.compatible_with(dataset)
+        ):
+            engine = previous.warm_clone(dataset)
+        else:
+            engine = engine_for(dataset)
+        self._engine = engine
+        return engine
+
+    # -- fast-path prescreen ------------------------------------------------------
+
+    def _prescreen(self, dataset: FineGrainedDataset, engine: AggregationEngine) -> bool:
+        """Cheap necessary conditions for the cached patterns to survive."""
         assert self._previous is not None
         t_conf = self.config.t_conf
         n_anomalous = dataset.n_anomalous
         if n_anomalous == 0:
-            return None
-        candidates: List[RAPCandidate] = []
-        covered = np.zeros(dataset.n_rows, dtype=bool)
+            return False
+        explained = 0
+        seen = None
         for pattern in self._previous:
-            mask = dataset.mask_of(pattern)
-            support = int(mask.sum())
+            rows = engine.rows_of(pattern)
+            support = int(rows.size)
             if support == 0:
-                return None
-            anomalous_support = int(dataset.labels[mask].sum())
-            confidence = anomalous_support / support
-            if confidence <= t_conf:
-                return None  # the pattern went quiet
+                return False
+            anomalous_support = int(dataset.labels[rows].sum())
+            if anomalous_support <= t_conf * support:
+                return False  # the pattern went quiet
             for parent in pattern.parents():
-                if parent.layer >= 1 and dataset.confidence(parent) > t_conf:
-                    return None  # incident widened: a coarser scope lit up
-            covered |= mask
-            candidates.append(
-                RAPCandidate(
-                    combination=pattern,
-                    confidence=confidence,
-                    layer=pattern.layer,
-                    support=support,
-                    anomalous_support=anomalous_support,
-                )
-            )
-        explained = int((covered & dataset.labels).sum())
-        if explained < self.min_coverage * n_anomalous:
-            return None  # new anomalies the old patterns cannot explain
-        return candidates
+                if parent.layer >= 1 and engine.confidence(parent) > t_conf:
+                    return False  # incident widened: a coarser scope lit up
+            anomalous_rows = rows[dataset.labels[rows]]
+            if seen is None:
+                seen = set(anomalous_rows.tolist())
+            else:
+                seen.update(anomalous_rows.tolist())
+            explained = len(seen)
+        # New anomalies the old patterns cannot explain force a cold look.
+        return explained >= self.min_coverage * n_anomalous
 
     # -- public API -----------------------------------------------------------------
 
     def run(self, dataset: FineGrainedDataset, k: Optional[int] = None) -> LocalizationResult:
         """Localize one interval, warm-starting from the previous result."""
-        if self._previous:
-            verified = self._verify_previous(dataset)
-            if verified is not None:
-                self.stats.fast_path_hits += 1
-                ranked = rank_candidates(verified, k)
-                return LocalizationResult(candidates=ranked, deletion=None)
+        engine = self._adopt_engine(dataset)
+        replay_expected = bool(self._previous) and self._prescreen(dataset, engine)
         # Run untruncated and cache the complete candidate list, so a small
         # k does not starve the next interval's verification.
-        full = self._miner.run(dataset, None)
-        self.stats.full_runs += 1
-        self._previous = [c.combination for c in full.candidates] or None
+        full = self._miner.run(dataset, None, engine=engine)
+        found = [c.combination for c in full.candidates]
+        if replay_expected and set(found) == set(self._previous or []):
+            self.stats.fast_path_hits += 1
+        else:
+            self.stats.full_runs += 1
+        self._previous = found or None
         if k is None:
             return full
         return LocalizationResult(

@@ -17,6 +17,7 @@ from ..data.dataset import FineGrainedDataset
 from .attribute import AttributeCombination
 from .classification_power import AttributeDeletionResult, delete_redundant_attributes
 from .config import RAPMinerConfig
+from .engine import AggregationEngine
 from .scoring import RAPCandidate, rank_candidates
 from .search import SearchStats, layerwise_topdown_search
 
@@ -64,7 +65,12 @@ class RAPMiner:
     def __init__(self, config: Optional[RAPMinerConfig] = None):
         self.config = config if config is not None else RAPMinerConfig()
 
-    def run(self, dataset: FineGrainedDataset, k: Optional[int] = None) -> LocalizationResult:
+    def run(
+        self,
+        dataset: FineGrainedDataset,
+        k: Optional[int] = None,
+        engine: Optional["AggregationEngine"] = None,
+    ) -> LocalizationResult:
         """Execute both stages on a labelled leaf table.
 
         Parameters
@@ -74,6 +80,9 @@ class RAPMiner:
         k:
             Number of RAPs to return; ``None`` returns every candidate,
             ranked.
+        engine:
+            Aggregation engine for stage 2; defaults to the dataset's
+            shared engine.
 
         Returns
         -------
@@ -96,6 +105,8 @@ class RAPMiner:
             t_conf=cfg.t_conf,
             early_stop=cfg.early_stop,
             max_layer=cfg.max_layer,
+            engine=engine,
+            n_jobs=cfg.n_jobs,
         )
         if cfg.layer_normalized_ranking:
             ranked = rank_candidates(outcome.candidates, k)

@@ -13,10 +13,19 @@ itself, the candidate-descendant check exactly enforces Definition 1: a
 candidate's parents were all evaluated earlier and found non-anomalous
 (otherwise the parent — or one of *its* ancestors — would already be a
 candidate and the combination would have been pruned).
+
+Aggregation goes through the dataset's shared :class:`AggregationEngine`
+(:func:`repro.core.engine.engine_for`): per-cuboid linear keys are cached,
+support/anomalous/v/f come from one fused bincount pass, sub-cuboids roll
+up from a prepared base aggregate, and candidate coverage uses the
+engine's inverted index instead of full-table masks.  Pass ``n_jobs > 1``
+to fan each layer's cuboids across a thread pool; the candidate set is
+identical either way.
 """
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
@@ -24,11 +33,18 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..data.dataset import FineGrainedDataset
-from .attribute import AttributeCombination
 from .cuboid import Cuboid
+from .engine import AggregationEngine, CandidateIndex, engine_for
 from .scoring import RAPCandidate
 
 __all__ = ["SearchStats", "SearchOutcome", "layerwise_topdown_search"]
+
+
+@functools.lru_cache(maxsize=4096)
+def _layer_cuboids(indices: Tuple[int, ...], layer: int) -> Tuple[Cuboid, ...]:
+    """The layer's cuboids in lexicographic order (cuboids are immutable,
+    so the lists are shared across searches and threshold sweeps)."""
+    return tuple(Cuboid(subset) for subset in itertools.combinations(indices, layer))
 
 
 @dataclass
@@ -50,19 +66,14 @@ class SearchOutcome:
     stats: SearchStats = field(default_factory=SearchStats)
 
 
-def _descends_from_any(
-    combination: AttributeCombination, candidates: Sequence[RAPCandidate]
-) -> bool:
-    """Criteria 3 check: is *combination* below any existing candidate?"""
-    return any(c.combination.is_ancestor_of(combination) for c in candidates)
-
-
 def layerwise_topdown_search(
     dataset: FineGrainedDataset,
     attribute_indices: Sequence[int],
     t_conf: float = 0.8,
     early_stop: bool = True,
     max_layer: Optional[int] = None,
+    engine: Optional[AggregationEngine] = None,
+    n_jobs: Optional[int] = None,
 ) -> SearchOutcome:
     """Algorithm 2 over the cuboids spanned by *attribute_indices*.
 
@@ -79,6 +90,14 @@ def layerwise_topdown_search(
         stop strategy).  Disable for the ablation benchmark.
     max_layer:
         Optional cap on the BFS depth (all layers when ``None``).
+    engine:
+        Aggregation engine to use; defaults to the dataset's shared engine
+        (:func:`repro.core.engine.engine_for`), so repeated searches and
+        other consumers of the same interval reuse one cache.
+    n_jobs:
+        Worker count for per-layer cuboid fan-out; ``None`` inherits the
+        engine's default, ``1`` keeps the layer scan lazy (aggregating
+        only the cuboids the early stop actually reaches).
 
     Returns
     -------
@@ -97,22 +116,40 @@ def layerwise_topdown_search(
     n_anomalous = int(anomalous_leaves.sum())
     if n_anomalous == 0:
         return SearchOutcome(candidates=[], stats=stats)
+
+    if engine is None:
+        engine = engine_for(dataset)
+    engine.prepare(indices)
+    candidate_index = CandidateIndex()
     covered = np.zeros(dataset.n_rows, dtype=bool)
+    n_covered_anomalous = 0
 
     depth = len(indices) if max_layer is None else min(max_layer, len(indices))
+    index_tuple = tuple(indices)
     for layer in range(1, depth + 1):
         stats.deepest_layer_visited = layer
-        for attr_subset in itertools.combinations(indices, layer):
-            cuboid = Cuboid(attr_subset)
+        cuboids = _layer_cuboids(index_tuple, layer)
+        for cuboid, (aggregate, anomalous_rows) in zip(
+            cuboids, engine.layer_scan(cuboids, t_conf, n_jobs)
+        ):
             stats.n_cuboids_visited += 1
-            aggregate = dataset.aggregate(cuboid)
-            confidences = aggregate.confidence
             stats.n_combinations_evaluated += len(aggregate)
-            anomalous_rows = np.flatnonzero(confidences > t_conf)
+            if not anomalous_rows:
+                continue
+            confidences = aggregate.confidence
+            spec = cuboid.attribute_indices
+            spec_set = frozenset(spec)
+            positions = {attr: pos for pos, attr in enumerate(spec)}
+            group_codes = aggregate.codes
             for row in anomalous_rows:
-                combination = aggregate.combination(int(row))
-                if _descends_from_any(combination, candidates):
+                codes_row = group_codes[row]
+                # Criteria 3 pruning works on raw codes; combinations are
+                # only decoded for the (few) surviving candidates.
+                if candidate_index.has_ancestor_entry(
+                    spec_set, lambda i: int(codes_row[positions[i]])
+                ):
                     continue
+                combination = aggregate.combination(row)
                 candidate = RAPCandidate(
                     combination=combination,
                     confidence=float(confidences[row]),
@@ -121,8 +158,13 @@ def layerwise_topdown_search(
                     anomalous_support=int(aggregate.anomalous_support[row]),
                 )
                 candidates.append(candidate)
-                covered |= dataset.mask_of(combination)
-                if early_stop and int((covered & anomalous_leaves).sum()) >= n_anomalous:
+                candidate_index.add_entry(spec, tuple(int(c) for c in codes_row))
+                rows = engine.group_rows(aggregate, row)
+                fresh = rows[~covered[rows]]
+                if fresh.size:
+                    covered[fresh] = True
+                    n_covered_anomalous += int(anomalous_leaves[fresh].sum())
+                if early_stop and n_covered_anomalous >= n_anomalous:
                     stats.n_candidates = len(candidates)
                     stats.early_stopped = True
                     return SearchOutcome(candidates=candidates, stats=stats)

@@ -14,6 +14,7 @@ are vectorized numpy operations rather than Python scans.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -61,9 +62,14 @@ class CuboidAggregate:
     def __len__(self) -> int:
         return len(self.support)
 
-    @property
+    @functools.cached_property
     def confidence(self) -> np.ndarray:
-        """Anomaly confidence per combination (Criteria 2's ratio)."""
+        """Anomaly confidence per combination (Criteria 2's ratio).
+
+        Memoized: the search loop reads this once per cuboid visit and the
+        ranking stage reads it again, so the division runs at most once per
+        aggregate.  Aggregates are treated as immutable after construction.
+        """
         return self.anomalous_support / np.maximum(self.support, 1)
 
     def combination(self, index: int) -> AttributeCombination:
@@ -245,10 +251,18 @@ class FineGrainedDataset:
     # -- vectorized per-cuboid aggregation ---------------------------------------
 
     def linear_keys(self, cuboid: Cuboid) -> np.ndarray:
-        """Map each leaf row to a linear key over the cuboid's attributes."""
+        """Map each leaf row to a linear key over the cuboid's attributes.
+
+        Every attribute index must lie in ``[0, n_attributes)`` and the
+        index tuple must be strictly increasing (``Cuboid`` guarantees
+        this, but duck-typed callers are validated too, since an unsorted
+        tuple would silently permute the key space).
+        """
         indices = list(cuboid.attribute_indices)
-        if indices and indices[-1] >= self.schema.n_attributes:
+        if any(i < 0 or i >= self.schema.n_attributes for i in indices):
             raise IndexError("cuboid attribute index out of range for schema")
+        if any(a >= b for a, b in zip(indices, indices[1:])):
+            raise ValueError("cuboid attribute indices must be sorted and unique")
         sizes = [self.schema.size(i) for i in indices]
         strides = self._compute_strides(sizes)
         keys = np.zeros(self.n_rows, dtype=np.int64)

@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..core.attribute import AttributeCombination, AttributeSchema
+from ..core.engine import engine_for
 from ..core.miner import RAPMiner
 from ..data.dataset import FineGrainedDataset
 from ..detection.detectors import Detector, DeviationThresholdDetector
@@ -160,16 +161,19 @@ class LocalizationService:
         table = FineGrainedDataset(self.schema, self.codes, values, forecast)
         labelled = table.with_labels(self.detector.detect(values, forecast))
         patterns = self.localizer.localize(labelled, k=self.max_scopes)
+        # Same shared engine the localizer used for this interval, so the
+        # impact roll-up reuses its posting lists instead of fresh masks.
+        engine = engine_for(labelled)
         scopes = []
         for pattern in patterns:
-            mask = labelled.mask_of(pattern)
+            rows = engine.rows_of(pattern)
             scopes.append(
                 ScopeImpact(
                     pattern=pattern,
-                    actual=float(values[mask].sum()),
-                    forecast=float(forecast[mask].sum()),
-                    anomalous_leaves=int(labelled.labels[mask].sum()),
-                    total_leaves=int(mask.sum()),
+                    actual=float(values[rows].sum()),
+                    forecast=float(forecast[rows].sum()),
+                    anomalous_leaves=int(labelled.labels[rows].sum()),
+                    total_leaves=int(rows.size),
                 )
             )
         return IncidentReport(

@@ -162,6 +162,38 @@ class TestAggregation:
         with pytest.raises(IndexError):
             table.aggregate(Cuboid([9]))
 
+    def test_linear_keys_validates_every_index(self, four_attr_schema):
+        """A bad index anywhere in the tuple is caught, not just the last."""
+        n = four_attr_schema.n_leaves
+        ds = FineGrainedDataset.full(four_attr_schema, np.ones(n), np.ones(n))
+
+        class FakeCuboid:
+            attribute_indices = (-1, 2)
+
+        with pytest.raises(IndexError):
+            ds.linear_keys(FakeCuboid())
+
+    def test_linear_keys_rejects_unsorted_cuboid(self, four_attr_schema):
+        """Cuboid sorts its indices; duck-typed callers must not bypass that."""
+        n = four_attr_schema.n_leaves
+        ds = FineGrainedDataset.full(four_attr_schema, np.ones(n), np.ones(n))
+
+        class FakeCuboid:
+            attribute_indices = (2, 0)
+
+        with pytest.raises(ValueError):
+            ds.linear_keys(FakeCuboid())
+
+        class DupCuboid:
+            attribute_indices = (1, 1)
+
+        with pytest.raises(ValueError):
+            ds.linear_keys(DupCuboid())
+
+    def test_confidence_is_memoized(self, table):
+        agg = table.aggregate(Cuboid([0]))
+        assert agg.confidence is agg.confidence
+
 
 class TestInterchange:
     def test_to_records_roundtrip(self, table, tiny_schema):
