@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-search report examples paper clean
+.PHONY: install test bench bench-search trace-demo report examples paper clean
 
 install:
 	pip install -e .[dev]
@@ -12,6 +12,11 @@ bench:
 # Engine vs. naive search speedup; writes BENCH_search.json at the repo root.
 bench-search:
 	pytest benchmarks/test_engine_speedup.py::test_engine_speedup_report -p no:cacheprovider
+
+# Small localization under --trace: asserts the JSONL trace parses and
+# carries the expected span names / engine counters (tier-1 test).
+trace-demo:
+	pytest tests/test_cli.py -k trace -p no:cacheprovider
 
 # Regenerate every table/figure with printed output (fast preset).
 regen:

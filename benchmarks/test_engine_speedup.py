@@ -23,7 +23,10 @@ Attribute deletion (Algorithm 1) is precomputed outside the timed region:
 its cost is identical on both paths and the report isolates the search.
 Candidates must be bit-identical per (case, grid point); the wall-clock
 report is written to ``BENCH_search.json`` at the repository root (see
-``make bench-search``).
+``make bench-search``).  Each case also carries the engine counter totals
+of one instrumented (untimed) sweep — cache hit rate, bincount passes,
+layer-scan memo hits — so a speedup regression in the artifact can be
+attributed to a specific cache without re-running anything.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.core.classification_power import delete_redundant_attributes
 from repro.core.config import RAPMinerConfig
 from repro.core.engine import AggregationEngine, NaiveAggregationEngine
@@ -79,14 +83,55 @@ def _run_sweep(case, kept, grid, engine_factory, shared_engine):
     return outcomes
 
 
-def _time_sweep(case, kept, grid, engine_factory, shared_engine):
-    best = float("inf")
-    outcomes = None
+def _time_sweeps(case, kept, grid):
+    """Min-of-REPEATS timings of both paths, repeats interleaved.
+
+    Alternating naive/engine repetitions inside one loop means a slow
+    stretch of the machine (frequency scaling, a neighbouring process)
+    penalizes both paths alike instead of skewing whichever path happened
+    to run during it — the reported ratio measures the code, not the
+    scheduler.
+    """
+    paths = (
+        ("naive", NaiveAggregationEngine, False),
+        ("engine", AggregationEngine, True),
+    )
+    best = {name: float("inf") for name, __, __ in paths}
+    outcomes = {}
     for _ in range(REPEATS):
-        start = time.perf_counter()
-        outcomes = _run_sweep(case, kept, grid, engine_factory, shared_engine)
-        best = min(best, time.perf_counter() - start)
+        for name, factory, shared in paths:
+            start = time.perf_counter()
+            outcomes[name] = _run_sweep(case, kept, grid, factory, shared)
+            best[name] = min(best[name], time.perf_counter() - start)
     return best, outcomes
+
+
+def _engine_counters(case, kept, grid):
+    """Engine counter totals of one instrumented (untimed) shared-engine sweep.
+
+    Captured outside the timed region so the telemetry itself never skews
+    the wall-clock numbers; the counters make a perf regression diagnosable
+    from the artifact alone (did the cache hit rate collapse, or did the
+    bincount pass count explode?).
+    """
+    with obs.capture() as collector:
+        _run_sweep(case, kept, grid, AggregationEngine, shared_engine=True)
+    metrics = collector.metrics
+    requests = metrics.family_total("engine_aggregate_total")
+    cache_hits = metrics.value("engine_aggregate_total", {"path": "cache_hit"})
+    return {
+        "aggregate_requests": int(requests),
+        "aggregate_by_path": {
+            path: int(metrics.value("engine_aggregate_total", {"path": path}))
+            for path in ("cache_hit", "rollup", "warm_refresh", "cold")
+        },
+        "cache_hit_rate": cache_hits / requests if requests else 0.0,
+        "bincount_passes": int(metrics.family_total("engine_bincount_passes_total")),
+        "batched_cuboids": int(metrics.value("engine_batch_cuboids_total")),
+        "layer_scan_memo_hits": int(
+            metrics.value("engine_layer_scan_memo_hits_total")
+        ),
+    }
 
 
 def test_engine_speedup_report(rapmd_cases, capsys):
@@ -95,12 +140,9 @@ def test_engine_speedup_report(rapmd_cases, capsys):
     rows = []
     for case in rapmd_cases:
         kept = _kept_indices(case, config)
-        naive_s, naive_outcomes = _time_sweep(
-            case, kept, grid, NaiveAggregationEngine, shared_engine=False
-        )
-        engine_s, engine_outcomes = _time_sweep(
-            case, kept, grid, AggregationEngine, shared_engine=True
-        )
+        best, outcomes = _time_sweeps(case, kept, grid)
+        naive_s, engine_s = best["naive"], best["engine"]
+        naive_outcomes, engine_outcomes = outcomes["naive"], outcomes["engine"]
         # Bit-identical candidate sets at every grid point: same
         # combinations, confidences, supports, in the same BFS order.
         for label, __, __ in grid:
@@ -117,9 +159,31 @@ def test_engine_speedup_report(rapmd_cases, capsys):
             }
         )
 
+    # Counter collection happens after ALL timing: the instrumented sweeps
+    # allocate spans and metric objects, and interleaving that with the
+    # timed regions would perturb later cases (GC pressure, cache state).
+    for row, case in zip(rows, rapmd_cases):
+        row["engine_counters"] = _engine_counters(case, _kept_indices(case, config), grid)
+
     naive_total = sum(r["naive_s"] for r in rows)
     engine_total = sum(r["engine_s"] for r in rows)
     overall = naive_total / engine_total if engine_total > 0 else float("inf")
+    total_requests = sum(
+        r["engine_counters"]["aggregate_requests"] for r in rows
+    )
+    total_cache_hits = sum(
+        r["engine_counters"]["aggregate_by_path"]["cache_hit"] for r in rows
+    )
+    engine_counter_totals = {
+        "aggregate_requests": total_requests,
+        "cache_hit_rate": total_cache_hits / total_requests if total_requests else 0.0,
+        "bincount_passes": sum(
+            r["engine_counters"]["bincount_passes"] for r in rows
+        ),
+        "layer_scan_memo_hits": sum(
+            r["engine_counters"]["layer_scan_memo_hits"] for r in rows
+        ),
+    }
     report = {
         "benchmark": "layerwise_topdown_search sensitivity-grid sweep",
         "dataset": "rapmd-fast-preset",
@@ -131,6 +195,7 @@ def test_engine_speedup_report(rapmd_cases, capsys):
         "naive_total_s": naive_total,
         "engine_total_s": engine_total,
         "speedup": overall,
+        "engine_counter_totals": engine_counter_totals,
     }
     REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -138,6 +203,10 @@ def test_engine_speedup_report(rapmd_cases, capsys):
         print(f"\n[engine speedup] {len(rows)} cases x {len(grid)} grid points:")
         print(f"  naive  total: {naive_total * 1e3:8.2f} ms")
         print(f"  engine total: {engine_total * 1e3:8.2f} ms")
+        print(
+            f"  cache hit rate: {engine_counter_totals['cache_hit_rate']:.1%}  "
+            f"bincount passes: {engine_counter_totals['bincount_passes']}"
+        )
         print(f"  speedup: {overall:.2f}x  (report: {REPORT_PATH.name})")
 
     assert overall >= TARGET_SPEEDUP, (

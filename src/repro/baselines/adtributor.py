@@ -58,7 +58,10 @@ def _surprise(p: float, q: float) -> float:
         s += 0.5 * p * math.log(2.0 * p / (p + q))
     if q > 0.0:
         s += 0.5 * q * math.log(2.0 * q / (p + q))
-    return s
+    # The term is mathematically non-negative; rounding can leave a tiny
+    # negative residue when p and q are nearly equal (e.g. p=1.0 vs the
+    # closest float below it), so clamp at exact zero.
+    return s if s > 0.0 else 0.0
 
 
 class Adtributor(Localizer):

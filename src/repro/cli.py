@@ -7,7 +7,9 @@ Subcommands
     case bundle replayable by the other subcommands.
 ``repro localize``
     Run one localizer over a saved bundle (or a single case of it) and
-    print the ranked patterns next to the ground truth.
+    print the ranked patterns next to the ground truth.  Pass ``--trace
+    PATH`` to capture the run's spans and engine counters as JSONL (see
+    ``docs/observability.md``).
 ``repro evaluate``
     Run a method cohort over a saved bundle and print the F1 / RC@k and
     running-time tables.
@@ -116,6 +118,22 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_localize(args: argparse.Namespace) -> int:
+    if args.trace:
+        from . import obs
+        from .obs import report as obs_report
+
+        with obs.capture(trace_path=args.trace) as collector:
+            code = _run_localize(args)
+        print(obs_report.render_summary(collector))
+        print(
+            f"trace: wrote {len(collector.spans)} spans and "
+            f"{len(collector.metrics.collect())} metric series to {args.trace}"
+        )
+        return code
+    return _run_localize(args)
+
+
+def _run_localize(args: argparse.Namespace) -> int:
     cases = load_cases(args.cases)
     if args.case_id is not None:
         cases = [c for c in cases if c.case_id == args.case_id]
@@ -282,6 +300,12 @@ def build_parser() -> argparse.ArgumentParser:
     localize.add_argument("--method", default="RAPMiner")
     localize.add_argument("--k", type=int, default=None)
     localize.add_argument("--case-id", default=None)
+    localize.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="capture spans and engine counters, written as JSONL to PATH",
+    )
     localize.set_defaults(handler=_cmd_localize)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a method cohort")

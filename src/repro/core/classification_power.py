@@ -22,7 +22,9 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..data.dataset import FineGrainedDataset
+from ..obs import trace as _trace
 
 __all__ = [
     "binary_entropy",
@@ -117,21 +119,32 @@ def delete_redundant_attributes(
     """
     if t_cp < 0.0:
         raise ValueError("t_cp must be non-negative")
-    schema = dataset.schema
-    cp_values = all_classification_powers(dataset)
-    kept: List[int] = []
-    deleted: List[int] = []
-    for i, name in enumerate(schema.names):
-        if cp_values[name] > t_cp:
-            kept.append(i)
-        else:
-            deleted.append(i)
-    if not kept:
-        kept = list(range(schema.n_attributes))
-        deleted = []
-    kept.sort(key=lambda i: cp_values[schema.names[i]], reverse=True)
-    return AttributeDeletionResult(
-        kept_indices=tuple(kept),
-        deleted_indices=tuple(deleted),
-        cp_values=cp_values,
-    )
+    with obs.span("cp.attribute_deletion", t_cp=t_cp) as deletion_span:
+        schema = dataset.schema
+        cp_values = all_classification_powers(dataset)
+        kept: List[int] = []
+        deleted: List[int] = []
+        for i, name in enumerate(schema.names):
+            if cp_values[name] > t_cp:
+                kept.append(i)
+            else:
+                deleted.append(i)
+        forced_keep_all = not kept
+        if forced_keep_all:
+            kept = list(range(schema.n_attributes))
+            deleted = []
+        kept.sort(key=lambda i: cp_values[schema.names[i]], reverse=True)
+        deletion_span.set(
+            cp_values=cp_values,
+            kept=[schema.names[i] for i in kept],
+            deleted=[schema.names[i] for i in deleted],
+            forced_keep_all=forced_keep_all,
+        )
+        if _trace.ACTIVE:
+            obs.inc("cp_attributes_total", len(kept), decision="kept")
+            obs.inc("cp_attributes_total", len(deleted), decision="deleted")
+        return AttributeDeletionResult(
+            kept_indices=tuple(kept),
+            deleted_indices=tuple(deleted),
+            cp_values=cp_values,
+        )

@@ -49,6 +49,12 @@ Engines are bound to one :class:`FineGrainedDataset` and shared through
 :func:`engine_for`, a weak per-dataset registry: within one collection
 interval the search, the ranking, the service pipeline and any baseline
 all hit the same cache.
+
+When a :mod:`repro.obs` collector is installed the engine reports its
+hot-path behaviour — aggregate resolution paths, bincount passes, prefetch
+decisions, thread-pool fan-out, row-cache hits — as counters; every bump
+sits behind the single ``obs.trace.ACTIVE`` flag, so uninstrumented runs
+pay one boolean read per site (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -61,7 +67,9 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..data.dataset import CuboidAggregate, FineGrainedDataset
+from ..obs import trace as _trace
 from .attribute import AttributeCombination
 from .cuboid import Cuboid
 
@@ -220,6 +228,8 @@ class AggregationEngine:
         additions happen in row order, exactly as in separate bincounts.
         """
         lanes = len(weight_columns)
+        if _trace.ACTIVE:
+            obs.inc("engine_bincount_passes_total", kind="fused")
         if lanes == 1:
             return np.bincount(
                 keys, weights=weight_columns[0], minlength=capacity
@@ -275,6 +285,13 @@ class AggregationEngine:
         f_tiled = dataset.f if n_blocks == 1 else np.tile(dataset.f, n_blocks)
         v_all = np.bincount(combined, weights=v_tiled, minlength=offset)
         f_all = np.bincount(combined, weights=f_tiled, minlength=offset)
+        if _trace.ACTIVE:
+            obs.inc("engine_batch_cuboids_total", n_blocks)
+            obs.inc(
+                "engine_bincount_passes_total",
+                4 if label_rows.size else 3,
+                kind="batched",
+            )
         for cuboid, start, capacity, sizes in metas:
             end = start + capacity
             support = support_all[start:end]
@@ -321,7 +338,10 @@ class AggregationEngine:
         """
         indices = tuple(sorted(set(int(i) for i in attribute_indices)))
         if indices in self._prepared:
+            if _trace.ACTIVE:
+                obs.inc("engine_prepare_total", outcome="memoized")
             return self._prepared[indices]
+        outcome = "no_prefetch"
         base: Optional[CuboidAggregate] = None
         if indices:
             __, __, capacity = self._geometry(indices)
@@ -338,10 +358,15 @@ class AggregationEngine:
                 ]
                 if cold:
                     self._aggregate_batch(cold)
+                outcome = "full_lattice"
             if capacity < self.dataset.n_rows:
                 base = self.aggregate(Cuboid(indices))
                 self._bases[indices] = base
+                if outcome == "no_prefetch":
+                    outcome = "base_seeded"
         self._prepared[indices] = base
+        if _trace.ACTIVE:
+            obs.inc("engine_prepare_total", outcome=outcome)
         return base
 
     def _rollup_source(self, indices: Tuple[int, ...]) -> Optional[CuboidAggregate]:
@@ -407,9 +432,13 @@ class AggregationEngine:
         indices = cuboid.attribute_indices
         aggregate = self._aggregates.get(indices)
         if aggregate is not None:
+            if _trace.ACTIVE:
+                obs.inc("engine_aggregate_total", path="cache_hit")
             return aggregate
         source = self._rollup_source(indices)
         if source is not None:
+            if _trace.ACTIVE:
+                obs.inc("engine_aggregate_total", path="rollup")
             aggregate = self._rollup(cuboid, source)
             if indices not in self._shapes:
                 __, strides, __ = self._geometry(indices)
@@ -423,6 +452,8 @@ class AggregationEngine:
         if shape is not None:
             # Warm path (cloned engine): occupancy and support survive a
             # label/value refresh — they depend only on the codes.
+            if _trace.ACTIVE:
+                obs.inc("engine_aggregate_total", path="warm_refresh")
             dataset = self.dataset
             keys, capacity = self.linear_keys(cuboid)
             totals = self._fused_bincount(
@@ -439,6 +470,8 @@ class AggregationEngine:
             )
             self._aggregates[indices] = aggregate
             return aggregate
+        if _trace.ACTIVE:
+            obs.inc("engine_aggregate_total", path="cold")
         self._aggregate_batch([cuboid])
         return self._aggregates[indices]
 
@@ -456,6 +489,8 @@ class AggregationEngine:
         base = self.aggregate(cuboid)
         keys, capacity = self.linear_keys(cuboid)
         shape = self._shapes[cuboid.attribute_indices]
+        if _trace.ACTIVE:
+            obs.inc("engine_bincount_passes_total", kind="relabel")
         anomalous = np.bincount(
             keys, weights=np.asarray(labels, dtype=float), minlength=capacity
         )[shape.occupied]
@@ -496,10 +531,18 @@ class AggregationEngine:
             if jobs > 1:
                 per_chunk = max(1, min(per_chunk, -(-len(cold) // jobs)))
             chunks = [cold[i : i + per_chunk] for i in range(0, len(cold), per_chunk)]
+            if _trace.ACTIVE:
+                obs.inc("engine_layer_chunks_total", len(chunks))
             if jobs == 1 or len(chunks) == 1:
                 for chunk in chunks:
                     self._aggregate_batch(chunk)
             else:
+                if _trace.ACTIVE:
+                    obs.inc(
+                        "engine_layer_parallel_chunks_total",
+                        len(chunks),
+                        workers=str(min(jobs, len(chunks))),
+                    )
                 with ThreadPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
                     list(pool.map(self._aggregate_batch, chunks))
         return iter([self.aggregate(cuboid) for cuboid in cuboids])
@@ -525,6 +568,8 @@ class AggregationEngine:
         scan_key = (key, t_conf)
         memo = self._layer_scans.get(scan_key)
         if memo is not None:
+            if _trace.ACTIVE:
+                obs.inc("engine_layer_scan_memo_hits_total")
             return memo
         entry = self._layer_confidences.get(key)
         if entry is None:
@@ -559,6 +604,8 @@ class AggregationEngine:
         """Sorted row postings per element code of one attribute (lazy)."""
         lists = self._postings.get(column)
         if lists is None:
+            if _trace.ACTIVE:
+                obs.inc("engine_postings_built_total")
             codes = self.dataset.codes[:, column]
             order = np.argsort(codes, kind="stable")
             bounds = np.searchsorted(codes[order], np.arange(self._sizes[column] + 1))
@@ -581,6 +628,11 @@ class AggregationEngine:
 
     def _rows_of_encoded(self, encoded: Tuple[int, ...]) -> np.ndarray:
         cached = self._rows.get(encoded)
+        if _trace.ACTIVE:
+            obs.inc(
+                "engine_rows_cache_total",
+                outcome="hit" if cached is not None else "miss",
+            )
         if cached is not None:
             return cached
         lists = [
@@ -620,6 +672,11 @@ class AggregationEngine:
             encoded[attr_index] = int(codes_row[position])
         key = tuple(encoded)
         cached = self._rows.get(key)
+        if _trace.ACTIVE:
+            obs.inc(
+                "engine_rows_cache_total",
+                outcome="hit" if cached is not None else "miss",
+            )
         if cached is not None:
             return cached
         __, strides, __ = self._geometry(indices)
@@ -673,6 +730,8 @@ class AggregationEngine:
         """
         if not self.compatible_with(dataset):
             raise ValueError("warm_clone needs an identical leaf population")
+        if _trace.ACTIVE:
+            obs.inc("engine_warm_clones_total")
         clone = AggregationEngine(dataset, n_jobs=self.n_jobs)
         clone._geometries = self._geometries
         clone._keys = self._keys

@@ -35,9 +35,11 @@ changed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
+from .. import obs
 from ..data.dataset import FineGrainedDataset
+from ..obs import trace as _trace
 from .attribute import AttributeCombination
 from .config import RAPMinerConfig
 from .engine import AggregationEngine, engine_for
@@ -100,8 +102,10 @@ class IncrementalRAPMiner:
 
     # -- engine adoption ----------------------------------------------------------
 
-    def _adopt_engine(self, dataset: FineGrainedDataset) -> AggregationEngine:
-        """The engine for this interval, warm-cloned from the last if possible.
+    def _adopt_engine(
+        self, dataset: FineGrainedDataset
+    ) -> "Tuple[AggregationEngine, bool]":
+        """The engine for this interval (plus whether it was warm-cloned).
 
         A clone is taken when the new interval has the same schema and leaf
         codes as the previous one (the persisted-incident case): every
@@ -110,16 +114,17 @@ class IncrementalRAPMiner:
         Holding the engine keeps (at most) one previous interval alive.
         """
         previous = self._engine
-        if (
+        warm_cloned = (
             previous is not None
             and previous.dataset is not dataset
             and previous.compatible_with(dataset)
-        ):
+        )
+        if warm_cloned:
             engine = previous.warm_clone(dataset)
         else:
             engine = engine_for(dataset)
         self._engine = engine
-        return engine
+        return engine, warm_cloned
 
     # -- fast-path prescreen ------------------------------------------------------
 
@@ -156,22 +161,40 @@ class IncrementalRAPMiner:
 
     def run(self, dataset: FineGrainedDataset, k: Optional[int] = None) -> LocalizationResult:
         """Localize one interval, warm-starting from the previous result."""
-        engine = self._adopt_engine(dataset)
-        replay_expected = bool(self._previous) and self._prescreen(dataset, engine)
-        # Run untruncated and cache the complete candidate list, so a small
-        # k does not starve the next interval's verification.
-        full = self._miner.run(dataset, None, engine=engine)
-        found = [c.combination for c in full.candidates]
-        if replay_expected and set(found) == set(self._previous or []):
-            self.stats.fast_path_hits += 1
-        else:
-            self.stats.full_runs += 1
-        self._previous = found or None
-        if k is None:
-            return full
-        return LocalizationResult(
-            candidates=full.candidates[:k], deletion=full.deletion, stats=full.stats
-        )
+        with obs.span("incremental.run", k=k) as run_span:
+            engine, warm_cloned = self._adopt_engine(dataset)
+            if self._previous:
+                prescreen = "passed" if self._prescreen(dataset, engine) else "failed"
+            else:
+                prescreen = "no_previous"
+            replay_expected = prescreen == "passed"
+            # Run untruncated and cache the complete candidate list, so a small
+            # k does not starve the next interval's verification.
+            full = self._miner.run(dataset, None, engine=engine)
+            found = [c.combination for c in full.candidates]
+            fast_path = replay_expected and set(found) == set(self._previous or [])
+            if fast_path:
+                self.stats.fast_path_hits += 1
+            else:
+                self.stats.full_runs += 1
+            self._previous = found or None
+            run_span.set(
+                warm_cloned=warm_cloned,
+                prescreen=prescreen,
+                fast_path=fast_path,
+                n_candidates=len(found),
+            )
+            if _trace.ACTIVE:
+                obs.inc(
+                    "incremental_runs_total",
+                    path="fast_path" if fast_path else "full_run",
+                )
+                obs.inc("incremental_prescreen_total", outcome=prescreen)
+            if k is None:
+                return full
+            return LocalizationResult(
+                candidates=full.candidates[:k], deletion=full.deletion, stats=full.stats
+            )
 
     def localize(
         self, dataset: FineGrainedDataset, k: Optional[int] = None

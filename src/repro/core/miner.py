@@ -13,7 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from .. import obs
 from ..data.dataset import FineGrainedDataset
+from ..obs import trace as _trace
 from .attribute import AttributeCombination
 from .classification_power import AttributeDeletionResult, delete_redundant_attributes
 from .config import RAPMinerConfig
@@ -89,35 +91,48 @@ class RAPMiner:
         :class:`LocalizationResult` with ranked candidates and diagnostics.
         """
         cfg = self.config
-        deletion: Optional[AttributeDeletionResult] = None
-        if cfg.enable_attribute_deletion:
-            deletion = delete_redundant_attributes(dataset, cfg.t_cp)
-            attribute_indices = deletion.kept_indices
-        else:
-            attribute_indices = tuple(range(dataset.schema.n_attributes))
-
-        if dataset.n_anomalous == 0:
-            return LocalizationResult(candidates=[], deletion=deletion)
-
-        outcome = layerwise_topdown_search(
-            dataset,
-            attribute_indices,
+        with obs.span(
+            "miner.run",
+            k=k,
+            t_cp=cfg.t_cp,
             t_conf=cfg.t_conf,
-            early_stop=cfg.early_stop,
-            max_layer=cfg.max_layer,
-            engine=engine,
-            n_jobs=cfg.n_jobs,
-        )
-        if cfg.layer_normalized_ranking:
-            ranked = rank_candidates(outcome.candidates, k)
-        else:
-            ranked = sorted(
-                outcome.candidates,
-                key=lambda c: (-c.confidence, -c.support, c.combination.sort_key()),
+            attribute_deletion=cfg.enable_attribute_deletion,
+        ) as run_span:
+            if _trace.ACTIVE:
+                obs.inc("miner_runs_total")
+            deletion: Optional[AttributeDeletionResult] = None
+            if cfg.enable_attribute_deletion:
+                deletion = delete_redundant_attributes(dataset, cfg.t_cp)
+                attribute_indices = deletion.kept_indices
+            else:
+                attribute_indices = tuple(range(dataset.schema.n_attributes))
+
+            if dataset.n_anomalous == 0:
+                run_span.set(n_candidates=0, outcome="no_anomalous_leaves")
+                return LocalizationResult(candidates=[], deletion=deletion)
+
+            outcome = layerwise_topdown_search(
+                dataset,
+                attribute_indices,
+                t_conf=cfg.t_conf,
+                early_stop=cfg.early_stop,
+                max_layer=cfg.max_layer,
+                engine=engine,
+                n_jobs=cfg.n_jobs,
             )
-            if k is not None:
-                ranked = ranked[:k]
-        return LocalizationResult(candidates=ranked, deletion=deletion, stats=outcome.stats)
+            if cfg.layer_normalized_ranking:
+                ranked = rank_candidates(outcome.candidates, k)
+            else:
+                ranked = sorted(
+                    outcome.candidates,
+                    key=lambda c: (-c.confidence, -c.support, c.combination.sort_key()),
+                )
+                if k is not None:
+                    ranked = ranked[:k]
+            run_span.set(n_candidates=len(ranked), outcome="localized")
+            return LocalizationResult(
+                candidates=ranked, deletion=deletion, stats=outcome.stats
+            )
 
     def localize(
         self, dataset: FineGrainedDataset, k: Optional[int] = None

@@ -32,7 +32,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..data.dataset import FineGrainedDataset
+from ..obs import trace as _trace
 from .cuboid import Cuboid
 from .engine import AggregationEngine, CandidateIndex, engine_for
 from .scoring import RAPCandidate
@@ -54,6 +56,9 @@ class SearchStats:
     n_cuboids_visited: int = 0
     n_combinations_evaluated: int = 0
     n_candidates: int = 0
+    #: Confident combinations skipped because an ancestor was already a
+    #: candidate (Criteria 3) — how much work the pruning rule saved.
+    n_criteria3_pruned: int = 0
     deepest_layer_visited: int = 0
     early_stopped: bool = False
 
@@ -114,60 +119,127 @@ def layerwise_topdown_search(
     candidates: List[RAPCandidate] = []
     anomalous_leaves = dataset.labels
     n_anomalous = int(anomalous_leaves.sum())
-    if n_anomalous == 0:
-        return SearchOutcome(candidates=[], stats=stats)
 
-    if engine is None:
-        engine = engine_for(dataset)
-    engine.prepare(indices)
-    candidate_index = CandidateIndex()
-    covered = np.zeros(dataset.n_rows, dtype=bool)
-    n_covered_anomalous = 0
+    # The span machinery must cost ~nothing when tracing is off: the flag is
+    # hoisted once and the disabled path reuses a shared no-op context, so
+    # no span objects or attribute dicts are ever built.
+    traced = _trace.ACTIVE
+    run_cm = (
+        obs.span(
+            "search.run",
+            n_attributes=len(indices),
+            t_conf=t_conf,
+            n_anomalous_leaves=n_anomalous,
+        )
+        if traced
+        else _trace.NULL_SPAN_CONTEXT
+    )
+    with run_cm as run_span:
+        if n_anomalous == 0:
+            run_span.set(stop_reason="no_anomalous_leaves", n_candidates=0)
+            return SearchOutcome(candidates=[], stats=stats)
 
-    depth = len(indices) if max_layer is None else min(max_layer, len(indices))
-    index_tuple = tuple(indices)
-    for layer in range(1, depth + 1):
-        stats.deepest_layer_visited = layer
-        cuboids = _layer_cuboids(index_tuple, layer)
-        for cuboid, (aggregate, anomalous_rows) in zip(
-            cuboids, engine.layer_scan(cuboids, t_conf, n_jobs)
-        ):
-            stats.n_cuboids_visited += 1
-            stats.n_combinations_evaluated += len(aggregate)
-            if not anomalous_rows:
-                continue
-            confidences = aggregate.confidence
-            spec = cuboid.attribute_indices
-            spec_set = frozenset(spec)
-            positions = {attr: pos for pos, attr in enumerate(spec)}
-            group_codes = aggregate.codes
-            for row in anomalous_rows:
-                codes_row = group_codes[row]
-                # Criteria 3 pruning works on raw codes; combinations are
-                # only decoded for the (few) surviving candidates.
-                if candidate_index.has_ancestor_entry(
-                    spec_set, lambda i: int(codes_row[positions[i]])
-                ):
-                    continue
-                combination = aggregate.combination(row)
-                candidate = RAPCandidate(
-                    combination=combination,
-                    confidence=float(confidences[row]),
-                    layer=layer,
-                    support=int(aggregate.support[row]),
-                    anomalous_support=int(aggregate.anomalous_support[row]),
+        if engine is None:
+            engine = engine_for(dataset)
+        engine.prepare(indices)
+        candidate_index = CandidateIndex()
+        covered = np.zeros(dataset.n_rows, dtype=bool)
+        n_covered_anomalous = 0
+
+        depth = len(indices) if max_layer is None else min(max_layer, len(indices))
+        index_tuple = tuple(indices)
+
+        def finish(stop_reason: str) -> SearchOutcome:
+            stats.n_candidates = len(candidates)
+            if traced:
+                run_span.set(
+                    stop_reason=stop_reason,
+                    n_candidates=stats.n_candidates,
+                    n_cuboids=stats.n_cuboids_visited,
+                    n_combinations=stats.n_combinations_evaluated,
+                    n_criteria3_pruned=stats.n_criteria3_pruned,
+                    deepest_layer=stats.deepest_layer_visited,
+                    coverage_fraction=n_covered_anomalous / n_anomalous,
                 )
-                candidates.append(candidate)
-                candidate_index.add_entry(spec, tuple(int(c) for c in codes_row))
-                rows = engine.group_rows(aggregate, row)
-                fresh = rows[~covered[rows]]
-                if fresh.size:
-                    covered[fresh] = True
-                    n_covered_anomalous += int(anomalous_leaves[fresh].sum())
-                if early_stop and n_covered_anomalous >= n_anomalous:
-                    stats.n_candidates = len(candidates)
-                    stats.early_stopped = True
-                    return SearchOutcome(candidates=candidates, stats=stats)
+                obs.inc("search_layers_total", stats.deepest_layer_visited)
+                obs.inc("search_cuboids_total", stats.n_cuboids_visited)
+                obs.inc("search_combinations_total", stats.n_combinations_evaluated)
+                obs.inc("search_candidates_total", stats.n_candidates)
+                obs.inc("search_criteria3_pruned_total", stats.n_criteria3_pruned)
+                if stats.early_stopped:
+                    obs.inc("search_early_stops_total")
+            return SearchOutcome(candidates=candidates, stats=stats)
 
-    stats.n_candidates = len(candidates)
-    return SearchOutcome(candidates=candidates, stats=stats)
+        for layer in range(1, depth + 1):
+            stats.deepest_layer_visited = layer
+            cuboids = _layer_cuboids(index_tuple, layer)
+            if traced:
+                # Per-layer deltas are recovered from stats snapshots in the
+                # ``finally`` below, so the scan loop itself carries no
+                # tracing bookkeeping.
+                layer_cm = obs.span("search.layer", layer=layer)
+                snap = (
+                    stats.n_cuboids_visited,
+                    stats.n_combinations_evaluated,
+                    len(candidates),
+                    stats.n_criteria3_pruned,
+                )
+            else:
+                layer_cm = _trace.NULL_SPAN_CONTEXT
+            with layer_cm as layer_span:
+                try:
+                    for cuboid, (aggregate, anomalous_rows) in zip(
+                        cuboids, engine.layer_scan(cuboids, t_conf, n_jobs)
+                    ):
+                        stats.n_cuboids_visited += 1
+                        stats.n_combinations_evaluated += len(aggregate)
+                        if not anomalous_rows:
+                            continue
+                        confidences = aggregate.confidence
+                        spec = cuboid.attribute_indices
+                        spec_set = frozenset(spec)
+                        positions = {attr: pos for pos, attr in enumerate(spec)}
+                        group_codes = aggregate.codes
+                        for row in anomalous_rows:
+                            codes_row = group_codes[row]
+                            # Criteria 3 pruning works on raw codes; combinations are
+                            # only decoded for the (few) surviving candidates.
+                            if candidate_index.has_ancestor_entry(
+                                spec_set, lambda i: int(codes_row[positions[i]])
+                            ):
+                                stats.n_criteria3_pruned += 1
+                                continue
+                            combination = aggregate.combination(row)
+                            candidate = RAPCandidate(
+                                combination=combination,
+                                confidence=float(confidences[row]),
+                                layer=layer,
+                                support=int(aggregate.support[row]),
+                                anomalous_support=int(aggregate.anomalous_support[row]),
+                            )
+                            candidates.append(candidate)
+                            candidate_index.add_entry(
+                                spec, tuple(int(c) for c in codes_row)
+                            )
+                            rows = engine.group_rows(aggregate, row)
+                            fresh = rows[~covered[rows]]
+                            if fresh.size:
+                                covered[fresh] = True
+                                n_covered_anomalous += int(anomalous_leaves[fresh].sum())
+                            if early_stop and n_covered_anomalous >= n_anomalous:
+                                stats.early_stopped = True
+                                return finish("coverage_early_stop")
+                finally:
+                    if traced:
+                        layer_span.set(
+                            n_cuboids=stats.n_cuboids_visited - snap[0],
+                            n_combinations=stats.n_combinations_evaluated - snap[1],
+                            n_candidates=len(candidates) - snap[2],
+                            n_criteria3_pruned=stats.n_criteria3_pruned - snap[3],
+                            coverage_fraction=n_covered_anomalous / n_anomalous,
+                            early_stopped=stats.early_stopped,
+                        )
+
+        return finish(
+            "max_layer_reached" if depth < len(indices) else "lattice_exhausted"
+        )

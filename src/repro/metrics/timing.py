@@ -53,13 +53,25 @@ class TimingAccumulator:
     def total(self) -> float:
         return sum(self.samples)
 
-    def percentile(self, q: float) -> float:
-        """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    def _guarded_samples(self, what: str) -> List[float]:
+        """The sample list, or a clear error when no run was ever recorded.
+
+        Every order-statistic query funnels through this single guard:
+        an empty accumulator has no percentiles, and silently answering
+        ``0.0`` (the old behaviour) made missing data indistinguishable
+        from an instantaneous run in reports.
+        """
+        if not self.samples:
+            raise ValueError(
+                f"cannot compute {what}: TimingAccumulator has no samples "
+                "(record at least one duration with add() first)"
+            )
+        return self.samples
+
+    @staticmethod
+    def _interpolate(ordered: List[float], q: float) -> float:
         if not 0.0 <= q <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
-        if not self.samples:
-            return 0.0
-        ordered = sorted(self.samples)
         if len(ordered) == 1:
             return ordered[0]
         position = (len(ordered) - 1) * q / 100.0
@@ -67,3 +79,15 @@ class TimingAccumulator:
         high = min(low + 1, len(ordered) - 1)
         fraction = position - low
         return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile, ``q`` in [0, 100].
+
+        Raises ``ValueError`` when no samples were recorded.
+        """
+        return self._interpolate(sorted(self._guarded_samples(f"percentile({q:g})")), q)
+
+    def percentiles(self, qs: Sequence[float]) -> Tuple[float, ...]:
+        """Several percentiles from one sorted pass (same guard as one query)."""
+        ordered = sorted(self._guarded_samples("percentiles"))
+        return tuple(self._interpolate(ordered, q) for q in qs)

@@ -1,0 +1,189 @@
+"""Exposition: Prometheus text format and JSONL trace files.
+
+Two consumers, two formats:
+
+* :func:`prometheus_text` renders a registry in the Prometheus text
+  exposition format (version 0.0.4) — the ``# HELP`` / ``# TYPE`` headers,
+  label rendering and escaping rules a real scraper expects, so a
+  long-running deployment can serve the engine counters from any HTTP
+  handler without adding a client library dependency.
+* :func:`write_jsonl` / :func:`to_jsonl_lines` flatten one captured run —
+  spans and metrics — into line-delimited JSON, the ``--trace PATH``
+  artifact.  Every line is a self-describing object with a ``type`` field
+  (``meta``, ``span``, ``counter``, ``gauge``, ``histogram``), so the file
+  is greppable and streams into any log pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+from .metrics import Counter, Gauge, Histogram, MetricRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .trace import Collector
+
+__all__ = [
+    "prometheus_text",
+    "to_jsonl_lines",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+_JSONL_VERSION = 1
+
+
+# -- Prometheus text format ---------------------------------------------------
+
+
+def escape_help(text: str) -> str:
+    r"""Escape a HELP string: ``\`` -> ``\\`` and newline -> ``\n``."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(value: str) -> str:
+    r"""Escape a label value: ``\`` -> ``\\``, ``"`` -> ``\"``, newline -> ``\n``."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{name}="{escape_label_value(str(value))}"' for name, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _render_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: Optional[MetricRegistry] = None) -> str:
+    """The registry in Prometheus text exposition format.
+
+    Defaults to the active collector's registry; with no collector
+    installed (and no registry passed) returns an empty exposition.
+    Families render once (one ``# HELP`` / ``# TYPE`` pair) with their
+    series listed beneath; histograms expand to cumulative ``_bucket``
+    series plus ``_sum`` and ``_count``.
+    """
+    if registry is None:
+        from .trace import active_collector
+
+        collector = active_collector()
+        if collector is None:
+            return ""
+        registry = collector.metrics
+    lines: List[str] = []
+    seen_families: Dict[str, bool] = {}
+    for metric in registry.collect():
+        if metric.name not in seen_families:
+            seen_families[metric.name] = True
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {escape_help(metric.help)}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(
+                f"{metric.name}{_render_labels(metric.labels)} {_render_value(metric.value)}"
+            )
+        elif isinstance(metric, Histogram):
+            for bound, cumulative in metric.cumulative_buckets():
+                labels = _render_labels(metric.labels, {"le": _render_value(bound)})
+                lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+            inf_labels = _render_labels(metric.labels, {"le": "+Inf"})
+            lines.append(f"{metric.name}_bucket{inf_labels} {metric.count}")
+            lines.append(
+                f"{metric.name}_sum{_render_labels(metric.labels)} {_render_value(metric.sum)}"
+            )
+            lines.append(f"{metric.name}_count{_render_labels(metric.labels)} {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- JSONL traces -------------------------------------------------------------
+
+
+def _json_safe(value: object) -> object:
+    """Coerce span attributes to JSON-serializable shapes (fallback: str)."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else repr(value)
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    return str(value)
+
+
+def to_jsonl_lines(collector: "Collector") -> Iterator[str]:
+    """One captured run as JSONL lines (meta, then spans, then metrics)."""
+    yield json.dumps(
+        {
+            "type": "meta",
+            "version": _JSONL_VERSION,
+            "n_spans": len(collector.spans),
+        }
+    )
+    for span in collector.spans:
+        yield json.dumps(
+            {
+                "type": "span",
+                "name": span.name,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "start_unix": span.start_unix,
+                "duration_s": span.duration_s,
+                "attributes": _json_safe(span.attributes),
+            }
+        )
+    for metric in collector.metrics.collect():
+        if isinstance(metric, Histogram):
+            yield json.dumps(
+                {
+                    "type": "histogram",
+                    "name": metric.name,
+                    "labels": metric.labels,
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "buckets": metric.cumulative_buckets(),
+                }
+            )
+        elif isinstance(metric, (Counter, Gauge)):
+            yield json.dumps(
+                {
+                    "type": metric.kind,
+                    "name": metric.name,
+                    "labels": metric.labels,
+                    "value": metric.value,
+                }
+            )
+
+
+def write_jsonl(collector: "Collector", path: str) -> None:
+    """Write the run to *path*, one JSON object per line."""
+    with open(path, "w") as handle:
+        for line in to_jsonl_lines(collector):
+            handle.write(line + "\n")
+
+
+def read_jsonl(path: str) -> List[Dict[str, object]]:
+    """Parse a trace file back into records (inverse of :func:`write_jsonl`)."""
+    records: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,110 @@
+"""Human-readable summaries of one captured run.
+
+Turns a :class:`~repro.obs.trace.Collector` into the two artefacts an
+operator actually reads:
+
+* :func:`render_summary` — per-span-name duration statistics (count,
+  total, mean, p50/p95 via
+  :class:`~repro.metrics.timing.TimingAccumulator`) followed by every
+  scalar metric, in one fixed-width block.
+* :func:`incident_timeline` — the per-incident audit trail: each
+  ``service.interval`` span of an alarmed step expanded into its ordered
+  child stages (forecast -> alarm -> detect -> localize -> impact) with
+  durations, so one incident's latency budget reads top to bottom.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..metrics.timing import TimingAccumulator
+from .trace import Collector, Span
+
+__all__ = ["span_accumulators", "render_summary", "incident_timeline"]
+
+
+def span_accumulators(collector: Collector) -> Dict[str, TimingAccumulator]:
+    """Span durations grouped by name, in first-completion order."""
+    accumulators: Dict[str, TimingAccumulator] = {}
+    for span in collector.spans:
+        accumulators.setdefault(span.name, TimingAccumulator()).add(span.duration_s)
+    return accumulators
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def render_summary(collector: Collector) -> str:
+    """Fixed-width span and metric summary of one captured run."""
+    lines: List[str] = []
+    accumulators = span_accumulators(collector)
+    if accumulators:
+        name_width = max(len(name) for name in accumulators)
+        lines.append("spans:")
+        header = (
+            f"  {'name'.ljust(name_width)}  {'count':>5}  {'total':>9}  "
+            f"{'mean':>9}  {'p50':>9}  {'p95':>9}"
+        )
+        lines.append(header)
+        for name, acc in accumulators.items():
+            lines.append(
+                f"  {name.ljust(name_width)}  {acc.n:>5}  "
+                f"{_format_seconds(acc.total):>9}  {_format_seconds(acc.mean):>9}  "
+                f"{_format_seconds(acc.percentile(50)):>9}  "
+                f"{_format_seconds(acc.percentile(95)):>9}"
+            )
+    flat = collector.metrics.as_flat_dict()
+    if flat:
+        lines.append("metrics:")
+        metric_width = max(len(name) for name in flat)
+        for name, value in flat.items():
+            rendered = str(int(value)) if float(value).is_integer() else f"{value:.4f}"
+            lines.append(f"  {name.ljust(metric_width)}  {rendered}")
+    if not lines:
+        return "(empty capture: no spans or metrics recorded)"
+    return "\n".join(lines)
+
+
+def incident_timeline(collector: Collector, step: Optional[int] = None) -> str:
+    """Audit trail of the captured incidents (alarmed ``service.interval`` spans).
+
+    One block per alarmed interval — or per *every* interval matching
+    *step* when given — listing the interval's child stages in completion
+    order with durations and salient attributes.  Returns a placeholder
+    line when the capture holds no matching interval.
+    """
+    intervals = [
+        span
+        for span in collector.find_spans("service.interval")
+        if (step is None and span.attributes.get("alarmed"))
+        or (step is not None and span.attributes.get("step") == step)
+    ]
+    if not intervals:
+        return "(no matching incident intervals captured)"
+    lines: List[str] = []
+    for interval in intervals:
+        header = f"step {interval.attributes.get('step', '?')}: "
+        header += "ALARMED" if interval.attributes.get("alarmed") else "quiet"
+        header += f"  [{_format_seconds(interval.duration_s)} total]"
+        lines.append(header)
+        for child in sorted(collector.children_of(interval), key=lambda s: s.start):
+            stage = child.name.rsplit(".", 1)[-1]
+            detail = _stage_detail(child)
+            lines.append(
+                f"  {stage:<10} {_format_seconds(child.duration_s):>9}{detail}"
+            )
+    return "\n".join(lines)
+
+
+def _stage_detail(span: Span) -> str:
+    attrs = span.attributes
+    parts = []
+    for key in ("triggered", "anomalous_leaves", "n_patterns", "n_scopes"):
+        if key in attrs:
+            parts.append(f"{key}={attrs[key]}")
+    return ("  " + " ".join(parts)) if parts else ""

@@ -10,16 +10,24 @@ with the detector and runs the localizer, emitting an
 The localizer is pluggable (:class:`~repro.core.miner.RAPMiner` by
 default, any :class:`~repro.baselines.base.Localizer` works), as are the
 forecaster, detector, and alarm.
+
+Under an installed :mod:`repro.obs` collector every observed interval
+opens a ``service.interval`` span with per-stage children (forecast ->
+alarm -> detect -> localize -> impact), forming the per-incident audit
+trail rendered by :func:`repro.obs.report.incident_timeline`.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core.attribute import AttributeCombination, AttributeSchema
+from ..obs import trace as _trace
 from ..core.engine import engine_for
 from ..core.miner import RAPMiner
 from ..data.dataset import FineGrainedDataset
@@ -43,9 +51,16 @@ class ScopeImpact:
 
     @property
     def drop_fraction(self) -> float:
-        """Relative KPI shortfall of the scope (positive = below forecast)."""
+        """Relative KPI shortfall of the scope (positive = below forecast).
+
+        When the forecast is zero the ratio is undefined; the convention
+        is ``-math.inf`` for a scope that carried traffic anyway
+        (infinitely above its zero baseline, keeping the sign of the
+        finite case) and ``0.0`` only when actual and forecast are both
+        zero (a genuinely dead scope).
+        """
         if self.forecast == 0.0:
-            return 0.0
+            return -math.inf if self.actual > 0.0 else 0.0
         return (self.forecast - self.actual) / self.forecast
 
 
@@ -71,9 +86,15 @@ class IncidentReport:
             f"{self.anomalous_leaves} anomalous leaf KPIs",
         ]
         for rank, scope in enumerate(self.scopes, start=1):
+            drop = scope.drop_fraction
+            impact = (
+                f"{drop * 100:.0f}% down"
+                if math.isfinite(drop)
+                else "above zero forecast"
+            )
             lines.append(
                 f"  {rank}. {scope.pattern}  "
-                f"{scope.drop_fraction * 100:.0f}% down "
+                f"{impact} "
                 f"({scope.anomalous_leaves}/{scope.total_leaves} leaves anomalous)"
             )
         if not self.scopes:
@@ -146,11 +167,23 @@ class LocalizationService:
         values = np.asarray(values, dtype=float)
         step = self._step
         report: Optional[IncidentReport] = None
-        if len(self.history) >= self.min_history:
-            forecast = self.forecaster.forecast(self.history.to_matrix())
-            if self.alarm.should_trigger(float(values.sum()), float(forecast.sum())):
-                report = self._localize(step, values, forecast)
-                self.incidents_raised += 1
+        with obs.span("service.interval", step=step) as interval_span:
+            if len(self.history) >= self.min_history:
+                with obs.span("service.forecast"):
+                    forecast = self.forecaster.forecast(self.history.to_matrix())
+                with obs.span("service.alarm") as alarm_span:
+                    triggered = self.alarm.should_trigger(
+                        float(values.sum()), float(forecast.sum())
+                    )
+                    alarm_span.set(triggered=triggered)
+                if triggered:
+                    report = self._localize(step, values, forecast)
+                    self.incidents_raised += 1
+            interval_span.set(alarmed=report is not None)
+            if _trace.ACTIVE:
+                obs.inc("service_intervals_total")
+                if report is not None:
+                    obs.inc("service_incidents_total")
         self.history.append(values)
         self._step += 1
         return report
@@ -158,24 +191,30 @@ class LocalizationService:
     def _localize(
         self, step: int, values: np.ndarray, forecast: np.ndarray
     ) -> IncidentReport:
-        table = FineGrainedDataset(self.schema, self.codes, values, forecast)
-        labelled = table.with_labels(self.detector.detect(values, forecast))
-        patterns = self.localizer.localize(labelled, k=self.max_scopes)
-        # Same shared engine the localizer used for this interval, so the
-        # impact roll-up reuses its posting lists instead of fresh masks.
-        engine = engine_for(labelled)
-        scopes = []
-        for pattern in patterns:
-            rows = engine.rows_of(pattern)
-            scopes.append(
-                ScopeImpact(
-                    pattern=pattern,
-                    actual=float(values[rows].sum()),
-                    forecast=float(forecast[rows].sum()),
-                    anomalous_leaves=int(labelled.labels[rows].sum()),
-                    total_leaves=int(rows.size),
+        with obs.span("service.detect") as detect_span:
+            table = FineGrainedDataset(self.schema, self.codes, values, forecast)
+            labelled = table.with_labels(self.detector.detect(values, forecast))
+            detect_span.set(anomalous_leaves=labelled.n_anomalous)
+        with obs.span("service.localize") as localize_span:
+            patterns = self.localizer.localize(labelled, k=self.max_scopes)
+            localize_span.set(n_patterns=len(patterns))
+        with obs.span("service.impact") as impact_span:
+            # Same shared engine the localizer used for this interval, so the
+            # impact roll-up reuses its posting lists instead of fresh masks.
+            engine = engine_for(labelled)
+            scopes = []
+            for pattern in patterns:
+                rows = engine.rows_of(pattern)
+                scopes.append(
+                    ScopeImpact(
+                        pattern=pattern,
+                        actual=float(values[rows].sum()),
+                        forecast=float(forecast[rows].sum()),
+                        anomalous_leaves=int(labelled.labels[rows].sum()),
+                        total_leaves=int(rows.size),
+                    )
                 )
-            )
+            impact_span.set(n_scopes=len(scopes))
         return IncidentReport(
             step=step,
             total_actual=float(values.sum()),

@@ -37,16 +37,29 @@ class TestAccumulator:
         assert acc.mean == pytest.approx(2.0)
         assert acc.total == pytest.approx(6.0)
 
-    def test_empty(self):
+    def test_empty_mean_is_zero(self):
+        assert TimingAccumulator().mean == 0.0
+
+    def test_empty_percentile_raises(self):
         acc = TimingAccumulator()
-        assert acc.mean == 0.0
-        assert acc.percentile(50) == 0.0
+        with pytest.raises(ValueError, match="no samples"):
+            acc.percentile(50)
+        with pytest.raises(ValueError, match="no samples"):
+            acc.percentiles([50, 95])
 
     def test_percentiles(self):
         acc = TimingAccumulator(samples=[1.0, 2.0, 3.0, 4.0])
         assert acc.percentile(0) == 1.0
         assert acc.percentile(100) == 4.0
         assert acc.percentile(50) == pytest.approx(2.5)
+
+    def test_percentiles_batch_matches_single_queries(self):
+        acc = TimingAccumulator(samples=[4.0, 1.0, 3.0, 2.0])
+        assert acc.percentiles([0, 50, 95]) == (
+            acc.percentile(0),
+            acc.percentile(50),
+            acc.percentile(95),
+        )
 
     def test_single_sample_percentile(self):
         acc = TimingAccumulator(samples=[5.0])

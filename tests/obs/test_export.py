@@ -1,0 +1,118 @@
+"""Tests for Prometheus-text and JSONL exposition."""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    escape_help,
+    escape_label_value,
+    prometheus_text,
+    read_jsonl,
+    to_jsonl_lines,
+)
+from repro.obs.metrics import MetricRegistry
+
+
+class TestEscaping:
+    def test_label_value_escapes_backslash_quote_newline(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_help_escapes_backslash_and_newline_only(self):
+        assert escape_help('say "hi"\\\n') == 'say "hi"\\\\\\n'
+
+    def test_escaped_label_round_trips_through_exposition(self):
+        registry = MetricRegistry()
+        registry.counter("odd_total", {"key": 'value with "quotes"\nand newline'}).inc()
+        text = prometheus_text(registry)
+        assert 'key="value with \\"quotes\\"\\nand newline"' in text
+        assert "\nand newline" not in text.split("# TYPE")[1].splitlines()[1]
+
+
+class TestPrometheusText:
+    def test_family_headers_render_once(self):
+        registry = MetricRegistry()
+        registry.counter("engine_aggregate_total", {"path": "cache_hit"}).inc(3)
+        registry.counter("engine_aggregate_total", {"path": "rollup"}).inc(1)
+        text = prometheus_text(registry)
+        assert text.count("# HELP engine_aggregate_total") == 1
+        assert text.count("# TYPE engine_aggregate_total counter") == 1
+        assert 'engine_aggregate_total{path="cache_hit"} 3' in text
+        assert 'engine_aggregate_total{path="rollup"} 1' in text
+        assert text.endswith("\n")
+
+    def test_gauge_and_float_rendering(self):
+        registry = MetricRegistry()
+        registry.gauge("coverage").set(0.5)
+        text = prometheus_text(registry)
+        assert "# TYPE coverage gauge" in text
+        assert "coverage 0.5" in text
+
+    def test_histogram_expands_to_bucket_sum_count(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(10.0)
+        text = prometheus_text(registry)
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 1' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 2' in text
+        assert "latency_seconds_sum 10.05" in text
+        assert "latency_seconds_count 2" in text
+
+    def test_defaults_to_active_collector(self):
+        assert prometheus_text() == ""
+        with obs.capture():
+            obs.inc("miner_runs_total")
+            assert "miner_runs_total 1" in prometheus_text()
+
+    def test_every_catalogued_metric_renders(self):
+        # The acceptance bar: after an instrumented run, prometheus_text()
+        # renders every registered metric with its catalogue help line.
+        registry = MetricRegistry()
+        for name in obs.METRIC_HELP:
+            registry.counter(name).inc()
+        text = prometheus_text(registry)
+        for name, help_text in obs.METRIC_HELP.items():
+            assert f"# HELP {name} {escape_help(help_text)}" in text
+            assert f"\n{name} 1" in "\n" + text
+
+
+class TestJsonl:
+    def test_round_trip_preserves_spans_and_metrics(self, tmp_path):
+        with obs.capture() as collector:
+            with obs.span("outer", layer=1):
+                with obs.span("inner", ratio=0.25, names=("a", "b")):
+                    pass
+            obs.inc("miner_runs_total")
+            obs.set_gauge("depth", 2)
+            obs.observe("latency", 0.42)
+        path = tmp_path / "trace.jsonl"
+        obs.write_jsonl(collector, str(path))
+        records = read_jsonl(str(path))
+
+        meta = records[0]
+        assert meta["type"] == "meta"
+        assert meta["n_spans"] == 2
+        spans = {r["name"]: r for r in records if r["type"] == "span"}
+        assert spans["inner"]["parent_id"] == spans["outer"]["span_id"]
+        assert spans["inner"]["attributes"] == {"ratio": 0.25, "names": ["a", "b"]}
+        counters = {r["name"]: r for r in records if r["type"] == "counter"}
+        assert counters["miner_runs_total"]["value"] == 1.0
+        gauges = {r["name"]: r for r in records if r["type"] == "gauge"}
+        assert gauges["depth"]["value"] == 2.0
+        histograms = {r["name"]: r for r in records if r["type"] == "histogram"}
+        assert histograms["latency"]["count"] == 1
+
+    def test_non_finite_and_exotic_attributes_serialize(self):
+        with obs.capture() as collector:
+            with obs.span("odd", infinite=math.inf, obj=object()):
+                pass
+        lines = list(to_jsonl_lines(collector))
+        assert len(lines) == 2  # meta + one span, all JSON-parseable
+        import json
+
+        span = json.loads(lines[1])
+        assert span["attributes"]["infinite"] == "inf"
+        assert isinstance(span["attributes"]["obj"], str)

@@ -152,3 +152,64 @@ class TestPluggability:
                 codes=simulator.snapshot(0).codes,
                 min_history=0,
             )
+
+class TestDropFraction:
+    def scope(self, actual, forecast):
+        return ScopeImpact(
+            pattern=AttributeCombination.parse("(L1, *, *, *)"),
+            actual=actual,
+            forecast=forecast,
+            anomalous_leaves=1,
+            total_leaves=2,
+        )
+
+    def test_finite_shortfall(self):
+        assert self.scope(actual=25.0, forecast=100.0).drop_fraction == pytest.approx(0.75)
+
+    def test_zero_forecast_with_traffic_is_signed_infinite(self):
+        # A scope that carried traffic against a zero forecast is infinitely
+        # *above* baseline — the old code silently returned 0.0 and the
+        # scope rendered as "0% down".
+        assert self.scope(actual=50.0, forecast=0.0).drop_fraction == -np.inf
+
+    def test_zero_forecast_zero_actual_is_dead_scope(self):
+        assert self.scope(actual=0.0, forecast=0.0).drop_fraction == 0.0
+
+    def test_render_guards_non_finite_drop(self):
+        report = IncidentReport(
+            step=3,
+            total_actual=50.0,
+            total_forecast=0.0,
+            anomalous_leaves=1,
+            scopes=[self.scope(actual=50.0, forecast=0.0)],
+        )
+        text = report.render()
+        assert "above zero forecast" in text
+        assert "inf" not in text
+
+
+class TestServiceTelemetry:
+    def test_interval_spans_and_incident_timeline(self, service, simulator):
+        from repro import obs
+        from repro.obs import report as obs_report
+
+        step = 1440
+        quiet = values_at(simulator, step)
+        crashed = values_at(simulator, step + SAMPLE_EVERY).copy()
+        crashed[service.codes[:, 0] == 2] *= 0.2
+        with obs.capture() as collector:
+            assert service.observe(quiet) is None
+            assert service.observe(crashed) is not None
+
+        intervals = collector.find_spans("service.interval")
+        assert [span.attributes["alarmed"] for span in intervals] == [False, True]
+        alarmed = intervals[1]
+        child_names = [s.name for s in collector.children_of(alarmed)]
+        assert child_names[:2] == ["service.forecast", "service.alarm"]
+        assert {"service.detect", "service.localize", "service.impact"} <= set(child_names)
+        assert collector.metrics.value("service_intervals_total") == 2.0
+        assert collector.metrics.value("service_incidents_total") == 1.0
+
+        timeline = obs_report.incident_timeline(collector)
+        assert "ALARMED" in timeline
+        assert "localize" in timeline

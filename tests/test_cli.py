@@ -130,6 +130,67 @@ class TestGenerateDigest:
         assert "mean anomalous-leaf ratio" in out
 
 
+class TestTrace:
+    """`repro localize --trace PATH` — the `make trace-demo` assertion set."""
+
+    def test_trace_writes_parseable_jsonl_with_expected_spans(
+        self, bundle, tmp_path, capsys
+    ):
+        from repro import obs
+        from repro.data.io import load_cases
+
+        case_id = load_cases(bundle)[0].case_id
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "localize",
+                "--cases",
+                str(bundle),
+                "--case-id",
+                case_id,
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        records = obs.read_jsonl(str(trace_path))  # parses line by line
+        assert records[0]["type"] == "meta"
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"miner.run", "search.run", "search.layer", "cp.attribute_deletion"} <= span_names
+        layer_spans = [
+            r for r in records if r["type"] == "span" and r["name"] == "search.layer"
+        ]
+        assert layer_spans, "expected at least one per-layer search span"
+        for record in layer_spans:
+            attrs = record["attributes"]
+            assert {"layer", "n_cuboids", "n_combinations", "coverage_fraction"} <= set(attrs)
+        counter_names = {r["name"] for r in records if r["type"] == "counter"}
+        assert "miner_runs_total" in counter_names
+        assert any(name.startswith("engine_") for name in counter_names)
+        out = capsys.readouterr().out
+        assert "trace: wrote" in out
+        assert "spans:" in out  # the rendered run summary
+
+    def test_trace_leaves_no_collector_installed(self, bundle, tmp_path):
+        from repro import obs
+        from repro.data.io import load_cases
+
+        case_id = load_cases(bundle)[0].case_id
+        trace_path = tmp_path / "trace.jsonl"
+        main(
+            [
+                "localize",
+                "--cases",
+                str(bundle),
+                "--case-id",
+                case_id,
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        assert not obs.is_active()
+
+
 class TestReproduce:
     def test_table4(self, capsys):
         assert main(["reproduce", "table4"]) == 0

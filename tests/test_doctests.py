@@ -6,10 +6,12 @@ import pytest
 
 import repro.core.attribute
 import repro.data.cdn_simulator
+import repro.obs.trace
 
 MODULES_WITH_DOCTESTS = [
     repro.core.attribute,
     repro.data.cdn_simulator,
+    repro.obs.trace,
 ]
 
 
