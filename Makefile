@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-search trace-demo report examples paper clean
+.PHONY: install test bench bench-search bench-throughput trace-demo report examples paper clean
 
 install:
 	pip install -e .[dev]
@@ -12,6 +12,11 @@ bench:
 # Engine vs. naive search speedup; writes BENCH_search.json at the repo root.
 bench-search:
 	pytest benchmarks/test_engine_speedup.py::test_engine_speedup_report -p no:cacheprovider
+
+# Serial vs. sharded batch localization throughput (1/2/4 workers,
+# shm vs pickle transport); writes BENCH_throughput.json at the repo root.
+bench-throughput:
+	pytest benchmarks/test_batch_throughput.py::test_batch_throughput_report -p no:cacheprovider
 
 # Small localization under --trace: asserts the JSONL trace parses and
 # carries the expected span names / engine counters (tier-1 test).

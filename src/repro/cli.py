@@ -10,9 +10,14 @@ Subcommands
     print the ranked patterns next to the ground truth.  Pass ``--trace
     PATH`` to capture the run's spans and engine counters as JSONL (see
     ``docs/observability.md``).
+``repro batch-localize``
+    Run one localizer over a saved bundle through the process-pool batch
+    layer (:mod:`repro.parallel`): sharded cases, shared-memory leaf
+    tables, warm per-worker engines.  Output is bit-identical to the
+    serial ``localize`` path; the command reports throughput.
 ``repro evaluate``
     Run a method cohort over a saved bundle and print the F1 / RC@k and
-    running-time tables.
+    running-time tables.  ``--workers N`` shards each method's run.
 ``repro reproduce``
     Regenerate one of the paper's tables/figures end to end
     (``table4``, ``table6``, ``fig8a``, ``fig8b``, ``fig9a``, ``fig9b``,
@@ -22,9 +27,10 @@ Examples
 --------
 ::
 
-    repro generate rapmd --out rapmd.json --scale fast --seed 1
-    repro localize --cases rapmd.json --method RAPMiner --k 3
-    repro evaluate --cases rapmd.json --protocol rc
+    repro generate rapmd --out rapmd.npz --scale fast --seed 1
+    repro localize --cases rapmd.npz --method RAPMiner --k 3
+    repro batch-localize --cases rapmd.npz --workers 4 --k 3
+    repro evaluate --cases rapmd.npz --protocol rc --workers 2
     repro reproduce fig8b --scale paper
 """
 
@@ -151,19 +157,55 @@ def _run_localize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch_localize(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .parallel import BatchConfig, batch_localize
+
+    cases = load_cases(args.cases)
+    method = _resolve_methods(args.method)[0]
+    config = BatchConfig(
+        n_workers=args.workers,
+        transport=args.transport,
+        chunk_size=args.chunk_size,
+        warm_engines=not args.cold_engines,
+    )
+    start = _time.perf_counter()
+    evaluation = batch_localize(
+        method, cases, k=args.k, k_from_truth=args.k is None, config=config
+    )
+    wall = _time.perf_counter() - start
+    for result in evaluation.results:
+        hits = sum(1 for p in result.predicted if p in result.true_raps)
+        print(f"{result.case_id}  hits {hits}/{len(result.true_raps)}  {result.seconds * 1e3:.1f} ms")
+    in_worker = sum(r.seconds for r in evaluation.results)
+    throughput = len(cases) / wall if wall > 0 else float("inf")
+    print(
+        f"\n{len(cases)} cases via {config.n_workers} worker(s), "
+        f"transport={config.transport}: {wall:.3f} s wall "
+        f"({in_worker:.3f} s in-worker), {throughput:.1f} cases/s"
+    )
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     cases = load_cases(args.cases)
     methods = _resolve_methods(args.methods)
     print(f"{len(cases)} cases, {len(methods)} methods, protocol={args.protocol}")
     if args.protocol == "f1":
-        evaluations = {m.name: run_cases(m, cases, k_from_truth=True) for m in methods}
+        evaluations = {
+            m.name: run_cases(m, cases, k_from_truth=True, n_workers=args.workers)
+            for m in methods
+        }
         rows = [
             [name, f"{ev.mean_f1:.3f}", format_seconds(ev.mean_seconds)]
             for name, ev in evaluations.items()
         ]
         print(render_table(["method", "mean F1", "mean time"], rows))
     else:
-        evaluations = {m.name: run_cases(m, cases, k=5) for m in methods}
+        evaluations = {
+            m.name: run_cases(m, cases, k=5, n_workers=args.workers) for m in methods
+        }
         rows = [
             [
                 name,
@@ -216,7 +258,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         )
         return 0
     if target in ("fig8a", "fig9a"):
-        evaluations = run_squeeze_comparison(preset.squeeze_cases())
+        evaluations = run_squeeze_comparison(preset.squeeze_cases(), n_workers=args.workers)
         if target == "fig8a":
             print(render_series_table(figure8a(evaluations), column_order=GROUP_ORDER))
         else:
@@ -228,14 +270,14 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         return 0
     cases = preset.rapmd_cases()
     if target == "fig8b":
-        evaluations = run_rapmd_comparison(cases)
+        evaluations = run_rapmd_comparison(cases, n_workers=args.workers)
         print(
             render_series_table(
                 figure8b(evaluations), column_order=[3, 4, 5], first_header="method \\ k"
             )
         )
     elif target == "fig9b":
-        evaluations = run_rapmd_comparison(cases)
+        evaluations = run_rapmd_comparison(cases, n_workers=args.workers)
         rows = [
             [name, format_seconds(seconds)]
             for name, seconds in figure9b(evaluations).items()
@@ -308,8 +350,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     localize.set_defaults(handler=_cmd_localize)
 
+    batch = sub.add_parser(
+        "batch-localize",
+        help="run one localizer over a bundle through the process-pool batch layer",
+    )
+    batch.add_argument("--cases", required=True, help="case bundle (.json or .npz)")
+    batch.add_argument("--method", default="RAPMiner")
+    batch.add_argument("--k", type=int, default=None, help="top-k (default: k from truth)")
+    batch.add_argument("--workers", type=int, default=2, help="pool size (1 = serial)")
+    batch.add_argument("--transport", choices=["shm", "pickle"], default="shm")
+    batch.add_argument("--chunk-size", type=int, default=None, help="cases per shard")
+    batch.add_argument(
+        "--cold-engines",
+        action="store_true",
+        help="disable warm per-worker engine reuse (serial cost profile)",
+    )
+    batch.set_defaults(handler=_cmd_batch_localize)
+
     evaluate = sub.add_parser("evaluate", help="evaluate a method cohort")
     evaluate.add_argument("--cases", required=True)
+    evaluate.add_argument("--workers", type=int, default=1, help="process-pool size per method")
     evaluate.add_argument(
         "--methods", default=None, help="comma-separated (default: paper cohort)"
     )
@@ -335,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reproduce.add_argument("--scale", choices=["fast", "paper"], default="fast")
     reproduce.add_argument("--seed", type=int, default=1)
+    reproduce.add_argument("--workers", type=int, default=1, help="process-pool size per method")
     reproduce.set_defaults(handler=_cmd_reproduce)
 
     report = sub.add_parser("report", help="full Markdown reproduction report")

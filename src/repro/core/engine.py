@@ -423,11 +423,15 @@ class AggregationEngine:
     def aggregate(self, cuboid: Cuboid) -> CuboidAggregate:
         """Cached per-cuboid aggregate (drop-in for ``dataset.aggregate``).
 
-        Resolution order: cached aggregate -> roll-up from a prepared base
-        -> label refresh of a warm shape -> fused bincount over the
+        Resolution order: cached aggregate -> label refresh of a warm
+        shape -> roll-up from a prepared base -> fused bincount over the
         leaves.  The returned combinations, supports and anomalous
         supports are identical to the naive path; ``v``/``f`` sums are
-        equal up to float summation order when a roll-up was used.
+        equal up to float summation order when a roll-up was used.  The
+        warm refresh deliberately outranks the roll-up: it reproduces the
+        leaf-level summation order of a cold engine, so a warm-clone
+        chain (the batch execution layer's per-worker engines) returns
+        bitwise-identical aggregates to a cold run.
         """
         indices = cuboid.attribute_indices
         aggregate = self._aggregates.get(indices)
@@ -435,38 +439,51 @@ class AggregationEngine:
             if _trace.ACTIVE:
                 obs.inc("engine_aggregate_total", path="cache_hit")
             return aggregate
-        source = self._rollup_source(indices)
-        if source is not None:
-            if _trace.ACTIVE:
-                obs.inc("engine_aggregate_total", path="rollup")
-            aggregate = self._rollup(cuboid, source)
-            if indices not in self._shapes:
-                __, strides, __ = self._geometry(indices)
-                occupied = (aggregate.codes * strides).sum(axis=1)
-                self._shapes[indices] = _CuboidShape(
-                    occupied=occupied, support=aggregate.support, codes=aggregate.codes
-                )
-            self._aggregates[indices] = aggregate
-            return aggregate
         shape = self._shapes.get(indices)
         if shape is not None:
             # Warm path (cloned engine): occupancy and support survive a
-            # label/value refresh — they depend only on the codes.
+            # label/value refresh — they depend only on the codes.  Checked
+            # *before* the roll-up so a warm refresh reproduces the same
+            # leaf-level summation order a cold engine's batched pass uses:
+            # anomalous support is counted over the anomalous rows' keys
+            # (integer-exact) and v/f come from one weighted bincount each,
+            # making warm-clone aggregates bitwise equal to cold ones.
             if _trace.ACTIVE:
                 obs.inc("engine_aggregate_total", path="warm_refresh")
+                obs.inc("engine_bincount_passes_total", 3, kind="warm_refresh")
             dataset = self.dataset
             keys, capacity = self.linear_keys(cuboid)
-            totals = self._fused_bincount(
-                keys, (dataset.labels.astype(float), dataset.v, dataset.f), capacity
-            )[shape.occupied]
+            label_rows = self._anomalous_rows()
+            if label_rows.size:
+                anomalous = np.bincount(keys[label_rows], minlength=capacity)[
+                    shape.occupied
+                ]
+            else:
+                anomalous = np.zeros(shape.occupied.size, dtype=np.int64)
             aggregate = CuboidAggregate(
                 cuboid=cuboid,
                 schema=dataset.schema,
                 codes=shape.codes,
                 support=shape.support,
-                anomalous_support=np.rint(totals[:, 0]).astype(np.int64),
-                v_sum=totals[:, 1],
-                f_sum=totals[:, 2],
+                anomalous_support=anomalous.astype(np.int64, copy=False),
+                v_sum=np.bincount(keys, weights=dataset.v, minlength=capacity)[
+                    shape.occupied
+                ],
+                f_sum=np.bincount(keys, weights=dataset.f, minlength=capacity)[
+                    shape.occupied
+                ],
+            )
+            self._aggregates[indices] = aggregate
+            return aggregate
+        source = self._rollup_source(indices)
+        if source is not None:
+            if _trace.ACTIVE:
+                obs.inc("engine_aggregate_total", path="rollup")
+            aggregate = self._rollup(cuboid, source)
+            __, strides, __ = self._geometry(indices)
+            occupied = (aggregate.codes * strides).sum(axis=1)
+            self._shapes[indices] = _CuboidShape(
+                occupied=occupied, support=aggregate.support, codes=aggregate.codes
             )
             self._aggregates[indices] = aggregate
             return aggregate

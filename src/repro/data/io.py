@@ -9,6 +9,12 @@ Two interchange formats are provided:
 * **JSON** for full :class:`~repro.data.injection.LocalizationCase` bundles
   (schema + leaf table + ground-truth RAPs + metadata), used to persist
   generated benchmarks so experiment runs are replayable byte-for-byte.
+* **NPZ** for the same bundles in binary form: the four leaf-table arrays
+  are stored as raw numpy buffers (no ``tolist()`` round-trip, no float
+  re-parsing) with the non-array fields in an embedded JSON header.  JSON
+  stays the interchange format; ``.npz`` is the fast path for large
+  bundles and the batch execution layer's replay inputs.
+  :func:`save_cases` / :func:`load_cases` pick the format by suffix.
 """
 
 from __future__ import annotations
@@ -33,6 +39,8 @@ __all__ = [
     "case_from_dict",
     "save_cases",
     "load_cases",
+    "save_cases_npz",
+    "load_cases_npz",
 ]
 
 PathLike = Union[str, Path]
@@ -116,21 +124,99 @@ def case_from_dict(data: Dict) -> LocalizationCase:
 
 
 def save_cases(cases: Sequence[LocalizationCase], path: PathLike) -> None:
-    """Persist a case list as one JSON document."""
+    """Persist a case list; the suffix picks the format (``.npz`` or JSON)."""
     path = Path(path)
+    if path.suffix == ".npz":
+        save_cases_npz(cases, path)
+        return
     payload = {"format": "repro.cases.v1", "cases": [case_to_dict(c) for c in cases]}
     with path.open("w") as handle:
         json.dump(payload, handle)
 
 
 def load_cases(path: PathLike) -> List[LocalizationCase]:
-    """Load a case list written by :func:`save_cases`."""
+    """Load a case list written by :func:`save_cases` (format by suffix)."""
     path = Path(path)
+    if path.suffix == ".npz":
+        return load_cases_npz(path)
     with path.open() as handle:
         payload = json.load(handle)
     if payload.get("format") != "repro.cases.v1":
         raise ValueError(f"{path} is not a repro case bundle")
     return [case_from_dict(entry) for entry in payload["cases"]]
+
+
+#: Format tag embedded in the npz header; bump on layout changes.
+NPZ_FORMAT = "repro.cases.npz.v1"
+
+
+def save_cases_npz(cases: Sequence[LocalizationCase], path: PathLike) -> None:
+    """Persist a case list as one uncompressed ``.npz`` archive.
+
+    The leaf-table arrays (``codes``, ``v``, ``f``, ``labels``) are written
+    as raw numpy buffers — dtypes and bit patterns survive exactly, unlike
+    the JSON path's ``tolist()``/re-parse round trip — and everything
+    non-array (schema, RAP strings, metadata) rides in a JSON header
+    stored as a ``uint8`` byte array, so loading never needs
+    ``allow_pickle``.
+    """
+    path = Path(path)
+    header = {
+        "format": NPZ_FORMAT,
+        "cases": [
+            {
+                "case_id": case.case_id,
+                "schema": schema_to_dict(case.dataset.schema),
+                "true_raps": [str(rap) for rap in case.true_raps],
+                "metadata": _jsonify(case.metadata),
+            }
+            for case in cases
+        ],
+    }
+    arrays = {
+        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8)
+    }
+    for i, case in enumerate(cases):
+        dataset = case.dataset
+        arrays[f"codes_{i}"] = dataset.codes
+        arrays[f"v_{i}"] = dataset.v
+        arrays[f"f_{i}"] = dataset.f
+        arrays[f"labels_{i}"] = dataset.labels
+    with path.open("wb") as handle:
+        np.savez(handle, **arrays)
+
+
+def load_cases_npz(path: PathLike) -> List[LocalizationCase]:
+    """Load a case list written by :func:`save_cases_npz`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if "header" not in archive:
+            raise ValueError(f"{path} is not a repro npz case bundle")
+        header = json.loads(archive["header"].tobytes().decode("utf-8"))
+        if header.get("format") != NPZ_FORMAT:
+            raise ValueError(f"{path} is not a repro npz case bundle")
+        cases = []
+        for i, entry in enumerate(header["cases"]):
+            schema = schema_from_dict(entry["schema"])
+            dataset = FineGrainedDataset(
+                schema,
+                archive[f"codes_{i}"],
+                archive[f"v_{i}"],
+                archive[f"f_{i}"],
+                archive[f"labels_{i}"],
+            )
+            raps = tuple(
+                AttributeCombination.parse(text) for text in entry["true_raps"]
+            )
+            cases.append(
+                LocalizationCase(
+                    case_id=entry["case_id"],
+                    dataset=dataset,
+                    true_raps=raps,
+                    metadata=dict(entry.get("metadata", {})),
+                )
+            )
+    return cases
 
 
 def _jsonify(value):

@@ -60,6 +60,11 @@ METRIC_HELP: Dict[str, str] = {
     # -- localization service ----------------------------------------------
     "service_intervals_total": "Collection intervals observed by the service",
     "service_incidents_total": "Intervals that raised an incident report",
+    # -- batch execution layer ---------------------------------------------
+    "parallel_shards_total": "Case shards dispatched to pool workers",
+    "parallel_cases_total": "Cases executed through the batch layer by transport",
+    "parallel_warm_engines_total": "Worker-side engine adoptions by outcome",
+    "parallel_merge_snapshots_total": "Worker metric snapshots merged into the parent",
 }
 
 #: Default histogram bucket upper bounds (seconds; tuned for span durations).
@@ -278,6 +283,72 @@ class MetricRegistry:
                 raise TypeError(f"metric {name!r} is a {metric.kind}, not a scalar")
             total += metric.value
         return total
+
+    # -- cross-process folding ---------------------------------------------
+
+    def snapshot(self) -> List[Dict]:
+        """Picklable value dump of every series, in registration order.
+
+        The snapshot carries plain Python types only (no locks, no metric
+        objects), so a pool worker can return it through the task channel
+        for the parent to fold back with :meth:`merge`.  Histograms dump
+        their raw per-bucket counts (not the cumulative view) so merges
+        are a plain element-wise addition.
+        """
+        entries: List[Dict] = []
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            entry: Dict = {
+                "kind": metric.kind,
+                "name": metric.name,
+                "labels": dict(metric.labels),
+                "help": metric.help,
+            }
+            if isinstance(metric, Histogram):
+                with metric._lock:
+                    entry["bounds"] = list(metric.bounds)
+                    entry["bucket_counts"] = list(metric._bucket_counts)
+                    entry["count"] = metric._count
+                    entry["sum"] = metric._sum
+            else:
+                entry["value"] = metric.value  # Counter or Gauge
+            entries.append(entry)
+        return entries
+
+    def merge(self, snapshot: Sequence[Dict]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters and histograms accumulate (their series are sums of
+        per-process work); gauges are last-write-wins, matching their
+        single-process semantics.  Series that do not exist here yet are
+        created with the snapshot's help text.  A histogram series can
+        only merge into one with identical bucket bounds.
+        """
+        for entry in snapshot:
+            kind = entry["kind"]
+            name = entry["name"]
+            labels = entry.get("labels") or None
+            help_text = entry.get("help")
+            if kind == "counter":
+                self.counter(name, labels, help_text).inc(entry["value"])
+            elif kind == "gauge":
+                self.gauge(name, labels, help_text).set(entry["value"])
+            elif kind == "histogram":
+                bounds = tuple(float(b) for b in entry["bounds"])
+                histogram = self.histogram(name, labels, help_text, buckets=bounds)
+                if histogram.bounds != bounds:
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds {histogram.bounds} "
+                        f"do not match the snapshot's {bounds}"
+                    )
+                with histogram._lock:
+                    for index, count in enumerate(entry["bucket_counts"]):
+                        histogram._bucket_counts[index] += count
+                    histogram._count += entry["count"]
+                    histogram._sum += entry["sum"]
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} in snapshot")
 
     def as_flat_dict(self) -> Dict[str, float]:
         """Scalar series flattened to ``name{k="v",...} -> value``."""

@@ -1,0 +1,17 @@
+"""Process-parallel batch execution of localization workloads.
+
+The paper's operating regime is throughput — one snapshot per KPI per
+minute across a CDN fleet — and this package turns the repository's
+single-search speed (the shared :class:`~repro.core.engine.AggregationEngine`)
+into batch speed: :func:`~repro.parallel.batch.batch_localize` shards case
+collections across a process pool, ships leaf tables zero-copy through
+:class:`~repro.parallel.shm.SharedCaseStore`, keeps one warm engine per
+(worker, schema), and folds worker-side counters back into the parent's
+:mod:`repro.obs` registry.  ``n_workers=1`` is the exact serial path, and
+batch candidates are bit-identical to serial output in every mode.
+"""
+
+from .batch import BatchConfig, batch_localize, shard_indices
+from .shm import SharedCaseStore
+
+__all__ = ["BatchConfig", "batch_localize", "shard_indices", "SharedCaseStore"]

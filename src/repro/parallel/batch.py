@@ -1,0 +1,322 @@
+"""Process-pool batch execution of localization case collections.
+
+This is the throughput layer the paper's operating regime needs: one
+ISP-CDN deployment emits a full multi-dimensional snapshot every 60 s for
+many KPIs (PAPER.md §V), so production localization is *many independent
+searches*, not one.  :func:`batch_localize` shards a case collection
+across a process pool and reproduces :func:`repro.experiments.runner.run_cases`
+semantics exactly:
+
+* **Deterministic ordering** — results are reassembled by original case
+  index, so the returned :class:`MethodEvaluation` lists results in input
+  order regardless of shard completion order.
+* **Per-case timing inside the worker** — each case is timed with
+  :func:`~repro.metrics.timing.time_localization` in the worker process,
+  so ``seconds`` measures the localization itself, never pool dispatch or
+  result pickling.
+* **Bit-identical candidates** — workers either build engines cold
+  (exactly the serial path) or reuse a warm per-(worker, schema) engine
+  clone; the engine's warm-refresh path reproduces the cold leaf-level
+  summation order (see ``core/engine.py``), so ranked output matches the
+  serial run bit for bit in every mode.
+* **Truthful telemetry** — each worker runs under its own
+  :class:`~repro.obs.trace.Collector`; registry snapshots travel back
+  with the shard results and fold into the parent's active collector via
+  :meth:`~repro.obs.metrics.MetricRegistry.merge`.  Counter totals of a
+  sharded run therefore equal the serial run's (spans are per-process and
+  are *not* merged — see ``docs/operational.md``).
+
+Transports: ``"shm"`` packs every leaf table into one
+:class:`~repro.parallel.shm.SharedCaseStore` block and ships only index
+lists per task; ``"pickle"`` ships the cases inside the task payload
+(simpler, but serializes every array twice per dispatch).
+
+``n_workers=1`` bypasses the pool entirely and runs the exact serial
+loop, so callers can thread a worker count through unconditionally.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..core.engine import AggregationEngine, engine_for, install_engine
+from ..data.injection import LocalizationCase
+from ..metrics.timing import time_localization
+from ..obs import trace as _trace
+from .shm import SharedCaseStore
+
+__all__ = ["BatchConfig", "batch_localize", "shard_indices"]
+
+#: Transports understood by :class:`BatchConfig`.
+TRANSPORTS = ("shm", "pickle")
+
+
+@dataclass
+class BatchConfig:
+    """Knobs of one batch execution.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size.  ``1`` means the exact serial path (no pool, no
+        transport, no snapshot merging — just ``run_cases``).
+    transport:
+        ``"shm"`` (zero-copy shared-memory leaf tables, the default) or
+        ``"pickle"`` (cases serialized into each task payload).
+    chunk_size:
+        Cases per shard.  Defaults to an even contiguous split into
+        ``n_workers`` shards; smaller chunks trade warm-engine reuse for
+        load balancing.
+    warm_engines:
+        Keep one warm :class:`AggregationEngine` per (worker, schema) and
+        :meth:`~AggregationEngine.warm_clone` it onto each compatible
+        dataset.  Candidates stay bit-identical either way; disable to
+        reproduce the serial cost profile exactly.
+    mp_context:
+        Multiprocessing start method (``"fork"`` where available,
+        otherwise the platform default).
+    collect_metrics:
+        Capture worker-side counters and merge them into the parent's
+        active collector.  ``None`` (default) collects exactly when the
+        parent has a collector installed at call time.
+    """
+
+    n_workers: int = 1
+    transport: str = "shm"
+    chunk_size: Optional[int] = None
+    warm_engines: bool = True
+    mp_context: Optional[str] = None
+    collect_metrics: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {self.transport!r}"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+
+def shard_indices(
+    n_cases: int, n_workers: int, chunk_size: Optional[int] = None
+) -> List[List[int]]:
+    """Contiguous index shards for *n_cases* over *n_workers*.
+
+    Without *chunk_size* the cases split into at most ``n_workers``
+    near-equal contiguous runs (sizes differ by at most one); with it,
+    fixed-size chunks, letting the pool balance more finely.  Contiguity
+    matters: consecutive cases of one KPI share a leaf population, so a
+    contiguous shard maximizes warm-engine reuse inside a worker.
+    """
+    if n_cases <= 0:
+        return []
+    if chunk_size is None:
+        n_shards = min(n_workers, n_cases)
+        base, extra = divmod(n_cases, n_shards)
+        shards = []
+        start = 0
+        for shard in range(n_shards):
+            size = base + (1 if shard < extra else 0)
+            shards.append(list(range(start, start + size)))
+            start += size
+        return shards
+    return [
+        list(range(start, min(start + chunk_size, n_cases)))
+        for start in range(0, n_cases, chunk_size)
+    ]
+
+
+# -- worker side -----------------------------------------------------------
+
+#: Worker-resident shared-memory attachments, keyed by block name.  The
+#: mapping lives until the worker process exits: warm engines keep views
+#: into the block alive, so per-shard ``close()`` would raise.
+_WORKER_STORES: Dict[str, SharedCaseStore] = {}
+
+#: Worker-resident warm engines, keyed by schema identity.
+_WORKER_ENGINES: Dict[Tuple, AggregationEngine] = {}
+
+
+def _schema_key(schema) -> Tuple:
+    return (schema.names, schema.sizes)
+
+
+def _adopt_engine(dataset) -> AggregationEngine:
+    """A (possibly warm) shared engine for *dataset*, worker-resident.
+
+    Consecutive snapshots of one KPI share a leaf population, so the
+    previous engine's code-derived caches (linear keys, posting lists,
+    cuboid occupancy) carry over via :meth:`AggregationEngine.warm_clone`;
+    a population change falls back to a cold engine, exactly like serial.
+    """
+    key = _schema_key(dataset.schema)
+    previous = _WORKER_ENGINES.get(key)
+    if previous is not None and previous.compatible_with(dataset):
+        engine = install_engine(previous.warm_clone(dataset))
+        outcome = "warm_clone"
+    else:
+        engine = engine_for(dataset)
+        outcome = "incompatible" if previous is not None else "cold"
+    _WORKER_ENGINES[key] = engine
+    if _trace.ACTIVE:
+        obs.inc("parallel_warm_engines_total", outcome=outcome)
+    return engine
+
+
+def _run_shard(payload: Dict) -> Tuple[List[Tuple], Optional[List[Dict]]]:
+    """Execute one shard; returns (per-case result rows, metric snapshot).
+
+    Runs in the worker process.  Under the ``fork`` start method the
+    child inherits the parent's installed collector, whose buffers the
+    parent never sees again — so the first act is to detach it and, when
+    collecting, install a fresh one whose registry snapshot rides home
+    with the results.
+    """
+    _trace.uninstall(None)
+    collector = _trace.Collector() if payload["collect"] else None
+    if collector is not None:
+        _trace.install(collector)
+    try:
+        if payload["transport"] == "shm":
+            spec = payload["spec"]
+            store = _WORKER_STORES.get(spec["shm_name"])
+            if store is None:
+                store = SharedCaseStore.attach(spec)
+                _WORKER_STORES[spec["shm_name"]] = store
+            cases = store.cases(payload["indices"])
+        else:
+            cases = payload["cases"]
+        if _trace.ACTIVE:
+            obs.inc("parallel_shards_total")
+            obs.inc(
+                "parallel_cases_total", len(cases), transport=payload["transport"]
+            )
+        rows = []
+        for index, case in zip(payload["indices"], cases):
+            if payload["warm_engines"]:
+                _adopt_engine(case.dataset)
+            case_k = len(case.true_raps) if payload["k_from_truth"] else payload["k"]
+            predicted, seconds = time_localization(
+                payload["method"].localize, case.dataset, case_k
+            )
+            rows.append(
+                (
+                    index,
+                    case.case_id,
+                    list(predicted),
+                    tuple(case.true_raps),
+                    seconds,
+                    case.metadata.get(payload["group_key"]),
+                )
+            )
+        snapshot = collector.metrics.snapshot() if collector is not None else None
+        return rows, snapshot
+    finally:
+        if collector is not None:
+            _trace.uninstall(None)
+
+
+# -- parent side -----------------------------------------------------------
+
+
+def batch_localize(
+    method,
+    cases: Sequence[LocalizationCase],
+    k: Optional[int] = None,
+    k_from_truth: bool = False,
+    group_key: str = "group",
+    config: Optional[BatchConfig] = None,
+):
+    """Evaluate *method* over *cases* through a process pool.
+
+    Drop-in equivalent of :func:`repro.experiments.runner.run_cases` — same
+    parameters, same :class:`MethodEvaluation` result in the same case
+    order, with candidates bit-identical to the serial run.  ``config``
+    selects pool size, transport, and engine warming (see
+    :class:`BatchConfig`); the default single-worker config routes through
+    the serial path untouched.
+    """
+    from ..experiments.runner import CaseResult, MethodEvaluation, run_cases
+
+    config = config or BatchConfig()
+    if config.n_workers == 1 or len(cases) == 0:
+        return run_cases(
+            method, cases, k=k, k_from_truth=k_from_truth, group_key=group_key
+        )
+
+    collect = config.collect_metrics
+    if collect is None:
+        collect = _trace.is_active()
+
+    shards = shard_indices(len(cases), config.n_workers, config.chunk_size)
+    base_payload = {
+        "method": method,
+        "k": k,
+        "k_from_truth": k_from_truth,
+        "group_key": group_key,
+        "transport": config.transport,
+        "warm_engines": config.warm_engines,
+        "collect": collect,
+    }
+    store = None
+    if config.transport == "shm":
+        store = SharedCaseStore.pack(cases)
+    try:
+        payloads = []
+        for indices in shards:
+            payload = dict(base_payload, indices=indices)
+            if store is not None:
+                payload["spec"] = store.spec
+            else:
+                payload["cases"] = [cases[i] for i in indices]
+            payloads.append(payload)
+
+        context = multiprocessing.get_context(config.mp_context or _default_start())
+        with context.Pool(processes=config.n_workers) as pool:
+            outcomes = pool.map(_run_shard, payloads)
+    finally:
+        if store is not None:
+            store.destroy()
+
+    rows = []
+    snapshots = []
+    for shard_rows, snapshot in outcomes:
+        rows.extend(shard_rows)
+        if snapshot is not None:
+            snapshots.append(snapshot)
+    rows.sort(key=lambda row: row[0])
+
+    collector = _trace.active_collector()
+    if collector is not None:
+        for snapshot in snapshots:
+            collector.metrics.merge(snapshot)
+            obs.inc("parallel_merge_snapshots_total")
+
+    evaluation = MethodEvaluation(
+        method_name=getattr(method, "name", type(method).__name__)
+    )
+    for __, case_id, predicted, true_raps, seconds, group in rows:
+        evaluation.results.append(
+            CaseResult(
+                case_id=case_id,
+                predicted=predicted,
+                true_raps=true_raps,
+                seconds=seconds,
+                group=group,
+            )
+        )
+    return evaluation
+
+
+def _default_start() -> str:
+    """``fork`` where the platform offers it (cheap, inherits read-only
+    state), otherwise the platform default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return multiprocessing.get_start_method()

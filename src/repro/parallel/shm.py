@@ -1,0 +1,181 @@
+"""Zero-copy transport of case collections via POSIX shared memory.
+
+The batch execution layer (:mod:`repro.parallel.batch`) must hand each
+worker process the leaf tables of its shard.  Pickling a
+:class:`~repro.data.injection.LocalizationCase` serializes every array
+into the task payload — for the paper's 10 560-leaf snapshots that is
+~340 KB per case per dispatch, copied twice (parent serialize, worker
+deserialize).  :class:`SharedCaseStore` instead packs the four columnar
+arrays (``codes``, ``v``, ``f``, ``labels``) of *all* cases into one
+:class:`multiprocessing.shared_memory.SharedMemory` block; workers attach
+by name and build numpy views directly over the block, so the only
+per-task payload is the shard's index list plus a small JSON-like spec.
+
+Layout: arrays are appended back to back, each offset rounded up to
+:data:`ALIGNMENT` bytes so ``int64``/``float64`` views are always aligned.
+The picklable :attr:`SharedCaseStore.spec` records, per case, the
+non-array fields (case id, schema, RAP strings, metadata) and per array
+the ``(offset, shape, dtype)`` triple needed to rebuild the view.
+
+Lifecycle: the parent calls :meth:`SharedCaseStore.pack` and eventually
+:meth:`SharedCaseStore.destroy` (close + unlink); workers call
+:meth:`SharedCaseStore.attach` and :meth:`SharedCaseStore.close`.  Worker
+attachments deregister themselves from the interpreter's
+``resource_tracker`` so a worker exiting does not tear the block down
+under the parent (CPython's tracker otherwise treats every attachment as
+an ownership claim).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.attribute import AttributeCombination
+from ..data.dataset import FineGrainedDataset
+from ..data.injection import LocalizationCase
+from ..data.io import schema_from_dict, schema_to_dict
+
+__all__ = ["SharedCaseStore", "ALIGNMENT"]
+
+#: Byte alignment of every array inside the block (covers int64/float64).
+ALIGNMENT = 8
+
+#: The leaf-table fields shipped through the block, in layout order.
+_ARRAY_FIELDS = ("codes", "v", "f", "labels")
+
+
+def _aligned(offset: int) -> int:
+    """Round *offset* up to the next :data:`ALIGNMENT` boundary."""
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+class SharedCaseStore:
+    """One shared-memory block holding the leaf tables of many cases.
+
+    Construct via :meth:`pack` (parent side) or :meth:`attach` (worker
+    side); both sides expose :meth:`case` / :meth:`cases` returning
+    :class:`LocalizationCase` objects whose arrays are read-only views
+    over the block — no copies on either side.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, spec: Dict, owner: bool):
+        self._shm = shm
+        self.spec = spec
+        self._owner = owner
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def pack(cls, cases: Sequence[LocalizationCase]) -> "SharedCaseStore":
+        """Copy every case's leaf table into a fresh shared block (parent)."""
+        entries: List[Dict] = []
+        offset = 0
+        staged = []
+        for case in cases:
+            dataset = case.dataset
+            arrays: Dict[str, Dict] = {}
+            for field in _ARRAY_FIELDS:
+                array = np.ascontiguousarray(getattr(dataset, field))
+                offset = _aligned(offset)
+                arrays[field] = {
+                    "offset": offset,
+                    "shape": list(array.shape),
+                    "dtype": array.dtype.str,
+                }
+                staged.append((offset, array))
+                offset += array.nbytes
+            entries.append(
+                {
+                    "case_id": case.case_id,
+                    "schema": schema_to_dict(dataset.schema),
+                    "true_raps": [str(rap) for rap in case.true_raps],
+                    "metadata": dict(case.metadata),
+                    "arrays": arrays,
+                }
+            )
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for start, array in staged:
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf, offset=start)
+            view[...] = array
+        spec = {"shm_name": shm.name, "cases": entries}
+        return cls(shm, spec, owner=True)
+
+    @classmethod
+    def attach(cls, spec: Dict) -> "SharedCaseStore":
+        """Open the block named by *spec* without taking ownership (worker).
+
+        CPython registers the attachment with the resource tracker as if
+        this process owned the block (bpo-38119), but the tracker is one
+        process shared by the whole pool, its cache is a set, and the
+        parent registered the same name at creation — so the extra
+        registration is a no-op and the owner's :meth:`destroy` clears it.
+        Unregistering here would instead clobber the parent's entry.
+        """
+        return cls(shared_memory.SharedMemory(name=spec["shm_name"]), spec, owner=False)
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spec["cases"])
+
+    def case(self, index: int) -> LocalizationCase:
+        """Rebuild case *index* with zero-copy read-only array views."""
+        entry = self.spec["cases"][index]
+        views = {}
+        for field in _ARRAY_FIELDS:
+            meta = entry["arrays"][field]
+            view = np.ndarray(
+                tuple(meta["shape"]),
+                dtype=np.dtype(meta["dtype"]),
+                buffer=self._shm.buf,
+                offset=meta["offset"],
+            )
+            view.flags.writeable = False
+            views[field] = view
+        schema = schema_from_dict(entry["schema"])
+        dataset = FineGrainedDataset(
+            schema, views["codes"], views["v"], views["f"], views["labels"]
+        )
+        raps = tuple(AttributeCombination.parse(text) for text in entry["true_raps"])
+        return LocalizationCase(
+            case_id=entry["case_id"],
+            dataset=dataset,
+            true_raps=raps,
+            metadata=dict(entry["metadata"]),
+        )
+
+    def cases(self, indices: Optional[Sequence[int]] = None) -> List[LocalizationCase]:
+        """The cases at *indices* (all of them when omitted), in order."""
+        if indices is None:
+            indices = range(len(self))
+        return [self.case(i) for i in indices]
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the underlying block in bytes."""
+        return self._shm.size
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (the block itself survives)."""
+        self._shm.close()
+
+    def destroy(self) -> None:
+        """Close and unlink the block; owner side only, idempotent."""
+        self.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+            self._owner = False
+
+    def __enter__(self) -> "SharedCaseStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.destroy() if self._owner else self.close()

@@ -248,6 +248,43 @@ class TestWarmClone:
         with pytest.raises(ValueError):
             AggregationEngine(dataset).warm_clone(other)
 
+    def test_warm_refresh_is_bitwise_equal_to_cold(self):
+        """A warm-clone chain must reproduce cold aggregates *bitwise*.
+
+        The batch execution layer keeps one warm engine per (worker,
+        schema) and asserts batch results identical to serial runs, so the
+        warm refresh may not drift from the cold leaf-level summation
+        order even in the last float bit — exact array equality, not
+        allclose.
+        """
+        rng = np.random.default_rng(51)
+        previous_engine = None
+        base = _random_dataset((4, 3, 3), 50)
+        for __ in range(4):
+            fresh = FineGrainedDataset(
+                base.schema,
+                base.codes,
+                rng.uniform(1, 10, base.n_rows),
+                rng.uniform(1, 10, base.n_rows),
+                rng.random(base.n_rows) < 0.3,
+            )
+            if previous_engine is None:
+                engine = AggregationEngine(fresh)
+            else:
+                engine = previous_engine.warm_clone(fresh)
+            engine.prepare(range(3))
+            cold = AggregationEngine(fresh)
+            cold.prepare(range(3))
+            for cuboid in enumerate_cuboids(3):
+                warm_aggregate = engine.aggregate(cuboid)
+                cold_aggregate = cold.aggregate(cuboid)
+                np.testing.assert_array_equal(
+                    warm_aggregate.anomalous_support, cold_aggregate.anomalous_support
+                )
+                np.testing.assert_array_equal(warm_aggregate.v_sum, cold_aggregate.v_sum)
+                np.testing.assert_array_equal(warm_aggregate.f_sum, cold_aggregate.f_sum)
+            previous_engine = engine
+
 
 class TestDefaultEnginePath:
     def test_search_uses_shared_engine_by_default(self, fig7_dataset, monkeypatch):

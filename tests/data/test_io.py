@@ -12,7 +12,9 @@ from repro.data.io import (
     dataset_from_csv,
     dataset_to_csv,
     load_cases,
+    load_cases_npz,
     save_cases,
+    save_cases_npz,
     schema_from_dict,
     schema_to_dict,
 )
@@ -126,3 +128,76 @@ class TestCaseBundles:
         for original, copy in zip(cases, loaded):
             assert original.true_raps == copy.true_raps
             assert np.allclose(original.dataset.f, copy.dataset.f)
+
+
+class TestNpzBundles:
+    def make_cases(self, labelled):
+        return [
+            LocalizationCase(
+                case_id=f"case-{i}",
+                dataset=labelled,
+                true_raps=(AttributeCombination.parse("(a1, *, *)"),),
+                metadata={"group": (1, i), "seed": np.int64(7 + i)},
+            )
+            for i in range(2)
+        ]
+
+    def test_roundtrip_is_bit_exact(self, labelled, tmp_path):
+        cases = self.make_cases(labelled)
+        path = tmp_path / "cases.npz"
+        save_cases_npz(cases, path)
+        loaded = load_cases_npz(path)
+        assert len(loaded) == len(cases)
+        for original, copy in zip(cases, loaded):
+            assert copy.case_id == original.case_id
+            assert copy.true_raps == original.true_raps
+            assert copy.dataset.schema == original.dataset.schema
+            for field in ("codes", "v", "f", "labels"):
+                got = getattr(copy.dataset, field)
+                want = getattr(original.dataset, field)
+                assert got.dtype == want.dtype
+                assert np.array_equal(got, want)
+
+    def test_metadata_survives_header(self, labelled, tmp_path):
+        path = tmp_path / "cases.npz"
+        save_cases_npz(self.make_cases(labelled), path)
+        loaded = load_cases_npz(path)
+        assert loaded[0].metadata == {"group": [1, 0], "seed": 7}
+        assert loaded[1].metadata["seed"] == 8
+
+    def test_save_load_cases_dispatch_on_suffix(self, labelled, tmp_path):
+        cases = self.make_cases(labelled)
+        path = tmp_path / "cases.npz"
+        save_cases(cases, path)
+        # It really is an npz archive (zip magic), not JSON.
+        assert path.read_bytes()[:2] == b"PK"
+        loaded = load_cases(path)
+        assert [case.case_id for case in loaded] == ["case-0", "case-1"]
+
+    def test_non_bundle_npz_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, payload=np.arange(3))
+        with pytest.raises(ValueError):
+            load_cases_npz(path)
+
+    def test_wrong_format_tag_rejected(self, tmp_path):
+        path = tmp_path / "tagged.npz"
+        header = np.frombuffer(b'{"format": "other", "cases": []}', dtype=np.uint8)
+        np.savez(path, header=header)
+        with pytest.raises(ValueError):
+            load_cases_npz(path)
+
+    def test_float_bits_not_rounded(self, example_schema, tmp_path):
+        # Values chosen to lose bits under any repr/parse shortcut.
+        n = example_schema.n_leaves
+        rng = np.random.default_rng(11)
+        v = np.nextafter(rng.uniform(0, 1, n), 2.0)
+        ds = FineGrainedDataset.full(example_schema, v, v * np.pi)
+        case = LocalizationCase(
+            case_id="precise", dataset=ds, true_raps=(), metadata={}
+        )
+        path = tmp_path / "precise.npz"
+        save_cases_npz([case], path)
+        loaded = load_cases_npz(path)[0]
+        assert loaded.dataset.v.tobytes() == ds.v.tobytes()
+        assert loaded.dataset.f.tobytes() == ds.f.tobytes()

@@ -88,3 +88,27 @@ class TestAggregations:
         assert evaluation.mean_f1 == 0.0
         assert evaluation.mean_seconds == 0.0
         assert evaluation.recall_at(3) == 0.0
+
+
+class TestRunCasesWorkers:
+    def test_n_workers_matches_serial(self, cases):
+        serial = run_cases(RAPMiner(), cases, k_from_truth=True)
+        sharded = run_cases(RAPMiner(), cases, k_from_truth=True, n_workers=2)
+        assert [r.case_id for r in sharded.results] == [
+            r.case_id for r in serial.results
+        ]
+        for got, want in zip(sharded.results, serial.results):
+            assert got.predicted == want.predicted
+            assert got.group == want.group
+
+    def test_n_workers_times_inside_worker(self, cases):
+        sharded = run_cases(RAPMiner(), cases, k_from_truth=True, n_workers=2)
+        # Pool dispatch costs milliseconds; per-case seconds must reflect
+        # only the localization (sub-millisecond on these toy cases).
+        assert all(0 < r.seconds < 0.5 for r in sharded.results)
+
+    def test_default_is_serial(self, cases):
+        method = FixedLocalizer(["(a1, *, *)"])
+        run_cases(method, cases, k=1)
+        # The serial path invokes the method in-process: calls are visible.
+        assert method.calls == [1, 1]

@@ -1,0 +1,218 @@
+"""Tests for the process-pool batch execution layer.
+
+Pool-backed tests run 2 workers over the small RAPMD collection; each
+asserts some facet of the serial-equivalence contract (ordering, ranked
+output, grouping, timing, counters).
+"""
+
+import pytest
+
+from repro import RAPMiner, obs
+from repro.data.rapmd import RAPMDConfig, generate_rapmd
+from repro.data.schema import cdn_schema
+from repro.experiments.runner import run_cases
+from repro.parallel import BatchConfig, batch_localize, shard_indices
+
+
+def make_cases(n_cases=4):
+    return generate_rapmd(
+        cdn_schema(4, 2, 2, 3), RAPMDConfig(n_cases=n_cases, n_days=2, seed=9)
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_eval():
+    return run_cases(RAPMiner(), make_cases(), k=3)
+
+
+class TestShardIndices:
+    def test_even_split_is_contiguous(self):
+        assert shard_indices(5, 2) == [[0, 1, 2], [3, 4]]
+
+    def test_more_workers_than_cases(self):
+        assert shard_indices(2, 8) == [[0], [1]]
+
+    def test_chunk_size_overrides_worker_count(self):
+        assert shard_indices(5, 2, chunk_size=2) == [[0, 1], [2, 3], [4]]
+
+    def test_empty_collection(self):
+        assert shard_indices(0, 4) == []
+
+    def test_shards_cover_every_index_once(self):
+        flat = [i for shard in shard_indices(13, 4) for i in shard]
+        assert flat == list(range(13))
+
+
+class TestBatchConfig:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            BatchConfig(n_workers=0)
+
+    def test_rejects_unknown_transport(self):
+        with pytest.raises(ValueError):
+            BatchConfig(transport="tcp")
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            BatchConfig(chunk_size=0)
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("transport", ["shm", "pickle"])
+    def test_bit_identical_predictions(self, serial_eval, transport):
+        evaluation = batch_localize(
+            RAPMiner(),
+            make_cases(),
+            k=3,
+            config=BatchConfig(n_workers=2, transport=transport),
+        )
+        assert [r.case_id for r in evaluation.results] == [
+            r.case_id for r in serial_eval.results
+        ]
+        for got, want in zip(evaluation.results, serial_eval.results):
+            assert got.predicted == want.predicted
+            assert got.true_raps == want.true_raps
+            assert got.group == want.group
+
+    def test_cold_engines_also_identical(self, serial_eval):
+        evaluation = batch_localize(
+            RAPMiner(),
+            make_cases(),
+            k=3,
+            config=BatchConfig(n_workers=2, warm_engines=False),
+        )
+        for got, want in zip(evaluation.results, serial_eval.results):
+            assert got.predicted == want.predicted
+
+    def test_single_worker_is_serial_path(self, serial_eval):
+        evaluation = batch_localize(RAPMiner(), make_cases(), k=3)
+        assert [r.predicted for r in evaluation.results] == [
+            r.predicted for r in serial_eval.results
+        ]
+
+    def test_empty_case_list(self):
+        evaluation = batch_localize(
+            RAPMiner(), [], k=3, config=BatchConfig(n_workers=2)
+        )
+        assert evaluation.results == []
+
+    def test_k_from_truth_protocol(self):
+        cases = make_cases()
+        serial = run_cases(RAPMiner(), cases, k_from_truth=True)
+        batch = batch_localize(
+            RAPMiner(),
+            make_cases(),
+            k_from_truth=True,
+            config=BatchConfig(n_workers=2),
+        )
+        for got, want in zip(batch.results, serial.results):
+            assert got.predicted == want.predicted
+
+    def test_chunked_shards_preserve_order(self, serial_eval):
+        evaluation = batch_localize(
+            RAPMiner(),
+            make_cases(),
+            k=3,
+            config=BatchConfig(n_workers=2, chunk_size=1),
+        )
+        assert [r.case_id for r in evaluation.results] == [
+            r.case_id for r in serial_eval.results
+        ]
+
+    def test_per_case_timing_recorded(self):
+        evaluation = batch_localize(
+            RAPMiner(), make_cases(), k=3, config=BatchConfig(n_workers=2)
+        )
+        assert all(r.seconds > 0 for r in evaluation.results)
+
+
+class TestCounterMerge:
+    def test_cold_sharded_counters_equal_serial(self):
+        with obs.capture() as serial_collector:
+            run_cases(RAPMiner(), make_cases(), k=3)
+        with obs.capture() as batch_collector:
+            batch_localize(
+                RAPMiner(),
+                make_cases(),
+                k=3,
+                config=BatchConfig(n_workers=2, warm_engines=False),
+            )
+        for path in ("cold", "cache_hit", "rollup", "warm_refresh"):
+            assert batch_collector.metrics.value(
+                "engine_aggregate_total", {"path": path}
+            ) == serial_collector.metrics.value(
+                "engine_aggregate_total", {"path": path}
+            ), path
+        assert batch_collector.metrics.family_total(
+            "search_cuboids_scanned_total"
+        ) == serial_collector.metrics.family_total("search_cuboids_scanned_total")
+
+    def test_warm_sharded_request_totals_equal_serial(self):
+        with obs.capture() as serial_collector:
+            run_cases(RAPMiner(), make_cases(), k=3)
+        with obs.capture() as batch_collector:
+            batch_localize(
+                RAPMiner(), make_cases(), k=3, config=BatchConfig(n_workers=2)
+            )
+        assert batch_collector.metrics.family_total(
+            "engine_aggregate_total"
+        ) == serial_collector.metrics.family_total("engine_aggregate_total")
+
+    def test_batch_layer_counters_present(self):
+        with obs.capture() as collector:
+            batch_localize(
+                RAPMiner(), make_cases(), k=3, config=BatchConfig(n_workers=2)
+            )
+        metrics = collector.metrics
+        assert metrics.value("parallel_shards_total") == 2
+        assert metrics.value("parallel_cases_total", {"transport": "shm"}) == 4
+        assert metrics.value("parallel_merge_snapshots_total") == 2
+        outcomes = metrics.value(
+            "parallel_warm_engines_total", {"outcome": "cold"}
+        ) + metrics.value("parallel_warm_engines_total", {"outcome": "warm_clone"})
+        assert outcomes == 4
+
+    def test_no_collector_means_no_collection(self):
+        evaluation = batch_localize(
+            RAPMiner(), make_cases(), k=3, config=BatchConfig(n_workers=2)
+        )
+        assert len(evaluation.results) == 4
+        assert obs.active_collector() is None
+
+    def test_forced_collection_without_parent_collector_is_dropped(self):
+        # collect_metrics=True without a parent collector: snapshots are
+        # taken but there is nowhere to merge them — must not crash.
+        evaluation = batch_localize(
+            RAPMiner(),
+            make_cases(),
+            k=3,
+            config=BatchConfig(n_workers=2, collect_metrics=True),
+        )
+        assert len(evaluation.results) == 4
+
+
+class TestFastPresetSmoke:
+    """Tier-1 guard: the pool path must work on the real fast-preset data.
+
+    Process-pool regressions (transport layout, fork inheritance, merge
+    protocol) should fail here in CI, not only in ``make bench-throughput``.
+    """
+
+    def test_two_workers_on_fast_preset(self):
+        from repro.experiments.presets import fast_preset
+
+        cases = fast_preset(seed=1).rapmd_cases()
+        serial = run_cases(RAPMiner(), cases, k=5)
+        with obs.capture() as collector:
+            batch = batch_localize(
+                RAPMiner(), cases, k=5, config=BatchConfig(n_workers=2)
+            )
+        assert [r.case_id for r in batch.results] == [
+            r.case_id for r in serial.results
+        ]
+        for got, want in zip(batch.results, serial.results):
+            assert got.predicted == want.predicted
+        assert collector.metrics.value("parallel_shards_total") == 2
+        assert collector.metrics.value(
+            "parallel_cases_total", {"transport": "shm"}
+        ) == len(cases)

@@ -1,0 +1,82 @@
+"""Tests for the shared-memory case store."""
+
+import numpy as np
+import pytest
+
+from repro.data.rapmd import RAPMDConfig, generate_rapmd
+from repro.data.schema import cdn_schema
+from repro.parallel.shm import ALIGNMENT, SharedCaseStore
+
+
+@pytest.fixture(scope="module")
+def small_cases():
+    return generate_rapmd(
+        cdn_schema(4, 2, 2, 3), RAPMDConfig(n_cases=3, n_days=2, seed=9)
+    )
+
+
+class TestPackAttach:
+    def test_roundtrip_is_bit_exact(self, small_cases):
+        with SharedCaseStore.pack(small_cases) as store:
+            reader = SharedCaseStore.attach(store.spec)
+            try:
+                rebuilt = reader.cases()
+                assert len(rebuilt) == len(small_cases)
+                for original, copy in zip(small_cases, rebuilt):
+                    assert copy.case_id == original.case_id
+                    assert copy.true_raps == original.true_raps
+                    assert copy.dataset.schema == original.dataset.schema
+                    for field in ("codes", "v", "f", "labels"):
+                        got = getattr(copy.dataset, field)
+                        want = getattr(original.dataset, field)
+                        assert got.dtype == want.dtype
+                        assert np.array_equal(got, want)
+            finally:
+                del rebuilt  # release views before unmapping
+                reader.close()
+
+    def test_views_are_zero_copy_and_read_only(self, small_cases):
+        with SharedCaseStore.pack(small_cases) as store:
+            case = store.case(0)
+            # The dataset holds the view itself: no copy on construction.
+            assert not case.dataset.v.flags.owndata
+            assert not case.dataset.v.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                case.dataset.v[0] = 0.0
+            del case
+
+    def test_offsets_are_aligned(self, small_cases):
+        with SharedCaseStore.pack(small_cases) as store:
+            for entry in store.spec["cases"]:
+                for meta in entry["arrays"].values():
+                    assert meta["offset"] % ALIGNMENT == 0
+
+    def test_subset_selection_preserves_order(self, small_cases):
+        with SharedCaseStore.pack(small_cases) as store:
+            picked = store.cases([2, 0])
+            assert [case.case_id for case in picked] == [
+                small_cases[2].case_id,
+                small_cases[0].case_id,
+            ]
+            del picked
+
+    def test_spec_is_picklable(self, small_cases):
+        import pickle
+
+        with SharedCaseStore.pack(small_cases) as store:
+            spec = pickle.loads(pickle.dumps(store.spec))
+            assert spec == store.spec
+
+    def test_destroy_is_idempotent(self, small_cases):
+        store = SharedCaseStore.pack(small_cases)
+        store.destroy()
+        store.destroy()
+
+    def test_nbytes_covers_all_arrays(self, small_cases):
+        total = sum(
+            getattr(case.dataset, field).nbytes
+            for case in small_cases
+            for field in ("codes", "v", "f", "labels")
+        )
+        with SharedCaseStore.pack(small_cases) as store:
+            assert store.nbytes >= total

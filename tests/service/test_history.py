@@ -59,3 +59,58 @@ class TestRollingHistory:
         matrix = history.to_matrix()
         matrix[0, 0] = 99.0
         assert history.last()[0] == 1.0
+
+
+class TestWraparound:
+    def _filled(self, capacity, steps, n_series=2):
+        history = RollingHistory(n_series=n_series, capacity=capacity)
+        for step in range(steps):
+            history.append(np.full(n_series, float(step)))
+        return history
+
+    def test_to_matrix_chronological_after_wrap(self):
+        history = self._filled(capacity=3, steps=5)
+        matrix = history.to_matrix()
+        assert matrix.shape == (3, 2)
+        np.testing.assert_array_equal(matrix[:, 0], [2.0, 3.0, 4.0])
+
+    def test_to_matrix_at_exact_boundary(self):
+        # size == capacity with _next back at 0: the wrap concat must not
+        # duplicate or reorder rows.
+        history = self._filled(capacity=3, steps=3)
+        np.testing.assert_array_equal(history.to_matrix()[:, 0], [0.0, 1.0, 2.0])
+
+    def test_last_tracks_every_wrap_position(self):
+        history = RollingHistory(n_series=1, capacity=3)
+        for step in range(7):
+            history.append([float(step)])
+            assert history.last() == np.array([float(step)])
+
+    def test_len_saturates_at_capacity(self):
+        history = self._filled(capacity=3, steps=10)
+        assert len(history) == 3
+        assert history.is_full
+
+    def test_clear_then_reuse(self):
+        history = self._filled(capacity=3, steps=5)
+        history.clear()
+        assert len(history) == 0
+        assert history.last() is None
+        assert history.to_matrix().shape == (0, 2)
+        # Appends after clear() restart from slot 0, not the old _next.
+        history.append([10.0, 11.0])
+        history.append([20.0, 21.0])
+        matrix = history.to_matrix()
+        np.testing.assert_array_equal(matrix[:, 0], [10.0, 20.0])
+        np.testing.assert_array_equal(history.last(), [20.0, 21.0])
+
+    def test_partial_fill_mid_wrap(self):
+        # Wrap once, clear, then fill fewer than capacity steps: the
+        # short-size path of to_matrix() must read from the buffer start.
+        history = self._filled(capacity=4, steps=6)
+        history.clear()
+        history.append([1.0, 1.0])
+        history.append([2.0, 2.0])
+        history.append([3.0, 3.0])
+        np.testing.assert_array_equal(history.to_matrix()[:, 0], [1.0, 2.0, 3.0])
+        assert not history.is_full

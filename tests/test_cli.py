@@ -207,3 +207,48 @@ class TestReproduce:
         out = capsys.readouterr().out
         assert "RAPMiner" in out
         assert "Squeeze" in out
+
+
+class TestBatchLocalize:
+    def test_reports_throughput(self, bundle, capsys):
+        code = main(
+            ["batch-localize", "--cases", str(bundle), "--workers", "2", "--k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 worker(s)" in out
+        assert "cases/s" in out
+        assert "transport=shm" in out
+
+    def test_matches_serial_localize_output(self, bundle, capsys):
+        main(["batch-localize", "--cases", str(bundle), "--workers", "2", "--k", "3"])
+        batch_out = capsys.readouterr().out
+        main(["batch-localize", "--cases", str(bundle), "--workers", "1", "--k", "3"])
+        serial_out = capsys.readouterr().out
+        batch_hits = [l.split()[:3] for l in batch_out.splitlines() if "hits" in l]
+        serial_hits = [l.split()[:3] for l in serial_out.splitlines() if "hits" in l]
+        assert batch_hits == serial_hits
+
+    def test_npz_bundle_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "rapmd.npz"
+        assert main(["generate", "rapmd", "--out", str(path), "--seed", "2"]) == 0
+        assert path.read_bytes()[:2] == b"PK"
+        capsys.readouterr()
+        code = main(
+            [
+                "batch-localize", "--cases", str(path),
+                "--workers", "2", "--transport", "pickle", "--k", "3",
+            ]
+        )
+        assert code == 0
+        assert "transport=pickle" in capsys.readouterr().out
+
+    def test_evaluate_with_workers(self, bundle, capsys):
+        code = main(
+            [
+                "evaluate", "--cases", str(bundle), "--methods", "RAPMiner",
+                "--protocol", "rc", "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert "RC@3" in capsys.readouterr().out
