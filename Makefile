@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-search bench-throughput trace-demo report examples paper clean
+.PHONY: install test bench bench-search bench-throughput bench-stacked trace-demo report examples paper clean
 
 install:
 	pip install -e .[dev]
@@ -17,6 +17,11 @@ bench-search:
 # shm vs pickle transport); writes BENCH_throughput.json at the repo root.
 bench-throughput:
 	pytest benchmarks/test_batch_throughput.py::test_batch_throughput_report -p no:cacheprovider
+
+# Serial vs. case-stacked vectorized batch kernel (mode=vectorized/auto);
+# writes BENCH_stacked.json at the repo root and enforces the >=2x floor.
+bench-stacked:
+	pytest benchmarks/test_stacked_throughput.py::test_stacked_throughput_report -p no:cacheprovider
 
 # Small localization under --trace: asserts the JSONL trace parses and
 # carries the expected span names / engine counters (tier-1 test).

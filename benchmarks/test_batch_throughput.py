@@ -25,7 +25,9 @@ Every configuration's ranked output is asserted bit-identical to the
 serial run's, always.  The wall-clock *speedup* assertion is gated on the
 machine: a process pool cannot beat serial wall-clock on a single-CPU
 box, where batch throughput is bounded by serial throughput plus pool
-overhead.  The report records ``cpu_count`` and ``meets_target`` so the
+overhead — multi-worker configurations are therefore *skipped* there
+(recorded as ``skipped`` rows, with ``meets_target: null``) rather than
+timed as pure fork latency.  The report records ``cpu_count`` so the
 artifact is interpretable wherever it was produced; on >= 4 CPUs the
 ``TARGET_SPEEDUP`` floor is enforced.
 """
@@ -36,6 +38,8 @@ import json
 import os
 import time
 from pathlib import Path
+
+import pytest
 
 from repro import RAPMiner, obs
 from repro.data.dataset import FineGrainedDataset
@@ -105,6 +109,12 @@ def _assert_identical(evaluation, serial_evaluation, label):
 def test_batch_throughput_report(rapmd_cases, capsys):
     method = RAPMiner()
     n_cases = len(rapmd_cases) * REPLAY
+    cpu_count = os.cpu_count() or 1
+    # A process pool on a single-CPU box measures only pool overhead, at
+    # ~10x the wall cost of everything else in this file: skip those
+    # configurations and say so in the artifact instead of publishing a
+    # number that only characterizes fork latency.
+    skip_pool = cpu_count == 1
 
     serial_s, serial_eval = _timed(
         lambda stream: run_cases(method, stream, k=K), rapmd_cases
@@ -124,6 +134,17 @@ def test_batch_throughput_report(rapmd_cases, capsys):
     speedup_at_4 = None
     for transport in ("shm", "pickle"):
         for workers in (1, 2, 4):
+            mode = "sharded" if workers > 1 else "serial-fallback"
+            if workers > 1 and skip_pool:
+                rows.append(
+                    {
+                        "mode": mode,
+                        "workers": workers,
+                        "transport": transport,
+                        "skipped": "cpu_count == 1: pool cannot beat serial",
+                    }
+                )
+                continue
             config = BatchConfig(n_workers=workers, transport=transport)
             wall, evaluation = _timed(
                 lambda stream: batch_localize(method, stream, k=K, config=config),
@@ -135,7 +156,7 @@ def test_batch_throughput_report(rapmd_cases, capsys):
             speedup = serial_s / wall
             rows.append(
                 {
-                    "mode": "sharded" if workers > 1 else "serial-fallback",
+                    "mode": mode,
                     "workers": workers,
                     "transport": transport,
                     "wall_s": wall,
@@ -149,24 +170,43 @@ def test_batch_throughput_report(rapmd_cases, capsys):
     # Counter-merge overhead: the same 2-worker shm run, captured.  The
     # delta covers worker-side metric bumps, snapshot pickling, and the
     # parent-side registry merge.
-    merge_config = BatchConfig(n_workers=2, transport="shm")
-    plain_s, __ = _timed(
-        lambda stream: batch_localize(method, stream, k=K, config=merge_config),
-        rapmd_cases,
+    if skip_pool:
+        counter_merge = {
+            "workers": 2,
+            "transport": "shm",
+            "skipped": "cpu_count == 1: pool cannot beat serial",
+        }
+    else:
+        merge_config = BatchConfig(n_workers=2, transport="shm")
+        plain_s, __ = _timed(
+            lambda stream: batch_localize(method, stream, k=K, config=merge_config),
+            rapmd_cases,
+        )
+
+        def _captured(stream):
+            with obs.capture() as collector:
+                evaluation = batch_localize(method, stream, k=K, config=merge_config)
+            _captured.collector = collector
+            return evaluation
+
+        captured_s, captured_eval = _timed(_captured, rapmd_cases)
+        _assert_identical(captured_eval, serial_eval, "captured shm@2")
+        merged = _captured.collector.metrics.value("parallel_merge_snapshots_total")
+        counter_merge = {
+            "workers": 2,
+            "transport": "shm",
+            "plain_wall_s": plain_s,
+            "captured_wall_s": captured_s,
+            "overhead_s": captured_s - plain_s,
+            "merged_snapshots": merged,
+        }
+
+    # meets_target is measured-or-nothing: None when the 4-worker shm
+    # configuration was skipped, never a False inferred from a
+    # configuration that did not run.
+    meets_target = (
+        None if speedup_at_4 is None else speedup_at_4 >= TARGET_SPEEDUP
     )
-
-    def _captured(stream):
-        with obs.capture() as collector:
-            evaluation = batch_localize(method, stream, k=K, config=merge_config)
-        _captured.collector = collector
-        return evaluation
-
-    captured_s, captured_eval = _timed(_captured, rapmd_cases)
-    _assert_identical(captured_eval, serial_eval, "captured shm@2")
-    merged = _captured.collector.metrics.value("parallel_merge_snapshots_total")
-
-    cpu_count = os.cpu_count() or 1
-    meets_target = speedup_at_4 is not None and speedup_at_4 >= TARGET_SPEEDUP
     report = {
         "benchmark": "batch localization throughput (RAPMD protocol, k=5)",
         "dataset": "rapmd-fast-preset",
@@ -175,14 +215,7 @@ def test_batch_throughput_report(rapmd_cases, capsys):
         "repeats": REPEATS,
         "cpu_count": cpu_count,
         "configurations": rows,
-        "counter_merge": {
-            "workers": 2,
-            "transport": "shm",
-            "plain_wall_s": plain_s,
-            "captured_wall_s": captured_s,
-            "overhead_s": captured_s - plain_s,
-            "merged_snapshots": merged,
-        },
+        "counter_merge": counter_merge,
         "bit_identical_to_serial": True,
         "target_speedup_at_4_workers": TARGET_SPEEDUP,
         "speedup_at_4_workers": speedup_at_4,
@@ -194,15 +227,24 @@ def test_batch_throughput_report(rapmd_cases, capsys):
         print(f"\n[batch throughput] {n_cases} cases (replay x{REPLAY}), {cpu_count} CPU(s):")
         for row in rows:
             transport = row["transport"] or "-"
+            if "skipped" in row:
+                print(
+                    f"  {row['mode']:>15} workers={row['workers']} {transport:>6}: "
+                    f"skipped ({row['skipped']})"
+                )
+                continue
             print(
                 f"  {row['mode']:>15} workers={row['workers']} {transport:>6}: "
                 f"{row['wall_s'] * 1e3:8.1f} ms  {row['cases_per_s']:8.1f} cases/s  "
                 f"{row['speedup_vs_serial']:.2f}x"
             )
-        print(
-            f"  counter merge overhead @2 workers: "
-            f"{(captured_s - plain_s) * 1e3:+.1f} ms ({merged:.0f} snapshots)"
-        )
+        if "skipped" in counter_merge:
+            print(f"  counter merge: skipped ({counter_merge['skipped']})")
+        else:
+            print(
+                f"  counter merge overhead @2 workers: "
+                f"{(captured_s - plain_s) * 1e3:+.1f} ms ({merged:.0f} snapshots)"
+            )
         print(f"  report: {REPORT_PATH.name} (meets_target={meets_target})")
 
     if cpu_count >= 4:
@@ -212,6 +254,10 @@ def test_batch_throughput_report(rapmd_cases, capsys):
         )
 
 
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) == 1,
+    reason="a 2-worker pool on one CPU times fork overhead, not the batch path",
+)
 def test_benchmark_batch_path(benchmark, rapmd_cases):
     """pytest-benchmark timing of the 2-worker shm batch path (short stream)."""
     method = RAPMiner()

@@ -1,0 +1,155 @@
+"""Case-stacked batch kernel throughput: serial vs vectorized vs auto.
+
+The workload is the same replayed-stream model as
+``test_batch_throughput.py`` — the fast preset's RAPMD cases repeated
+``REPLAY`` times as fresh snapshot objects over shared array buffers,
+i.e. a stream of snapshots of one KPI population.  That is exactly the
+shape the case-stacked kernel (``core/stacked.py``) is built for: every
+replayed snapshot shares the leaf layout, so ``RAPMiner.run_batch``
+stacks the whole stream into one layout group and aggregates each BFS
+layer for all cases in one fused bincount pass.
+
+Measured configurations:
+
+* **serial** — :func:`run_cases`, one cold engine per snapshot (the
+  figure drivers' behaviour);
+* **vectorized** — :func:`batch_localize` with ``mode="vectorized"``:
+  the in-process stacked kernel, no pool, no transport;
+* **auto** — ``mode="auto"`` at 2 workers, recording what the host
+  heuristic resolved to (in-process vectorized on few-CPU machines, a
+  pool of vectorized workers otherwise).
+
+Every configuration's ranked output is asserted bit-identical to
+serial, and — unlike the process-pool benchmark, which only wins with
+spare physical cores — the vectorized kernel is pure array-level
+batching, so its ``TARGET_SPEEDUP`` floor is enforced on *every*
+machine, single-CPU containers included.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import RAPMiner
+from repro.experiments.runner import run_cases
+from repro.parallel import BatchConfig, batch_localize
+
+from test_batch_throughput import _assert_identical, _replayed_stream
+
+REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_stacked.json"
+#: Stream length: fast-preset case list replayed this many times.
+REPLAY = 32
+#: Timed repetitions per configuration; the minimum wall time is reported.
+REPEATS = 3
+#: Acceptance floor of the vectorized kernel vs serial, any machine.
+TARGET_SPEEDUP = 2.0
+#: Top-k of the RAPMD protocol.
+K = 5
+
+
+def _timed(run, cases, repeats=REPEATS):
+    best = float("inf")
+    evaluation = None
+    for _ in range(repeats):
+        stream = _replayed_stream(cases, REPLAY)
+        start = time.perf_counter()
+        evaluation = run(stream)
+        best = min(best, time.perf_counter() - start)
+    return best, evaluation
+
+
+def test_stacked_throughput_report(rapmd_cases, capsys):
+    method = RAPMiner()
+    n_cases = len(rapmd_cases) * REPLAY
+    cpu_count = os.cpu_count() or 1
+
+    serial_s, serial_eval = _timed(
+        lambda stream: run_cases(method, stream, k=K), rapmd_cases
+    )
+
+    auto_config = BatchConfig(mode="auto", n_workers=min(2, cpu_count))
+    execution, worker_vectorized = auto_config.resolve_mode()
+    auto_resolved = "sharded+vectorized" if worker_vectorized else execution
+
+    configs = [
+        ("vectorized", BatchConfig(mode="vectorized")),
+        (f"auto ({auto_resolved})", auto_config),
+    ]
+    rows = [
+        {
+            "mode": "serial",
+            "wall_s": serial_s,
+            "cases_per_s": n_cases / serial_s,
+            "speedup_vs_serial": 1.0,
+        }
+    ]
+    vectorized_speedup = None
+    for label, config in configs:
+        wall, evaluation = _timed(
+            lambda stream: batch_localize(method, stream, k=K, config=config),
+            rapmd_cases,
+        )
+        _assert_identical(evaluation, serial_eval, label)
+        speedup = serial_s / wall
+        rows.append(
+            {
+                "mode": label,
+                "wall_s": wall,
+                "cases_per_s": n_cases / wall,
+                "speedup_vs_serial": speedup,
+            }
+        )
+        if label == "vectorized":
+            vectorized_speedup = speedup
+
+    report = {
+        "benchmark": "case-stacked batch kernel throughput (RAPMD protocol, k=5)",
+        "dataset": "rapmd-fast-preset",
+        "replay_factor": REPLAY,
+        "n_cases": n_cases,
+        "repeats": REPEATS,
+        "cpu_count": cpu_count,
+        "auto_resolved_mode": auto_resolved,
+        "configurations": rows,
+        "bit_identical_to_serial": True,
+        "target_speedup_vectorized": TARGET_SPEEDUP,
+        "speedup_vectorized": vectorized_speedup,
+        "meets_target": vectorized_speedup >= TARGET_SPEEDUP,
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    with capsys.disabled():
+        print(
+            f"\n[stacked throughput] {n_cases} cases (replay x{REPLAY}), "
+            f"{cpu_count} CPU(s):"
+        )
+        for row in rows:
+            print(
+                f"  {row['mode']:>22}: {row['wall_s'] * 1e3:8.1f} ms  "
+                f"{row['cases_per_s']:8.1f} cases/s  "
+                f"{row['speedup_vs_serial']:.2f}x"
+            )
+        print(
+            f"  report: {REPORT_PATH.name} "
+            f"(meets_target={report['meets_target']})"
+        )
+
+    assert vectorized_speedup >= TARGET_SPEEDUP, (
+        f"vectorized kernel {vectorized_speedup:.2f}x below the "
+        f"{TARGET_SPEEDUP}x floor (array-level batching needs no spare cores)"
+    )
+
+
+def test_benchmark_vectorized_path(benchmark, rapmd_cases):
+    """pytest-benchmark timing of the in-process vectorized kernel (short stream)."""
+    method = RAPMiner()
+    config = BatchConfig(mode="vectorized")
+
+    def run():
+        stream = _replayed_stream(rapmd_cases, 2)
+        return batch_localize(method, stream, k=K, config=config)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

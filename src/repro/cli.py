@@ -169,7 +169,10 @@ def _cmd_batch_localize(args: argparse.Namespace) -> int:
         transport=args.transport,
         chunk_size=args.chunk_size,
         warm_engines=not args.cold_engines,
+        mode=args.mode,
     )
+    execution, worker_vectorized = config.resolve_mode()
+    resolved = "sharded+vectorized" if worker_vectorized else execution
     start = _time.perf_counter()
     evaluation = batch_localize(
         method, cases, k=args.k, k_from_truth=args.k is None, config=config
@@ -182,7 +185,7 @@ def _cmd_batch_localize(args: argparse.Namespace) -> int:
     throughput = len(cases) / wall if wall > 0 else float("inf")
     print(
         f"\n{len(cases)} cases via {config.n_workers} worker(s), "
-        f"transport={config.transport}: {wall:.3f} s wall "
+        f"mode={resolved}, transport={config.transport}: {wall:.3f} s wall "
         f"({in_worker:.3f} s in-worker), {throughput:.1f} cases/s"
     )
     return 0
@@ -360,6 +363,13 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--workers", type=int, default=2, help="pool size (1 = serial)")
     batch.add_argument("--transport", choices=["shm", "pickle"], default="shm")
     batch.add_argument("--chunk-size", type=int, default=None, help="cases per shard")
+    batch.add_argument(
+        "--mode",
+        choices=["sharded", "vectorized", "auto"],
+        default="auto",
+        help="sharded per-case pool, in-process case-stacked kernel, "
+        "or auto host heuristic (default)",
+    )
     batch.add_argument(
         "--cold-engines",
         action="store_true",

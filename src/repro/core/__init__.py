@@ -8,6 +8,7 @@ from .classification_power import (
     binary_entropy,
     classification_power,
     delete_redundant_attributes,
+    partition_attributes,
 )
 from .config import RAPMinerConfig
 from .cuboid import (
@@ -36,7 +37,18 @@ from .lattice_viz import (
 )
 from .miner import LocalizationResult, RAPMiner
 from .scoring import RAPCandidate, rank_candidates, rap_score
-from .search import SearchOutcome, SearchStats, layerwise_topdown_search
+from .search import (
+    SearchOutcome,
+    SearchStats,
+    batched_layerwise_topdown_search,
+    layerwise_topdown_search,
+)
+from .stacked import (
+    StackedCaseEngine,
+    StackedLayerCuboid,
+    group_datasets_by_layout,
+    stacked_key_dtype,
+)
 
 __all__ = [
     "WILDCARD",
@@ -79,5 +91,11 @@ __all__ = [
     "rap_score",
     "SearchOutcome",
     "SearchStats",
+    "batched_layerwise_topdown_search",
     "layerwise_topdown_search",
+    "StackedCaseEngine",
+    "StackedLayerCuboid",
+    "group_datasets_by_layout",
+    "stacked_key_dtype",
+    "partition_attributes",
 ]

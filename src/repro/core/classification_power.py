@@ -30,6 +30,7 @@ __all__ = [
     "binary_entropy",
     "classification_power",
     "all_classification_powers",
+    "partition_attributes",
     "delete_redundant_attributes",
     "AttributeDeletionResult",
 ]
@@ -106,6 +107,33 @@ class AttributeDeletionResult:
         return tuple(dataset.schema.names[i] for i in self.deleted_indices)
 
 
+def partition_attributes(
+    cp_values: Dict[str, float], names: Tuple[str, ...], t_cp: float
+) -> Tuple[Tuple[int, ...], Tuple[int, ...], bool]:
+    """Algorithm 1's keep/delete decision from precomputed CP values.
+
+    Returns ``(kept, deleted, forced_keep_all)`` with ``kept`` sorted by CP
+    descending.  Shared by :func:`delete_redundant_attributes` and the
+    case-stacked batch path (:mod:`repro.core.stacked`), so both make the
+    identical decision for identical CP values.
+    """
+    if t_cp < 0.0:
+        raise ValueError("t_cp must be non-negative")
+    kept: List[int] = []
+    deleted: List[int] = []
+    for i, name in enumerate(names):
+        if cp_values[name] > t_cp:
+            kept.append(i)
+        else:
+            deleted.append(i)
+    forced_keep_all = not kept
+    if forced_keep_all:
+        kept = list(range(len(names)))
+        deleted = []
+    kept.sort(key=lambda i: cp_values[names[i]], reverse=True)
+    return tuple(kept), tuple(deleted), forced_keep_all
+
+
 def delete_redundant_attributes(
     dataset: FineGrainedDataset, t_cp: float = 0.005
 ) -> AttributeDeletionResult:
@@ -122,18 +150,9 @@ def delete_redundant_attributes(
     with obs.span("cp.attribute_deletion", t_cp=t_cp) as deletion_span:
         schema = dataset.schema
         cp_values = all_classification_powers(dataset)
-        kept: List[int] = []
-        deleted: List[int] = []
-        for i, name in enumerate(schema.names):
-            if cp_values[name] > t_cp:
-                kept.append(i)
-            else:
-                deleted.append(i)
-        forced_keep_all = not kept
-        if forced_keep_all:
-            kept = list(range(schema.n_attributes))
-            deleted = []
-        kept.sort(key=lambda i: cp_values[schema.names[i]], reverse=True)
+        kept, deleted, forced_keep_all = partition_attributes(
+            cp_values, tuple(schema.names), t_cp
+        )
         deletion_span.set(
             cp_values=cp_values,
             kept=[schema.names[i] for i in kept],

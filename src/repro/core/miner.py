@@ -11,7 +11,7 @@ uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..data.dataset import FineGrainedDataset
@@ -21,7 +21,12 @@ from .classification_power import AttributeDeletionResult, delete_redundant_attr
 from .config import RAPMinerConfig
 from .engine import AggregationEngine
 from .scoring import RAPCandidate, rank_candidates
-from .search import SearchStats, layerwise_topdown_search
+from .search import (
+    SearchStats,
+    batched_layerwise_topdown_search,
+    layerwise_topdown_search,
+)
+from .stacked import StackedCaseEngine, group_datasets_by_layout
 
 __all__ = ["LocalizationResult", "RAPMiner"]
 
@@ -120,19 +125,105 @@ class RAPMiner:
                 engine=engine,
                 n_jobs=cfg.n_jobs,
             )
-            if cfg.layer_normalized_ranking:
-                ranked = rank_candidates(outcome.candidates, k)
-            else:
-                ranked = sorted(
-                    outcome.candidates,
-                    key=lambda c: (-c.confidence, -c.support, c.combination.sort_key()),
-                )
-                if k is not None:
-                    ranked = ranked[:k]
+            ranked = self._rank(outcome.candidates, k)
             run_span.set(n_candidates=len(ranked), outcome="localized")
             return LocalizationResult(
                 candidates=ranked, deletion=deletion, stats=outcome.stats
             )
+
+    def _rank(
+        self, candidates: List[RAPCandidate], k: Optional[int]
+    ) -> List[RAPCandidate]:
+        """The configured ranking (Eq. 3 or raw confidence), truncated to *k*."""
+        if self.config.layer_normalized_ranking:
+            return rank_candidates(candidates, k)
+        ranked = sorted(
+            candidates,
+            key=lambda c: (-c.confidence, -c.support, c.combination.sort_key()),
+        )
+        if k is not None:
+            ranked = ranked[:k]
+        return ranked
+
+    def run_batch(
+        self, datasets: Sequence[FineGrainedDataset], k: Optional[int] = None
+    ) -> List["LocalizationResult"]:
+        """Both stages over a batch of leaf tables, case-stacked.
+
+        Datasets sharing a ``(schema, leaf-index)`` layout are grouped
+        and localized together through a
+        :class:`~repro.core.stacked.StackedCaseEngine`: Algorithm 1's CP
+        bincounts, each BFS layer's aggregation and the Criteria-2
+        threshold probe run once per group instead of once per case,
+        while per-case control flow (attribute deletion outcomes,
+        Criteria-3 pruning, coverage early stop, ranking) replays the
+        serial semantics exactly.  The returned results — candidates,
+        scores, stats and stop reasons — are bit-identical to calling
+        :meth:`run` on every dataset individually, in input order.
+
+        This is the in-process kernel behind
+        :func:`repro.parallel.batch.batch_localize`'s ``"vectorized"``
+        mode; it composes with process sharding (each worker stacks its
+        shard).
+        """
+        cfg = self.config
+        datasets = list(datasets)
+        results: List[Optional[LocalizationResult]] = [None] * len(datasets)
+        if not datasets:
+            return []
+        groups = group_datasets_by_layout(datasets)
+        with obs.span(
+            "miner.run_batch",
+            n_cases=len(datasets),
+            n_groups=len(groups),
+            k=k,
+            t_cp=cfg.t_cp,
+            t_conf=cfg.t_conf,
+        ) as run_span:
+            if _trace.ACTIVE:
+                obs.inc("stacked_groups_total", len(groups))
+                obs.inc("stacked_batch_cases_total", len(datasets))
+            for group in groups:
+                stacked = StackedCaseEngine([datasets[i] for i in group])
+                if cfg.enable_attribute_deletion:
+                    deletions: List[Optional[AttributeDeletionResult]] = list(
+                        stacked.attribute_deletions(cfg.t_cp)
+                    )
+                else:
+                    deletions = [None] * len(group)
+                # Cases diverge after stage 1: sub-batch by the surviving
+                # attribute set so each fused search shares one lattice.
+                subgroups: Dict[Tuple[int, ...], List[int]] = {}
+                for slot, case_index in enumerate(group):
+                    if datasets[case_index].n_anomalous == 0:
+                        results[case_index] = LocalizationResult(
+                            candidates=[], deletion=deletions[slot]
+                        )
+                        continue
+                    if deletions[slot] is not None:
+                        kept = deletions[slot].kept_indices
+                    else:
+                        kept = tuple(range(stacked.schema.n_attributes))
+                    subgroups.setdefault(
+                        tuple(sorted(set(kept))), []
+                    ).append(slot)
+                for kept_indices, slots in subgroups.items():
+                    outcomes = batched_layerwise_topdown_search(
+                        stacked,
+                        slots,
+                        kept_indices,
+                        t_conf=cfg.t_conf,
+                        early_stop=cfg.early_stop,
+                        max_layer=cfg.max_layer,
+                    )
+                    for slot, outcome in zip(slots, outcomes):
+                        results[group[slot]] = LocalizationResult(
+                            candidates=self._rank(outcome.candidates, k),
+                            deletion=deletions[slot],
+                            stats=outcome.stats,
+                        )
+            run_span.set(n_cases=len(datasets), outcome="localized")
+        return results
 
     def localize(
         self, dataset: FineGrainedDataset, k: Optional[int] = None

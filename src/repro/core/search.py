@@ -39,7 +39,12 @@ from .cuboid import Cuboid
 from .engine import AggregationEngine, CandidateIndex, engine_for
 from .scoring import RAPCandidate
 
-__all__ = ["SearchStats", "SearchOutcome", "layerwise_topdown_search"]
+__all__ = [
+    "SearchStats",
+    "SearchOutcome",
+    "layerwise_topdown_search",
+    "batched_layerwise_topdown_search",
+]
 
 
 @functools.lru_cache(maxsize=4096)
@@ -61,6 +66,11 @@ class SearchStats:
     n_criteria3_pruned: int = 0
     deepest_layer_visited: int = 0
     early_stopped: bool = False
+    #: Why the search ended (``coverage_early_stop``, ``lattice_exhausted``,
+    #: ``max_layer_reached`` or ``no_anomalous_leaves``) — the same string
+    #: the run span records, kept on the stats so serial and batched runs
+    #: can be compared without a trace collector.
+    stop_reason: Optional[str] = None
 
 
 @dataclass
@@ -136,6 +146,7 @@ def layerwise_topdown_search(
     )
     with run_cm as run_span:
         if n_anomalous == 0:
+            stats.stop_reason = "no_anomalous_leaves"
             run_span.set(stop_reason="no_anomalous_leaves", n_candidates=0)
             return SearchOutcome(candidates=[], stats=stats)
 
@@ -151,6 +162,7 @@ def layerwise_topdown_search(
 
         def finish(stop_reason: str) -> SearchOutcome:
             stats.n_candidates = len(candidates)
+            stats.stop_reason = stop_reason
             if traced:
                 run_span.set(
                     stop_reason=stop_reason,
@@ -243,3 +255,228 @@ def layerwise_topdown_search(
         return finish(
             "max_layer_reached" if depth < len(indices) else "lattice_exhausted"
         )
+
+
+# -- case-stacked batched search ----------------------------------------------
+
+
+@dataclass
+class _CaseSearchState:
+    """Per-case mutable state of one batched search (mirrors the serial loop)."""
+
+    slot: int
+    n_anomalous: int
+    labels: np.ndarray
+    covered: np.ndarray
+    stats: SearchStats = field(default_factory=SearchStats)
+    candidates: List[RAPCandidate] = field(default_factory=list)
+    index: CandidateIndex = field(default_factory=CandidateIndex)
+    n_covered_anomalous: int = 0
+    outcome: Optional[SearchOutcome] = None
+
+    def finish(self, stop_reason: str, traced: bool) -> None:
+        self.stats.n_candidates = len(self.candidates)
+        self.stats.stop_reason = stop_reason
+        if traced:
+            obs.inc("search_layers_total", self.stats.deepest_layer_visited)
+            obs.inc("search_cuboids_total", self.stats.n_cuboids_visited)
+            obs.inc("search_combinations_total", self.stats.n_combinations_evaluated)
+            obs.inc("search_candidates_total", self.stats.n_candidates)
+            obs.inc("search_criteria3_pruned_total", self.stats.n_criteria3_pruned)
+            if self.stats.early_stopped:
+                obs.inc("search_early_stops_total")
+        self.outcome = SearchOutcome(candidates=self.candidates, stats=self.stats)
+
+
+def batched_layerwise_topdown_search(
+    stacked,
+    slots: Sequence[int],
+    attribute_indices: Sequence[int],
+    t_conf: float = 0.8,
+    early_stop: bool = True,
+    max_layer: Optional[int] = None,
+) -> List[SearchOutcome]:
+    """Algorithm 2 for a batch of cases sharing a leaf layout, layers fused.
+
+    Runs the exact serial search semantics for every case slot of a
+    :class:`~repro.core.stacked.StackedCaseEngine` at once: each BFS
+    layer's anomalous supports for all still-active cases come from one
+    case-stacked bincount pass, the layer's Criteria-2 threshold is a
+    single 2-D comparison over the ``(active cases, layer groups)``
+    confidence matrix, and only the (few) confident combinations reach
+    the per-case Python loop — candidate construction, Criteria-3
+    pruning, coverage and the early stop, replayed in the serial visit
+    order.  Cases diverge naturally through the active mask: an
+    early-stopped case simply drops out of later fused passes.
+
+    Parameters
+    ----------
+    stacked:
+        The batch's :class:`~repro.core.stacked.StackedCaseEngine`.
+    slots:
+        Case slots of *stacked* to search (all sharing *attribute_indices*,
+        e.g. one Algorithm 1 subgroup).
+    attribute_indices, t_conf, early_stop, max_layer:
+        As in :func:`layerwise_topdown_search`.
+
+    Returns
+    -------
+    One :class:`SearchOutcome` per requested slot, in *slots* order, with
+    candidates, stats and stop reasons identical to per-case
+    :func:`layerwise_topdown_search` runs.
+    """
+    if not 0.0 < t_conf < 1.0:
+        raise ValueError("t_conf must lie in (0, 1)")
+    indices = sorted(set(int(i) for i in attribute_indices))
+    if not indices:
+        raise ValueError("search needs at least one attribute")
+
+    traced = _trace.ACTIVE
+    states: List[_CaseSearchState] = []
+    for slot in slots:
+        state = _CaseSearchState(
+            slot=slot,
+            n_anomalous=stacked.n_anomalous(slot),
+            labels=stacked.labels(slot),
+            covered=np.zeros(stacked.n_rows, dtype=bool),
+        )
+        if state.n_anomalous == 0:
+            state.finish("no_anomalous_leaves", traced=False)
+        states.append(state)
+
+    active = [i for i, state in enumerate(states) if state.outcome is None]
+    depth = len(indices) if max_layer is None else min(max_layer, len(indices))
+    index_tuple = tuple(indices)
+
+    for layer in range(1, depth + 1):
+        if not active:
+            break
+        cuboids = _layer_cuboids(index_tuple, layer)
+        active_slots = [states[i].slot for i in active]
+        layer_cm = (
+            obs.span(
+                "search.stacked_layer",
+                layer=layer,
+                n_active=len(active),
+                n_cuboids=len(cuboids),
+            )
+            if traced
+            else _trace.NULL_SPAN_CONTEXT
+        )
+        with layer_cm as layer_span:
+            layer_data = stacked.layer_counts(cuboids, active_slots)
+            # The whole layer's Criteria-2 probe is one 2-D comparison:
+            # anomalous counts are stacked per case, support is shared.
+            blocks = [
+                entry.anomalous / np.maximum(entry.support, 1)[None, :]
+                for entry in layer_data
+            ]
+            confidences = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=1)
+            hit_rows, hit_cols = np.nonzero(confidences > t_conf)
+            boundaries = [0]
+            for entry in layer_data:
+                boundaries.append(boundaries[-1] + entry.n_groups)
+            # np.nonzero is row-major: each case's hit columns are an
+            # ascending contiguous run, exactly the serial scan order.
+            splits = np.searchsorted(hit_rows, np.arange(len(active) + 1))
+            if traced:
+                obs.inc("stacked_layers_fused_total")
+                obs.inc("stacked_cases_active_total", len(active))
+            still_active = []
+            n_layer_candidates = 0
+            for position, state_index in enumerate(active):
+                state = states[state_index]
+                state.stats.deepest_layer_visited = layer
+                cols = hit_cols[splits[position] : splits[position + 1]]
+                before = len(state.candidates)
+                stopped = _scan_case_layer(
+                    state,
+                    layer,
+                    layer_data,
+                    boundaries,
+                    cols,
+                    confidences[position],
+                    position,
+                    early_stop,
+                    stacked,
+                )
+                n_layer_candidates += len(state.candidates) - before
+                if stopped:
+                    state.finish("coverage_early_stop", traced)
+                else:
+                    still_active.append(state_index)
+            if traced:
+                layer_span.set(
+                    n_candidates=n_layer_candidates,
+                    n_early_stopped=len(active) - len(still_active),
+                )
+            active = still_active
+
+    tail_reason = "max_layer_reached" if depth < len(indices) else "lattice_exhausted"
+    for state in states:
+        if state.outcome is None:
+            state.finish(tail_reason, traced)
+    return [state.outcome for state in states]
+
+
+def _scan_case_layer(
+    state: "_CaseSearchState",
+    layer: int,
+    layer_data,
+    boundaries: List[int],
+    cols: np.ndarray,
+    conf_row: np.ndarray,
+    position: int,
+    early_stop: bool,
+    stacked,
+) -> bool:
+    """One case's pass over one fused layer; returns True on early stop.
+
+    Replays the serial per-layer loop of :func:`layerwise_topdown_search`
+    verbatim — same cuboid order, ascending group rows, identical stats
+    bookkeeping — against the shared stacked structures.
+    """
+    stats = state.stats
+    pointer = 0
+    n_hits = len(cols)
+    for block_index, entry in enumerate(layer_data):
+        stats.n_cuboids_visited += 1
+        stats.n_combinations_evaluated += entry.n_groups
+        low, high = boundaries[block_index], boundaries[block_index + 1]
+        rows: List[int] = []
+        while pointer < n_hits and cols[pointer] < high:
+            rows.append(int(cols[pointer]) - low)
+            pointer += 1
+        if not rows:
+            continue
+        cuboid = entry.cuboid
+        spec = cuboid.attribute_indices
+        spec_set = frozenset(spec)
+        positions = {attr: pos for pos, attr in enumerate(spec)}
+        group_codes = entry.codes
+        for row in rows:
+            codes_row = group_codes[row]
+            if state.index.has_ancestor_entry(
+                spec_set, lambda i: int(codes_row[positions[i]])
+            ):
+                stats.n_criteria3_pruned += 1
+                continue
+            combination = stacked.decode_combination(cuboid, codes_row)
+            candidate = RAPCandidate(
+                combination=combination,
+                confidence=float(conf_row[low + row]),
+                layer=layer,
+                support=int(entry.support[row]),
+                anomalous_support=int(entry.anomalous[position, row]),
+            )
+            state.candidates.append(candidate)
+            state.index.add_entry(spec, tuple(int(c) for c in codes_row))
+            covered_rows = stacked.group_rows(cuboid, row)
+            fresh = covered_rows[~state.covered[covered_rows]]
+            if fresh.size:
+                state.covered[fresh] = True
+                state.n_covered_anomalous += int(state.labels[fresh].sum())
+            if early_stop and state.n_covered_anomalous >= state.n_anomalous:
+                stats.early_stopped = True
+                return True
+    return False

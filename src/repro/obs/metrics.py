@@ -54,6 +54,13 @@ METRIC_HELP: Dict[str, str] = {
     "search_criteria3_pruned_total": "Combinations pruned as descendants of a candidate",
     "search_early_stops_total": "Searches ended by the coverage early stop",
     "miner_runs_total": "RAPMiner.run invocations",
+    # -- case-stacked batch kernel -----------------------------------------
+    "stacked_bincount_passes_total": "Fused case-stacked np.bincount passes by lane kind",
+    "stacked_layers_fused_total": "BFS layers aggregated once for a whole case batch",
+    "stacked_cases_active_total": "Active cases summed over fused BFS layers",
+    "stacked_groups_total": "Shared-layout groups formed by run_batch",
+    "stacked_batch_cases_total": "Cases localized through RAPMiner.run_batch",
+    "stacked_fallback_cases_total": "Cases routed to the per-case loop (method has no run_batch)",
     # -- incremental miner -------------------------------------------------
     "incremental_runs_total": "IncrementalRAPMiner.run invocations by path",
     "incremental_prescreen_total": "Prescreen outcomes on cached patterns",

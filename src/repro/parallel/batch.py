@@ -31,6 +31,13 @@ Transports: ``"shm"`` packs every leaf table into one
 lists per task; ``"pickle"`` ships the cases inside the task payload
 (simpler, but serializes every array twice per dispatch).
 
+Modes: ``"sharded"`` runs the per-case loop in each worker;
+``"vectorized"`` skips the pool and feeds every case through the
+method's case-stacked batch kernel (one fused aggregation pass per
+cuboid for a whole layout group — see ``core/stacked.py``); ``"auto"``
+picks vectorized on few-CPU hosts and sharded-with-vectorized-workers
+otherwise.  All modes return bit-identical candidates.
+
 ``n_workers=1`` bypasses the pool entirely and runs the exact serial
 loop, so callers can thread a worker count through unconditionally.
 """
@@ -39,6 +46,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -53,6 +61,9 @@ __all__ = ["BatchConfig", "batch_localize", "shard_indices"]
 
 #: Transports understood by :class:`BatchConfig`.
 TRANSPORTS = ("shm", "pickle")
+
+#: Execution modes understood by :class:`BatchConfig`.
+MODES = ("sharded", "vectorized", "auto")
 
 
 @dataclass
@@ -83,6 +94,17 @@ class BatchConfig:
         Capture worker-side counters and merge them into the parent's
         active collector.  ``None`` (default) collects exactly when the
         parent has a collector installed at call time.
+    mode:
+        How cases are batched.  ``"sharded"`` (default) runs the classic
+        per-case loop in each pool worker.  ``"vectorized"`` skips the
+        pool and runs the method's case-stacked batch kernel
+        (:meth:`~repro.core.miner.RAPMiner.run_batch`) in-process —
+        every case of a layout group is aggregated in one fused pass.
+        ``"auto"`` picks for the host: the in-process vectorized kernel
+        when ``n_workers <= 1`` or the machine has fewer than four CPUs
+        (process sharding loses to fork/IPC overhead there), otherwise
+        the pool with each worker running the vectorized kernel on its
+        shard.  Candidates are bit-identical in every mode.
     """
 
     n_workers: int = 1
@@ -91,6 +113,7 @@ class BatchConfig:
     warm_engines: bool = True
     mp_context: Optional[str] = None
     collect_metrics: Optional[bool] = None
+    mode: str = "sharded"
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -101,6 +124,24 @@ class BatchConfig:
             )
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+
+    def resolve_mode(self) -> Tuple[str, bool]:
+        """``(execution, worker_vectorized)`` after the ``"auto"`` heuristic.
+
+        ``execution`` is ``"vectorized"`` (in-process stacked kernel) or
+        ``"sharded"`` (process pool); ``worker_vectorized`` asks each pool
+        worker to run the stacked kernel over its shard instead of the
+        per-case loop.
+        """
+        if self.mode == "sharded":
+            return "sharded", False
+        if self.mode == "vectorized":
+            return "vectorized", False
+        if self.n_workers <= 1 or (os.cpu_count() or 1) < 4:
+            return "vectorized", False
+        return "sharded", True
 
 
 def shard_indices(
@@ -197,29 +238,79 @@ def _run_shard(payload: Dict) -> Tuple[List[Tuple], Optional[List[Dict]]]:
             obs.inc(
                 "parallel_cases_total", len(cases), transport=payload["transport"]
             )
-        rows = []
-        for index, case in zip(payload["indices"], cases):
-            if payload["warm_engines"]:
-                _adopt_engine(case.dataset)
-            case_k = len(case.true_raps) if payload["k_from_truth"] else payload["k"]
-            predicted, seconds = time_localization(
-                payload["method"].localize, case.dataset, case_k
+        if payload.get("vectorized"):
+            rows = _vectorized_rows(
+                payload["method"],
+                cases,
+                payload["indices"],
+                payload["k"],
+                payload["k_from_truth"],
+                payload["group_key"],
             )
-            rows.append(
-                (
-                    index,
-                    case.case_id,
-                    list(predicted),
-                    tuple(case.true_raps),
-                    seconds,
-                    case.metadata.get(payload["group_key"]),
+        else:
+            rows = []
+            for index, case in zip(payload["indices"], cases):
+                if payload["warm_engines"]:
+                    _adopt_engine(case.dataset)
+                case_k = (
+                    len(case.true_raps) if payload["k_from_truth"] else payload["k"]
                 )
-            )
+                predicted, seconds = time_localization(
+                    payload["method"].localize, case.dataset, case_k
+                )
+                rows.append(
+                    (
+                        index,
+                        case.case_id,
+                        list(predicted),
+                        tuple(case.true_raps),
+                        seconds,
+                        case.metadata.get(payload["group_key"]),
+                    )
+                )
         snapshot = collector.metrics.snapshot() if collector is not None else None
         return rows, snapshot
     finally:
         if collector is not None:
             _trace.uninstall(None)
+
+
+def _vectorized_rows(
+    method,
+    cases: Sequence[LocalizationCase],
+    indices: Sequence[int],
+    k: Optional[int],
+    k_from_truth: bool,
+    group_key: str,
+) -> List[Tuple]:
+    """Result rows for *cases* through the method's case-stacked kernel.
+
+    One ``run_batch`` call localizes the whole list; per-case truncation
+    (``k`` / ``k_from_truth``) happens afterwards on the full ranking,
+    which equals truncating inside the run because the ranking is a total
+    order.  The fused pass has no per-case boundary to clock, so
+    ``seconds`` is the batch wall time amortized evenly over the cases
+    (see ``docs/operational.md`` before comparing latency distributions
+    across modes).
+    """
+    start = time.perf_counter()
+    results = method.run_batch([case.dataset for case in cases], k=None)
+    per_case = (time.perf_counter() - start) / max(len(cases), 1)
+    rows = []
+    for index, case, result in zip(indices, cases, results):
+        case_k = len(case.true_raps) if k_from_truth else k
+        predicted = result.patterns if case_k is None else result.top(case_k)
+        rows.append(
+            (
+                index,
+                case.case_id,
+                list(predicted),
+                tuple(case.true_raps),
+                per_case,
+                case.metadata.get(group_key),
+            )
+        )
+    return rows
 
 
 # -- parent side -----------------------------------------------------------
@@ -238,13 +329,43 @@ def batch_localize(
     Drop-in equivalent of :func:`repro.experiments.runner.run_cases` — same
     parameters, same :class:`MethodEvaluation` result in the same case
     order, with candidates bit-identical to the serial run.  ``config``
-    selects pool size, transport, and engine warming (see
-    :class:`BatchConfig`); the default single-worker config routes through
-    the serial path untouched.
+    selects pool size, transport, engine warming, and the execution
+    ``mode`` — classic per-case sharding, the in-process case-stacked
+    kernel, or the ``"auto"`` heuristic combining both (see
+    :class:`BatchConfig`); the default single-worker sharded config
+    routes through the serial path untouched.  Methods without a
+    ``run_batch`` kernel silently fall back to the per-case loop (counted
+    as ``stacked_fallback_cases_total``).
     """
     from ..experiments.runner import CaseResult, MethodEvaluation, run_cases
 
     config = config or BatchConfig()
+    execution, worker_vectorized = config.resolve_mode()
+    supports_batch = callable(getattr(method, "run_batch", None))
+    if (execution == "vectorized" or worker_vectorized) and not supports_batch:
+        # The method has no stacked kernel: fall back to the per-case
+        # loop (serial here, classic sharding below) and say so.
+        if _trace.ACTIVE:
+            obs.inc("stacked_fallback_cases_total", len(cases))
+        execution, worker_vectorized = "sharded", False
+    if execution == "vectorized" and len(cases) > 0:
+        evaluation = MethodEvaluation(
+            method_name=getattr(method, "name", type(method).__name__)
+        )
+        rows = _vectorized_rows(
+            method, list(cases), range(len(cases)), k, k_from_truth, group_key
+        )
+        for __, case_id, predicted, true_raps, seconds, group in rows:
+            evaluation.results.append(
+                CaseResult(
+                    case_id=case_id,
+                    predicted=predicted,
+                    true_raps=true_raps,
+                    seconds=seconds,
+                    group=group,
+                )
+            )
+        return evaluation
     if config.n_workers == 1 or len(cases) == 0:
         return run_cases(
             method, cases, k=k, k_from_truth=k_from_truth, group_key=group_key
@@ -263,6 +384,7 @@ def batch_localize(
         "transport": config.transport,
         "warm_engines": config.warm_engines,
         "collect": collect,
+        "vectorized": worker_vectorized,
     }
     store = None
     if config.transport == "shm":

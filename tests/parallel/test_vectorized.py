@@ -1,0 +1,234 @@
+"""Tests for the batch layer's vectorized and auto execution modes.
+
+``batch_localize`` must return the same :class:`MethodEvaluation` rows —
+case ids, ranked predictions, groups, input order — through every mode:
+the serial loop, the sharded pool, the in-process case-stacked kernel,
+and the auto heuristic.  Workers running the stacked kernel on a shard
+are exercised directly through ``_run_shard`` so the test works on
+single-CPU machines where ``auto`` never picks the pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import RAPMiner, obs
+from repro.core import RAPMinerConfig
+from repro.data.rapmd import RAPMDConfig, generate_rapmd
+from repro.data.schema import cdn_schema, schema_from_sizes
+from repro.experiments.presets import fast_preset
+from repro.experiments.runner import run_cases
+from repro.parallel import BatchConfig, batch_localize
+from repro.parallel.batch import _run_shard
+
+
+def make_cases(n_cases=4):
+    return generate_rapmd(
+        cdn_schema(4, 2, 2, 3), RAPMDConfig(n_cases=n_cases, n_days=2, seed=9)
+    )
+
+
+def rowset(evaluation):
+    return [
+        (r.case_id, r.predicted, r.true_raps, r.group) for r in evaluation.results
+    ]
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return make_cases()
+
+
+@pytest.fixture(scope="module")
+def serial_eval(cases):
+    return run_cases(RAPMiner(), cases, k=3)
+
+
+class TestModeConfig:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            BatchConfig(mode="fused")
+
+    def test_sharded_resolves_to_itself(self):
+        assert BatchConfig(mode="sharded", n_workers=8).resolve_mode() == (
+            "sharded",
+            False,
+        )
+
+    def test_vectorized_resolves_to_itself(self):
+        assert BatchConfig(mode="vectorized", n_workers=8).resolve_mode() == (
+            "vectorized",
+            False,
+        )
+
+    def test_auto_single_worker_is_vectorized(self):
+        assert BatchConfig(mode="auto", n_workers=1).resolve_mode() == (
+            "vectorized",
+            False,
+        )
+
+    def test_auto_pools_only_with_spare_cpus(self):
+        import os
+
+        execution, worker_vectorized = BatchConfig(
+            mode="auto", n_workers=4
+        ).resolve_mode()
+        if (os.cpu_count() or 1) >= 4:
+            assert (execution, worker_vectorized) == ("sharded", True)
+        else:
+            assert (execution, worker_vectorized) == ("vectorized", False)
+
+
+class TestVectorizedEquivalence:
+    def test_vectorized_matches_serial(self, cases, serial_eval):
+        evaluation = batch_localize(
+            RAPMiner(), cases, k=3, config=BatchConfig(mode="vectorized")
+        )
+        assert rowset(evaluation) == rowset(serial_eval)
+
+    def test_auto_matches_serial(self, cases, serial_eval):
+        evaluation = batch_localize(
+            RAPMiner(), cases, k=3, config=BatchConfig(mode="auto", n_workers=2)
+        )
+        assert rowset(evaluation) == rowset(serial_eval)
+
+    def test_vectorized_matches_sharded_pool(self, cases, serial_eval):
+        evaluation = batch_localize(
+            RAPMiner(),
+            cases,
+            k=3,
+            config=BatchConfig(mode="sharded", n_workers=2),
+        )
+        assert rowset(evaluation) == rowset(serial_eval)
+
+    def test_k_from_truth(self, cases):
+        want = run_cases(RAPMiner(), cases, k_from_truth=True)
+        got = batch_localize(
+            RAPMiner(),
+            cases,
+            k_from_truth=True,
+            config=BatchConfig(mode="vectorized"),
+        )
+        assert rowset(got) == rowset(want)
+
+    def test_amortized_seconds_positive_and_uniform(self, cases):
+        evaluation = batch_localize(
+            RAPMiner(), cases, k=3, config=BatchConfig(mode="vectorized")
+        )
+        seconds = {r.seconds for r in evaluation.results}
+        assert len(seconds) == 1  # one amortized clock for the fused batch
+        assert seconds.pop() > 0.0
+
+    def test_randomized_schema_grid_all_modes(self):
+        rng = np.random.default_rng(4)
+        for trial in range(2):
+            sizes = [int(rng.integers(2, 6)) for _ in range(4)]
+            grid_cases = generate_rapmd(
+                schema_from_sizes(sizes),
+                RAPMDConfig(n_cases=4, n_days=1, seed=30 + trial),
+            )
+            want = run_cases(RAPMiner(), grid_cases, k_from_truth=True)
+            for config in (
+                BatchConfig(mode="vectorized"),
+                BatchConfig(mode="auto", n_workers=2),
+                BatchConfig(mode="sharded", n_workers=2, transport="pickle"),
+            ):
+                got = batch_localize(
+                    RAPMiner(), grid_cases, k_from_truth=True, config=config
+                )
+                assert rowset(got) == rowset(want), (sizes, config.mode)
+
+
+class TestWorkerVectorizedShard:
+    def test_run_shard_vectorized_payload_matches_per_case_loop(self, cases):
+        base = {
+            "method": RAPMiner(),
+            "k": 3,
+            "k_from_truth": False,
+            "group_key": "group",
+            "transport": "pickle",
+            "warm_engines": True,
+            "collect": False,
+            "indices": list(range(len(cases))),
+            "cases": list(cases),
+        }
+        vec_rows, __ = _run_shard(dict(base, vectorized=True))
+        ref_rows, __ = _run_shard(dict(base, vectorized=False))
+        strip = lambda rows: [(r[0], r[1], r[2], r[3], r[5]) for r in rows]
+        assert strip(vec_rows) == strip(ref_rows)
+
+    def test_run_shard_payload_without_flag_is_per_case(self, cases):
+        # Old-style payloads (no "vectorized" key) keep working.
+        payload = {
+            "method": RAPMiner(),
+            "k": 3,
+            "k_from_truth": False,
+            "group_key": "group",
+            "transport": "pickle",
+            "warm_engines": True,
+            "collect": False,
+            "indices": [0],
+            "cases": [cases[0]],
+        }
+        rows, __ = _run_shard(payload)
+        assert len(rows) == 1
+
+
+class TestFallback:
+    def test_method_without_run_batch_falls_back(self, cases, serial_eval):
+        class NoBatch:
+            name = "NoBatch"
+
+            def localize(self, dataset, k=None):
+                return RAPMiner().run(dataset, k).patterns
+
+        with obs.capture() as collector:
+            evaluation = batch_localize(
+                NoBatch(), cases, k=3, config=BatchConfig(mode="vectorized")
+            )
+        assert rowset(evaluation) == rowset(serial_eval)
+        assert collector.metrics.value("stacked_fallback_cases_total") == len(cases)
+
+
+class TestCounters:
+    def test_vectorized_emits_stacked_counters(self, cases):
+        with obs.capture() as collector:
+            batch_localize(
+                RAPMiner(), cases, k=3, config=BatchConfig(mode="vectorized")
+            )
+        assert collector.metrics.value("stacked_batch_cases_total") == len(cases)
+        assert collector.metrics.value("stacked_groups_total") >= 1
+        assert collector.metrics.value("stacked_layers_fused_total") >= 1
+        assert (
+            collector.metrics.value(
+                "stacked_bincount_passes_total", {"kind": "anomalous"}
+            )
+            >= 1
+        )
+        # Per-case search counters keep their serial totals.
+        with obs.capture() as serial_collector:
+            run_cases(RAPMiner(), cases, k=3)
+        for name in (
+            "search_cuboids_total",
+            "search_combinations_total",
+            "search_candidates_total",
+            "search_criteria3_pruned_total",
+        ):
+            assert collector.metrics.value(name) == serial_collector.metrics.value(
+                name
+            ), name
+
+
+class TestFastPresetSmoke:
+    def test_vectorized_and_auto_on_fast_preset(self):
+        preset_cases = fast_preset(seed=1).rapmd_cases()
+        want = run_cases(RAPMiner(), preset_cases, k=5)
+        for mode in ("vectorized", "auto"):
+            got = batch_localize(
+                RAPMiner(),
+                preset_cases,
+                k=5,
+                config=BatchConfig(mode=mode, n_workers=2),
+            )
+            assert rowset(got) == rowset(want), mode
