@@ -1,10 +1,20 @@
-.PHONY: install test bench bench-search bench-throughput bench-stacked trace-demo report examples paper clean
+.PHONY: install test chaos docs-check bench bench-search bench-throughput bench-stacked trace-demo report examples paper clean
 
 install:
 	pip install -e .[dev]
 
 test:
 	pytest tests/
+
+# Fault-injection suite (docs/resilience.md): fixed seeds + StepClocks,
+# fully deterministic — no timing flakes.
+chaos:
+	pytest tests/resilience/ -p no:cacheprovider
+
+# Docs integrity gate: intra-doc links resolve, doc code-block imports
+# still exist, every docs/*.md is listed in docs/index.md.
+docs-check:
+	pytest tests/test_docs.py -p no:cacheprovider
 
 bench:
 	pytest benchmarks/ --benchmark-only

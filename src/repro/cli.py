@@ -106,6 +106,34 @@ def _preset(scale: str, seed: int):
     return fast_preset(seed)
 
 
+def _apply_resilience(method, deadline_ms: Optional[float], degrade: bool):
+    """Wire ``--deadline-ms`` / ``--degrade`` into a deadline-aware method.
+
+    Only methods carrying a config with a ``deadline_ms`` knob (RAPMiner)
+    honor the flags; asking for them on a baseline is a usage error, not
+    a silent no-op.
+    """
+    if deadline_ms is None and not degrade:
+        return method
+    from dataclasses import replace
+
+    from .resilience import DegradationPolicy
+
+    config = getattr(method, "config", None)
+    if config is None or not hasattr(config, "deadline_ms"):
+        name = getattr(method, "name", type(method).__name__)
+        raise SystemExit(
+            f"--deadline-ms/--degrade require a deadline-aware method "
+            f"(RAPMiner), got {name}"
+        )
+    method.config = replace(
+        config,
+        deadline_ms=deadline_ms,
+        degradation=DegradationPolicy() if degrade else config.degradation,
+    )
+    return method
+
+
 # -- subcommand handlers -----------------------------------------------------
 
 
@@ -145,12 +173,25 @@ def _run_localize(args: argparse.Namespace) -> int:
         cases = [c for c in cases if c.case_id == args.case_id]
         if not cases:
             raise SystemExit(f"no case with id {args.case_id!r}")
-    method = _resolve_methods(args.method)[0]
+    method = _apply_resilience(
+        _resolve_methods(args.method)[0], args.deadline_ms, args.degrade
+    )
+    runner = getattr(method, "run", None)
     for case in cases:
         k = args.k if args.k is not None else len(case.true_raps)
-        predicted = method.localize(case.dataset, k)
+        note = ""
+        if callable(runner):
+            result = runner(case.dataset, k)
+            predicted = result.patterns
+            stats = getattr(result, "stats", None)
+            stop_reason = getattr(stats, "stop_reason", None)
+            tier = getattr(stats, "degradation_tier", None)
+            if stop_reason == "deadline" or tier is not None:
+                note = f"  [stop={stop_reason or 'n/a'} tier={tier or 'full'}]"
+        else:
+            predicted = method.localize(case.dataset, k)
         hits = sum(1 for p in predicted if p in case.true_raps)
-        print(f"{case.case_id}  ({method.name}, k={k})")
+        print(f"{case.case_id}  ({method.name}, k={k}){note}")
         print(f"  truth:     {', '.join(str(r) for r in case.true_raps)}")
         print(f"  predicted: {', '.join(str(p) for p in predicted) or '(none)'}")
         print(f"  hits: {hits}/{len(case.true_raps)}")
@@ -163,7 +204,9 @@ def _cmd_batch_localize(args: argparse.Namespace) -> int:
     from .parallel import BatchConfig, batch_localize
 
     cases = load_cases(args.cases)
-    method = _resolve_methods(args.method)[0]
+    method = _apply_resilience(
+        _resolve_methods(args.method)[0], args.deadline_ms, args.degrade
+    )
     config = BatchConfig(
         n_workers=args.workers,
         transport=args.transport,
@@ -180,7 +223,14 @@ def _cmd_batch_localize(args: argparse.Namespace) -> int:
     wall = _time.perf_counter() - start
     for result in evaluation.results:
         hits = sum(1 for p in result.predicted if p in result.true_raps)
-        print(f"{result.case_id}  hits {hits}/{len(result.true_raps)}  {result.seconds * 1e3:.1f} ms")
+        suffix = f"  ERROR {result.error}" if result.error else ""
+        print(
+            f"{result.case_id}  hits {hits}/{len(result.true_raps)}  "
+            f"{result.seconds * 1e3:.1f} ms{suffix}"
+        )
+    failures = evaluation.failures()
+    if failures:
+        print(f"\n{len(failures)} case(s) returned error records (shard failed twice)")
     in_worker = sum(r.seconds for r in evaluation.results)
     throughput = len(cases) / wall if wall > 0 else float("inf")
     print(
@@ -327,6 +377,23 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 # -- parser -------------------------------------------------------------------
 
 
+def _add_resilience_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-run wall-clock budget; over-budget searches return the "
+        "candidates found so far (stop_reason=deadline)",
+    )
+    subparser.add_argument(
+        "--degrade",
+        action="store_true",
+        help="enable the default graceful-degradation ladder "
+        "(vectorized -> serial -> layer_capped; see docs/resilience.md)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="RAPMiner reproduction toolkit"
@@ -351,6 +418,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="capture spans and engine counters, written as JSONL to PATH",
     )
+    _add_resilience_flags(localize)
     localize.set_defaults(handler=_cmd_localize)
 
     batch = sub.add_parser(
@@ -375,6 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable warm per-worker engine reuse (serial cost profile)",
     )
+    _add_resilience_flags(batch)
     batch.set_defaults(handler=_cmd_batch_localize)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a method cohort")

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
+
+from ..resilience.degrade import DegradationPolicy
 
 __all__ = ["RAPMinerConfig"]
 
@@ -40,6 +42,21 @@ class RAPMinerConfig:
     #: search never reaches.  ``> 1`` aggregates each layer speculatively
     #: across a thread pool; the candidate set is identical either way.
     n_jobs: int = 1
+    #: Wall-clock allowance per run in milliseconds (``None`` = unlimited).
+    #: Checked cooperatively at BFS layer boundaries: an over-budget run
+    #: returns the candidates found so far with
+    #: ``SearchStats.stop_reason == "deadline"`` — identical to an
+    #: explicit ``max_layer`` cap at the layer the budget reached.
+    deadline_ms: Optional[float] = None
+    #: Graceful-degradation ladder (``None`` = never degrade).  See
+    #: :class:`repro.resilience.DegradationPolicy` and
+    #: ``docs/resilience.md``.
+    degradation: Optional[DegradationPolicy] = None
+    #: Time source for the deadline budget (``None`` = ``time.monotonic``).
+    #: Must be picklable to survive process-pool transport — e.g.
+    #: :class:`repro.resilience.StepClock`, which makes budget expiry
+    #: reproducible check-for-check in tests and pool workers alike.
+    deadline_clock: Optional[Callable[[], float]] = None
 
     def __post_init__(self) -> None:
         if self.t_cp < 0.0:
@@ -50,3 +67,5 @@ class RAPMinerConfig:
             raise ValueError("max_layer must be at least 1")
         if self.n_jobs < 1:
             raise ValueError("n_jobs must be at least 1")
+        if self.deadline_ms is not None and self.deadline_ms <= 0.0:
+            raise ValueError("deadline_ms must be positive (or None for unlimited)")

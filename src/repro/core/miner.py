@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .. import obs
 from ..data.dataset import FineGrainedDataset
 from ..obs import trace as _trace
+from ..resilience.budget import Budget
+from ..resilience.degrade import DegradationDecision, DegradationPolicy
 from .attribute import AttributeCombination
 from .classification_power import AttributeDeletionResult, delete_redundant_attributes
 from .config import RAPMinerConfig
@@ -77,6 +79,9 @@ class RAPMiner:
         dataset: FineGrainedDataset,
         k: Optional[int] = None,
         engine: Optional["AggregationEngine"] = None,
+        budget: Optional[Budget] = None,
+        degradation: Optional[DegradationPolicy] = None,
+        _decision: Optional[DegradationDecision] = None,
     ) -> LocalizationResult:
         """Execute both stages on a labelled leaf table.
 
@@ -90,12 +95,25 @@ class RAPMiner:
         engine:
             Aggregation engine for stage 2; defaults to the dataset's
             shared engine.
+        budget:
+            Cooperative deadline for this run; defaults to a fresh budget
+            from ``config.deadline_ms`` (``None`` = unlimited).  Expiry
+            ends the search at a layer boundary with
+            ``stats.stop_reason == "deadline"`` and the candidates found
+            so far.
+        degradation:
+            Ladder policy overriding ``config.degradation`` (``None``
+            inherits it).  The chosen rung lands on
+            ``stats.degradation_tier``.
 
         Returns
         -------
         :class:`LocalizationResult` with ranked candidates and diagnostics.
         """
         cfg = self.config
+        if budget is None:
+            budget = self._budget_from_config()
+        policy = degradation if degradation is not None else cfg.degradation
         with obs.span(
             "miner.run",
             k=k,
@@ -105,6 +123,23 @@ class RAPMiner:
         ) as run_span:
             if _trace.ACTIVE:
                 obs.inc("miner_runs_total")
+            decision = _decision
+            if decision is None and policy is not None:
+                decision = policy.decide_serial(dataset.n_rows, budget)
+            if decision is not None and decision.degraded:
+                obs.inc(
+                    "resilience_degrade_total",
+                    tier=decision.tier,
+                    reason=decision.reason or "none",
+                )
+            tier = decision.tier if decision is not None else None
+            max_layer = cfg.max_layer
+            if decision is not None and decision.max_layer is not None:
+                max_layer = (
+                    decision.max_layer
+                    if max_layer is None
+                    else min(max_layer, decision.max_layer)
+                )
             deletion: Optional[AttributeDeletionResult] = None
             if cfg.enable_attribute_deletion:
                 deletion = delete_redundant_attributes(dataset, cfg.t_cp)
@@ -114,22 +149,37 @@ class RAPMiner:
 
             if dataset.n_anomalous == 0:
                 run_span.set(n_candidates=0, outcome="no_anomalous_leaves")
-                return LocalizationResult(candidates=[], deletion=deletion)
+                return LocalizationResult(
+                    candidates=[],
+                    deletion=deletion,
+                    stats=SearchStats(
+                        stop_reason="no_anomalous_leaves", degradation_tier=tier
+                    ),
+                )
 
             outcome = layerwise_topdown_search(
                 dataset,
                 attribute_indices,
                 t_conf=cfg.t_conf,
                 early_stop=cfg.early_stop,
-                max_layer=cfg.max_layer,
+                max_layer=max_layer,
                 engine=engine,
                 n_jobs=cfg.n_jobs,
+                budget=budget,
             )
+            outcome.stats.degradation_tier = tier
             ranked = self._rank(outcome.candidates, k)
             run_span.set(n_candidates=len(ranked), outcome="localized")
             return LocalizationResult(
                 candidates=ranked, deletion=deletion, stats=outcome.stats
             )
+
+    def _budget_from_config(self) -> Optional[Budget]:
+        """A fresh budget from ``config.deadline_ms`` (``None`` = unlimited)."""
+        cfg = self.config
+        if cfg.deadline_clock is not None:
+            return Budget.from_ms(cfg.deadline_ms, clock=cfg.deadline_clock)
+        return Budget.from_ms(cfg.deadline_ms)
 
     def _rank(
         self, candidates: List[RAPCandidate], k: Optional[int]
@@ -146,7 +196,11 @@ class RAPMiner:
         return ranked
 
     def run_batch(
-        self, datasets: Sequence[FineGrainedDataset], k: Optional[int] = None
+        self,
+        datasets: Sequence[FineGrainedDataset],
+        k: Optional[int] = None,
+        budget: Optional[Budget] = None,
+        degradation: Optional[DegradationPolicy] = None,
     ) -> List["LocalizationResult"]:
         """Both stages over a batch of leaf tables, case-stacked.
 
@@ -165,12 +219,46 @@ class RAPMiner:
         :func:`repro.parallel.batch.batch_localize`'s ``"vectorized"``
         mode; it composes with process sharding (each worker stacks its
         shard).
+
+        ``budget`` and ``degradation`` behave as in :meth:`run`, with the
+        budget shared by the whole batch.  A policy that steps off the
+        ``vectorized`` rung (budget drained, or the stacked volume above
+        ``stacked_element_limit``) reruns the batch through the serial
+        per-case loop — still under the shared budget, re-deciding the
+        depth cap per case as the budget drains.
         """
         cfg = self.config
+        if budget is None:
+            budget = self._budget_from_config()
+        policy = degradation if degradation is not None else cfg.degradation
         datasets = list(datasets)
         results: List[Optional[LocalizationResult]] = [None] * len(datasets)
         if not datasets:
             return []
+        if policy is not None:
+            batch_decision = policy.decide_batch(
+                len(datasets), max(d.n_rows for d in datasets), budget
+            )
+        else:
+            batch_decision = None
+        if batch_decision is not None and batch_decision.tier != "vectorized":
+            obs.inc(
+                "resilience_degrade_total",
+                tier=batch_decision.tier,
+                reason=batch_decision.reason or "none",
+            )
+            for index, dataset in enumerate(datasets):
+                if batch_decision.tier == "layer_capped":
+                    case_decision = batch_decision
+                else:
+                    case_decision = policy.decide_serial(
+                        dataset.n_rows, budget, base_tier="serial"
+                    )
+                results[index] = self.run(
+                    dataset, k, budget=budget, _decision=case_decision
+                )
+            return [result for result in results if result is not None]
+        batch_tier = batch_decision.tier if batch_decision is not None else None
         groups = group_datasets_by_layout(datasets)
         with obs.span(
             "miner.run_batch",
@@ -197,7 +285,12 @@ class RAPMiner:
                 for slot, case_index in enumerate(group):
                     if datasets[case_index].n_anomalous == 0:
                         results[case_index] = LocalizationResult(
-                            candidates=[], deletion=deletions[slot]
+                            candidates=[],
+                            deletion=deletions[slot],
+                            stats=SearchStats(
+                                stop_reason="no_anomalous_leaves",
+                                degradation_tier=batch_tier,
+                            ),
                         )
                         continue
                     if deletions[slot] is not None:
@@ -215,8 +308,10 @@ class RAPMiner:
                         t_conf=cfg.t_conf,
                         early_stop=cfg.early_stop,
                         max_layer=cfg.max_layer,
+                        budget=budget,
                     )
                     for slot, outcome in zip(slots, outcomes):
+                        outcome.stats.degradation_tier = batch_tier
                         results[group[slot]] = LocalizationResult(
                             candidates=self._rank(outcome.candidates, k),
                             deletion=deletions[slot],

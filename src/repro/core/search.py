@@ -35,6 +35,7 @@ import numpy as np
 from .. import obs
 from ..data.dataset import FineGrainedDataset
 from ..obs import trace as _trace
+from ..resilience.budget import Budget
 from .cuboid import Cuboid
 from .engine import AggregationEngine, CandidateIndex, engine_for
 from .scoring import RAPCandidate
@@ -67,10 +68,15 @@ class SearchStats:
     deepest_layer_visited: int = 0
     early_stopped: bool = False
     #: Why the search ended (``coverage_early_stop``, ``lattice_exhausted``,
-    #: ``max_layer_reached`` or ``no_anomalous_leaves``) — the same string
-    #: the run span records, kept on the stats so serial and batched runs
-    #: can be compared without a trace collector.
+    #: ``max_layer_reached``, ``no_anomalous_leaves`` or ``deadline``) — the
+    #: same string the run span records, kept on the stats so serial and
+    #: batched runs can be compared without a trace collector.
     stop_reason: Optional[str] = None
+    #: Degradation-ladder rung that produced this result (``None`` when no
+    #: :class:`~repro.resilience.degrade.DegradationPolicy` was active) —
+    #: plumbed into :class:`~repro.service.pipeline.IncidentReport` and the
+    #: ``resilience_degrade_total`` counter family.
+    degradation_tier: Optional[str] = None
 
 
 @dataclass
@@ -89,6 +95,7 @@ def layerwise_topdown_search(
     max_layer: Optional[int] = None,
     engine: Optional[AggregationEngine] = None,
     n_jobs: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> SearchOutcome:
     """Algorithm 2 over the cuboids spanned by *attribute_indices*.
 
@@ -113,6 +120,12 @@ def layerwise_topdown_search(
         Worker count for per-layer cuboid fan-out; ``None`` inherits the
         engine's default, ``1`` keeps the layer scan lazy (aggregating
         only the cuboids the early stop actually reaches).
+    budget:
+        Optional cooperative deadline (:class:`~repro.resilience.Budget`),
+        checked before each BFS layer.  An exhausted budget ends the
+        search with ``stop_reason="deadline"`` and the candidates found
+        so far — exactly the result of a ``max_layer`` cap at the last
+        completed layer, so partial results stay deterministic.
 
     Returns
     -------
@@ -180,9 +193,16 @@ def layerwise_topdown_search(
                 obs.inc("search_criteria3_pruned_total", stats.n_criteria3_pruned)
                 if stats.early_stopped:
                     obs.inc("search_early_stops_total")
+                if stop_reason == "deadline":
+                    obs.inc("resilience_deadline_exceeded_total", path="serial")
             return SearchOutcome(candidates=candidates, stats=stats)
 
         for layer in range(1, depth + 1):
+            # The budget is cooperative: checked only at layer boundaries,
+            # so an expired deadline yields whole completed layers — the
+            # same candidate prefix an explicit max_layer cap returns.
+            if budget is not None and budget.expired():
+                return finish("deadline")
             stats.deepest_layer_visited = layer
             cuboids = _layer_cuboids(index_tuple, layer)
             if traced:
@@ -295,6 +315,7 @@ def batched_layerwise_topdown_search(
     t_conf: float = 0.8,
     early_stop: bool = True,
     max_layer: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> List[SearchOutcome]:
     """Algorithm 2 for a batch of cases sharing a leaf layout, layers fused.
 
@@ -316,8 +337,11 @@ def batched_layerwise_topdown_search(
     slots:
         Case slots of *stacked* to search (all sharing *attribute_indices*,
         e.g. one Algorithm 1 subgroup).
-    attribute_indices, t_conf, early_stop, max_layer:
-        As in :func:`layerwise_topdown_search`.
+    attribute_indices, t_conf, early_stop, max_layer, budget:
+        As in :func:`layerwise_topdown_search`.  The budget is shared by
+        the whole batch and checked once per fused layer: expiry finishes
+        every still-active case with ``stop_reason="deadline"`` while
+        already-stopped cases keep their own reasons.
 
     Returns
     -------
@@ -348,8 +372,14 @@ def batched_layerwise_topdown_search(
     depth = len(indices) if max_layer is None else min(max_layer, len(indices))
     index_tuple = tuple(indices)
 
+    deadline_hit = False
     for layer in range(1, depth + 1):
         if not active:
+            break
+        # Same cooperative layer-boundary contract as the serial path: an
+        # expired budget leaves every active case with complete layers only.
+        if budget is not None and budget.expired():
+            deadline_hit = True
             break
         cuboids = _layer_cuboids(index_tuple, layer)
         active_slots = [states[i].slot for i in active]
@@ -412,7 +442,16 @@ def batched_layerwise_topdown_search(
                 )
             active = still_active
 
-    tail_reason = "max_layer_reached" if depth < len(indices) else "lattice_exhausted"
+    if deadline_hit:
+        tail_reason = "deadline"
+        if traced:
+            obs.inc(
+                "resilience_deadline_exceeded_total", len(active), path="stacked"
+            )
+    else:
+        tail_reason = (
+            "max_layer_reached" if depth < len(indices) else "lattice_exhausted"
+        )
     for state in states:
         if state.outcome is None:
             state.finish(tail_reason, traced)

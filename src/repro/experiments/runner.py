@@ -36,6 +36,11 @@ class CaseResult:
     true_raps: Tuple[AttributeCombination, ...]
     seconds: float
     group: Optional[Hashable] = None
+    #: Failure record from the fault-tolerant batch layer: when a pool
+    #: shard crashes twice, its cases come back with empty predictions and
+    #: the error message here instead of the whole batch raising (see
+    #: :func:`repro.parallel.batch.batch_localize`).  ``None`` = clean run.
+    error: Optional[str] = None
 
     @property
     def f1(self) -> float:
@@ -65,6 +70,10 @@ class MethodEvaluation:
 
     def recall_at(self, k: int) -> float:
         return recall_at_k(((r.predicted, r.true_raps) for r in self.results), k)
+
+    def failures(self) -> List[CaseResult]:
+        """Results that carry a batch-layer error record."""
+        return [r for r in self.results if r.error is not None]
 
     def groups(self) -> List[Hashable]:
         """Distinct case groups, in first-seen order."""

@@ -72,6 +72,17 @@ METRIC_HELP: Dict[str, str] = {
     "parallel_cases_total": "Cases executed through the batch layer by transport",
     "parallel_warm_engines_total": "Worker-side engine adoptions by outcome",
     "parallel_merge_snapshots_total": "Worker metric snapshots merged into the parent",
+    # -- resilience --------------------------------------------------------
+    "resilience_deadline_exceeded_total": "Searches ended by deadline-budget expiry by path",
+    "resilience_degrade_total": "Degradation-ladder decisions by tier and reason",
+    "resilience_retry_total": "Retried stage calls after a transient failure",
+    "resilience_stage_failures_total": "Stage calls that exhausted retries (or hit an open breaker)",
+    "resilience_breaker_transitions_total": "Circuit-breaker state transitions by breaker and state",
+    "resilience_fallback_total": "Pipeline stages served by their degraded fallback",
+    "resilience_malformed_inputs_total": "Sanitized inputs by kind (nan lanes, wrong length, bad forecast)",
+    "resilience_stop_reason_total": "Incident reports by search stop reason and degradation tier",
+    "resilience_shard_requeues_total": "Pool shards requeued after a worker fault",
+    "resilience_case_errors_total": "Cases degraded to error records after a shard failed twice",
 }
 
 #: Default histogram bucket upper bounds (seconds; tuned for span durations).

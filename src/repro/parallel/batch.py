@@ -25,6 +25,11 @@ semantics exactly:
   :meth:`~repro.obs.metrics.MetricRegistry.merge`.  Counter totals of a
   sharded run therefore equal the serial run's (spans are per-process and
   are *not* merged — see ``docs/operational.md``).
+* **Fault tolerance** — a shard whose worker raises or dies is requeued
+  once on a fresh executor; a second failure degrades that shard's cases
+  to per-case error records (empty predictions,
+  :attr:`~repro.experiments.runner.CaseResult.error` set) so the batch
+  always completes (see ``docs/resilience.md``).
 
 Transports: ``"shm"`` packs every leaf table into one
 :class:`~repro.parallel.shm.SharedCaseStore` block and ships only index
@@ -47,6 +52,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -316,6 +322,88 @@ def _vectorized_rows(
 # -- parent side -----------------------------------------------------------
 
 
+def _shard_error_rows(
+    cases: Sequence[LocalizationCase],
+    indices: Sequence[int],
+    group_key: str,
+    error: BaseException,
+) -> List[Tuple]:
+    """Per-case error rows for a shard that failed both attempts.
+
+    The batch completes instead of raising: each case of the dead shard
+    becomes a well-formed result row with empty predictions and the error
+    message in the seventh slot, so downstream aggregation keeps working
+    and the caller can inspect ``MethodEvaluation.failures()``.
+    """
+    message = f"{type(error).__name__}: {error}"
+    obs.inc("resilience_case_errors_total", len(indices))
+    rows = []
+    for index in indices:
+        case = cases[index]
+        rows.append(
+            (
+                index,
+                case.case_id,
+                [],
+                tuple(case.true_raps),
+                0.0,
+                case.metadata.get(group_key),
+                message,
+            )
+        )
+    return rows
+
+
+def _execute_shards(
+    payloads: List[Dict],
+    config: BatchConfig,
+    context,
+    cases: Sequence[LocalizationCase],
+    group_key: str,
+) -> List[Tuple[List[Tuple], Optional[List[Dict]]]]:
+    """Run shard payloads across a process pool, surviving worker faults.
+
+    Each shard gets up to two attempts.  A failed shard — whether its
+    worker raised (the exception travels back through the future) or died
+    outright (``BrokenProcessPool`` poisons every in-flight future) — is
+    requeued once on a *fresh* executor, since a broken pool cannot be
+    reused; the retry round only carries the failed shards.  A shard that
+    fails twice degrades to per-case error rows via
+    :func:`_shard_error_rows` instead of raising, so one poisoned case
+    can never take down the other ``n - 1`` shards' results.  Requeues
+    are counted under ``resilience_shard_requeues_total``.
+    """
+    outcomes: List[Optional[Tuple]] = [None] * len(payloads)
+    pending = list(range(len(payloads)))
+    attempts = [0] * len(payloads)
+    while pending:
+        retry_round: List[int] = []
+        with ProcessPoolExecutor(
+            max_workers=min(config.n_workers, len(pending)), mp_context=context
+        ) as executor:
+            futures = {
+                executor.submit(_run_shard, payloads[i]): i for i in pending
+            }
+            for future in as_completed(futures):
+                i = futures[future]
+                try:
+                    outcomes[i] = future.result()
+                except Exception as exc:  # noqa: BLE001 - worker fault boundary
+                    attempts[i] += 1
+                    if attempts[i] < 2:
+                        obs.inc("resilience_shard_requeues_total")
+                        retry_round.append(i)
+                    else:
+                        outcomes[i] = (
+                            _shard_error_rows(
+                                cases, payloads[i]["indices"], group_key, exc
+                            ),
+                            None,
+                        )
+        pending = sorted(retry_round)
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
 def batch_localize(
     method,
     cases: Sequence[LocalizationCase],
@@ -400,8 +488,7 @@ def batch_localize(
             payloads.append(payload)
 
         context = multiprocessing.get_context(config.mp_context or _default_start())
-        with context.Pool(processes=config.n_workers) as pool:
-            outcomes = pool.map(_run_shard, payloads)
+        outcomes = _execute_shards(payloads, config, context, cases, group_key)
     finally:
         if store is not None:
             store.destroy()
@@ -423,7 +510,8 @@ def batch_localize(
     evaluation = MethodEvaluation(
         method_name=getattr(method, "name", type(method).__name__)
     )
-    for __, case_id, predicted, true_raps, seconds, group in rows:
+    for row in rows:
+        __, case_id, predicted, true_raps, seconds, group = row[:6]
         evaluation.results.append(
             CaseResult(
                 case_id=case_id,
@@ -431,6 +519,7 @@ def batch_localize(
                 true_raps=true_raps,
                 seconds=seconds,
                 group=group,
+                error=row[6] if len(row) > 6 else None,
             )
         )
     return evaluation

@@ -1,0 +1,147 @@
+"""Graceful-degradation ladder for the search kernels.
+
+When a deadline budget is near exhaustion, or a case is simply too big
+to finish at full depth inside the interval, the right move is not to
+fail — it is to spend what is left on the *coarsest* layers, where RAPs
+live by definition (the paper's Definition 1 prefers ancestors).  The
+ladder steps down along
+
+    ``vectorized -> serial -> layer_capped``
+
+* **vectorized** — the case-stacked batch kernel
+  (:meth:`repro.core.miner.RAPMiner.run_batch`), cheapest per case but
+  front-loads a whole layout group's aggregation;
+* **serial** — the classic per-case loop, which lets a draining budget
+  stop between cases instead of mid-group;
+* **layer_capped** — the per-case loop with a hard BFS depth cap, the
+  last resort that bounds a single search's work outright.
+
+Every decision is recorded on ``SearchStats.degradation_tier`` (and the
+``resilience_degrade_total{tier=...}`` counter), so a report always says
+which rung produced it.  A ``None`` policy means no ladder: behavior and
+results are exactly the pre-resilience code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .budget import Budget
+
+__all__ = ["DegradationDecision", "DegradationPolicy", "TIERS"]
+
+#: The ladder, fastest-degrading last.
+TIERS = ("full", "vectorized", "serial", "layer_capped")
+
+
+@dataclass(frozen=True)
+class DegradationDecision:
+    """One resolved rung of the ladder.
+
+    ``tier`` is the rung chosen (one of :data:`TIERS`); ``max_layer`` is
+    the BFS depth cap to apply (``None`` = uncapped); ``reason`` says
+    what forced the step down (``"budget"`` or ``"leaf_count"``,
+    ``None`` when nothing did).
+    """
+
+    tier: str
+    max_layer: Optional[int] = None
+    reason: Optional[str] = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.reason is not None
+
+
+@dataclass
+class DegradationPolicy:
+    """Thresholds steering the ladder.
+
+    Parameters
+    ----------
+    budget_fraction:
+        Step one rung down (vectorized -> serial) once the budget's
+        remaining fraction falls below this.
+    critical_fraction:
+        Step to ``layer_capped`` once the remaining fraction falls below
+        this (must not exceed *budget_fraction*).
+    leaf_limit:
+        A single case with more leaves than this is layer-capped
+        outright — at that scale deep layers cannot finish inside an
+        interval regardless of budget.
+    stacked_element_limit:
+        Cap on ``n_cases * n_leaves`` for the vectorized kernel; batches
+        above it fall back to the serial loop so one giant layout group
+        cannot blow the interval on a single fused pass.
+    capped_layer:
+        The BFS depth the ``layer_capped`` rung enforces.
+    """
+
+    budget_fraction: float = 0.5
+    critical_fraction: float = 0.2
+    leaf_limit: int = 1_000_000
+    stacked_element_limit: int = 50_000_000
+    capped_layer: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.critical_fraction <= self.budget_fraction <= 1.0:
+            raise ValueError(
+                "need 0 <= critical_fraction <= budget_fraction <= 1, got "
+                f"critical_fraction={self.critical_fraction}, "
+                f"budget_fraction={self.budget_fraction}"
+            )
+        if self.leaf_limit < 1:
+            raise ValueError("leaf_limit must be positive")
+        if self.stacked_element_limit < 1:
+            raise ValueError("stacked_element_limit must be positive")
+        if self.capped_layer < 1:
+            raise ValueError("capped_layer must be at least 1")
+
+    # -- decisions ---------------------------------------------------------
+
+    def decide_serial(
+        self, n_leaves: int, budget: Optional["Budget"], base_tier: str = "full"
+    ) -> DegradationDecision:
+        """Rung for one serial search: *base_tier* or ``layer_capped``.
+
+        ``base_tier`` is what the caller was going to run anyway
+        (``"full"`` from :meth:`RAPMiner.run`, ``"serial"`` from a batch
+        that already stepped off the vectorized rung).
+        """
+        if n_leaves > self.leaf_limit:
+            return DegradationDecision(
+                "layer_capped", max_layer=self.capped_layer, reason="leaf_count"
+            )
+        if budget is not None and budget.fraction_remaining() < self.critical_fraction:
+            return DegradationDecision(
+                "layer_capped", max_layer=self.capped_layer, reason="budget"
+            )
+        return DegradationDecision(base_tier)
+
+    def decide_batch(
+        self, n_cases: int, n_leaves: int, budget: Optional["Budget"]
+    ) -> DegradationDecision:
+        """Rung for a case batch: ``vectorized``, ``serial`` or capped.
+
+        The serial and capped rungs only choose the *execution shape*;
+        per-case depth caps are re-decided by :meth:`decide_serial` as
+        the batch drains the budget, so early cases of a degraded batch
+        may still search full depth while late ones get capped.
+        """
+        if n_leaves > self.leaf_limit:
+            return DegradationDecision(
+                "layer_capped", max_layer=self.capped_layer, reason="leaf_count"
+            )
+        if budget is not None:
+            fraction = budget.fraction_remaining()
+            if fraction < self.critical_fraction:
+                return DegradationDecision(
+                    "layer_capped", max_layer=self.capped_layer, reason="budget"
+                )
+            if fraction < self.budget_fraction:
+                return DegradationDecision("serial", reason="budget")
+        if n_cases * n_leaves > self.stacked_element_limit:
+            return DegradationDecision("serial", reason="leaf_count")
+        return DegradationDecision("vectorized")

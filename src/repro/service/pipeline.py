@@ -15,10 +15,20 @@ Under an installed :mod:`repro.obs` collector every observed interval
 opens a ``service.interval`` span with per-stage children (forecast ->
 alarm -> detect -> localize -> impact), forming the per-incident audit
 trail rendered by :func:`repro.obs.report.incident_timeline`.
+
+The serving path is hardened (see ``docs/resilience.md``): malformed
+inputs (NaN lanes, truncated value vectors) are sanitized and counted,
+forecaster/detector calls run behind retry + circuit breakers with
+deterministic fallbacks, and an optional per-interval deadline budget is
+threaded through the localizer so an over-budget search returns a
+partial-but-valid :class:`IncidentReport` (``stop_reason="deadline"``)
+instead of hanging the loop.  With clean inputs and no deadline the
+pipeline is bit-identical to the unhardened one.
 """
 
 from __future__ import annotations
 
+import inspect
 import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -33,6 +43,9 @@ from ..core.miner import RAPMiner
 from ..data.dataset import FineGrainedDataset
 from ..detection.detectors import Detector, DeviationThresholdDetector
 from ..detection.forecasting import Forecaster, SeasonalNaiveForecaster
+from ..resilience.breaker import CircuitBreaker, RetryPolicy, guarded_call
+from ..resilience.budget import Budget
+from ..resilience.degrade import DegradationPolicy
 from .alarm import Alarm, DeviationAlarm
 from .history import RollingHistory
 
@@ -73,10 +86,25 @@ class IncidentReport:
     total_forecast: float
     anomalous_leaves: int
     scopes: List[ScopeImpact] = field(default_factory=list)
+    #: Why the localizer's search ended (``coverage_early_stop``,
+    #: ``lattice_exhausted``, ``max_layer_reached``, ``no_anomalous_leaves``
+    #: or ``deadline``); ``None`` for localizers without search stats.
+    stop_reason: Optional[str] = None
+    #: Degradation-ladder rung that produced the scopes (``None`` when no
+    #: :class:`~repro.resilience.DegradationPolicy` was active).
+    degradation_tier: Optional[str] = None
+    #: Pipeline stages that fell back to a degraded implementation this
+    #: interval (``"forecast"``, ``"detect"``, ``"localize"``), in order.
+    degraded_stages: List[str] = field(default_factory=list)
 
     @property
     def patterns(self) -> List[AttributeCombination]:
         return [scope.pattern for scope in self.scopes]
+
+    @property
+    def partial(self) -> bool:
+        """True when the deadline budget cut the search short."""
+        return self.stop_reason == "deadline"
 
     def render(self) -> str:
         """Human-readable incident summary."""
@@ -85,6 +113,15 @@ class IncidentReport:
             f"total {self.total_actual:,.0f} vs expected {self.total_forecast:,.0f}, "
             f"{self.anomalous_leaves} anomalous leaf KPIs",
         ]
+        if self.partial:
+            lines.append(
+                "  (partial: deadline budget exhausted — scopes cover the "
+                "layers searched so far)"
+            )
+        if self.degraded_stages:
+            lines.append(
+                f"  (degraded stages: {', '.join(self.degraded_stages)})"
+            )
         for rank, scope in enumerate(self.scopes, start=1):
             drop = scope.drop_fraction
             impact = (
@@ -119,6 +156,25 @@ class LocalizationService:
         Observations required before the service starts judging steps.
     max_scopes:
         Upper bound on reported scopes per incident.
+    deadline_ms:
+        Wall-clock allowance per observed interval (``None`` =
+        unlimited).  The budget starts when :meth:`observe` is entered
+        and is threaded through the localizer, so a slow detector leaves
+        less time for the search; expiry yields a partial report with
+        ``stop_reason="deadline"``.
+    degradation:
+        Optional :class:`~repro.resilience.DegradationPolicy` forwarded
+        to localizers that accept one; the chosen rung lands on
+        ``IncidentReport.degradation_tier``.
+    retry:
+        Retry/backoff policy for the forecaster and detector calls
+        (default: one retry, 50 ms backoff).
+    forecast_breaker / detect_breaker:
+        Circuit breakers guarding the pluggable stages.  When a stage
+        exhausts its retries (or its breaker is open) the service falls
+        back deterministically — last-history-row forecast, default
+        :class:`~repro.detection.detectors.DeviationThresholdDetector` —
+        and records the stage in ``IncidentReport.degraded_stages``.
     """
 
     def __init__(
@@ -132,6 +188,11 @@ class LocalizationService:
         history_capacity: int = 1440,
         min_history: int = 10,
         max_scopes: int = 5,
+        deadline_ms: Optional[float] = None,
+        degradation: Optional[DegradationPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
+        forecast_breaker: Optional[CircuitBreaker] = None,
+        detect_breaker: Optional[CircuitBreaker] = None,
     ):
         self.schema = schema
         self.codes = np.ascontiguousarray(codes, dtype=np.int64)
@@ -141,12 +202,30 @@ class LocalizationService:
         self.localizer = localizer if localizer is not None else RAPMiner()
         if min_history < 1:
             raise ValueError("min_history must be positive")
+        if deadline_ms is not None and deadline_ms <= 0.0:
+            raise ValueError("deadline_ms must be positive (or None for unlimited)")
         self.min_history = min_history
         self.max_scopes = max_scopes
+        self.deadline_ms = deadline_ms
+        self.degradation = degradation
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.forecast_breaker = (
+            forecast_breaker
+            if forecast_breaker is not None
+            else CircuitBreaker(name="forecast")
+        )
+        self.detect_breaker = (
+            detect_breaker if detect_breaker is not None else CircuitBreaker(name="detect")
+        )
+        #: Deterministic stand-in detector used when the pluggable one is
+        #: down; deviation-threshold is the paper's implied default.
+        self.fallback_detector = DeviationThresholdDetector()
         self.history = RollingHistory(self.codes.shape[0], history_capacity)
         self._step = 0
         #: Count of observed steps that raised an incident.
         self.incidents_raised = 0
+        #: Count of sanitized inputs (NaN lanes, wrong-length vectors).
+        self.malformed_inputs = 0
 
     @property
     def current_step(self) -> int:
@@ -163,22 +242,35 @@ class LocalizationService:
 
         The observed values are appended to the history *after* judging the
         step, so the forecast never sees the value it is predicting.
+
+        Malformed inputs never abort the interval: a wrong-length vector
+        is padded/truncated to the leaf population and NaN/Inf lanes are
+        replaced by their forecast (neutral — never spuriously anomalous),
+        both counted under ``resilience_malformed_inputs_total``.  Clean
+        inputs pass through untouched, bit for bit.
         """
-        values = np.asarray(values, dtype=float)
+        budget = Budget.from_ms(self.deadline_ms)
+        values = self._coerce_length(np.asarray(values, dtype=float).ravel())
         step = self._step
         report: Optional[IncidentReport] = None
+        degraded_stages: List[str] = []
         with obs.span("service.interval", step=step) as interval_span:
             if len(self.history) >= self.min_history:
                 with obs.span("service.forecast"):
-                    forecast = self.forecaster.forecast(self.history.to_matrix())
+                    forecast = self._forecast(degraded_stages)
+                values = self._sanitize_lanes(values, forecast)
                 with obs.span("service.alarm") as alarm_span:
                     triggered = self.alarm.should_trigger(
                         float(values.sum()), float(forecast.sum())
                     )
                     alarm_span.set(triggered=triggered)
                 if triggered:
-                    report = self._localize(step, values, forecast)
+                    report = self._localize(
+                        step, values, forecast, budget, degraded_stages
+                    )
                     self.incidents_raised += 1
+            else:
+                values = self._sanitize_lanes(values, forecast=None)
             interval_span.set(alarmed=report is not None)
             if _trace.ACTIVE:
                 obs.inc("service_intervals_total")
@@ -188,16 +280,155 @@ class LocalizationService:
         self._step += 1
         return report
 
+    # -- input hygiene ---------------------------------------------------------
+
+    def _coerce_length(self, values: np.ndarray) -> np.ndarray:
+        """Pad (with NaN, sanitized later) or truncate to the leaf count."""
+        n_leaves = self.codes.shape[0]
+        if values.shape[0] == n_leaves:
+            return values
+        self.malformed_inputs += 1
+        obs.inc("resilience_malformed_inputs_total", kind="length")
+        if values.shape[0] > n_leaves:
+            return values[:n_leaves]
+        padded = np.full(n_leaves, np.nan)
+        padded[: values.shape[0]] = values
+        return padded
+
+    def _sanitize_lanes(
+        self, values: np.ndarray, forecast: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Replace non-finite lanes with their expected value.
+
+        With a forecast available the replacement is the forecast lane
+        (the lane looks exactly on-trend, so a collection gap never
+        manufactures an anomaly); before the warm-up it is the last
+        history row, or 0.0 on a cold start.  Finite inputs are returned
+        unchanged — not copied — so the clean path stays bit-identical.
+        """
+        bad = ~np.isfinite(values)
+        if not bad.any():
+            return values
+        self.malformed_inputs += 1
+        obs.inc("resilience_malformed_inputs_total", int(bad.sum()), kind="nan")
+        values = values.copy()
+        if forecast is not None:
+            values[bad] = forecast[bad]
+        elif len(self.history):
+            values[bad] = self.history.to_matrix()[-1][bad]
+        else:
+            values[bad] = 0.0
+        return values
+
+    # -- guarded pluggable stages ----------------------------------------------
+
+    def _forecast(self, degraded_stages: List[str]) -> np.ndarray:
+        """The pluggable forecaster behind retry + breaker, with fallback.
+
+        When the forecaster is down (retries exhausted or breaker open)
+        the service degrades to the last history row — the naive
+        persistence forecast — rather than skipping the interval.
+        """
+        history_matrix = self.history.to_matrix()
+        forecast, error = guarded_call(
+            self.forecaster.forecast,
+            history_matrix,
+            retry=self.retry,
+            breaker=self.forecast_breaker,
+            stage="forecast",
+        )
+        if error is None:
+            forecast = np.asarray(forecast, dtype=float)
+            if forecast.shape[0] == self.codes.shape[0] and np.isfinite(forecast).all():
+                return forecast
+            obs.inc("resilience_malformed_inputs_total", kind="forecast")
+        degraded_stages.append("forecast")
+        obs.inc("resilience_fallback_total", stage="forecast")
+        return history_matrix[-1].copy()
+
+    def _detect(
+        self, values: np.ndarray, forecast: np.ndarray, degraded_stages: List[str]
+    ) -> np.ndarray:
+        """The pluggable detector behind retry + breaker, with fallback."""
+        labels, error = guarded_call(
+            self.detector.detect,
+            values,
+            forecast,
+            retry=self.retry,
+            breaker=self.detect_breaker,
+            stage="detect",
+        )
+        if error is None:
+            return np.asarray(labels, dtype=bool)
+        degraded_stages.append("detect")
+        obs.inc("resilience_fallback_total", stage="detect")
+        return np.asarray(self.fallback_detector.detect(values, forecast), dtype=bool)
+
+    def _run_localizer(
+        self, labelled: FineGrainedDataset, budget: Optional[Budget]
+    ) -> Tuple[List[AttributeCombination], Optional[str], Optional[str]]:
+        """``(patterns, stop_reason, degradation_tier)`` from the localizer.
+
+        Localizers exposing a ``run`` method (RAPMiner, the incremental
+        miner) are invoked through it so search stats surface on the
+        report; the budget/degradation kwargs are passed only when the
+        signature accepts them, keeping any ``Localizer`` pluggable.
+        """
+        runner = getattr(self.localizer, "run", None)
+        if callable(runner):
+            kwargs = {}
+            try:
+                parameters = inspect.signature(runner).parameters
+            except (TypeError, ValueError):  # pragma: no cover - exotic callables
+                parameters = {}
+            if budget is not None and "budget" in parameters:
+                kwargs["budget"] = budget
+            if self.degradation is not None and "degradation" in parameters:
+                kwargs["degradation"] = self.degradation
+            result = runner(labelled, k=self.max_scopes, **kwargs)
+            stats = getattr(result, "stats", None)
+            return (
+                list(result.patterns),
+                getattr(stats, "stop_reason", None),
+                getattr(stats, "degradation_tier", None),
+            )
+        return list(self.localizer.localize(labelled, k=self.max_scopes)), None, None
+
     def _localize(
-        self, step: int, values: np.ndarray, forecast: np.ndarray
+        self,
+        step: int,
+        values: np.ndarray,
+        forecast: np.ndarray,
+        budget: Optional[Budget] = None,
+        degraded_stages: Optional[List[str]] = None,
     ) -> IncidentReport:
+        degraded_stages = degraded_stages if degraded_stages is not None else []
         with obs.span("service.detect") as detect_span:
             table = FineGrainedDataset(self.schema, self.codes, values, forecast)
-            labelled = table.with_labels(self.detector.detect(values, forecast))
+            labelled = table.with_labels(self._detect(values, forecast, degraded_stages))
             detect_span.set(anomalous_leaves=labelled.n_anomalous)
         with obs.span("service.localize") as localize_span:
-            patterns = self.localizer.localize(labelled, k=self.max_scopes)
+            outcome, error = guarded_call(
+                self._run_localizer,
+                labelled,
+                budget,
+                retry=RetryPolicy(max_attempts=1),
+                stage="localize",
+            )
+            if error is None:
+                patterns, stop_reason, degradation_tier = outcome
+            else:
+                # A crashed localizer still yields a well-formed (empty)
+                # report; the render() escalation line tells the operator.
+                patterns, stop_reason, degradation_tier = [], "localizer_error", None
+                degraded_stages.append("localize")
+                obs.inc("resilience_fallback_total", stage="localize")
             localize_span.set(n_patterns=len(patterns))
+            obs.inc(
+                "resilience_stop_reason_total",
+                reason=stop_reason or "none",
+                tier=degradation_tier or "none",
+            )
         with obs.span("service.impact") as impact_span:
             # Same shared engine the localizer used for this interval, so the
             # impact roll-up reuses its posting lists instead of fresh masks.
@@ -221,4 +452,7 @@ class LocalizationService:
             total_forecast=float(forecast.sum()),
             anomalous_leaves=labelled.n_anomalous,
             scopes=scopes,
+            stop_reason=stop_reason,
+            degradation_tier=degradation_tier,
+            degraded_stages=list(degraded_stages),
         )

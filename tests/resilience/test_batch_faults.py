@@ -1,0 +1,97 @@
+"""Worker-fault tolerance of the process-pool batch layer.
+
+A shard whose worker raises is requeued once on a fresh executor; a
+shard that fails twice degrades to per-case error records.  Either way
+``batch_localize`` completes and keeps input order.
+"""
+
+import pytest
+
+from repro import RAPMiner, obs
+from repro.data.rapmd import RAPMDConfig, generate_rapmd
+from repro.data.schema import cdn_schema
+from repro.experiments.runner import run_cases
+from repro.parallel import BatchConfig, batch_localize
+from repro.resilience.chaos import (
+    AlwaysCrashLocalizer,
+    CrashOnceLocalizer,
+    WorkerCrash,
+)
+
+
+def make_cases(n_cases=4):
+    return generate_rapmd(
+        cdn_schema(4, 2, 2, 3), RAPMDConfig(n_cases=n_cases, n_days=2, seed=9)
+    )
+
+
+class TestCrashOnceRequeue:
+    def test_requeued_shard_completes_with_correct_results(self, tmp_path):
+        cases = make_cases()
+        marker = str(tmp_path / "crash.marker")
+        method = CrashOnceLocalizer(RAPMiner(), marker)
+        with obs.capture() as collector:
+            evaluation = batch_localize(
+                method, cases, k=3, config=BatchConfig(n_workers=2)
+            )
+        serial = run_cases(RAPMiner(), make_cases(), k=3)
+        assert [r.case_id for r in evaluation.results] == [
+            r.case_id for r in serial.results
+        ]
+        assert evaluation.failures() == []
+        for got, want in zip(evaluation.results, serial.results):
+            assert got.predicted == want.predicted
+            assert got.error is None
+        assert collector.metrics.value("resilience_shard_requeues_total") >= 1.0
+        assert collector.metrics.value("resilience_case_errors_total") == 0.0
+
+    def test_chaos_latch_is_cross_process(self, tmp_path):
+        marker = str(tmp_path / "latch.marker")
+        method = CrashOnceLocalizer(RAPMiner(), marker)
+        case = make_cases(1)[0]
+        with pytest.raises(WorkerCrash):
+            method.localize(case.dataset, 3)
+        # Second call (any process that sees the marker) delegates.
+        assert method.localize(case.dataset, 3) == RAPMiner().localize(
+            case.dataset, 3
+        )
+
+
+class TestPersistentCrash:
+    def test_batch_completes_with_error_records(self):
+        cases = make_cases()
+        with obs.capture() as collector:
+            evaluation = batch_localize(
+                AlwaysCrashLocalizer(), cases, k=3, config=BatchConfig(n_workers=2)
+            )
+        assert [r.case_id for r in evaluation.results] == [
+            c.case_id for c in cases
+        ]
+        for result in evaluation.results:
+            assert result.predicted == []
+            assert result.error is not None
+            assert "WorkerCrash" in result.error
+            assert result.f1 == 0.0  # aggregations keep working
+        assert len(evaluation.failures()) == len(cases)
+        assert collector.metrics.value("resilience_case_errors_total") == float(
+            len(cases)
+        )
+        # Every shard got its one requeue before degrading.
+        assert collector.metrics.value("resilience_shard_requeues_total") == 2.0
+
+    def test_partial_failure_keeps_healthy_shards(self, tmp_path):
+        # chunk_size=1: four single-case shards; one method crash latch
+        # means at most one shard ever crashes per attempt wave.
+        cases = make_cases()
+        marker = str(tmp_path / "one.marker")
+        method = CrashOnceLocalizer(RAPMiner(), marker)
+        evaluation = batch_localize(
+            method,
+            cases,
+            k=3,
+            config=BatchConfig(n_workers=2, chunk_size=1, transport="pickle"),
+        )
+        serial = run_cases(RAPMiner(), make_cases(), k=3)
+        assert evaluation.failures() == []
+        for got, want in zip(evaluation.results, serial.results):
+            assert got.predicted == want.predicted

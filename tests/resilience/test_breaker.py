@@ -1,0 +1,197 @@
+"""Retry policy, circuit-breaker state machine, and guarded_call."""
+
+import pytest
+
+from repro import obs
+from repro.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    guarded_call,
+)
+
+
+class ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_exponential_delays(self):
+        policy = RetryPolicy(max_attempts=4, backoff_base=0.1, backoff_factor=2.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = ManualClock()
+        kwargs.setdefault("failure_threshold", 2)
+        kwargs.setdefault("recovery_time", 10.0)
+        return CircuitBreaker(clock=clock, **kwargs), clock
+
+    def test_opens_after_threshold(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker, clock = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.allow()  # half-opens
+        assert breaker.state == "half_open"
+
+    def test_half_open_success_closes(self):
+        breaker, clock = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 0
+
+    def test_half_open_failure_reopens(self):
+        breaker, clock = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()  # cool-down restarted
+
+    def test_call_raises_when_open(self):
+        breaker, _ = self.make(failure_threshold=1)
+        with pytest.raises(RuntimeError):
+            breaker.call(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: 42)
+
+    def test_call_passes_through(self):
+        breaker, _ = self.make()
+        assert breaker.call(lambda x: x + 1, 41) == 42
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_time=-1.0)
+
+    def test_transitions_counted(self):
+        with obs.capture() as collector:
+            breaker, clock = self.make(failure_threshold=1, recovery_time=1.0)
+            breaker.record_failure()  # -> open
+            clock.advance(1.0)
+            breaker.allow()  # -> half_open
+            breaker.record_success()  # -> closed
+        metrics = collector.metrics
+        for state in ("open", "half_open", "closed"):
+            assert metrics.value(
+                "resilience_breaker_transitions_total",
+                {"breaker": breaker.name, "state": state},
+            ) == 1.0
+
+
+def no_sleep_retry(max_attempts=2):
+    return RetryPolicy(max_attempts=max_attempts, sleep=lambda _s: None)
+
+
+class TestGuardedCall:
+    def test_success_first_try(self):
+        result, error = guarded_call(lambda: 7, retry=no_sleep_retry())
+        assert (result, error) == (7, None)
+
+    def test_retry_then_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return "ok"
+
+        with obs.capture() as collector:
+            result, error = guarded_call(
+                flaky, retry=no_sleep_retry(), stage="forecast"
+            )
+        assert (result, error) == ("ok", None)
+        assert len(calls) == 2
+        assert collector.metrics.value(
+            "resilience_retry_total", {"stage": "forecast"}
+        ) == 1.0
+
+    def test_exhaustion_returns_error(self):
+        def broken():
+            raise RuntimeError("permanent")
+
+        with obs.capture() as collector:
+            result, error = guarded_call(
+                broken, retry=no_sleep_retry(), stage="detect"
+            )
+        assert result is None
+        assert isinstance(error, RuntimeError)
+        assert collector.metrics.value(
+            "resilience_stage_failures_total", {"stage": "detect"}
+        ) == 1.0
+
+    def test_backoff_sleeps_between_attempts(self):
+        slept = []
+        retry = RetryPolicy(
+            max_attempts=3, backoff_base=0.5, backoff_factor=2.0, sleep=slept.append
+        )
+
+        def broken():
+            raise RuntimeError("permanent")
+
+        guarded_call(broken, retry=retry)
+        assert slept == [pytest.approx(0.5), pytest.approx(1.0)]
+
+    def test_breaker_records_outcomes(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=ManualClock())
+
+        def broken():
+            raise RuntimeError("boom")
+
+        result, error = guarded_call(broken, retry=no_sleep_retry(2), breaker=breaker)
+        assert result is None
+        assert breaker.state == "open"  # both attempts recorded
+
+    def test_open_breaker_short_circuits(self):
+        breaker = CircuitBreaker(failure_threshold=1, clock=ManualClock())
+        breaker.record_failure()
+        calls = []
+        result, error = guarded_call(
+            lambda: calls.append(1), retry=no_sleep_retry(), breaker=breaker
+        )
+        assert result is None
+        assert isinstance(error, CircuitOpenError)
+        assert calls == []  # never invoked
+
+    def test_forwards_arguments(self):
+        result, error = guarded_call(
+            lambda a, b=0: a + b, 40, b=2, retry=no_sleep_retry()
+        )
+        assert (result, error) == (42, None)

@@ -1,0 +1,145 @@
+"""The graceful-degradation ladder: decisions and miner integration."""
+
+import pytest
+
+from repro import obs
+from repro.core.config import RAPMinerConfig
+from repro.core.miner import RAPMiner
+from repro.resilience import (
+    TIERS,
+    Budget,
+    DegradationDecision,
+    DegradationPolicy,
+    StepClock,
+)
+from tests.conftest import make_labelled_dataset
+
+
+def drained_budget():
+    """fraction_remaining() == 0.0 on every reading."""
+    return Budget(1.0, clock=StepClock(step=100.0))
+
+
+def fresh_budget():
+    """fraction_remaining() ~ 1.0 on every reading."""
+    return Budget(1000.0, clock=StepClock(step=0.001))
+
+
+def half_budget():
+    # construction reads 0, every later reading ~600 of 1000 elapsed.
+    return Budget(1000.0, clock=StepClock(step=600.0))
+
+
+class TestDecisions:
+    def test_tiers_catalogued(self):
+        assert TIERS == ("full", "vectorized", "serial", "layer_capped")
+
+    def test_serial_full_speed_when_healthy(self):
+        decision = DegradationPolicy().decide_serial(100, fresh_budget())
+        assert decision == DegradationDecision("full")
+        assert not decision.degraded
+
+    def test_serial_no_budget_is_full_speed(self):
+        assert DegradationPolicy().decide_serial(100, None).tier == "full"
+
+    def test_serial_leaf_limit_caps(self):
+        policy = DegradationPolicy(leaf_limit=10, capped_layer=1)
+        decision = policy.decide_serial(11, None)
+        assert decision.tier == "layer_capped"
+        assert decision.max_layer == 1
+        assert decision.reason == "leaf_count"
+        assert decision.degraded
+
+    def test_serial_drained_budget_caps(self):
+        decision = DegradationPolicy(capped_layer=2).decide_serial(
+            100, drained_budget()
+        )
+        assert decision.tier == "layer_capped"
+        assert decision.reason == "budget"
+
+    def test_batch_healthy_is_vectorized(self):
+        decision = DegradationPolicy().decide_batch(4, 100, fresh_budget())
+        assert decision.tier == "vectorized"
+        assert not decision.degraded
+
+    def test_batch_half_budget_steps_to_serial(self):
+        decision = DegradationPolicy(budget_fraction=0.5).decide_batch(
+            4, 100, half_budget()
+        )
+        assert decision.tier == "serial"
+        assert decision.reason == "budget"
+
+    def test_batch_drained_budget_caps(self):
+        decision = DegradationPolicy().decide_batch(4, 100, drained_budget())
+        assert decision.tier == "layer_capped"
+        assert decision.reason == "budget"
+
+    def test_batch_stacked_volume_steps_to_serial(self):
+        policy = DegradationPolicy(stacked_element_limit=100)
+        decision = policy.decide_batch(10, 50, None)
+        assert decision.tier == "serial"
+        assert decision.reason == "leaf_count"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DegradationPolicy(budget_fraction=0.2, critical_fraction=0.5)
+        with pytest.raises(ValueError):
+            DegradationPolicy(leaf_limit=0)
+        with pytest.raises(ValueError):
+            DegradationPolicy(capped_layer=0)
+
+
+@pytest.fixture
+def datasets(four_attr_schema):
+    return [
+        make_labelled_dataset(four_attr_schema, ["(e0_0, *, *, *)"], seed=1),
+        make_labelled_dataset(four_attr_schema, ["(e0_1, e1_1, *, *)"], seed=2),
+    ]
+
+
+class TestMinerIntegration:
+    def test_layer_cap_tier_equals_explicit_max_layer(self, datasets):
+        policy = DegradationPolicy(leaf_limit=10, capped_layer=1)
+        capped = RAPMiner(RAPMinerConfig(max_layer=1)).run(datasets[0])
+        degraded = RAPMiner().run(datasets[0], degradation=policy)
+        assert degraded.stats.degradation_tier == "layer_capped"
+        assert [c.combination for c in degraded.candidates] == [
+            c.combination for c in capped.candidates
+        ]
+
+    def test_no_policy_leaves_tier_unset(self, datasets):
+        result = RAPMiner().run(datasets[0])
+        assert result.stats.degradation_tier is None
+
+    def test_healthy_batch_records_vectorized_tier(self, datasets):
+        results = RAPMiner().run_batch(datasets, degradation=DegradationPolicy())
+        assert [r.stats.degradation_tier for r in results] == [
+            "vectorized",
+            "vectorized",
+        ]
+
+    def test_serial_fallback_is_bit_identical(self, datasets):
+        policy = DegradationPolicy(stacked_element_limit=1)
+        vectorized = RAPMiner().run_batch(datasets)
+        degraded = RAPMiner().run_batch(datasets, degradation=policy)
+        assert [r.stats.degradation_tier for r in degraded] == ["serial", "serial"]
+        for got, want in zip(degraded, vectorized):
+            assert [c.combination for c in got.candidates] == [
+                c.combination for c in want.candidates
+            ]
+
+    def test_degrade_decisions_counted(self, datasets):
+        with obs.capture() as collector:
+            RAPMiner().run_batch(
+                datasets, degradation=DegradationPolicy(stacked_element_limit=1)
+            )
+        assert collector.metrics.value(
+            "resilience_degrade_total", {"tier": "serial", "reason": "leaf_count"}
+        ) == 1.0
+
+    def test_config_carries_policy(self, datasets):
+        miner = RAPMiner(
+            RAPMinerConfig(degradation=DegradationPolicy(leaf_limit=10))
+        )
+        result = miner.run(datasets[0])
+        assert result.stats.degradation_tier == "layer_capped"

@@ -1,0 +1,109 @@
+"""Documentation integrity (the ``make docs-check`` gate).
+
+Three drift failure modes, each caught mechanically:
+
+* an intra-doc markdown link whose target file no longer exists;
+* a ``repro`` import in a doc code block that no longer resolves
+  (renamed module, removed re-export);
+* a ``docs/*.md`` file missing from the ``docs/index.md`` map.
+"""
+
+import ast
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+DOC_FILES = sorted(
+    [
+        REPO_ROOT / "README.md",
+        REPO_ROOT / "CHANGELOG.md",
+        REPO_ROOT / "DESIGN.md",
+        REPO_ROOT / "EXPERIMENTS.md",
+    ]
+    + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+# [text](target) — target up to the first ')' or whitespace.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+PYTHON_FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def doc_id(path):
+    return str(path.relative_to(REPO_ROOT))
+
+
+def intra_doc_targets(path):
+    """File-path link targets of one markdown file, anchors stripped."""
+    for match in LINK_RE.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        target = target.split("#", 1)[0]
+        if target:
+            yield target
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=doc_id)
+def test_intra_doc_links_resolve(doc):
+    dead = [
+        target
+        for target in intra_doc_targets(doc)
+        if not (doc.parent / target).exists()
+    ]
+    assert dead == [], f"{doc_id(doc)} links to missing files: {dead}"
+
+
+def repro_imports(block):
+    """(module, names) pairs for every ``repro`` import in a code block.
+
+    Blocks that are deliberate fragments (do not parse as a module) are
+    skipped — the gate is about imports drifting, not snippet style.
+    """
+    try:
+        tree = ast.parse(block)
+    except SyntaxError:
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "repro":
+                    yield alias.name, []
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module and node.module.split(".")[0] == "repro":
+                yield node.module, [alias.name for alias in node.names]
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=doc_id)
+def test_doc_code_blocks_still_import(doc):
+    problems = []
+    for block in PYTHON_FENCE_RE.findall(doc.read_text()):
+        for module_name, names in repro_imports(block):
+            try:
+                module = importlib.import_module(module_name)
+            except ImportError as exc:
+                problems.append(f"import {module_name}: {exc}")
+                continue
+            for name in names:
+                if name == "*" or hasattr(module, name):
+                    continue
+                try:
+                    importlib.import_module(f"{module_name}.{name}")
+                except ImportError:
+                    problems.append(f"from {module_name} import {name}")
+    assert problems == [], f"{doc_id(doc)} imports drifted: {problems}"
+
+
+def test_every_doc_is_indexed():
+    index = (REPO_ROOT / "docs" / "index.md").read_text()
+    missing = [
+        doc.name
+        for doc in (REPO_ROOT / "docs").glob("*.md")
+        if doc.name != "index.md" and f"({doc.name})" not in index
+    ]
+    assert missing == [], f"docs/index.md does not list: {missing}"
