@@ -1,4 +1,4 @@
-.PHONY: install test chaos docs-check bench bench-search bench-throughput bench-stacked trace-demo report examples paper clean
+.PHONY: install test chaos docs-check bench bench-search bench-throughput bench-stacked bench-stream trace-demo report examples paper clean
 
 install:
 	pip install -e .[dev]
@@ -32,6 +32,12 @@ bench-throughput:
 # writes BENCH_stacked.json at the repo root and enforces the >=2x floor.
 bench-stacked:
 	pytest benchmarks/test_stacked_throughput.py::test_stacked_throughput_report -p no:cacheprovider
+
+# Streaming delta vs cold re-aggregation on a replayed multi-tick trace;
+# writes BENCH_stream.json at the repo root and enforces the >=3x floor
+# with bit-identical candidates asserted on every tick.
+bench-stream:
+	pytest benchmarks/test_stream_delta.py::test_stream_delta_report -p no:cacheprovider
 
 # Small localization under --trace: asserts the JSONL trace parses and
 # carries the expected span names / engine counters (tier-1 test).

@@ -2,14 +2,19 @@
 
 Measures the fast-path speedup of :class:`IncrementalRAPMiner` over the
 stateless miner on a simulated multi-interval incident, and asserts the
-two produce identical pattern sets throughout.
+two produce **bit-identical candidates** on every interval — full
+:class:`~repro.core.scoring.RAPCandidate` equality (combination, float
+confidence, layer, support, anomalous support), not just the same
+pattern set.  This is the equivalence gate the streaming delta path
+(`core/delta.py`) inherits: any warm path that drifts from the stateless
+ranking by even one ulp of confidence fails here first.
 """
 
 import numpy as np
 import pytest
 
 from repro.core.config import RAPMinerConfig
-from repro.core.incremental import IncrementalRAPMiner
+from repro.core.incremental import IncrementalRAPMiner, StreamingRAPMiner
 from repro.core.miner import RAPMiner
 from repro.data.cdn_simulator import CDNSimulator, CDNSimulatorConfig
 from repro.data.injection import inject_failures, sample_raps
@@ -34,32 +39,74 @@ def incident_intervals():
 CONFIG = RAPMinerConfig(enable_attribute_deletion=False)
 
 
+def stateless_candidates(interval):
+    """Reference ranking from a fresh miner on a fresh engine.
+
+    The dataset is rebuilt so the stateless run cannot silently reuse an
+    engine the warm miner installed via the per-dataset registry.
+    """
+    rebuilt = type(interval)(
+        interval.schema,
+        interval.codes.copy(),
+        interval.v,
+        interval.f,
+        interval.labels,
+    )
+    return RAPMiner(CONFIG).run(rebuilt).candidates
+
+
+def assert_bit_identical(candidates, reference):
+    """Full-field candidate equality, confidence floats included."""
+    assert len(candidates) == len(reference)
+    for got, want in zip(candidates, reference):
+        assert got.combination == want.combination
+        assert got.confidence == want.confidence  # bitwise: same float
+        assert got.layer == want.layer
+        assert got.support == want.support
+        assert got.anomalous_support == want.anomalous_support
+
+
 def test_warm_start_matches_stateless(incident_intervals):
-    raps, intervals = incident_intervals
+    __, intervals = incident_intervals
     incremental = IncrementalRAPMiner(CONFIG)
-    stateless = RAPMiner(CONFIG)
     for interval in intervals:
-        assert set(incremental.localize(interval)) == set(stateless.localize(interval))
+        assert_bit_identical(
+            incremental.run(interval).candidates, stateless_candidates(interval)
+        )
     assert incremental.stats.fast_path_hits == len(intervals) - 1
+
+
+def test_streaming_matches_stateless(incident_intervals):
+    __, intervals = incident_intervals
+    streaming = StreamingRAPMiner(CONFIG)
+    for interval in intervals:
+        assert_bit_identical(
+            streaming.run(interval).candidates, stateless_candidates(interval)
+        )
+    assert streaming.stats.ticks == len(intervals)
 
 
 def test_benchmark_stateless_incident(benchmark, incident_intervals):
     __, intervals = incident_intervals
     miner = RAPMiner(CONFIG)
+    reference = [stateless_candidates(interval) for interval in intervals]
 
     def run_all():
-        for interval in intervals:
-            miner.localize(interval)
+        return [miner.run(interval).candidates for interval in intervals]
 
-    benchmark(run_all)
+    produced = benchmark(run_all)
+    for got, want in zip(produced, reference):
+        assert_bit_identical(got, want)
 
 
 def test_benchmark_warm_start_incident(benchmark, incident_intervals):
     __, intervals = incident_intervals
+    reference = [stateless_candidates(interval) for interval in intervals]
 
     def run_all():
         miner = IncrementalRAPMiner(CONFIG)
-        for interval in intervals:
-            miner.localize(interval)
+        return [miner.run(interval).candidates for interval in intervals]
 
-    benchmark(run_all)
+    produced = benchmark(run_all)
+    for got, want in zip(produced, reference):
+        assert_bit_identical(got, want)

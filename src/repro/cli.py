@@ -15,6 +15,12 @@ Subcommands
     layer (:mod:`repro.parallel`): sharded cases, shared-memory leaf
     tables, warm per-worker engines.  Output is bit-identical to the
     serial ``localize`` path; the command reports throughput.
+``repro stream-localize``
+    Replay a saved bundle as consecutive ticks of one stream through the
+    delta-patching :class:`~repro.core.incremental.StreamingRAPMiner`:
+    per-tick latency, patched-vs-cold path and stop reasons, plus a
+    session summary.  ``--verify`` re-runs every tick statelessly and
+    asserts bit-identical candidates.
 ``repro evaluate``
     Run a method cohort over a saved bundle and print the F1 / RC@k and
     running-time tables.  ``--workers N`` shards each method's run.
@@ -30,6 +36,7 @@ Examples
     repro generate rapmd --out rapmd.npz --scale fast --seed 1
     repro localize --cases rapmd.npz --method RAPMiner --k 3
     repro batch-localize --cases rapmd.npz --workers 4 --k 3
+    repro stream-localize --cases rapmd.npz --crossover auto --verify
     repro evaluate --cases rapmd.npz --protocol rc --workers 2
     repro reproduce fig8b --scale paper
 """
@@ -241,6 +248,55 @@ def _cmd_batch_localize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream_localize(args: argparse.Namespace) -> int:
+    from .core.delta import DeltaConfig
+    from .core.incremental import StreamingRAPMiner
+    from .service.stream import replay_stream
+
+    cases = load_cases(args.cases)
+    if args.crossover == "auto":
+        crossover = "auto"
+    else:
+        try:
+            crossover = float(args.crossover)
+        except ValueError:
+            raise SystemExit(
+                f"--crossover must be 'auto' or a float, got {args.crossover!r}"
+            )
+    delta = DeltaConfig(crossover=crossover, rebase_every=args.rebase_every)
+    miner = _apply_resilience(
+        StreamingRAPMiner(delta=delta), args.deadline_ms, args.degrade
+    )
+    replay = replay_stream(cases, miner=miner, k=args.k, verify=args.verify)
+    for tick in replay.ticks:
+        label = tick.case_id or f"tick{tick.index}"
+        extras = ""
+        if tick.stop_reason not in (None, "exhausted"):
+            extras += f"  stop={tick.stop_reason}"
+        if tick.hits is not None:
+            extras += f"  hits={tick.hits}"
+        if tick.verified is not None:
+            extras += "  verified" if tick.verified else "  MISMATCH"
+        print(
+            f"{label}  {tick.seconds * 1e3:7.1f} ms  {tick.path:7s}"
+            f"  ({tick.reason or 'delta'}, changed {tick.changed_fraction:.1%})"
+            f"{extras}"
+        )
+    stats = miner.stats
+    print(
+        f"\n{len(replay.ticks)} ticks: {replay.patched_ticks} patched, "
+        f"{replay.cold_ticks} cold, {stats.rebases} re-bases "
+        f"({stats.drift_rebases} drift); amortized "
+        f"{replay.amortized_seconds * 1e3:.1f} ms/tick"
+    )
+    if args.verify:
+        if replay.mismatches:
+            print(f"verification FAILED on ticks {replay.mismatches}")
+            return 1
+        print("verification passed: candidates bit-identical to stateless runs")
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     cases = load_cases(args.cases)
     methods = _resolve_methods(args.methods)
@@ -445,6 +501,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_resilience_flags(batch)
     batch.set_defaults(handler=_cmd_batch_localize)
+
+    stream = sub.add_parser(
+        "stream-localize",
+        help="replay a bundle as one tick stream through the delta pipeline",
+    )
+    stream.add_argument("--cases", required=True, help="case bundle (.json or .npz)")
+    stream.add_argument("--k", type=int, default=None, help="top-k (default: k from truth)")
+    stream.add_argument(
+        "--crossover",
+        default="auto",
+        metavar="FRACTION",
+        help="changed-leaf fraction above which a tick aggregates cold: "
+        "'auto' (measured break-even, default) or a float in (0, 1]",
+    )
+    stream.add_argument(
+        "--rebase-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="re-base float lanes after N consecutive patched ticks",
+    )
+    stream.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-run each tick statelessly and assert bit-identical candidates",
+    )
+    _add_resilience_flags(stream)
+    stream.set_defaults(handler=_cmd_stream_localize)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a method cohort")
     evaluate.add_argument("--cases", required=True)

@@ -11,6 +11,7 @@ from .classification_power import (
     partition_attributes,
 )
 from .config import RAPMinerConfig
+from .delta import DeltaConfig, DeltaSession, DeltaStats, DeltaTick
 from .cuboid import (
     Cuboid,
     cuboid_count,
@@ -28,7 +29,7 @@ from .engine import (
     install_engine,
 )
 from .explain import Explanation, PatternEvidence, explain
-from .incremental import IncrementalRAPMiner, IncrementalStats
+from .incremental import IncrementalRAPMiner, IncrementalStats, StreamingRAPMiner
 from .lattice_viz import (
     VertexState,
     render_cuboid_hierarchy,
@@ -78,8 +79,13 @@ __all__ = [
     "Explanation",
     "PatternEvidence",
     "explain",
+    "DeltaConfig",
+    "DeltaSession",
+    "DeltaStats",
+    "DeltaTick",
     "IncrementalRAPMiner",
     "IncrementalStats",
+    "StreamingRAPMiner",
     "VertexState",
     "render_cuboid_hierarchy",
     "render_search_dag_dot",

@@ -46,9 +46,10 @@ scan per combination.  :class:`AggregationEngine` shares that work:
   cheap across the intervals of one incident.
 
 Engines are bound to one :class:`FineGrainedDataset` and shared through
-:func:`engine_for`, a weak per-dataset registry: within one collection
-interval the search, the ranking, the service pipeline and any baseline
-all hit the same cache.
+:func:`engine_for`, a per-dataset cache stored on the dataset itself:
+within one collection interval the search, the ranking, the service
+pipeline and any baseline all hit the same cache, and the cache dies
+exactly when its dataset does.
 
 When a :mod:`repro.obs` collector is installed the engine reports its
 hot-path behaviour — aggregate resolution paths, bincount passes, prefetch
@@ -60,7 +61,6 @@ pay one boolean read per site (see ``docs/observability.md``).
 from __future__ import annotations
 
 import itertools
-import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -82,11 +82,15 @@ __all__ = [
 ]
 
 
-#: Weak per-dataset registry backing :func:`engine_for` — caches die with
-#: their dataset, so per-interval tables do not accumulate engine state.
-_ENGINES: "weakref.WeakKeyDictionary[FineGrainedDataset, AggregationEngine]" = (
-    weakref.WeakKeyDictionary()
-)
+#: Attribute under which :func:`engine_for` caches the engine on its
+#: dataset.  Storing the cache on the dataset (rather than in a global
+#: ``WeakKeyDictionary`` whose values reference their keys, which makes
+#: every entry immortal) means the engine dies exactly when the dataset
+#: does — the dataset <-> engine cycle is an ordinary gc-collectable
+#: cycle, and per-interval tables do not accumulate engine state.
+#: ``FineGrainedDataset.__getstate__`` drops the attribute, so pickled
+#: datasets (e.g. process-pool case transport) never carry a cache.
+_ENGINE_ATTR = "_repro_engine"
 
 #: Upper bound on the element count of one batched pass; layers whose
 #: combined (rows x cuboids) size exceeds this are chunked.
@@ -95,16 +99,16 @@ _MAX_BATCH_ELEMENTS = 1 << 21
 
 def engine_for(dataset: FineGrainedDataset) -> "AggregationEngine":
     """The shared engine of *dataset*, created on first use."""
-    engine = _ENGINES.get(dataset)
+    engine = getattr(dataset, _ENGINE_ATTR, None)
     if engine is None:
         engine = AggregationEngine(dataset)
-        _ENGINES[dataset] = engine
+        setattr(dataset, _ENGINE_ATTR, engine)
     return engine
 
 
 def install_engine(engine: "AggregationEngine") -> "AggregationEngine":
     """Register *engine* as the shared engine of its dataset and return it."""
-    _ENGINES[engine.dataset] = engine
+    setattr(engine.dataset, _ENGINE_ATTR, engine)
     return engine
 
 

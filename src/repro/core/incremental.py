@@ -30,22 +30,33 @@ entirely.  Detecting that requires visiting the same cuboids the search
 visits, so the cheapest *exact* fast path is the search itself on warm
 caches.  The prescreen merely avoids even that when the incident visibly
 changed.
+
+:class:`StreamingRAPMiner` goes one step further down the same road: where
+the incremental miner re-aggregates each cuboid it visits from the leaves
+(cheap bincounts over warm keys), the streaming miner drives a
+:class:`~repro.core.delta.DeltaSession` that *patches* the previous tick's
+cached aggregates from the changed rows alone — the right tool when ticks
+arrive as a low-churn stream over one leaf population.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from .. import obs
 from ..data.dataset import FineGrainedDataset
 from ..obs import trace as _trace
+from ..resilience.budget import Budget
+from ..resilience.degrade import DegradationPolicy
 from .attribute import AttributeCombination
 from .config import RAPMinerConfig
+from .delta import DeltaConfig, DeltaSession, DeltaStats
 from .engine import AggregationEngine, engine_for
 from .miner import LocalizationResult, RAPMiner
 
-__all__ = ["IncrementalStats", "IncrementalRAPMiner"]
+__all__ = ["IncrementalStats", "IncrementalRAPMiner", "StreamingRAPMiner"]
 
 
 @dataclass
@@ -195,6 +206,94 @@ class IncrementalRAPMiner:
             return LocalizationResult(
                 candidates=full.candidates[:k], deletion=full.deletion, stats=full.stats
             )
+
+    def localize(
+        self, dataset: FineGrainedDataset, k: Optional[int] = None
+    ) -> List[AttributeCombination]:
+        """Uniform :class:`~repro.baselines.base.Localizer` entry point."""
+        return self.run(dataset, k).patterns
+
+
+class StreamingRAPMiner:
+    """RAPMiner over a tick stream, with delta-patched aggregation.
+
+    Each :meth:`run` call is one tick.  The session diffs the incoming
+    leaf table against the previous tick's and, below the crossover
+    threshold, patches every cached cuboid aggregate instead of
+    re-aggregating cold (see :mod:`repro.core.delta` for the exact
+    bitwise-equivalence contract).  Candidates are always identical to a
+    stateless :class:`RAPMiner` on the same tick; only the cost — and,
+    under a :class:`~repro.resilience.DegradationPolicy`, the reported
+    ``degradation_tier`` (``"delta"`` on patched ticks) — differs.
+
+    Parameters
+    ----------
+    config:
+        Underlying :class:`RAPMinerConfig`, shared with the wrapped
+        miner (deadline and degradation defaults apply per tick).
+    delta:
+        :class:`~repro.core.delta.DeltaConfig` steering the session
+        (crossover threshold, re-base cadence).
+    """
+
+    name = "StreamingRAPMiner"
+
+    def __init__(
+        self,
+        config: Optional[RAPMinerConfig] = None,
+        delta: Optional[DeltaConfig] = None,
+    ):
+        self._miner = RAPMiner(config)
+        self.session = DeltaSession(delta)
+
+    @property
+    def config(self) -> RAPMinerConfig:
+        """The wrapped miner's config (rebinding it retunes both paths)."""
+        return self._miner.config
+
+    @config.setter
+    def config(self, value: RAPMinerConfig) -> None:
+        self._miner.config = value
+
+    @property
+    def stats(self) -> DeltaStats:
+        """The session's tick mix (patched vs cold, re-bases, churn)."""
+        return self.session.stats
+
+    def reset(self) -> None:
+        """Drop cross-tick state (the next tick aggregates cold)."""
+        self.session.reset()
+
+    def run(
+        self,
+        dataset: FineGrainedDataset,
+        k: Optional[int] = None,
+        budget: Optional[Budget] = None,
+        degradation: Optional[DegradationPolicy] = None,
+    ) -> LocalizationResult:
+        """Localize one tick against the delta-patched engine."""
+        if budget is None:
+            budget = self._miner._budget_from_config()
+        policy = degradation if degradation is not None else self.config.degradation
+        with obs.span("streaming.run", k=k) as run_span:
+            started = time.perf_counter()
+            tick = self.session.begin_tick(dataset, budget=budget, policy=policy)
+            result = self._miner.run(
+                dataset,
+                k,
+                engine=tick.engine,
+                budget=budget,
+                degradation=policy,
+                _decision=tick.decision,
+            )
+            self.session.record_tick_seconds(tick, time.perf_counter() - started)
+            run_span.set(
+                path=tick.path,
+                reason=tick.reason or "none",
+                changed_rows=tick.changed_rows,
+                n_candidates=len(result.candidates),
+            )
+            return result
 
     def localize(
         self, dataset: FineGrainedDataset, k: Optional[int] = None

@@ -135,6 +135,15 @@ class FineGrainedDataset:
         self.labels = labels
         self._strides = self._compute_strides(schema.sizes)
 
+    def __getstate__(self):
+        # The aggregation engine caches itself on the dataset
+        # (repro.core.engine.engine_for); its derived state is cheap to
+        # rebuild and must not ride along in pickles (e.g. process-pool
+        # case transport).
+        state = self.__dict__.copy()
+        state.pop("_repro_engine", None)
+        return state
+
     @staticmethod
     def _compute_strides(sizes: Sequence[int]) -> np.ndarray:
         """Row-major strides so each full-code row maps to a unique linear key."""

@@ -64,6 +64,14 @@ METRIC_HELP: Dict[str, str] = {
     # -- incremental miner -------------------------------------------------
     "incremental_runs_total": "IncrementalRAPMiner.run invocations by path",
     "incremental_prescreen_total": "Prescreen outcomes on cached patterns",
+    # -- streaming delta sessions ------------------------------------------
+    "delta_ticks_total": "Delta-session ticks by path (patched vs cold) and fallback reason",
+    "delta_changed_rows_total": "Changed leaf rows consumed by the patch kernel",
+    "delta_patched_cuboids_total": "Cached cuboid aggregates patched in place",
+    "delta_patch_seconds_total": "Seconds spent diffing and patching aggregates",
+    "delta_rebase_total": "Float-lane re-bases by reason (scheduled vs drift)",
+    "delta_changed_fraction": "Changed-leaf fraction of the latest tick",
+    "delta_crossover_threshold": "Effective patched-vs-cold crossover threshold",
     # -- localization service ----------------------------------------------
     "service_intervals_total": "Collection intervals observed by the service",
     "service_incidents_total": "Intervals that raised an incident report",

@@ -8,8 +8,8 @@ detectors misbehave, or a case blows its latency budget:
   partial-but-valid result (``stop_reason="deadline"``) instead of
   hanging the loop;
 * :mod:`~repro.resilience.degrade` — the graceful-degradation ladder
-  (vectorized -> serial -> layer_capped) with the chosen tier recorded
-  on every result;
+  (delta -> full -> vectorized -> serial -> layer_capped) with the
+  chosen tier recorded on every result;
 * :mod:`~repro.resilience.breaker` — retry/backoff and three-state
   circuit breakers around pluggable pipeline stages and pool workers;
 * :mod:`~repro.resilience.chaos` — the deterministic fault-injection

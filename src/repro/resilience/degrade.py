@@ -6,8 +6,14 @@ fail — it is to spend what is left on the *coarsest* layers, where RAPs
 live by definition (the paper's Definition 1 prefers ancestors).  The
 ladder steps down along
 
-    ``vectorized -> serial -> layer_capped``
+    ``delta -> full -> vectorized -> serial -> layer_capped``
 
+* **delta** — the streaming patch path
+  (:class:`repro.core.delta.DeltaSession`): cross-tick aggregate
+  patching, the cheapest rung but one that accumulates per-stream state;
+  a draining budget steps it down to a cold-full tick so expiry never
+  lands on patch bookkeeping;
+* **full** — one stateless serial search, cold aggregation;
 * **vectorized** — the case-stacked batch kernel
   (:meth:`repro.core.miner.RAPMiner.run_batch`), cheapest per case but
   front-loads a whole layout group's aggregation;
@@ -33,7 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["DegradationDecision", "DegradationPolicy", "TIERS"]
 
 #: The ladder, fastest-degrading last.
-TIERS = ("full", "vectorized", "serial", "layer_capped")
+TIERS = ("delta", "full", "vectorized", "serial", "layer_capped")
 
 
 @dataclass(frozen=True)
@@ -119,6 +125,32 @@ class DegradationPolicy:
                 "layer_capped", max_layer=self.capped_layer, reason="budget"
             )
         return DegradationDecision(base_tier)
+
+    def decide_delta(
+        self, n_leaves: int, budget: Optional["Budget"]
+    ) -> DegradationDecision:
+        """Rung for one streaming tick: ``delta``, cold-``full`` or capped.
+
+        The delta patch path is the top rung — it is the cheapest way to
+        serve a tick, but it also *invests* time in patch bookkeeping
+        that only pays off over later ticks.  Under a draining budget
+        that investment is wrong, so the ladder steps to a cold ``full``
+        tick (spend everything on this search) and, critically low, to
+        ``layer_capped`` exactly like the serial path.
+        """
+        if n_leaves > self.leaf_limit:
+            return DegradationDecision(
+                "layer_capped", max_layer=self.capped_layer, reason="leaf_count"
+            )
+        if budget is not None:
+            fraction = budget.fraction_remaining()
+            if fraction < self.critical_fraction:
+                return DegradationDecision(
+                    "layer_capped", max_layer=self.capped_layer, reason="budget"
+                )
+            if fraction < self.budget_fraction:
+                return DegradationDecision("full", reason="budget")
+        return DegradationDecision("delta")
 
     def decide_batch(
         self, n_cases: int, n_leaves: int, budget: Optional["Budget"]

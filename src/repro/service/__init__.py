@@ -3,6 +3,7 @@
 from .alarm import Alarm, DeviationAlarm, ResidualSigmaAlarm
 from .history import RollingHistory
 from .pipeline import IncidentReport, LocalizationService, ScopeImpact
+from .stream import StreamReplay, TickRecord, replay_stream
 
 __all__ = [
     "Alarm",
@@ -12,4 +13,7 @@ __all__ = [
     "IncidentReport",
     "LocalizationService",
     "ScopeImpact",
+    "StreamReplay",
+    "TickRecord",
+    "replay_stream",
 ]

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import inspect
 import math
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -38,6 +39,7 @@ import numpy as np
 from .. import obs
 from ..core.attribute import AttributeCombination, AttributeSchema
 from ..obs import trace as _trace
+from ..core.delta import DeltaConfig, DeltaSession
 from ..core.engine import engine_for
 from ..core.miner import RAPMiner
 from ..data.dataset import FineGrainedDataset
@@ -166,6 +168,17 @@ class LocalizationService:
         Optional :class:`~repro.resilience.DegradationPolicy` forwarded
         to localizers that accept one; the chosen rung lands on
         ``IncidentReport.degradation_tier``.
+    delta / delta_config:
+        Streaming aggregation across alarmed intervals.  By default the
+        service holds a :class:`~repro.core.delta.DeltaSession`: each
+        alarmed tick's labelled table is diffed against the previous
+        one, and when the changed-leaf fraction is below the (measured)
+        crossover the cached cuboid aggregates are patched in place
+        instead of re-aggregated cold — candidates stay bit-identical
+        either way.  The session is only engaged for localizers whose
+        ``run`` accepts an ``engine`` (the default
+        :class:`~repro.core.miner.RAPMiner` does); pass ``delta=False``
+        to force cold aggregation every interval.
     retry:
         Retry/backoff policy for the forecaster and detector calls
         (default: one retry, 50 ms backoff).
@@ -193,6 +206,8 @@ class LocalizationService:
         retry: Optional[RetryPolicy] = None,
         forecast_breaker: Optional[CircuitBreaker] = None,
         detect_breaker: Optional[CircuitBreaker] = None,
+        delta: bool = True,
+        delta_config: Optional[DeltaConfig] = None,
     ):
         self.schema = schema
         self.codes = np.ascontiguousarray(codes, dtype=np.int64)
@@ -208,6 +223,8 @@ class LocalizationService:
         self.max_scopes = max_scopes
         self.deadline_ms = deadline_ms
         self.degradation = degradation
+        #: Cross-interval delta aggregation state (``None`` = always cold).
+        self.delta_session = DeltaSession(delta_config) if delta else None
         self.retry = retry if retry is not None else RetryPolicy()
         self.forecast_breaker = (
             forecast_breaker
@@ -373,6 +390,14 @@ class LocalizationService:
         miner) are invoked through it so search stats surface on the
         report; the budget/degradation kwargs are passed only when the
         signature accepts them, keeping any ``Localizer`` pluggable.
+
+        When the service holds a delta session and the localizer's
+        ``run`` accepts an ``engine``, the interval's engine comes from
+        :meth:`DeltaSession.begin_tick` — patched from the previous
+        alarmed interval when the churn is low, cold otherwise.
+        Localizers that manage their own engines (the incremental and
+        streaming miners) simply do not take the kwarg and bypass the
+        session entirely.
         """
         runner = getattr(self.localizer, "run", None)
         if callable(runner):
@@ -381,11 +406,24 @@ class LocalizationService:
                 parameters = inspect.signature(runner).parameters
             except (TypeError, ValueError):  # pragma: no cover - exotic callables
                 parameters = {}
+            tick = None
+            started = time.perf_counter()
+            if self.delta_session is not None and "engine" in parameters:
+                tick = self.delta_session.begin_tick(
+                    labelled, budget=budget, policy=self.degradation
+                )
+                kwargs["engine"] = tick.engine
+                if tick.decision is not None and "_decision" in parameters:
+                    kwargs["_decision"] = tick.decision
             if budget is not None and "budget" in parameters:
                 kwargs["budget"] = budget
             if self.degradation is not None and "degradation" in parameters:
                 kwargs["degradation"] = self.degradation
             result = runner(labelled, k=self.max_scopes, **kwargs)
+            if tick is not None:
+                self.delta_session.record_tick_seconds(
+                    tick, time.perf_counter() - started
+                )
             stats = getattr(result, "stats", None)
             return (
                 list(result.patterns),

@@ -32,7 +32,32 @@ def half_budget():
 
 class TestDecisions:
     def test_tiers_catalogued(self):
-        assert TIERS == ("full", "vectorized", "serial", "layer_capped")
+        assert TIERS == ("delta", "full", "vectorized", "serial", "layer_capped")
+
+    def test_delta_healthy_stays_on_top_rung(self):
+        decision = DegradationPolicy().decide_delta(100, fresh_budget())
+        assert decision == DegradationDecision("delta")
+        assert not decision.degraded
+
+    def test_delta_no_budget_is_delta(self):
+        assert DegradationPolicy().decide_delta(100, None).tier == "delta"
+
+    def test_delta_half_budget_steps_to_cold_full(self):
+        decision = DegradationPolicy(budget_fraction=0.5).decide_delta(
+            100, half_budget()
+        )
+        assert decision.tier == "full"
+        assert decision.reason == "budget"
+
+    def test_delta_drained_budget_caps(self):
+        decision = DegradationPolicy().decide_delta(100, drained_budget())
+        assert decision.tier == "layer_capped"
+        assert decision.reason == "budget"
+
+    def test_delta_leaf_limit_caps(self):
+        decision = DegradationPolicy(leaf_limit=10).decide_delta(11, None)
+        assert decision.tier == "layer_capped"
+        assert decision.reason == "leaf_count"
 
     def test_serial_full_speed_when_healthy(self):
         decision = DegradationPolicy().decide_serial(100, fresh_budget())

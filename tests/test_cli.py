@@ -209,6 +209,35 @@ class TestReproduce:
         assert "Squeeze" in out
 
 
+class TestStreamLocalize:
+    def test_replays_bundle_with_verification(self, bundle, capsys):
+        code = main(
+            ["stream-localize", "--cases", str(bundle), "--verify", "--k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Every case line carries a path, churn and a verification verdict.
+        assert "cold" in out
+        assert "changed" in out
+        assert "MISMATCH" not in out
+        assert "verification passed" in out
+        assert "amortized" in out
+
+    def test_pinned_crossover_and_rebase_knobs(self, bundle, capsys):
+        code = main(
+            [
+                "stream-localize", "--cases", str(bundle),
+                "--crossover", "0.5", "--rebase-every", "8",
+            ]
+        )
+        assert code == 0
+        assert "re-bases" in capsys.readouterr().out
+
+    def test_rejects_malformed_crossover(self, bundle):
+        with pytest.raises(SystemExit):
+            main(["stream-localize", "--cases", str(bundle), "--crossover", "fast"])
+
+
 class TestBatchLocalize:
     def test_reports_throughput(self, bundle, capsys):
         code = main(
