@@ -1,4 +1,4 @@
-.PHONY: install test chaos docs-check bench bench-search bench-throughput bench-stacked bench-stream trace-demo report examples paper clean
+.PHONY: install test chaos docs-check bench bench-search bench-throughput bench-stacked bench-stream obs-overhead telemetry-smoke trace-demo report examples paper clean
 
 install:
 	pip install -e .[dev]
@@ -38,6 +38,18 @@ bench-stacked:
 # with bit-identical candidates asserted on every tick.
 bench-stream:
 	pytest benchmarks/test_stream_delta.py::test_stream_delta_report -p no:cacheprovider
+
+# "Off = free" guard: per-op ceilings on the disabled obs primitives plus
+# a macro stability check of the obs-disabled hot path; writes
+# BENCH_obs.json at the repo root.
+obs-overhead:
+	pytest benchmarks/test_obs_overhead.py::test_obs_overhead_report -p no:cacheprovider
+
+# Live telemetry smoke (tier-1): starts the exposition server on an
+# ephemeral port, scrapes /metrics + /healthz + /debug/* during a short
+# replay, and validates the Prometheus text parses.
+telemetry-smoke:
+	pytest tests/obs/test_server.py -p no:cacheprovider
 
 # Small localization under --trace: asserts the JSONL trace parses and
 # carries the expected span names / engine counters (tier-1 test).

@@ -20,7 +20,13 @@ Subcommands
     delta-patching :class:`~repro.core.incremental.StreamingRAPMiner`:
     per-tick latency, patched-vs-cold path and stop reasons, plus a
     session summary.  ``--verify`` re-runs every tick statelessly and
-    asserts bit-identical candidates.
+    asserts bit-identical candidates.  ``--serve-metrics HOST:PORT``
+    serves ``/metrics``, ``/healthz``, ``/readyz``, ``/debug/spans`` and
+    ``/debug/profile`` live for the lifetime of the replay (see
+    ``docs/observability.md``).
+``repro profile``
+    Span-family self-time profile (self vs child time, top-N table) of a
+    JSONL trace captured with ``--trace``.
 ``repro evaluate``
     Run a method cohort over a saved bundle and print the F1 / RC@k and
     running-time tables.  ``--workers N`` shards each method's run.
@@ -37,6 +43,8 @@ Examples
     repro localize --cases rapmd.npz --method RAPMiner --k 3
     repro batch-localize --cases rapmd.npz --workers 4 --k 3
     repro stream-localize --cases rapmd.npz --crossover auto --verify
+    repro stream-localize --cases rapmd.npz --serve-metrics 127.0.0.1:9464
+    repro profile --trace run.jsonl --top 10
     repro evaluate --cases rapmd.npz --protocol rc --workers 2
     repro reproduce fig8b --scale paper
 """
@@ -248,6 +256,21 @@ def _cmd_batch_localize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_serve_address(value: str):
+    """``HOST:PORT`` (or bare ``PORT``) for ``--serve-metrics``."""
+    host, sep, port_text = value.rpartition(":")
+    if not sep:
+        host, port_text = "127.0.0.1", value
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(
+            f"--serve-metrics expects HOST:PORT or PORT, got {value!r}"
+        )
+    return host, port
+
+
 def _cmd_stream_localize(args: argparse.Namespace) -> int:
     from .core.delta import DeltaConfig
     from .core.incremental import StreamingRAPMiner
@@ -267,7 +290,25 @@ def _cmd_stream_localize(args: argparse.Namespace) -> int:
     miner = _apply_resilience(
         StreamingRAPMiner(delta=delta), args.deadline_ms, args.degrade
     )
-    replay = replay_stream(cases, miner=miner, k=args.k, verify=args.verify)
+    if args.serve_metrics:
+        from . import obs
+        from .obs.server import TelemetryServer
+        from .obs.slo import SLOTracker
+
+        host, port = _parse_serve_address(args.serve_metrics)
+        tracker = SLOTracker()
+        with obs.capture():
+            with TelemetryServer(host=host, port=port) as server:
+                print(
+                    f"telemetry: serving {server.url}/metrics "
+                    f"(/healthz /readyz /debug/spans /debug/profile) "
+                    f"for the lifetime of the replay"
+                )
+                replay = replay_stream(
+                    cases, miner=miner, k=args.k, verify=args.verify, slo=tracker
+                )
+    else:
+        replay = replay_stream(cases, miner=miner, k=args.k, verify=args.verify)
     for tick in replay.ticks:
         label = tick.case_id or f"tick{tick.index}"
         extras = ""
@@ -294,6 +335,19 @@ def _cmd_stream_localize(args: argparse.Namespace) -> int:
             print(f"verification FAILED on ticks {replay.mismatches}")
             return 1
         print("verification passed: candidates bit-identical to stateless runs")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs.export import read_jsonl
+    from .obs.profile import profile_records, render_profile
+
+    records = read_jsonl(args.trace)
+    profiles = profile_records(records)
+    if not profiles:
+        print(f"{args.trace}: no span records to profile")
+        return 1
+    print(render_profile(profiles, top=args.top))
     return 0
 
 
@@ -527,8 +581,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-run each tick statelessly and assert bit-identical candidates",
     )
+    stream.add_argument(
+        "--serve-metrics",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve /metrics, /healthz, /readyz, /debug/spans and "
+        "/debug/profile live for the lifetime of the replay "
+        "(PORT alone binds 127.0.0.1; port 0 picks an ephemeral port)",
+    )
     _add_resilience_flags(stream)
     stream.set_defaults(handler=_cmd_stream_localize)
+
+    profile = sub.add_parser(
+        "profile",
+        help="span-family self-time profile of a --trace JSONL capture",
+    )
+    profile.add_argument("--trace", required=True, help="JSONL trace written by --trace")
+    profile.add_argument(
+        "--top", type=int, default=15, help="span families to show (by self time)"
+    )
+    profile.set_defaults(handler=_cmd_profile)
 
     evaluate = sub.add_parser("evaluate", help="evaluate a method cohort")
     evaluate.add_argument("--cases", required=True)

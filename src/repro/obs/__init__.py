@@ -4,8 +4,12 @@
 spans (:mod:`~repro.obs.trace`), a counter/gauge/histogram registry
 (:mod:`~repro.obs.metrics`), Prometheus-text and JSONL exposition
 (:mod:`~repro.obs.export`) and human-readable run summaries / incident
-audit trails (:mod:`~repro.obs.report` — import it explicitly, it is kept
-out of the eager surface).
+audit trails (:mod:`~repro.obs.report`), a live HTTP telemetry plane
+(:mod:`~repro.obs.server`), declarative SLO burn-rate tracking
+(:mod:`~repro.obs.slo`) and a span-family self-time profiler
+(:mod:`~repro.obs.profile`).  ``report``, ``server``, ``slo`` and
+``profile`` are imported explicitly — they are kept off the eager
+surface so the hot path never pays for ``http.server``.
 
 The contract with instrumented code: **off means free**.  With no
 collector installed, :func:`~repro.obs.trace.span` yields a shared no-op
@@ -35,6 +39,7 @@ from .trace import (
     Collector,
     NullSpan,
     Span,
+    SpanRing,
     active_collector,
     capture,
     current_span,
@@ -49,6 +54,7 @@ __all__ = [
     "Span",
     "NullSpan",
     "NULL_SPAN",
+    "SpanRing",
     "Collector",
     "MetricRegistry",
     "Counter",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import math
+import warnings
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 from .metrics import Counter, Gauge, Histogram, MetricRegistry
@@ -179,11 +180,32 @@ def write_jsonl(collector: "Collector", path: str) -> None:
 
 
 def read_jsonl(path: str) -> List[Dict[str, object]]:
-    """Parse a trace file back into records (inverse of :func:`write_jsonl`)."""
+    """Parse a trace file back into records (inverse of :func:`write_jsonl`).
+
+    A process that crashes mid-write leaves a truncated final line; that
+    is recoverable history, not corruption, so the parsed prefix is
+    returned and the dropped tail is surfaced as a :class:`RuntimeWarning`
+    (with the line number and how many records survived) instead of a
+    :class:`json.JSONDecodeError`.  A malformed line *followed by more
+    lines* is genuine corruption and still raises.
+    """
     records: List[Dict[str, object]] = []
     with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+        lines = handle.read().splitlines()
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            records.append(json.loads(stripped))
+        except json.JSONDecodeError:
+            if any(rest.strip() for rest in lines[index + 1 :]):
+                raise  # mid-file garbage, not a truncated tail
+            warnings.warn(
+                f"{path}: dropped truncated final line {index + 1} "
+                f"(kept {len(records)} parsed records)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            break
     return records

@@ -80,12 +80,23 @@ METRIC_HELP: Dict[str, str] = {
     "parallel_cases_total": "Cases executed through the batch layer by transport",
     "parallel_warm_engines_total": "Worker-side engine adoptions by outcome",
     "parallel_merge_snapshots_total": "Worker metric snapshots merged into the parent",
+    "parallel_merge_conflicts_total": "Snapshot entries resolved first-writer-wins on a family conflict",
+    # -- SLO tracking ------------------------------------------------------
+    "slo_objective_target": "Configured good-tick target fraction of the objective",
+    "slo_ticks_total": "Ticks classified against an SLO objective by outcome",
+    "slo_good_fraction": "Good-tick fraction of the objective's sliding window",
+    "slo_burn_rate": "Error-budget burn rate of the objective's sliding window",
+    "slo_error_budget_remaining": "Unspent error-budget fraction of the window (negative = overspent)",
+    # -- telemetry plane ---------------------------------------------------
+    "telemetry_requests_total": "Telemetry-plane HTTP requests by route and status",
     # -- resilience --------------------------------------------------------
     "resilience_deadline_exceeded_total": "Searches ended by deadline-budget expiry by path",
     "resilience_degrade_total": "Degradation-ladder decisions by tier and reason",
     "resilience_retry_total": "Retried stage calls after a transient failure",
     "resilience_stage_failures_total": "Stage calls that exhausted retries (or hit an open breaker)",
     "resilience_breaker_transitions_total": "Circuit-breaker state transitions by breaker and state",
+    "resilience_breaker_state": "Circuit-breaker state as a gauge (0 closed, 1 half-open, 2 open)",
+    "resilience_degradation_tier": "Latest degradation-ladder rung as a gauge (index into TIERS)",
     "resilience_fallback_total": "Pipeline stages served by their degraded fallback",
     "resilience_malformed_inputs_total": "Sanitized inputs by kind (nan lanes, wrong length, bad forecast)",
     "resilience_stop_reason_total": "Incident reports by search stop reason and degradation tier",
@@ -232,6 +243,7 @@ class MetricRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[_Key, _Metric] = {}
         self._kinds: Dict[str, str] = {}
+        self._family_help: Dict[str, str] = {}
         self._lock = threading.Lock()
 
     def _get_or_create(self, factory, kind: str, name: str, labels, help_text):
@@ -245,9 +257,16 @@ class MetricRegistry:
                         f"metric {name!r} already registered as a {known}, "
                         f"cannot re-register as a {kind}"
                     )
-                metric = factory(
-                    name, labels, help_text if help_text is not None else METRIC_HELP.get(name, "")
-                )
+                # Help is a family property: the first registration wins, so
+                # one family never renders two different # HELP lines.
+                if name in self._family_help:
+                    resolved_help = self._family_help[name]
+                else:
+                    resolved_help = (
+                        help_text if help_text is not None else METRIC_HELP.get(name, "")
+                    )
+                    self._family_help[name] = resolved_help
+                metric = factory(name, labels, resolved_help)
                 self._metrics[key] = metric
                 self._kinds[name] = kind
             return metric
@@ -350,12 +369,39 @@ class MetricRegistry:
         single-process semantics.  Series that do not exist here yet are
         created with the snapshot's help text.  A histogram series can
         only merge into one with identical bucket bounds.
+
+        Family conflicts resolve **first-writer-wins** and are counted
+        under ``parallel_merge_conflicts_total{reason=...}`` rather than
+        raised — a worker fleet with one misregistered family must not
+        take down the parent's whole merge:
+
+        * ``reason="kind"`` — the snapshot's kind differs from the family
+          already registered here; the entry is dropped.
+        * ``reason="help"`` — the snapshot's help text differs; the
+          entry's values merge under the already-registered help.
         """
         for entry in snapshot:
             kind = entry["kind"]
             name = entry["name"]
             labels = entry.get("labels") or None
             help_text = entry.get("help")
+            with self._lock:
+                known_kind = self._kinds.get(name)
+                known_help = self._family_help.get(name)
+            if known_kind is not None and known_kind != kind:
+                self.counter(
+                    "parallel_merge_conflicts_total", {"reason": "kind"}
+                ).inc()
+                continue
+            if (
+                known_help is not None
+                and help_text is not None
+                and help_text != known_help
+            ):
+                self.counter(
+                    "parallel_merge_conflicts_total", {"reason": "help"}
+                ).inc()
+                help_text = known_help
             if kind == "counter":
                 self.counter(name, labels, help_text).inc(entry["value"])
             elif kind == "gauge":

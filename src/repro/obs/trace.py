@@ -42,6 +42,7 @@ __all__ = [
     "NullSpan",
     "NULL_SPAN",
     "NULL_SPAN_CONTEXT",
+    "SpanRing",
     "Collector",
     "ACTIVE",
     "is_active",
@@ -127,12 +128,60 @@ class _NullSpanContext:
 NULL_SPAN_CONTEXT = _NullSpanContext()
 
 
+class SpanRing:
+    """Bounded ring of the most recently finished spans.
+
+    The live-telemetry plane (``repro.obs.server``) serves ``/debug/spans``
+    and ``/debug/profile`` from this buffer, so a long-running capture stays
+    inspectable without the reader holding up writers or the buffer growing
+    with the run: once *capacity* spans are held, every append evicts the
+    oldest.  Memory is therefore O(capacity) regardless of run length.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._slots: List[Optional[Span]] = [None] * capacity
+        self._next = 0
+        self._total = 0
+        self._lock = threading.Lock()
+
+    def append(self, span: Span) -> None:
+        with self._lock:
+            self._slots[self._next] = span
+            self._next = (self._next + 1) % self.capacity
+            self._total += 1
+
+    def __len__(self) -> int:
+        return min(self._total, self.capacity)
+
+    @property
+    def total_appended(self) -> int:
+        """Spans ever appended (``total_appended - len`` were evicted)."""
+        return self._total
+
+    def snapshot(self, limit: Optional[int] = None) -> List[Span]:
+        """Retained spans, oldest first (at most *limit* newest when given)."""
+        with self._lock:
+            if self._total < self.capacity:
+                held = [s for s in self._slots[: self._next]]
+            else:
+                held = self._slots[self._next :] + self._slots[: self._next]
+        spans = [s for s in held if s is not None]
+        if limit is not None and limit >= 0:
+            spans = spans[len(spans) - min(limit, len(spans)) :]
+        return spans
+
+
 class Collector:
     """Sink for one observed run: finished spans plus a metric registry."""
 
-    def __init__(self) -> None:
+    def __init__(self, ring_capacity: int = 256) -> None:
         self.spans: List[Span] = []
         self.metrics = MetricRegistry()
+        #: Bounded buffer of the newest finished spans, for live inspection.
+        self.recent = SpanRing(ring_capacity)
         self._next_id = 1
         self._lock = threading.Lock()
 
@@ -156,8 +205,14 @@ class Collector:
         finished.duration_s = time.perf_counter() - finished.start
         with self._lock:
             self.spans.append(finished)
+        self.recent.append(finished)
 
     # -- queries -----------------------------------------------------------
+
+    def snapshot_spans(self) -> List[Span]:
+        """Copy of the finished-span list, safe against concurrent appends."""
+        with self._lock:
+            return list(self.spans)
 
     def find_spans(self, name: str) -> List[Span]:
         """Finished spans with the given name, in completion order."""

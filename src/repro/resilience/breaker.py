@@ -30,7 +30,17 @@ from typing import Callable, Optional, Tuple
 
 from .. import obs
 
-__all__ = ["CircuitOpenError", "RetryPolicy", "CircuitBreaker", "guarded_call"]
+__all__ = [
+    "CircuitOpenError",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "guarded_call",
+    "BREAKER_STATE_VALUES",
+]
+
+#: Numeric encoding of breaker states for the ``resilience_breaker_state``
+#: gauge (scrapeable ordering: higher = less available).
+BREAKER_STATE_VALUES = {"closed": 0, "half_open": 1, "open": 2}
 
 
 class CircuitOpenError(RuntimeError):
@@ -101,6 +111,20 @@ class CircuitBreaker:
             obs.inc(
                 "resilience_breaker_transitions_total", breaker=self.name, state=state
             )
+            self.export_state_gauge()
+
+    def export_state_gauge(self) -> None:
+        """Publish the current state as ``resilience_breaker_state``.
+
+        Called on every transition, and by serving loops once per tick so
+        a scrape started mid-run still sees every breaker (a gauge only
+        written on transitions would be invisible until the first trip).
+        """
+        obs.set_gauge(
+            "resilience_breaker_state",
+            BREAKER_STATE_VALUES.get(self.state, -1),
+            breaker=self.name,
+        )
 
     def allow(self) -> bool:
         """Whether a call may proceed right now (may half-open the breaker)."""

@@ -47,7 +47,7 @@ from ..detection.detectors import Detector, DeviationThresholdDetector
 from ..detection.forecasting import Forecaster, SeasonalNaiveForecaster
 from ..resilience.breaker import CircuitBreaker, RetryPolicy, guarded_call
 from ..resilience.budget import Budget
-from ..resilience.degrade import DegradationPolicy
+from ..resilience.degrade import TIERS, DegradationPolicy
 from .alarm import Alarm, DeviationAlarm
 from .history import RollingHistory
 
@@ -182,6 +182,12 @@ class LocalizationService:
     retry:
         Retry/backoff policy for the forecaster and detector calls
         (default: one retry, 50 ms backoff).
+    slo:
+        Optional :class:`~repro.obs.slo.SLOTracker` fed one
+        :class:`~repro.obs.slo.TickOutcome` per observed interval
+        (latency, degraded stages, partial reports, degradation tier),
+        exporting the ``slo_*`` burn-rate gauges into the active
+        registry.  ``None`` (default) costs nothing.
     forecast_breaker / detect_breaker:
         Circuit breakers guarding the pluggable stages.  When a stage
         exhausts its retries (or its breaker is open) the service falls
@@ -208,6 +214,7 @@ class LocalizationService:
         detect_breaker: Optional[CircuitBreaker] = None,
         delta: bool = True,
         delta_config: Optional[DeltaConfig] = None,
+        slo=None,
     ):
         self.schema = schema
         self.codes = np.ascontiguousarray(codes, dtype=np.int64)
@@ -237,6 +244,8 @@ class LocalizationService:
         #: Deterministic stand-in detector used when the pluggable one is
         #: down; deviation-threshold is the paper's implied default.
         self.fallback_detector = DeviationThresholdDetector()
+        #: Optional SLO tracker fed once per observed interval.
+        self.slo = slo
         self.history = RollingHistory(self.codes.shape[0], history_capacity)
         self._step = 0
         #: Count of observed steps that raised an incident.
@@ -266,6 +275,7 @@ class LocalizationService:
         both counted under ``resilience_malformed_inputs_total``.  Clean
         inputs pass through untouched, bit for bit.
         """
+        started = time.perf_counter()
         budget = Budget.from_ms(self.deadline_ms)
         values = self._coerce_length(np.asarray(values, dtype=float).ravel())
         step = self._step
@@ -293,9 +303,84 @@ class LocalizationService:
                 obs.inc("service_intervals_total")
                 if report is not None:
                     obs.inc("service_incidents_total")
+                self.export_state_gauges(report)
         self.history.append(values)
         self._step += 1
+        if self.slo is not None:
+            from ..obs.slo import TickOutcome
+
+            self.slo.record(
+                TickOutcome(
+                    seconds=time.perf_counter() - started,
+                    error=report is not None and report.stop_reason == "localizer_error",
+                    degraded=bool(degraded_stages)
+                    or (report is not None and report.partial),
+                    tier=report.degradation_tier if report is not None else None,
+                )
+            )
         return report
+
+    # -- live-telemetry surface ------------------------------------------------
+
+    def export_state_gauges(self, report: Optional[IncidentReport] = None) -> None:
+        """Publish breaker and degradation state as gauges for live scrapes.
+
+        Called once per observed interval when a collector is installed;
+        a scrape therefore always sees the *current* breaker states, not
+        just whichever transitions happened to fire since capture start.
+        ``resilience_degradation_tier`` encodes the latest report's rung
+        as its index into :data:`~repro.resilience.degrade.TIERS`
+        (``-1`` = no degradation policy consulted).
+        """
+        self.forecast_breaker.export_state_gauge()
+        self.detect_breaker.export_state_gauge()
+        if report is not None:
+            tier = report.degradation_tier
+            obs.set_gauge(
+                "resilience_degradation_tier",
+                TIERS.index(tier) if tier in TIERS else -1,
+            )
+
+    def readiness(self) -> dict:
+        """The ``/readyz`` probe body for a telemetry server.
+
+        Ready means the service can judge the next interval at full
+        fidelity: enough history for the forecaster, and neither pluggable
+        stage's circuit breaker open.
+        """
+        breakers = {
+            self.forecast_breaker.name: self.forecast_breaker.state,
+            self.detect_breaker.name: self.detect_breaker.state,
+        }
+        warmed = len(self.history) >= self.min_history
+        open_breakers = sorted(n for n, s in breakers.items() if s == "open")
+        ready = warmed and not open_breakers
+        reason = None
+        if not warmed:
+            reason = f"history {len(self.history)}/{self.min_history}"
+        elif open_breakers:
+            reason = f"open breakers: {', '.join(open_breakers)}"
+        return {
+            "ready": ready,
+            "reason": reason,
+            "step": self._step,
+            "breakers": breakers,
+            "incidents_raised": self.incidents_raised,
+        }
+
+    def telemetry_server(self, host: str = "127.0.0.1", port: int = 0):
+        """A :class:`~repro.obs.server.TelemetryServer` wired to this service.
+
+        The server's ``/readyz`` reflects :meth:`readiness` (history
+        warm-up and breaker state); start/stop it around the serving loop::
+
+            with service.telemetry_server(port=9464) as server:
+                for values in feed:
+                    service.observe(values)
+        """
+        from ..obs.server import TelemetryServer
+
+        return TelemetryServer(host=host, port=port, readiness=self.readiness)
 
     # -- input hygiene ---------------------------------------------------------
 

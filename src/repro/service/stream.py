@@ -86,6 +86,7 @@ def replay_stream(
     miner: Optional[StreamingRAPMiner] = None,
     k: Optional[int] = None,
     verify: bool = False,
+    slo=None,
 ) -> StreamReplay:
     """Run *ticks* in order through one streaming miner.
 
@@ -107,6 +108,12 @@ def replay_stream(
         Re-run every tick through a stateless :class:`RAPMiner` on a
         fresh engine and record whether the candidates are identical —
         full field equality, float confidences included.
+    slo:
+        Optional :class:`~repro.obs.slo.SLOTracker` fed one
+        :class:`~repro.obs.slo.TickOutcome` per replayed tick (latency,
+        patched/cold path, deadline stops, verify mismatches), exporting
+        the ``slo_*`` burn-rate gauges into the active registry so a
+        live scrape judges the replay against its objectives.
     """
     miner = miner if miner is not None else StreamingRAPMiner()
     reference = RAPMiner(miner.config) if verify else None
@@ -129,18 +136,29 @@ def replay_stream(
             verified = result.candidates == _stateless_candidates(
                 reference, dataset, tick_k
             )
-        replay.ticks.append(
-            TickRecord(
-                index=index,
-                case_id=case.case_id if case is not None else None,
-                path=stats.last_path or "cold",
-                reason=stats.last_reason,
-                changed_fraction=stats.last_changed_fraction or 1.0,
-                seconds=seconds,
-                stop_reason=result.stats.stop_reason,
-                patterns=result.patterns,
-                hits=hits,
-                verified=verified,
-            )
+        record = TickRecord(
+            index=index,
+            case_id=case.case_id if case is not None else None,
+            path=stats.last_path or "cold",
+            reason=stats.last_reason,
+            changed_fraction=stats.last_changed_fraction or 1.0,
+            seconds=seconds,
+            stop_reason=result.stats.stop_reason,
+            patterns=result.patterns,
+            hits=hits,
+            verified=verified,
         )
+        replay.ticks.append(record)
+        if slo is not None:
+            from ..obs.slo import TickOutcome
+
+            slo.record(
+                TickOutcome(
+                    seconds=seconds,
+                    error=verified is False,
+                    degraded=record.stop_reason == "deadline",
+                    tier=getattr(result.stats, "degradation_tier", None),
+                    path=record.path,
+                )
+            )
     return replay

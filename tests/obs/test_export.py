@@ -15,6 +15,19 @@ from repro.obs.export import (
 from repro.obs.metrics import MetricRegistry
 
 
+def unescape_label_value(value: str) -> str:
+    """Inverse of ``escape_label_value``, as a Prometheus parser applies it."""
+    out, i = [], 0
+    while i < len(value):
+        if value[i] == "\\" and i + 1 < len(value):
+            out.append({"n": "\n", '"': '"', "\\": "\\"}[value[i + 1]])
+            i += 2
+        else:
+            out.append(value[i])
+            i += 1
+    return "".join(out)
+
+
 class TestEscaping:
     def test_label_value_escapes_backslash_quote_newline(self):
         assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
@@ -28,6 +41,37 @@ class TestEscaping:
         text = prometheus_text(registry)
         assert 'key="value with \\"quotes\\"\\nand newline"' in text
         assert "\nand newline" not in text.split("# TYPE")[1].splitlines()[1]
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            'value with "quotes"',
+            "trailing backslash\\",
+            "\\n literal, then\nreal newline",
+            '\\"already escaped-looking\\"',
+            "\\\\double\\\\",
+            "",
+        ],
+    )
+    def test_escape_unescape_round_trip(self, raw):
+        assert unescape_label_value(escape_label_value(raw)) == raw
+
+    def test_adversarial_label_stays_on_one_sample_line(self):
+        # A newline that escaped escaping would split the sample in two
+        # and corrupt every series below it — the classic exposition bug.
+        registry = MetricRegistry()
+        registry.counter("odd_total", {"key": 'a\n# TYPE fake counter\nb"'}).inc()
+        sample_lines = [
+            line
+            for line in prometheus_text(registry).splitlines()
+            if not line.startswith("#")
+        ]
+        assert len(sample_lines) == 1
+        name, quoted = sample_lines[0].split("{key=", 1)
+        assert name == "odd_total"
+        assert unescape_label_value(quoted[1 : quoted.rindex('"')]) == (
+            'a\n# TYPE fake counter\nb"'
+        )
 
 
 class TestPrometheusText:
@@ -66,6 +110,28 @@ class TestPrometheusText:
         with obs.capture():
             obs.inc("miner_runs_total")
             assert "miner_runs_total 1" in prometheus_text()
+
+    def test_non_finite_gauges_render_prometheus_spellings(self):
+        # json.dumps would emit Infinity/NaN (invalid); the text format
+        # has its own spellings and a scraper rejects anything else.
+        registry = MetricRegistry()
+        registry.gauge("hot", {"sign": "pos"}).set(math.inf)
+        registry.gauge("hot", {"sign": "neg"}).set(-math.inf)
+        registry.gauge("hot", {"sign": "nan"}).set(math.nan)
+        text = prometheus_text(registry)
+        assert 'hot{sign="pos"} +Inf' in text
+        assert 'hot{sign="neg"} -Inf' in text
+        assert 'hot{sign="nan"} NaN' in text
+        assert "Infinity" not in text
+        assert "inf" not in text.replace("+Inf", "").replace("-Inf", "")
+
+    def test_non_finite_histogram_sum_renders(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("weird", buckets=(1.0,))
+        histogram.observe(math.inf)
+        text = prometheus_text(registry)
+        assert "weird_sum +Inf" in text
+        assert 'weird_bucket{le="+Inf"} 1' in text
 
     def test_every_catalogued_metric_renders(self):
         # The acceptance bar: after an instrumented run, prometheus_text()
@@ -116,3 +182,58 @@ class TestJsonl:
         span = json.loads(lines[1])
         assert span["attributes"]["infinite"] == "inf"
         assert isinstance(span["attributes"]["obj"], str)
+
+
+class TestReadJsonlTruncation:
+    """A crash mid-write leaves a half line: recoverable, not corrupt."""
+
+    def write_trace(self, tmp_path):
+        with obs.capture() as collector:
+            with obs.span("outer"):
+                pass
+            obs.inc("miner_runs_total")
+        path = tmp_path / "trace.jsonl"
+        obs.write_jsonl(collector, str(path))
+        return path
+
+    def test_truncated_final_line_warns_and_keeps_prefix(self, tmp_path):
+        path = self.write_trace(tmp_path)
+        full = read_jsonl(str(path))
+        text = path.read_text()
+        path.write_text(text[: len(text) - len('runs_total", "labels')])
+        with pytest.warns(RuntimeWarning, match="truncated final line"):
+            truncated = read_jsonl(str(path))
+        assert truncated == full[:-1]  # everything but the cut record
+
+    def test_warning_reports_line_number_and_kept_count(self, tmp_path):
+        path = self.write_trace(tmp_path)
+        n_lines = len(path.read_text().splitlines())
+        path.write_text(path.read_text()[:-3])
+        with pytest.warns(RuntimeWarning, match=rf"line {n_lines} .kept {n_lines - 1}"):
+            read_jsonl(str(path))
+
+    def test_truncated_line_with_trailing_blanks_still_recovers(self, tmp_path):
+        path = self.write_trace(tmp_path)
+        path.write_text(path.read_text()[:-3] + "\n\n  \n")
+        with pytest.warns(RuntimeWarning, match="truncated final line"):
+            records = read_jsonl(str(path))
+        assert len(records) >= 1
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        import json
+
+        path = self.write_trace(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:-5]  # damage a line that is *not* the tail
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(str(path))
+
+    def test_clean_file_emits_no_warning(self, tmp_path):
+        import warnings
+
+        path = self.write_trace(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            records = read_jsonl(str(path))
+        assert records[0]["type"] == "meta"

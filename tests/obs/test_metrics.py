@@ -174,3 +174,81 @@ class TestSnapshotMerge:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError):
             MetricRegistry().merge([{"kind": "summary", "name": "x", "value": 1.0}])
+
+
+class TestMergeConflicts:
+    """Family conflicts resolve first-writer-wins, counted — never raised."""
+
+    def test_kind_conflict_drops_entry_and_counts(self):
+        parent = MetricRegistry()
+        parent.counter("thing_total").inc(3)
+        worker = MetricRegistry()
+        worker.gauge("thing_total").set(9)  # misregistered in the worker
+        parent.merge(worker.snapshot())
+        # First writer (the counter) wins; the gauge entry is dropped whole.
+        assert parent.value("thing_total") == 3.0
+        assert parent._kinds["thing_total"] == "counter"
+        assert (
+            parent.value("parallel_merge_conflicts_total", {"reason": "kind"}) == 1.0
+        )
+
+    def test_help_conflict_merges_values_under_first_help(self):
+        parent = MetricRegistry()
+        parent.counter("thing_total", help_text="the real help").inc(1)
+        worker = MetricRegistry()
+        worker.counter(
+            "thing_total", {"path": "warm"}, help_text="a drifted help"
+        ).inc(5)
+        parent.merge(worker.snapshot())
+        # Values survive the conflict; help stays the first writer's.
+        assert parent.value("thing_total", {"path": "warm"}) == 5.0
+        assert parent.get("thing_total", {"path": "warm"}).help == "the real help"
+        assert (
+            parent.value("parallel_merge_conflicts_total", {"reason": "help"}) == 1.0
+        )
+
+    def test_conflicting_family_renders_one_help_line(self):
+        from repro.obs.export import prometheus_text
+
+        parent = MetricRegistry()
+        parent.counter("thing_total", help_text="the real help").inc()
+        worker = MetricRegistry()
+        worker.counter("thing_total", {"path": "x"}, help_text="drifted").inc()
+        parent.merge(worker.snapshot())
+        text = prometheus_text(parent)
+        assert text.count("# HELP thing_total") == 1
+        assert "# HELP thing_total the real help" in text
+        assert "drifted" not in text
+
+    def test_matching_families_merge_without_conflict_counts(self):
+        parent = MetricRegistry()
+        parent.counter("engine_aggregate_total").inc()
+        parent.merge(parent.snapshot())
+        assert parent.get("parallel_merge_conflicts_total", {"reason": "kind"}) is None
+        assert parent.get("parallel_merge_conflicts_total", {"reason": "help"}) is None
+
+    def test_conflicts_accumulate_across_merges(self):
+        parent = MetricRegistry()
+        parent.counter("thing_total").inc()
+        worker = MetricRegistry()
+        worker.gauge("thing_total").set(1)
+        snapshot = worker.snapshot()
+        parent.merge(snapshot)
+        parent.merge(snapshot)
+        assert (
+            parent.value("parallel_merge_conflicts_total", {"reason": "kind"}) == 2.0
+        )
+
+
+class TestFamilyHelp:
+    def test_first_registration_pins_family_help(self):
+        registry = MetricRegistry()
+        registry.counter("thing_total", {"a": "1"}, help_text="first")
+        second = registry.counter("thing_total", {"a": "2"}, help_text="second")
+        assert second.help == "first"
+
+    def test_catalogue_fills_family_help_for_later_series(self):
+        registry = MetricRegistry()
+        registry.counter("engine_aggregate_total", {"path": "rollup"})
+        later = registry.counter("engine_aggregate_total", {"path": "cache_hit"})
+        assert later.help == METRIC_HELP["engine_aggregate_total"]

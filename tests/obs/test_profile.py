@@ -1,0 +1,140 @@
+"""Span-family profiler: self-time accounting and the rendered table."""
+
+import pytest
+
+from repro import obs
+from repro.obs.profile import (
+    FamilyProfile,
+    profile_collector,
+    profile_records,
+    profile_spans,
+    render_profile,
+)
+from repro.obs.trace import Span
+
+
+def make_span(name, span_id, parent_id, duration):
+    return Span(
+        name=name,
+        span_id=span_id,
+        parent_id=parent_id,
+        start_unix=0.0,
+        start=0.0,
+        duration_s=duration,
+    )
+
+
+class TestProfileSpans:
+    def test_self_time_subtracts_direct_children(self):
+        spans = [
+            make_span("outer", 1, None, 1.0),
+            make_span("mid", 2, 1, 0.6),
+            make_span("leaf", 3, 2, 0.25),
+            make_span("leaf", 4, 2, 0.25),
+        ]
+        by_name = {p.name: p for p in profile_spans(spans)}
+        assert by_name["outer"].self_s == pytest.approx(0.4)  # 1.0 - 0.6
+        assert by_name["mid"].self_s == pytest.approx(0.1)  # 0.6 - 0.5
+        assert by_name["leaf"].self_s == pytest.approx(0.5)
+        assert by_name["leaf"].count == 2
+        assert by_name["leaf"].child_s == 0.0
+        assert by_name["leaf"].self_fraction == 1.0
+
+    def test_only_direct_children_subtract(self):
+        # The grandchild reduces mid's self time, not outer's.
+        spans = [
+            make_span("outer", 1, None, 1.0),
+            make_span("mid", 2, 1, 0.9),
+            make_span("leaf", 3, 2, 0.8),
+        ]
+        by_name = {p.name: p for p in profile_spans(spans)}
+        assert abs(by_name["outer"].self_s - 0.1) < 1e-12
+
+    def test_threaded_children_clamp_self_at_zero(self):
+        # Fan-out: children overlap, summed child time exceeds the parent.
+        spans = [
+            make_span("pool", 1, None, 1.0),
+            make_span("shard", 2, 1, 0.9),
+            make_span("shard", 3, 1, 0.9),
+        ]
+        by_name = {p.name: p for p in profile_spans(spans)}
+        assert by_name["pool"].self_s == 0.0  # clamped, not -0.8
+        assert by_name["pool"].child_s == 1.8
+
+    def test_sorted_by_self_time_descending(self):
+        spans = [
+            make_span("small", 1, None, 0.1),
+            make_span("big", 2, None, 0.9),
+            make_span("tie_a", 3, None, 0.5),
+            make_span("tie_b", 4, None, 0.5),
+        ]
+        names = [p.name for p in profile_spans(spans)]
+        assert names == ["big", "tie_a", "tie_b", "small"]  # ties by name
+
+    def test_accepts_jsonl_record_dicts(self):
+        records = [
+            {"type": "span", "name": "a", "span_id": 1, "parent_id": None, "duration_s": 1.0},
+            {"type": "span", "name": "b", "span_id": 2, "parent_id": 1, "duration_s": 0.4},
+            {"type": "counter", "name": "noise_total", "value": 3},
+            {"type": "meta", "version": 1},
+        ]
+        profiles = profile_records(records)
+        assert [p.name for p in profiles] == ["a", "b"]
+        assert profiles[0].self_s == 0.6
+
+    def test_empty_input(self):
+        assert profile_spans([]) == []
+        assert render_profile([]) == "(no spans to profile)"
+
+    def test_mean_self_and_dict_shape(self):
+        profile = FamilyProfile("f", count=4, total_s=2.0, self_s=1.0, child_s=1.0)
+        assert profile.mean_self_s == 0.25
+        assert profile.self_fraction == 0.5
+        as_dict = profile.as_dict()
+        assert as_dict["name"] == "f"
+        assert as_dict["mean_self_s"] == 0.25
+
+    def test_profile_collector_matches_capture(self):
+        with obs.capture() as collector:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        profiles = profile_collector(collector)
+        assert {p.name for p in profiles} == {"outer", "inner"}
+        outer = next(p for p in profiles if p.name == "outer")
+        inner = next(p for p in profiles if p.name == "inner")
+        assert outer.child_s == inner.total_s
+
+
+class TestRenderProfile:
+    def profiles(self, n=3):
+        return [
+            FamilyProfile(f"family_{i}", count=i + 1, total_s=1.0 / (i + 1), self_s=0.5 / (i + 1), child_s=0.5 / (i + 1))
+            for i in range(n)
+        ]
+
+    def test_header_and_rows(self):
+        table = render_profile(self.profiles())
+        lines = table.splitlines()
+        assert lines[0].split() == ["span", "count", "self", "self%", "child", "total", "mean", "self"]
+        assert len(lines) == 4
+        assert lines[1].startswith("family_0")
+        assert "50.0%" in lines[1]
+
+    def test_top_n_truncates_and_counts_hidden(self):
+        table = render_profile(self.profiles(5), top=2)
+        assert "family_2" not in table
+        assert "(3 more families below the top-2)" in table
+        singular = render_profile(self.profiles(3), top=2)
+        assert "(1 more family below the top-2)" in singular
+
+    def test_unit_scaling(self):
+        rows = [
+            FamilyProfile("sec", 1, 2.5, 2.5, 0.0),
+            FamilyProfile("milli", 1, 0.0031, 0.0031, 0.0),
+            FamilyProfile("micro", 1, 12e-6, 12e-6, 0.0),
+        ]
+        table = render_profile(rows)
+        assert "2.50s" in table
+        assert "3.10ms" in table
+        assert "12us" in table

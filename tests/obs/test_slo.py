@@ -1,0 +1,202 @@
+"""SLO objectives, sliding windows and burn-rate export."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import METRIC_HELP, MetricRegistry
+from repro.obs.slo import (
+    SLOObjective,
+    SLOTracker,
+    TickOutcome,
+    WindowState,
+    default_objectives,
+)
+
+FAST = TickOutcome(seconds=0.01)
+SLOW = TickOutcome(seconds=2.0)
+ERRORED = TickOutcome(seconds=0.01, error=True)
+DEGRADED = TickOutcome(seconds=0.01, degraded=True)
+
+
+class TestObjective:
+    def test_latency_threshold_classifies(self):
+        objective = SLOObjective("lat", latency_threshold_s=0.5, count_errors=False)
+        assert objective.is_good(FAST)
+        assert not objective.is_good(SLOW)
+        # Errors pass a latency-only objective.
+        assert objective.is_good(ERRORED)
+
+    def test_error_and_degraded_flags(self):
+        strict = SLOObjective("ok", count_degraded=True)
+        assert strict.is_good(FAST)
+        assert not strict.is_good(ERRORED)
+        assert not strict.is_good(DEGRADED)
+        # A non-full tier counts as degraded under count_degraded.
+        assert not strict.is_good(TickOutcome(seconds=0.01, tier="serial"))
+        assert strict.is_good(TickOutcome(seconds=0.01, tier="full"))
+        lax = SLOObjective("lax", count_degraded=False)
+        assert lax.is_good(DEGRADED)
+
+    def test_error_budget_is_one_minus_target(self):
+        assert SLOObjective("o", target=0.99).error_budget == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="target"):
+            SLOObjective("o", target=1.0)
+        with pytest.raises(ValueError, match="target"):
+            SLOObjective("o", target=0.0)
+        with pytest.raises(ValueError, match="latency_threshold_s"):
+            SLOObjective("o", latency_threshold_s=-1.0)
+
+    def test_default_objectives_shape(self):
+        defaults = default_objectives()
+        names = [o.name for o in defaults]
+        assert names == ["tick_latency", "tick_success"]
+        assert defaults[0].latency_threshold_s == 0.25
+
+
+class TestWindowState:
+    def test_bad_count_slides(self):
+        window = WindowState(3)
+        for good in (False, False, True):
+            window.push(good)
+        assert window.bad == 2
+        assert window.bad_fraction == pytest.approx(2 / 3)
+        window.push(True)  # evicts the oldest bad tick
+        window.push(True)  # evicts the second bad tick
+        assert window.bad == 0
+        assert window.bad_fraction == 0.0
+        assert window.n == 3
+
+    def test_empty_window_is_clean(self):
+        window = WindowState(5)
+        assert window.n == 0
+        assert window.bad_fraction == 0.0
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError, match="window size"):
+            WindowState(0)
+
+    def test_incremental_count_matches_recount(self):
+        window = WindowState(7)
+        import random
+
+        rng = random.Random(13)
+        for __ in range(200):
+            window.push(rng.random() < 0.8)
+            assert window.bad == sum(1 for g in window._flags if not g)
+
+
+class TestTracker:
+    def tracker(self):
+        return SLOTracker(
+            objectives=[
+                SLOObjective("lat", target=0.9, latency_threshold_s=0.5, count_errors=False),
+                SLOObjective("ok", target=0.99),
+            ],
+            windows=(4, 10),
+        )
+
+    def test_burn_rate_math(self):
+        tracker = self.tracker()
+        for outcome in (FAST, SLOW, FAST, FAST):
+            tracker.record(outcome)
+        # lat: 1 bad of 4 in the short window; budget 0.1 -> burn 2.5.
+        assert tracker.good_fraction("lat", 4) == pytest.approx(0.75)
+        assert tracker.burn_rate("lat", 4) == pytest.approx(0.25 / 0.1)
+        assert tracker.budget_remaining("lat", 4) == pytest.approx(1 - 2.5)
+        # ok: nothing errored, burn 0, budget intact.
+        assert tracker.burn_rate("ok", 4) == 0.0
+        assert tracker.budget_remaining("ok", 10) == 1.0
+
+    def test_short_window_recovers_faster_than_long(self):
+        tracker = self.tracker()
+        tracker.record(SLOW)
+        for __ in range(4):
+            tracker.record(FAST)
+        # The blip has left the 4-tick window but still burns the 10-tick one.
+        assert tracker.burn_rate("lat", 4) == 0.0
+        assert tracker.burn_rate("lat", 10) > 0.0
+
+    def test_export_writes_the_slo_family(self):
+        tracker = self.tracker()
+        registry = MetricRegistry()
+        for outcome in (FAST, SLOW, ERRORED):
+            tracker.record(outcome, registry=registry)
+        by_name = {}
+        for metric in registry.collect():
+            by_name.setdefault(metric.name, []).append(metric)
+        assert set(by_name) >= {
+            "slo_objective_target",
+            "slo_ticks_total",
+            "slo_good_fraction",
+            "slo_burn_rate",
+            "slo_error_budget_remaining",
+        }
+        ticks = {
+            (m.labels["objective"], m.labels["outcome"]): m.value
+            for m in by_name["slo_ticks_total"]
+        }
+        assert ticks[("lat", "bad")] == 1  # only the slow tick
+        assert ticks[("ok", "bad")] == 1  # only the errored tick
+        assert ticks[("lat", "good")] == 2
+        # Windowed series carry both labels; one per (objective, window).
+        burn = by_name["slo_burn_rate"]
+        assert {(m.labels["objective"], m.labels["window"]) for m in burn} == {
+            ("lat", "4"),
+            ("lat", "10"),
+            ("ok", "4"),
+            ("ok", "10"),
+        }
+
+    def test_export_counters_only_move_up(self):
+        tracker = self.tracker()
+        registry = MetricRegistry()
+        tracker.record(ERRORED, registry=registry)
+        tracker.export(registry)  # re-export without new ticks: no double count
+        bad = registry.counter("slo_ticks_total", {"objective": "ok", "outcome": "bad"})
+        assert bad.value == 1
+
+    def test_record_exports_to_active_collector(self):
+        tracker = self.tracker()
+        with obs.capture() as collector:
+            tracker.record(FAST)
+        assert any(
+            m.name == "slo_good_fraction" for m in collector.metrics.collect()
+        )
+
+    def test_record_without_registry_or_collector_still_tracks(self):
+        tracker = self.tracker()
+        assert not obs.is_active()
+        tracker.record(SLOW)
+        assert tracker.ticks_recorded == 1
+        assert tracker.burn_rate("lat", 4) > 0.0
+
+    def test_snapshot_shape(self):
+        tracker = self.tracker()
+        tracker.record(SLOW)
+        rows = tracker.snapshot()
+        assert [r["objective"] for r in rows] == ["lat", "ok"]
+        lat = rows[0]
+        assert lat["bad_total"] == 1
+        assert lat["windows"]["4"]["burn_rate"] == pytest.approx(1.0 / 0.1)
+
+    def test_unknown_objective_is_a_clear_error(self):
+        with pytest.raises(KeyError, match="unknown objective"):
+            self.tracker().burn_rate("nope", 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="objective"):
+            SLOTracker(objectives=[])
+        with pytest.raises(ValueError, match="unique"):
+            SLOTracker(objectives=[SLOObjective("a"), SLOObjective("a")])
+        with pytest.raises(ValueError, match="window"):
+            SLOTracker(windows=())
+
+    def test_every_exported_name_is_catalogued(self):
+        # The docs-sync test covers docs; this pins the METRIC_HELP side.
+        registry = MetricRegistry()
+        tracker = SLOTracker()
+        tracker.record(FAST, registry=registry)
+        for metric in registry.collect():
+            assert metric.name in METRIC_HELP

@@ -1,0 +1,174 @@
+"""Service-side wiring of the live telemetry plane.
+
+``LocalizationService.telemetry_server()`` hands back a server whose
+``/readyz`` reflects warm-up and breaker state, and ``observe`` exports
+the ``resilience_*`` gauges plus per-interval SLO outcomes — these tests
+drive the whole loop over real HTTP against an ephemeral port.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.data.cdn_simulator import CDNSimulator, CDNSimulatorConfig
+from repro.data.schema import cdn_schema
+from repro.obs.slo import SLOObjective, SLOTracker
+from repro.resilience.breaker import BREAKER_STATE_VALUES, CircuitBreaker
+from repro.service import LocalizationService
+
+SAMPLE_EVERY = 30
+PERIOD = 1440 // SAMPLE_EVERY
+
+
+class FakeClock:
+    """Manually advanced monotonic clock for deterministic breaker cool-downs."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read()
+
+
+@pytest.fixture
+def simulator():
+    return CDNSimulator(
+        cdn_schema(6, 2, 2, 5), CDNSimulatorConfig(seed=5, noise_sigma=0.02)
+    )
+
+
+def make_service(simulator, warm=True, **kwargs):
+    svc = LocalizationService(
+        schema=simulator.schema,
+        codes=simulator.snapshot(0).codes,
+        history_capacity=PERIOD,
+        min_history=PERIOD,
+        **kwargs,
+    )
+    if warm:
+        day = np.stack(
+            [simulator.snapshot(step).v for step in range(0, 1440, SAMPLE_EVERY)]
+        )
+        svc.warm_up(day)
+    return svc
+
+
+def crash_location(values, codes, location_code, factor=0.2):
+    out = values.copy()
+    out[codes[:, 0] == location_code] *= factor
+    return out
+
+
+class TestServiceTelemetry:
+    def test_readyz_tracks_warmup_and_breakers(self, simulator):
+        svc = make_service(simulator, warm=False)
+        with svc.telemetry_server() as server:
+            status, body = get(f"{server.url}/readyz")
+            payload = json.loads(body)
+            assert status == 503
+            assert payload["ready"] is False
+            assert payload["reason"].startswith("history 0/")
+
+            day = np.stack(
+                [simulator.snapshot(s).v for s in range(0, 1440, SAMPLE_EVERY)]
+            )
+            svc.warm_up(day)
+            status, body = get(f"{server.url}/readyz")
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["ready"] is True
+            assert payload["breakers"] == {"forecast": "closed", "detect": "closed"}
+
+            # Trip a breaker: readiness goes false and names the culprit.
+            svc.forecast_breaker = CircuitBreaker(
+                name="forecast", failure_threshold=1, clock=FakeClock()
+            )
+            svc.forecast_breaker.record_failure()
+            status, body = get(f"{server.url}/readyz")
+            payload = json.loads(body)
+            assert status == 503
+            assert payload["reason"] == "open breakers: forecast"
+
+    def test_observe_exports_resilience_gauges(self, simulator):
+        svc = make_service(simulator)
+        with obs.capture() as collector:
+            values = crash_location(simulator.snapshot(1440).v, svc.codes, 2)
+            report = svc.observe(values)
+            assert report is not None
+            with svc.telemetry_server() as server:
+                status, body = get(f"{server.url}/metrics")
+        text = body.decode()
+        assert status == 200
+        assert 'resilience_breaker_state{breaker="forecast"} 0' in text
+        assert 'resilience_breaker_state{breaker="detect"} 0' in text
+        gauges = {
+            m.labels["breaker"]: m.value
+            for m in collector.metrics.collect()
+            if m.name == "resilience_breaker_state"
+        }
+        assert gauges == {
+            "forecast": BREAKER_STATE_VALUES["closed"],
+            "detect": BREAKER_STATE_VALUES["closed"],
+        }
+
+    def test_breaker_transition_moves_the_gauge(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(name="probe", failure_threshold=1, clock=clock)
+        with obs.capture() as collector:
+            breaker.record_failure()
+
+            def state_gauge():
+                return next(
+                    m.value
+                    for m in collector.metrics.collect()
+                    if m.name == "resilience_breaker_state"
+                    and m.labels["breaker"] == "probe"
+                )
+
+            assert state_gauge() == BREAKER_STATE_VALUES["open"]
+            clock.now += breaker.recovery_time + 1.0
+            assert breaker.allow() is True  # probe trial -> half-open
+            assert state_gauge() == BREAKER_STATE_VALUES["half_open"]
+            breaker.record_success()
+            assert state_gauge() == BREAKER_STATE_VALUES["closed"]
+
+    def test_service_feeds_slo_tracker_per_interval(self, simulator):
+        tracker = SLOTracker(
+            objectives=[SLOObjective("interval_success", target=0.9)],
+            windows=(4,),
+        )
+        svc = make_service(simulator, slo=tracker)
+        with obs.capture() as collector:
+            for step in range(1440, 1440 + 3 * SAMPLE_EVERY, SAMPLE_EVERY):
+                svc.observe(simulator.snapshot(step).v)
+        assert tracker.ticks_recorded == 3
+        counters = {
+            m.labels["outcome"]: m.value
+            for m in collector.metrics.collect()
+            if m.name == "slo_ticks_total"
+        }
+        assert counters["good"] + counters["bad"] == 3
+        assert any(
+            m.name == "slo_burn_rate" and m.labels["window"] == "4"
+            for m in collector.metrics.collect()
+        )
+
+    def test_slo_tracker_runs_without_collector(self, simulator):
+        # Off path: no capture installed — windows update, export no-ops.
+        tracker = SLOTracker(windows=(4,))
+        svc = make_service(simulator, slo=tracker)
+        assert not obs.is_active()
+        svc.observe(simulator.snapshot(1440).v)
+        assert tracker.ticks_recorded == 1

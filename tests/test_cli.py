@@ -237,6 +237,64 @@ class TestStreamLocalize:
         with pytest.raises(SystemExit):
             main(["stream-localize", "--cases", str(bundle), "--crossover", "fast"])
 
+    def test_serve_metrics_on_ephemeral_port(self, bundle, capsys):
+        from repro import obs
+
+        code = main(
+            ["stream-localize", "--cases", str(bundle), "--serve-metrics", "127.0.0.1:0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry: serving http://127.0.0.1:" in out
+        assert "for the lifetime of the replay" in out
+        # The capture and the server are both torn down after the replay.
+        assert not obs.is_active()
+
+    def test_serve_metrics_accepts_bare_port(self, bundle, capsys):
+        assert main(
+            ["stream-localize", "--cases", str(bundle), "--serve-metrics", "0"]
+        ) == 0
+        assert "telemetry: serving http://127.0.0.1:" in capsys.readouterr().out
+
+    def test_serve_metrics_rejects_malformed_port(self, bundle):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(
+                ["stream-localize", "--cases", str(bundle), "--serve-metrics", "lo:x"]
+            )
+
+
+class TestProfile:
+    def trace_path(self, bundle, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(
+            ["localize", "--cases", str(bundle), "--trace", str(path)]
+        ) == 0
+        return path
+
+    def test_profiles_trace_jsonl(self, bundle, tmp_path, capsys):
+        path = self.trace_path(bundle, tmp_path)
+        capsys.readouterr()
+        assert main(["profile", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[0]
+        for column in ("span", "count", "self%", "child", "total"):
+            assert column in header
+        assert "miner.run" in out
+
+    def test_top_limits_rows(self, bundle, tmp_path, capsys):
+        path = self.trace_path(bundle, tmp_path)
+        capsys.readouterr()
+        assert main(["profile", "--trace", str(path), "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        # Header + one family row + the hidden-count footer.
+        assert "below the top-1" in out
+
+    def test_spanless_trace_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text('{"type": "meta", "version": 1, "n_spans": 0}\n')
+        assert main(["profile", "--trace", str(path)]) == 1
+        assert "no span records" in capsys.readouterr().out
+
 
 class TestBatchLocalize:
     def test_reports_throughput(self, bundle, capsys):

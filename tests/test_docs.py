@@ -1,11 +1,13 @@
 """Documentation integrity (the ``make docs-check`` gate).
 
-Three drift failure modes, each caught mechanically:
+Four drift failure modes, each caught mechanically:
 
 * an intra-doc markdown link whose target file no longer exists;
 * a ``repro`` import in a doc code block that no longer resolves
   (renamed module, removed re-export);
-* a ``docs/*.md`` file missing from the ``docs/index.md`` map.
+* a ``docs/*.md`` file missing from the ``docs/index.md`` map;
+* the metric catalogue (``repro.obs.metrics.METRIC_HELP``) and the
+  ``docs/observability.md`` tables drifting apart in either direction.
 """
 
 import ast
@@ -97,6 +99,33 @@ def test_doc_code_blocks_still_import(doc):
                 except ImportError:
                     problems.append(f"from {module_name} import {name}")
     assert problems == [], f"{doc_id(doc)} imports drifted: {problems}"
+
+
+#: First cell of a catalogue table row: ``| `metric_name` | ...``.
+METRIC_ROW_RE = re.compile(r"^\|\s*`([a-z][a-z0-9_]*_[a-z0-9_]*)`\s*\|", re.MULTILINE)
+
+
+def test_metric_catalogue_and_docs_stay_in_sync():
+    """``METRIC_HELP`` and the observability.md tables cover each other.
+
+    Both directions are enforced so a new ``slo_*`` / ``telemetry_*``
+    metric cannot ship undocumented, and the docs cannot keep advertising
+    a renamed or deleted family.
+    """
+    from repro.obs.metrics import METRIC_HELP
+
+    text = (REPO_ROOT / "docs" / "observability.md").read_text()
+    undocumented = sorted(
+        name for name in METRIC_HELP if f"`{name}`" not in text
+    )
+    assert undocumented == [], (
+        f"METRIC_HELP entries missing from docs/observability.md: {undocumented}"
+    )
+    documented = set(METRIC_ROW_RE.findall(text))
+    phantom = sorted(documented - set(METRIC_HELP))
+    assert phantom == [], (
+        f"docs/observability.md documents metrics absent from METRIC_HELP: {phantom}"
+    )
 
 
 def test_every_doc_is_indexed():
