@@ -35,6 +35,7 @@ from pathlib import Path
 
 from repro import RAPMiner
 from repro.experiments.runner import run_cases
+from repro.native import backend_info
 from repro.parallel import BatchConfig, batch_localize
 
 from test_batch_throughput import _assert_identical, _replayed_stream
@@ -108,6 +109,7 @@ def test_stacked_throughput_report(rapmd_cases, capsys):
     report = {
         "benchmark": "case-stacked batch kernel throughput (RAPMD protocol, k=5)",
         "dataset": "rapmd-fast-preset",
+        "backend": backend_info(),
         "replay_factor": REPLAY,
         "n_cases": n_cases,
         "repeats": REPEATS,

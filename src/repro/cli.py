@@ -149,6 +149,27 @@ def _apply_resilience(method, deadline_ms: Optional[float], degrade: bool):
     return method
 
 
+def _apply_backend(method, backend: Optional[str]):
+    """Wire ``--backend`` into a method carrying a ``backend`` config knob.
+
+    Only RAPMiner-family methods aggregate through the kernel backends;
+    asking for a backend on a baseline is a usage error, not a silent
+    no-op.
+    """
+    if backend is None:
+        return method
+    from dataclasses import replace
+
+    config = getattr(method, "config", None)
+    if config is None or not hasattr(config, "backend"):
+        name = getattr(method, "name", type(method).__name__)
+        raise SystemExit(
+            f"--backend requires a backend-aware method (RAPMiner), got {name}"
+        )
+    method.config = replace(config, backend=backend)
+    return method
+
+
 # -- subcommand handlers -----------------------------------------------------
 
 
@@ -188,8 +209,11 @@ def _run_localize(args: argparse.Namespace) -> int:
         cases = [c for c in cases if c.case_id == args.case_id]
         if not cases:
             raise SystemExit(f"no case with id {args.case_id!r}")
-    method = _apply_resilience(
-        _resolve_methods(args.method)[0], args.deadline_ms, args.degrade
+    method = _apply_backend(
+        _apply_resilience(
+            _resolve_methods(args.method)[0], args.deadline_ms, args.degrade
+        ),
+        args.backend,
     )
     runner = getattr(method, "run", None)
     for case in cases:
@@ -219,8 +243,11 @@ def _cmd_batch_localize(args: argparse.Namespace) -> int:
     from .parallel import BatchConfig, batch_localize
 
     cases = load_cases(args.cases)
-    method = _apply_resilience(
-        _resolve_methods(args.method)[0], args.deadline_ms, args.degrade
+    method = _apply_backend(
+        _apply_resilience(
+            _resolve_methods(args.method)[0], args.deadline_ms, args.degrade
+        ),
+        args.backend,
     )
     config = BatchConfig(
         n_workers=args.workers,
@@ -287,8 +314,11 @@ def _cmd_stream_localize(args: argparse.Namespace) -> int:
                 f"--crossover must be 'auto' or a float, got {args.crossover!r}"
             )
     delta = DeltaConfig(crossover=crossover, rebase_every=args.rebase_every)
-    miner = _apply_resilience(
-        StreamingRAPMiner(delta=delta), args.deadline_ms, args.degrade
+    miner = _apply_backend(
+        _apply_resilience(
+            StreamingRAPMiner(delta=delta), args.deadline_ms, args.degrade
+        ),
+        args.backend,
     )
     if args.serve_metrics:
         from . import obs
@@ -487,6 +517,17 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 # -- parser -------------------------------------------------------------------
 
 
+def _add_backend_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--backend",
+        choices=["auto", "numpy", "native"],
+        default=None,
+        help="kernel backend for the aggregation hot paths (default: the "
+        "RAPMINER_BACKEND environment variable, then 'auto'; see "
+        "docs/operational.md)",
+    )
+
+
 def _add_resilience_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--deadline-ms",
@@ -529,6 +570,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="capture spans and engine counters, written as JSONL to PATH",
     )
     _add_resilience_flags(localize)
+    _add_backend_flag(localize)
     localize.set_defaults(handler=_cmd_localize)
 
     batch = sub.add_parser(
@@ -554,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable warm per-worker engine reuse (serial cost profile)",
     )
     _add_resilience_flags(batch)
+    _add_backend_flag(batch)
     batch.set_defaults(handler=_cmd_batch_localize)
 
     stream = sub.add_parser(
@@ -590,6 +633,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(PORT alone binds 127.0.0.1; port 0 picks an ephemeral port)",
     )
     _add_resilience_flags(stream)
+    _add_backend_flag(stream)
     stream.set_defaults(handler=_cmd_stream_localize)
 
     profile = sub.add_parser(

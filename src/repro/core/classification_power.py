@@ -29,6 +29,7 @@ from ..obs import trace as _trace
 __all__ = [
     "binary_entropy",
     "classification_power",
+    "cp_powers_from_counts",
     "all_classification_powers",
     "partition_attributes",
     "delete_redundant_attributes",
@@ -47,13 +48,51 @@ def binary_entropy(p_anomalous: float) -> float:
     return float(entropy)
 
 
+def cp_powers_from_counts(support, anomalous, n_rows, info_d):
+    """Vectorized Eq. 1 from full-capacity count arrays.
+
+    ``support`` and ``anomalous`` are dense per-element counts (zeros at
+    unoccupied codes) whose **last** axis enumerates one attribute's
+    elements; leading axes broadcast (the case-stacked path passes one
+    row per case).  ``info_d`` broadcasts over the leading axes.
+
+    Batch invariance: every step is elementwise except one ``np.sum``
+    over the last axis, so evaluating a stack of cases returns bitwise
+    the same values as evaluating each case alone — which is what keeps
+    :meth:`repro.core.stacked.StackedCaseEngine.classification_powers`
+    bit-identical to the serial :func:`classification_power`.
+    """
+    support = np.asarray(support, dtype=float)
+    anomalous = np.asarray(anomalous, dtype=float)
+    support, anomalous = np.broadcast_arrays(support, anomalous)
+    info_d = np.asarray(info_d, dtype=float)
+    occupied = support > 0
+    p_a = np.zeros(support.shape)
+    np.divide(anomalous, support, out=p_a, where=occupied)
+    branch_entropy = np.zeros(support.shape)
+    for p in (p_a, 1.0 - p_a):
+        positive = occupied & (p > 0.0)
+        contribution = np.zeros(support.shape)
+        contribution[positive] = p[positive] * np.log(p[positive])
+        branch_entropy -= contribution
+    info_attr = np.sum(support / n_rows * branch_entropy, axis=-1)
+    safe = np.where(info_d > 0.0, info_d, 1.0)
+    return np.where(info_d > 0.0, (info_d - info_attr) / safe, 0.0)
+
+
 def classification_power(dataset: FineGrainedDataset, attribute) -> float:
     """``CP_attr`` (Eq. 1) of one attribute over the labelled leaf table.
 
     Degenerate case: when the leaf labels are all-normal or all-anomalous,
     ``Info(D) = 0`` and no attribute can classify anything — CP is defined
     as ``0`` for every attribute (nothing to localize / nothing to prune by).
+
+    The per-element counts run on the dataset's shared engine backend
+    (numpy or native — identical either way); the entropy reduction is
+    the shared :func:`cp_powers_from_counts`.
     """
+    from .engine import engine_for
+
     index = dataset.schema.index_of(attribute)
     n = dataset.n_rows
     if n == 0:
@@ -62,21 +101,15 @@ def classification_power(dataset: FineGrainedDataset, attribute) -> float:
     if info_d == 0.0:
         return 0.0
 
-    column = dataset.codes[:, index]
+    backend = engine_for(dataset).backend
+    column = np.ascontiguousarray(dataset.codes[:, index])
     size = dataset.schema.size(index)
-    support = np.bincount(column, minlength=size).astype(float)
-    anomalous = np.bincount(column, weights=dataset.labels.astype(float), minlength=size)
-
-    occupied = support > 0
-    p_a = np.zeros(size)
-    p_a[occupied] = anomalous[occupied] / support[occupied]
-    branch_entropy = np.zeros(size)
-    for p in (p_a, 1.0 - p_a):
-        positive = occupied & (p > 0.0)
-        branch_entropy[positive] -= p[positive] * np.log(p[positive])
-    info_attr = float((support / n) @ branch_entropy)
-
-    return (info_d - info_attr) / info_d
+    support = backend.count_bincount(column, size)
+    label_rows = np.flatnonzero(dataset.labels)
+    anomalous = backend.count_bincount(
+        np.ascontiguousarray(column[label_rows]), size
+    )
+    return float(cp_powers_from_counts(support, anomalous, n, info_d))
 
 
 def all_classification_powers(dataset: FineGrainedDataset) -> Dict[str, float]:

@@ -389,31 +389,17 @@ class DeltaSession:
             self._plan = plan
         __, stride_matrix, offsets, metas, total = plan
         n_blocks = len(metas)
-        combined = new.codes[changed] @ stride_matrix + offsets
-        flat = combined.T.ravel()
 
         old_labels = old.labels[changed]
         new_labels = new.labels[changed]
         gained = new_labels & ~old_labels
         lost = old_labels & ~new_labels
-        anomalous_delta: Optional[np.ndarray] = None
-        if gained.any() or lost.any():
-            anomalous_delta = np.zeros(total, dtype=np.int64)
-            if gained.any():
-                anomalous_delta += np.bincount(
-                    combined[gained].T.ravel(), minlength=total
-                )
-            if lost.any():
-                anomalous_delta -= np.bincount(
-                    combined[lost].T.ravel(), minlength=total
-                )
-
         v_delta = new.v[changed] - old.v[changed]
         f_delta = new.f[changed] - old.f[changed]
-        v_tiled = v_delta if n_blocks == 1 else np.tile(v_delta, n_blocks)
-        f_tiled = f_delta if n_blocks == 1 else np.tile(f_delta, n_blocks)
-        v_dense = np.bincount(flat, weights=v_tiled, minlength=total)
-        f_dense = np.bincount(flat, weights=f_tiled, minlength=total)
+        anomalous_delta, v_dense, f_dense = engine.backend.delta_patch(
+            new.codes[changed], stride_matrix, offsets, total,
+            gained, lost, v_delta, f_delta,
+        )
         if _trace.ACTIVE:
             obs.inc(
                 "engine_bincount_passes_total",
@@ -480,6 +466,7 @@ class DeltaSession:
                 2 * len(engine._aggregates),
                 kind="delta_rebase",
             )
+        backend = engine.backend
         for indices, aggregate in list(engine._aggregates.items()):
             keys = engine._keys_for(indices)
             capacity = engine._geometry(indices)[2]
@@ -490,10 +477,10 @@ class DeltaSession:
                 codes=aggregate.codes,
                 support=aggregate.support,
                 anomalous_support=aggregate.anomalous_support,
-                v_sum=np.bincount(keys, weights=dataset.v, minlength=capacity)[
+                v_sum=backend.weighted_bincount(keys, dataset.v, capacity)[
                     occupied
                 ],
-                f_sum=np.bincount(keys, weights=dataset.f, minlength=capacity)[
+                f_sum=backend.weighted_bincount(keys, dataset.f, capacity)[
                     occupied
                 ],
             )

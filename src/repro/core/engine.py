@@ -69,6 +69,7 @@ import numpy as np
 
 from .. import obs
 from ..data.dataset import CuboidAggregate, FineGrainedDataset
+from ..native import coerce_backend
 from ..obs import trace as _trace
 from .attribute import AttributeCombination
 from .cuboid import Cuboid
@@ -97,12 +98,25 @@ _ENGINE_ATTR = "_repro_engine"
 _MAX_BATCH_ELEMENTS = 1 << 21
 
 
-def engine_for(dataset: FineGrainedDataset) -> "AggregationEngine":
-    """The shared engine of *dataset*, created on first use."""
+def engine_for(dataset: FineGrainedDataset, backend=None) -> "AggregationEngine":
+    """The shared engine of *dataset*, created on first use.
+
+    ``backend`` (a name or :class:`~repro.native.KernelBackend`) only
+    matters when it disagrees with the cached engine's backend: the
+    engine is then rebuilt on the requested one (aggregates are bitwise
+    identical across backends, so swapping never changes results).
+    """
     engine = getattr(dataset, _ENGINE_ATTR, None)
     if engine is None:
-        engine = AggregationEngine(dataset)
+        engine = AggregationEngine(dataset, backend=backend)
         setattr(dataset, _ENGINE_ATTR, engine)
+    elif backend is not None:
+        resolved = coerce_backend(backend)
+        if engine.backend.name != resolved.name:
+            engine = AggregationEngine(
+                dataset, n_jobs=engine.n_jobs, backend=resolved
+            )
+            setattr(dataset, _ENGINE_ATTR, engine)
     return engine
 
 
@@ -135,17 +149,30 @@ class AggregationEngine:
     n_jobs:
         Default worker count for :meth:`layer_aggregates`; ``1`` keeps
         everything on the calling thread.
+    backend:
+        Kernel backend for the fused aggregation passes — a
+        :class:`~repro.native.KernelBackend` instance, a name
+        (``auto``/``numpy``/``native``), or ``None`` for the process
+        default (``RAPMINER_BACKEND`` env var, else ``auto``).  Both
+        backends return bitwise-identical aggregates.
     """
 
     #: Largest cuboid lattice :meth:`prepare` aggregates in one batched
     #: pass; wider attribute sets fall back to seeding a roll-up base.
     _MAX_PREFETCH_CUBOIDS = 64
 
-    def __init__(self, dataset: FineGrainedDataset, n_jobs: int = 1):
+    def __init__(
+        self, dataset: FineGrainedDataset, n_jobs: int = 1, backend=None
+    ):
         if n_jobs < 1:
             raise ValueError("n_jobs must be at least 1")
         self.dataset = dataset
         self.n_jobs = n_jobs
+        self.backend = coerce_backend(backend)
+        if _trace.ACTIVE:
+            obs.set_gauge(
+                "engine_backend_info", 1.0, backend=self.backend.name
+            )
         self._sizes = list(dataset.schema.sizes)
         #: indices tuple -> (sizes, strides, capacity); tiny, but recomputed
         #: on every call of the hot path without the cache.
@@ -196,7 +223,9 @@ class AggregationEngine:
         if keys is None:
             codes = self.dataset.codes
             if len(indices) == 1:
-                keys = codes[:, indices[0]]
+                # Contiguous copy: a strided column view would force the
+                # native backend to re-copy on every kernel call.
+                keys = np.ascontiguousarray(codes[:, indices[0]])
             else:
                 __, strides, __ = self._geometry(indices)
                 keys = codes[:, indices[0]] * int(strides[0])
@@ -221,29 +250,19 @@ class AggregationEngine:
 
     # -- fused aggregation -----------------------------------------------------
 
-    @staticmethod
     def _fused_bincount(
-        keys: np.ndarray, weight_columns: Sequence[np.ndarray], capacity: int
+        self, keys: np.ndarray, weight_columns: Sequence[np.ndarray], capacity: int
     ) -> np.ndarray:
         """Stacked-weights bincount: one pass for all lanes.
 
         Returns shape ``(capacity, len(weight_columns))``.  Lane ``i`` of
         row ``k`` is ``sum(weight_columns[i][keys == k])``; per-bucket
-        additions happen in row order, exactly as in separate bincounts.
+        additions happen in row order, exactly as in separate bincounts,
+        on either backend.
         """
-        lanes = len(weight_columns)
         if _trace.ACTIVE:
             obs.inc("engine_bincount_passes_total", kind="fused")
-        if lanes == 1:
-            return np.bincount(
-                keys, weights=weight_columns[0], minlength=capacity
-            ).reshape(capacity, 1)
-        fused_keys = (keys[:, None] * lanes + np.arange(lanes)).ravel()
-        fused_weights = np.stack(weight_columns, axis=1).ravel()
-        totals = np.bincount(
-            fused_keys, weights=fused_weights, minlength=capacity * lanes
-        )
-        return totals.reshape(capacity, lanes)
+        return self.backend.fused_bincount(keys, weight_columns, capacity)
 
     def _aggregate_batch(self, cuboids: Sequence[Cuboid]) -> None:
         """Aggregate several uncached cuboids in one set of batched passes.
@@ -258,9 +277,9 @@ class AggregationEngine:
         """
         dataset = self.dataset
         n_blocks = len(cuboids)
-        # One integer matmul produces every cuboid's linear keys at once
-        # (column j holds cuboid j's strides), replacing a Python-level
-        # stride loop per cuboid.
+        # Column j of the stride matrix holds cuboid j's strides; the
+        # backend turns it into every cuboid's linear keys at once (one
+        # integer matmul on numpy, one fused row walk natively).
         stride_matrix = np.zeros((len(self._sizes), n_blocks), dtype=np.int64)
         offsets = np.empty(n_blocks, dtype=np.int64)
         metas: List[Tuple[Cuboid, int, int, List[int]]] = []
@@ -273,22 +292,11 @@ class AggregationEngine:
             offsets[j] = offset
             metas.append((cuboid, offset, capacity, sizes))
             offset += capacity
-        combined = (dataset.codes @ stride_matrix + offsets).T.ravel()
-        support_all = np.bincount(combined, minlength=offset)
         label_rows = self._anomalous_rows()
-        if label_rows.size:
-            anomalous_keys = (
-                combined[label_rows]
-                if n_blocks == 1
-                else combined.reshape(n_blocks, -1)[:, label_rows].ravel()
-            )
-            anomalous_all = np.bincount(anomalous_keys, minlength=offset)
-        else:
-            anomalous_all = np.zeros(offset, dtype=np.int64)
-        v_tiled = dataset.v if n_blocks == 1 else np.tile(dataset.v, n_blocks)
-        f_tiled = dataset.f if n_blocks == 1 else np.tile(dataset.f, n_blocks)
-        v_all = np.bincount(combined, weights=v_tiled, minlength=offset)
-        f_all = np.bincount(combined, weights=f_tiled, minlength=offset)
+        support_all, anomalous_all, v_all, f_all = self.backend.fused_batch(
+            dataset.codes, stride_matrix, offsets, offset, label_rows,
+            dataset.v, dataset.f,
+        )
         if _trace.ACTIVE:
             obs.inc("engine_batch_cuboids_total", n_blocks)
             obs.inc(
@@ -456,10 +464,11 @@ class AggregationEngine:
                 obs.inc("engine_aggregate_total", path="warm_refresh")
                 obs.inc("engine_bincount_passes_total", 3, kind="warm_refresh")
             dataset = self.dataset
+            backend = self.backend
             keys, capacity = self.linear_keys(cuboid)
             label_rows = self._anomalous_rows()
             if label_rows.size:
-                anomalous = np.bincount(keys[label_rows], minlength=capacity)[
+                anomalous = backend.count_bincount(keys[label_rows], capacity)[
                     shape.occupied
                 ]
             else:
@@ -470,10 +479,10 @@ class AggregationEngine:
                 codes=shape.codes,
                 support=shape.support,
                 anomalous_support=anomalous.astype(np.int64, copy=False),
-                v_sum=np.bincount(keys, weights=dataset.v, minlength=capacity)[
+                v_sum=backend.weighted_bincount(keys, dataset.v, capacity)[
                     shape.occupied
                 ],
-                f_sum=np.bincount(keys, weights=dataset.f, minlength=capacity)[
+                f_sum=backend.weighted_bincount(keys, dataset.f, capacity)[
                     shape.occupied
                 ],
             )
@@ -512,8 +521,8 @@ class AggregationEngine:
         shape = self._shapes[cuboid.attribute_indices]
         if _trace.ACTIVE:
             obs.inc("engine_bincount_passes_total", kind="relabel")
-        anomalous = np.bincount(
-            keys, weights=np.asarray(labels, dtype=float), minlength=capacity
+        anomalous = self.backend.weighted_bincount(
+            keys, np.asarray(labels, dtype=float), capacity
         )[shape.occupied]
         return CuboidAggregate(
             cuboid=base.cuboid,
@@ -753,7 +762,7 @@ class AggregationEngine:
             raise ValueError("warm_clone needs an identical leaf population")
         if _trace.ACTIVE:
             obs.inc("engine_warm_clones_total")
-        clone = AggregationEngine(dataset, n_jobs=self.n_jobs)
+        clone = AggregationEngine(dataset, n_jobs=self.n_jobs, backend=self.backend)
         clone._geometries = self._geometries
         clone._keys = self._keys
         clone._postings = self._postings

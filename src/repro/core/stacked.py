@@ -63,11 +63,13 @@ import numpy as np
 
 from .. import obs
 from ..data.dataset import CuboidAggregate, FineGrainedDataset
+from ..native import coerce_backend
 from ..obs import trace as _trace
 from .attribute import AttributeCombination
 from .classification_power import (
     AttributeDeletionResult,
     binary_entropy,
+    cp_powers_from_counts,
     partition_attributes,
 )
 from .cuboid import Cuboid
@@ -204,9 +206,13 @@ class StackedCaseEngine:
         (labels, ``v`` and ``f`` may differ freely — nothing the stacked
         passes share depends on them).  Use
         :func:`group_datasets_by_layout` to split a mixed collection.
+    backend:
+        Kernel backend for the fused stacked passes (name, instance or
+        ``None`` for the process default); both backends return
+        bitwise-identical counts and sums.
     """
 
-    def __init__(self, datasets: Sequence[FineGrainedDataset]):
+    def __init__(self, datasets: Sequence[FineGrainedDataset], backend=None):
         if not datasets:
             raise ValueError("StackedCaseEngine needs at least one dataset")
         first = datasets[0]
@@ -222,11 +228,12 @@ class StackedCaseEngine:
         self.schema = first.schema
         self.n_rows = first.n_rows
         self.n_cases = len(self.datasets)
+        self.backend = coerce_backend(backend)
         #: Private engine over the representative dataset — *not* installed
         #: in the shared per-dataset registry, so building a stacked batch
         #: never changes how a later serial run over the same dataset
         #: resolves its aggregates.
-        self.engine = AggregationEngine(first)
+        self.engine = AggregationEngine(first, backend=self.backend)
         self._label_rows: List[np.ndarray] = [
             np.flatnonzero(dataset.labels) for dataset in self.datasets
         ]
@@ -251,7 +258,7 @@ class StackedCaseEngine:
         shape = self._shapes.get(indices)
         if shape is None:
             keys, capacity = self.engine.linear_keys(cuboid)
-            support = np.bincount(keys, minlength=capacity)
+            support = self.backend.count_bincount(keys, capacity)
             if _trace.ACTIVE:
                 obs.inc("stacked_bincount_passes_total", kind="support")
             occupied = np.flatnonzero(support)
@@ -340,19 +347,10 @@ class StackedCaseEngine:
             if total_rows == 0:
                 continue
             rows_cat = np.concatenate(rows_per_case)
-            dtype = stacked_key_dtype(len(chunk), total_capacity)
-            case_base = np.repeat(
-                np.arange(len(chunk), dtype=np.int64) * total_capacity,
-                lengths,
+            stacked_key_dtype(len(chunk), total_capacity)  # overflow guard
+            counts = self.backend.stacked_anomalous(
+                key_columns, offsets, total_capacity, rows_cat, lengths
             )
-            # (n_cuboids, total_rows): row j holds cuboid j's stacked keys.
-            key_matrix = np.empty((len(cuboids), total_rows), dtype=np.int64)
-            for j, keys in enumerate(key_columns):
-                np.add(keys[rows_cat], case_base + offsets[j], out=key_matrix[j])
-            counts = np.bincount(
-                key_matrix.ravel().astype(dtype, copy=False),
-                minlength=len(chunk) * total_capacity,
-            ).reshape(len(chunk), total_capacity)
             if _trace.ACTIVE:
                 obs.inc("stacked_bincount_passes_total", kind="anomalous")
             for j, shape in enumerate(shapes):
@@ -412,20 +410,14 @@ class StackedCaseEngine:
         per_chunk = max(1, _MAX_STACKED_ELEMENTS // max(1, self.n_rows))
         for start in range(0, n_slots, per_chunk):
             chunk = picked[start : start + per_chunk]
-            stacked_key_dtype(len(chunk), capacity)  # overflow guard
-            stacked_keys = (
-                keys[None, :]
-                + (np.arange(len(chunk), dtype=np.int64) * capacity)[:, None]
-            ).ravel()
-            v_weights = np.concatenate([self.datasets[s].v for s in chunk])
-            f_weights = np.concatenate([self.datasets[s].f for s in chunk])
-            minlength = len(chunk) * capacity
-            v_all = np.bincount(
-                stacked_keys, weights=v_weights, minlength=minlength
-            ).reshape(len(chunk), capacity)
-            f_all = np.bincount(
-                stacked_keys, weights=f_weights, minlength=minlength
-            ).reshape(len(chunk), capacity)
+            v_all, f_all = self.backend.stacked_weighted(
+                keys,
+                capacity,
+                [
+                    [self.datasets[s].v for s in chunk],
+                    [self.datasets[s].f for s in chunk],
+                ],
+            )
             if _trace.ACTIVE:
                 obs.inc("stacked_bincount_passes_total", 2, kind="values")
             v_sums[start : start + len(chunk)] = v_all[:, shape.occupied]
@@ -448,12 +440,12 @@ class StackedCaseEngine:
     def classification_powers(self) -> np.ndarray:
         """CP of every attribute for every case, shape ``(n_cases, n_attributes)``.
 
-        The per-attribute support/anomalous bincounts are layer-1 cuboid
-        aggregates and come from one stacked pass; the entropy math then
-        replays the exact serial expressions of
-        :func:`~repro.core.classification_power.classification_power` per
-        case on the shared count arrays, so every CP value is bitwise
-        equal to the serial computation.
+        The per-attribute support/anomalous counts are layer-1 cuboid
+        aggregates and come from one stacked pass on the active backend;
+        the entropy reduction is the shared batch-invariant
+        :func:`~repro.core.classification_power.cp_powers_from_counts`,
+        so every CP value is bitwise equal to the serial
+        :func:`~repro.core.classification_power.classification_power`.
         """
         n = self.n_rows
         n_attributes = self.schema.n_attributes
@@ -463,31 +455,21 @@ class StackedCaseEngine:
         slots = list(range(self.n_cases))
         cuboids = [Cuboid((i,)) for i in range(n_attributes)]
         layer = self.layer_counts(cuboids, slots)
-        info_d = [
-            binary_entropy(self.n_anomalous(slot) / n) for slot in slots
-        ]
+        info_d = np.array(
+            [binary_entropy(self.n_anomalous(slot) / n) for slot in slots]
+        )
         for attr_index, entry in enumerate(layer):
             size = self.schema.size(attr_index)
             shape = self._shapes[(attr_index,)]
-            # Serial classification_power works on full-capacity arrays
-            # (zeros at unoccupied codes); scatter the shared counts back.
+            # cp_powers_from_counts expects full-capacity arrays (zeros
+            # at unoccupied codes); scatter the shared counts back.
             support = np.zeros(size)
             support[shape.occupied] = shape.support
-            occupied = support > 0
-            support_over_n = support / n
-            for row, slot in enumerate(slots):
-                if info_d[slot] == 0.0:
-                    continue
-                anomalous = np.zeros(size)
-                anomalous[shape.occupied] = entry.anomalous[row]
-                p_a = np.zeros(size)
-                p_a[occupied] = anomalous[occupied] / support[occupied]
-                branch_entropy = np.zeros(size)
-                for p in (p_a, 1.0 - p_a):
-                    positive = occupied & (p > 0.0)
-                    branch_entropy[positive] -= p[positive] * np.log(p[positive])
-                info_attr = float(support_over_n @ branch_entropy)
-                powers[slot, attr_index] = (info_d[slot] - info_attr) / info_d[slot]
+            anomalous = np.zeros((len(slots), size))
+            anomalous[:, shape.occupied] = entry.anomalous
+            powers[:, attr_index] = cp_powers_from_counts(
+                support, anomalous, n, info_d
+            )
         return powers
 
     def attribute_deletions(self, t_cp: float) -> List[AttributeDeletionResult]:

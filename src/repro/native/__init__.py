@@ -1,0 +1,45 @@
+"""Compiled kernel backend for the hot aggregation trio.
+
+One dependency-free C file (``kernels.c``) implements the three hot
+kernels — fused layer aggregation, the case-stacked variant and the
+streaming delta patch — compiled on first use through
+:mod:`repro.native.build` and selected through the backend registry of
+:mod:`repro.native.backend`.  Results are bitwise identical to the
+numpy reference backend; when the host cannot build the library the
+registry degrades to numpy with a single :class:`RuntimeWarning`.
+
+Selection: ``RAPMinerConfig(backend=...)`` / ``repro --backend`` /
+``RAPMINER_BACKEND`` env var / ``auto`` (native when buildable).  See
+``docs/operational.md`` for the precedence table and cache location.
+"""
+
+from .backend import (
+    BACKEND_NAMES,
+    FALLBACK_EVENTS,
+    KernelBackend,
+    NativeBackend,
+    NumpyBackend,
+    backend_info,
+    coerce_backend,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from .build import ABI_VERSION, NativeBuildError, cache_root, find_compiler
+
+__all__ = [
+    "ABI_VERSION",
+    "BACKEND_NAMES",
+    "FALLBACK_EVENTS",
+    "KernelBackend",
+    "NativeBackend",
+    "NativeBuildError",
+    "NumpyBackend",
+    "backend_info",
+    "cache_root",
+    "coerce_backend",
+    "find_compiler",
+    "get_default_backend",
+    "resolve_backend",
+    "set_default_backend",
+]

@@ -1,0 +1,253 @@
+"""Compile-on-first-use loader for the native kernel library.
+
+``kernels.c`` ships as plain source — no wheels, no build backend, no
+Numba/Cython — and is compiled with the host's C compiler into a shared
+library cached under the user cache directory, keyed by a content hash
+of the source, the compile flags, the compiler identity and the ABI
+version.  The cache survives across processes and sessions; any change
+to the inputs lands in a fresh directory, so a stale library can never
+be loaded.  A corrupt cache entry (truncated file, wrong architecture,
+missing or mismatched ABI symbol) is deleted and rebuilt once rather
+than loaded.
+
+Nothing in here raises at import time: the only entry points are
+functions, and every failure mode surfaces as :class:`NativeBuildError`
+for the backend registry to turn into a numpy fallback.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "ABI_VERSION",
+    "CFLAGS",
+    "NativeBuildError",
+    "cache_root",
+    "compiler_version",
+    "find_compiler",
+    "library_path",
+    "load_library",
+    "source_path",
+]
+
+#: Bumped whenever a kernel signature changes; checked against the
+#: ``rapminer_abi_version`` symbol of a cached library before use.
+ABI_VERSION = 1
+
+#: ``-ffp-contract=off`` forbids FMA contraction so the float lanes
+#: accumulate with exactly numpy's scalar rounding; no ``-ffast-math``
+#: for the same reason.
+CFLAGS: Tuple[str, ...] = ("-O3", "-fPIC", "-shared", "-ffp-contract=off")
+
+_COMPILER_CANDIDATES = ("cc", "gcc", "clang")
+
+#: Exported kernels and their ctypes signatures (all pointers as
+#: ``c_void_p``; wrappers pass ``array.ctypes.data``).
+_SIGNATURES: Dict[str, int] = {
+    "rapminer_fused_batch": 15,
+    "rapminer_fused_bincount": 6,
+    "rapminer_count_bincount": 4,
+    "rapminer_weighted_bincount": 5,
+    "rapminer_stacked_anomalous": 8,
+    "rapminer_stacked_weighted": 6,
+    "rapminer_delta_patch": 14,
+}
+
+
+class NativeBuildError(RuntimeError):
+    """The native backend cannot be built or loaded on this host.
+
+    ``reason`` is a short label suitable for the
+    ``engine_backend_fallback_total{reason}`` counter.
+    """
+
+    def __init__(self, message: str, reason: str = "build_failed"):
+        super().__init__(message)
+        self.reason = reason
+
+
+def source_path() -> Path:
+    return Path(__file__).with_name("kernels.c")
+
+
+def find_compiler() -> Optional[str]:
+    """Path of the C compiler to use, or ``None`` when the host has none.
+
+    ``RAPMINER_CC`` overrides discovery (useful to pin a compiler or, set
+    to a non-existent path, to exercise the fallback); otherwise the
+    first of ``cc``/``gcc``/``clang`` on ``PATH`` wins.
+    """
+    override = os.environ.get("RAPMINER_CC")
+    if override:
+        return shutil.which(override) or (
+            override if Path(override).is_file() else None
+        )
+    for candidate in _COMPILER_CANDIDATES:
+        found = shutil.which(candidate)
+        if found:
+            return found
+    return None
+
+
+def compiler_version(compiler: str) -> str:
+    """First line of ``<compiler> --version`` (``"unknown"`` on failure)."""
+    try:
+        probe = subprocess.run(
+            [compiler, "--version"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    first = (probe.stdout or probe.stderr).splitlines()
+    return first[0].strip() if first else "unknown"
+
+
+def cache_root() -> Path:
+    """Build-cache directory: ``$RAPMINER_NATIVE_CACHE`` or
+    ``${XDG_CACHE_HOME:-~/.cache}/rapminer/native``."""
+    override = os.environ.get("RAPMINER_NATIVE_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "rapminer" / "native"
+
+
+def _content_digest(source: str, compiler: str, version: str) -> str:
+    hasher = hashlib.sha256()
+    for part in (
+        source,
+        "\x00".join(CFLAGS),
+        compiler,
+        version,
+        f"abi={ABI_VERSION}",
+    ):
+        hasher.update(part.encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()[:16]
+
+
+def library_path(compiler: str, version: str) -> Path:
+    """Cache path of the library for this (source, flags, compiler) tuple."""
+    digest = _content_digest(source_path().read_text(), compiler, version)
+    return cache_root() / f"librapminer-{digest}.so"
+
+
+def _compile(compiler: str, target: Path) -> float:
+    """Compile the kernels into *target* atomically; returns seconds."""
+    target.parent.mkdir(parents=True, exist_ok=True)
+    started = time.perf_counter()
+    handle, temp_name = tempfile.mkstemp(
+        suffix=".so", prefix=target.stem + ".", dir=target.parent
+    )
+    os.close(handle)
+    command: List[str] = [
+        compiler,
+        *CFLAGS,
+        "-o",
+        temp_name,
+        str(source_path()),
+    ]
+    try:
+        result = subprocess.run(
+            command, capture_output=True, text=True, timeout=120, check=False
+        )
+        if result.returncode != 0:
+            raise NativeBuildError(
+                f"{compiler} failed (exit {result.returncode}): "
+                f"{result.stderr.strip() or result.stdout.strip()}",
+                reason="compile_failed",
+            )
+        os.replace(temp_name, target)
+    except (OSError, subprocess.SubprocessError) as exc:
+        raise NativeBuildError(
+            f"could not run {compiler}: {exc}", reason="compiler_unavailable"
+        ) from exc
+    finally:
+        if os.path.exists(temp_name):
+            os.unlink(temp_name)
+    return time.perf_counter() - started
+
+
+def _validate(library: ctypes.CDLL) -> None:
+    """Raise unless *library* exports the expected ABI and symbols."""
+    try:
+        probe = library.rapminer_abi_version
+    except AttributeError as exc:
+        raise NativeBuildError(
+            "library lacks rapminer_abi_version", reason="invalid_library"
+        ) from exc
+    probe.restype = ctypes.c_int64
+    probe.argtypes = []
+    found = int(probe())
+    if found != ABI_VERSION:
+        raise NativeBuildError(
+            f"library ABI {found} does not match expected {ABI_VERSION}",
+            reason="invalid_library",
+        )
+    for name in _SIGNATURES:
+        if not hasattr(library, name):
+            raise NativeBuildError(
+                f"library lacks kernel symbol {name}", reason="invalid_library"
+            )
+        handle = getattr(library, name)
+        handle.restype = ctypes.c_int
+        handle.argtypes = None  # varied scalars/pointers; wrappers coerce
+
+
+def load_library() -> Tuple[ctypes.CDLL, Dict[str, object]]:
+    """Load (building if needed) the kernel library.
+
+    Returns ``(library, info)`` where ``info`` records the compiler, its
+    version banner, the cache path and the compile time (``0.0`` on a
+    cache hit).  Raises :class:`NativeBuildError` when the host has no
+    compiler, the compile fails, or a rebuilt library is still invalid.
+    """
+    compiler = find_compiler()
+    if compiler is None:
+        raise NativeBuildError(
+            "no C compiler found (looked for $RAPMINER_CC, cc, gcc, clang)",
+            reason="no_compiler",
+        )
+    version = compiler_version(compiler)
+    target = library_path(compiler, version)
+    compile_seconds = 0.0
+    if not target.is_file():
+        compile_seconds = _compile(compiler, target)
+    try:
+        library = ctypes.CDLL(str(target))
+        _validate(library)
+    except (OSError, NativeBuildError):
+        # Corrupt or stale cache entry: rebuild once rather than load it.
+        try:
+            target.unlink()
+        except OSError:
+            pass
+        compile_seconds = _compile(compiler, target)
+        try:
+            library = ctypes.CDLL(str(target))
+        except OSError as exc:
+            raise NativeBuildError(
+                f"rebuilt library failed to load: {exc}", reason="load_failed"
+            ) from exc
+        _validate(library)
+    info: Dict[str, object] = {
+        "compiler": compiler,
+        "compiler_version": version,
+        "library": str(target),
+        "compile_seconds": compile_seconds,
+        "abi_version": ABI_VERSION,
+    }
+    return library, info

@@ -1,0 +1,255 @@
+/* Native kernels for the hot aggregation trio (see docs/architecture.md).
+ *
+ * Contract with the numpy reference backend (repro/native/backend.py):
+ *
+ *   - All index/key/count buffers are C-contiguous int64; all value
+ *     buffers are C-contiguous float64.  Output buffers arrive zeroed.
+ *   - Per-bucket float additions happen in ascending row order within
+ *     each disjoint key block, exactly as ``np.bincount`` accumulates,
+ *     so the float lanes are bit-identical to the numpy path (every
+ *     bucket is touched by exactly one block/case, and rows are walked
+ *     ascending).  Integer lanes are exact in any order.
+ *   - Every computed key is bounds-checked against its dense capacity;
+ *     kernels return RAP_E_KEY_RANGE instead of writing out of bounds
+ *     (the Python wrapper raises — this never fires for keys produced
+ *     by the engine's validated geometry).
+ *   - No libm calls: the entropy math stays in (batch-invariant) numpy
+ *     because SIMD ``np.log`` is not bit-identical to libm ``log``.
+ *
+ * Compiled with ``cc -O3 -fPIC -shared -ffp-contract=off`` by
+ * repro/native/build.py; -ffp-contract=off forbids FMA contraction so
+ * accumulation rounding matches numpy's scalar adds.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+
+#define RAPMINER_ABI_VERSION 1
+
+#define RAP_OK 0
+#define RAP_E_KEY_RANGE (-1)
+#define RAP_E_ALLOC (-2)
+
+int64_t rapminer_abi_version(void) { return RAPMINER_ABI_VERSION; }
+
+/* Per-block compressed stride plan: the attribute positions with a
+ * non-zero stride for one cuboid column of the stride matrix. */
+typedef struct {
+    int64_t n_terms;
+    const int64_t *attrs;   /* into a shared scratch buffer */
+    const int64_t *strides;
+} block_plan;
+
+static int build_plans(const int64_t *stride_matrix, int64_t n_attrs,
+                       int64_t n_blocks, block_plan *plans,
+                       int64_t **scratch_out) {
+    int64_t *scratch = malloc((size_t)(2 * n_attrs * n_blocks) * sizeof(int64_t));
+    if (scratch == NULL && n_attrs * n_blocks > 0) return RAP_E_ALLOC;
+    int64_t used = 0;
+    for (int64_t j = 0; j < n_blocks; j++) {
+        int64_t *attrs = scratch + used;
+        int64_t *strides = scratch + used + n_attrs;
+        int64_t n_terms = 0;
+        for (int64_t a = 0; a < n_attrs; a++) {
+            int64_t stride = stride_matrix[a * n_blocks + j];
+            if (stride != 0) {
+                attrs[n_terms] = a;
+                strides[n_terms] = stride;
+                n_terms++;
+            }
+        }
+        plans[j].n_terms = n_terms;
+        plans[j].attrs = attrs;
+        plans[j].strides = strides;
+        used += 2 * n_attrs;
+    }
+    *scratch_out = scratch;
+    return RAP_OK;
+}
+
+static inline int64_t row_key(const int64_t *row, const block_plan *plan) {
+    int64_t key = 0;
+    for (int64_t t = 0; t < plan->n_terms; t++)
+        key += row[plan->attrs[t]] * plan->strides[t];
+    return key;
+}
+
+/* Kernel 1 — fused layer aggregation: support, anomalous support and the
+ * v/f sums of every cuboid of one batched pass, in one walk over the
+ * rows per cuboid (no key concatenation, no weight tiling). */
+int rapminer_fused_batch(
+    const int64_t *codes, int64_t n_rows, int64_t n_attrs,
+    const int64_t *stride_matrix,   /* n_attrs x n_blocks */
+    const int64_t *offsets,         /* n_blocks */
+    int64_t n_blocks, int64_t total,
+    const int64_t *label_rows, int64_t n_label_rows,
+    const double *v, const double *f,
+    int64_t *support, int64_t *anomalous, double *v_sum, double *f_sum) {
+    block_plan plans_stack[16];
+    block_plan *plans = plans_stack;
+    if (n_blocks > 16) {
+        plans = malloc((size_t)n_blocks * sizeof(block_plan));
+        if (plans == NULL) return RAP_E_ALLOC;
+    }
+    int64_t *scratch = NULL;
+    int status = build_plans(stride_matrix, n_attrs, n_blocks, plans, &scratch);
+    if (status == RAP_OK) {
+        for (int64_t j = 0; j < n_blocks && status == RAP_OK; j++) {
+            const block_plan *plan = &plans[j];
+            const int64_t base = offsets[j];
+            for (int64_t i = 0; i < n_rows; i++) {
+                int64_t key = base + row_key(codes + i * n_attrs, plan);
+                if ((uint64_t)key >= (uint64_t)total) {
+                    status = RAP_E_KEY_RANGE;
+                    break;
+                }
+                support[key] += 1;
+                v_sum[key] += v[i];
+                f_sum[key] += f[i];
+            }
+            for (int64_t r = 0; r < n_label_rows && status == RAP_OK; r++) {
+                int64_t i = label_rows[r];
+                int64_t key = base + row_key(codes + i * n_attrs, plan);
+                if ((uint64_t)key >= (uint64_t)total) {
+                    status = RAP_E_KEY_RANGE;
+                    break;
+                }
+                anomalous[key] += 1;
+            }
+        }
+    }
+    free(scratch);
+    if (plans != plans_stack) free(plans);
+    return status;
+}
+
+/* Kernel 1b — stacked-weights bincount (the roll-up fast path): lane l
+ * of bucket k accumulates weights[l][i] over rows with keys[i] == k,
+ * ascending i, matching the interleaved-key numpy formulation. */
+int rapminer_fused_bincount(
+    const int64_t *keys, int64_t n,
+    const double *weights,          /* lanes x n */
+    int64_t lanes, int64_t capacity,
+    double *out) {                  /* capacity x lanes */
+    for (int64_t i = 0; i < n; i++) {
+        int64_t key = keys[i];
+        if ((uint64_t)key >= (uint64_t)capacity) return RAP_E_KEY_RANGE;
+        double *row = out + key * lanes;
+        for (int64_t l = 0; l < lanes; l++)
+            row[l] += weights[l * n + i];
+    }
+    return RAP_OK;
+}
+
+int rapminer_count_bincount(
+    const int64_t *keys, int64_t n, int64_t capacity, int64_t *out) {
+    for (int64_t i = 0; i < n; i++) {
+        int64_t key = keys[i];
+        if ((uint64_t)key >= (uint64_t)capacity) return RAP_E_KEY_RANGE;
+        out[key] += 1;
+    }
+    return RAP_OK;
+}
+
+int rapminer_weighted_bincount(
+    const int64_t *keys, int64_t n, const double *weights,
+    int64_t capacity, double *out) {
+    for (int64_t i = 0; i < n; i++) {
+        int64_t key = keys[i];
+        if ((uint64_t)key >= (uint64_t)capacity) return RAP_E_KEY_RANGE;
+        out[key] += weights[i];
+    }
+    return RAP_OK;
+}
+
+/* Kernel 2 — case-stacked anomalous supports: every (case, cuboid,
+ * group) count of one chunk in a single pass, keyed by
+ * ``case * total_capacity + offsets[cuboid] + linear_key`` without
+ * materializing the stacked key matrix. */
+int rapminer_stacked_anomalous(
+    const int64_t *const *key_columns, int64_t n_cuboids,
+    const int64_t *offsets,          /* per cuboid */
+    int64_t total_capacity,
+    const int64_t *rows_cat,         /* concatenated per-case label rows */
+    const int64_t *lengths, int64_t n_cases,
+    int64_t *out) {                  /* n_cases x total_capacity */
+    int64_t position = 0;
+    for (int64_t c = 0; c < n_cases; c++) {
+        int64_t *case_out = out + c * total_capacity;
+        const int64_t stop = position + lengths[c];
+        for (int64_t j = 0; j < n_cuboids; j++) {
+            const int64_t *keys = key_columns[j];
+            const int64_t base = offsets[j];
+            for (int64_t p = position; p < stop; p++) {
+                int64_t key = base + keys[rows_cat[p]];
+                if ((uint64_t)key >= (uint64_t)total_capacity)
+                    return RAP_E_KEY_RANGE;
+                case_out[key] += 1;
+            }
+        }
+        position = stop;
+    }
+    return RAP_OK;
+}
+
+/* Kernel 2b — case-stacked weighted sums (the v/f lanes of
+ * StackedCaseEngine.aggregates): case-major, ascending leaf-row order
+ * per case, so per-bucket float additions replay a cold per-case
+ * engine's order exactly. */
+int rapminer_stacked_weighted(
+    const int64_t *keys, int64_t n_rows, int64_t capacity,
+    const double *const *weight_rows, int64_t n_cases,
+    double *out) {                   /* n_cases x capacity */
+    for (int64_t c = 0; c < n_cases; c++) {
+        const double *weights = weight_rows[c];
+        double *case_out = out + c * capacity;
+        for (int64_t i = 0; i < n_rows; i++) {
+            int64_t key = keys[i];
+            if ((uint64_t)key >= (uint64_t)capacity) return RAP_E_KEY_RANGE;
+            case_out[key] += weights[i];
+        }
+    }
+    return RAP_OK;
+}
+
+/* Kernel 3 — streaming delta patch: dense per-group deltas of every
+ * cached cuboid from the changed rows only (subtract-old/add-new folded
+ * into the precomputed v/f delta columns by the caller). */
+int rapminer_delta_patch(
+    const int64_t *codes, int64_t n_rows, int64_t n_attrs,
+    const int64_t *stride_matrix,   /* n_attrs x n_blocks */
+    const int64_t *offsets, int64_t n_blocks, int64_t total,
+    const uint8_t *gained, const uint8_t *lost, int64_t have_labels,
+    const double *v_delta, const double *f_delta,
+    int64_t *anomalous_delta, double *v_dense, double *f_dense) {
+    block_plan plans_stack[16];
+    block_plan *plans = plans_stack;
+    if (n_blocks > 16) {
+        plans = malloc((size_t)n_blocks * sizeof(block_plan));
+        if (plans == NULL) return RAP_E_ALLOC;
+    }
+    int64_t *scratch = NULL;
+    int status = build_plans(stride_matrix, n_attrs, n_blocks, plans, &scratch);
+    if (status == RAP_OK) {
+        for (int64_t j = 0; j < n_blocks && status == RAP_OK; j++) {
+            const block_plan *plan = &plans[j];
+            const int64_t base = offsets[j];
+            for (int64_t i = 0; i < n_rows; i++) {
+                int64_t key = base + row_key(codes + i * n_attrs, plan);
+                if ((uint64_t)key >= (uint64_t)total) {
+                    status = RAP_E_KEY_RANGE;
+                    break;
+                }
+                v_dense[key] += v_delta[i];
+                f_dense[key] += f_delta[i];
+                if (have_labels) {
+                    if (gained[i]) anomalous_delta[key] += 1;
+                    if (lost[i]) anomalous_delta[key] -= 1;
+                }
+            }
+        }
+    }
+    free(scratch);
+    if (plans != plans_stack) free(plans);
+    return status;
+}

@@ -1,0 +1,209 @@
+"""Compile, verify and micro-time the native kernels.
+
+``python -m repro.native.selfcheck`` (the ``make kernels-check``
+entry point) builds the library strictly (no silent numpy fallback),
+runs randomized bitwise-equivalence spot checks of every kernel against
+the numpy reference backend, and prints per-kernel micro-timings so a
+regression in either correctness or speed is visible from one command.
+
+Exit status: 0 when every kernel matches bitwise, non-zero otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from .backend import NumpyBackend, resolve_backend
+
+#: (rows, attrs, sizes) grid the spot checks draw from.
+_SHAPES = [
+    (616, 4, (33, 4, 4, 20)),
+    (2000, 5, (7, 5, 4, 3, 6)),
+    (97, 3, (5, 3, 2)),
+]
+
+
+def _random_inputs(rng: np.random.Generator, n_rows: int, sizes) -> dict:
+    n_attrs = len(sizes)
+    codes = np.stack(
+        [rng.integers(0, size, size=n_rows) for size in sizes], axis=1
+    ).astype(np.int64)
+    labels = rng.random(n_rows) < 0.2
+    strides = [1] * n_attrs
+    for i in range(n_attrs - 2, -1, -1):
+        strides[i] = strides[i + 1] * sizes[i + 1]
+    # Two blocks: the full cuboid and the first attribute alone.
+    stride_matrix = np.zeros((n_attrs, 2), dtype=np.int64)
+    stride_matrix[:, 0] = strides
+    stride_matrix[0, 1] = 1
+    total_full = int(np.prod(sizes))
+    offsets = np.array([0, total_full], dtype=np.int64)
+    return {
+        "codes": codes,
+        "labels": labels,
+        "label_rows": np.flatnonzero(labels),
+        "v": rng.random(n_rows),
+        "f": rng.random(n_rows),
+        "stride_matrix": stride_matrix,
+        "offsets": offsets,
+        "total": total_full + sizes[0],
+        "keys": (codes @ stride_matrix[:, :1]).ravel(),
+        "capacity": total_full,
+    }
+
+
+def _check(name: str, numpy_out, native_out) -> List[str]:
+    problems: List[str] = []
+    numpy_list = numpy_out if isinstance(numpy_out, (tuple, list)) else [numpy_out]
+    native_list = native_out if isinstance(native_out, (tuple, list)) else [native_out]
+    for lane, (a, b) in enumerate(zip(numpy_list, native_list)):
+        if a is None and b is None:
+            continue
+        if a is None or b is None:
+            problems.append(f"{name}[lane {lane}]: one backend returned None")
+            continue
+        if not np.array_equal(np.asarray(a), np.asarray(b)):
+            problems.append(f"{name}[lane {lane}]: outputs differ bitwise")
+    return problems
+
+
+def _time(call: Callable[[], object], repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        call()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_selfcheck(verbose: bool = True) -> int:
+    try:
+        native = resolve_backend("native", strict=True)
+    except Exception as exc:  # NativeBuildError or loader failure
+        print(f"selfcheck: cannot build native backend: {exc}", file=sys.stderr)
+        return 2
+    reference = NumpyBackend()
+    info = native.info()
+    if verbose:
+        print(f"backend: {info.get('backend')}")
+        print(f"compiler: {info.get('compiler')} ({info.get('compiler_version')})")
+        print(f"library: {info.get('library')}")
+        print(f"compile_seconds: {info.get('compile_seconds'):.3f}")
+
+    problems: List[str] = []
+    timings: List[Tuple[str, float, float]] = []
+    rng = np.random.default_rng(7)
+    for n_rows, __, sizes in _SHAPES:
+        data = _random_inputs(rng, n_rows, sizes)
+        cases: List[Tuple[str, Callable[[], object], Callable[[], object]]] = [
+            (
+                "fused_batch",
+                lambda b=reference, d=data: b.fused_batch(
+                    d["codes"], d["stride_matrix"], d["offsets"], d["total"],
+                    d["label_rows"], d["v"], d["f"],
+                ),
+                lambda b=native, d=data: b.fused_batch(
+                    d["codes"], d["stride_matrix"], d["offsets"], d["total"],
+                    d["label_rows"], d["v"], d["f"],
+                ),
+            ),
+            (
+                "fused_bincount",
+                lambda b=reference, d=data: b.fused_bincount(
+                    d["keys"], (d["v"], d["f"], d["v"] + d["f"], d["v"] - d["f"]),
+                    d["capacity"],
+                ),
+                lambda b=native, d=data: b.fused_bincount(
+                    d["keys"], (d["v"], d["f"], d["v"] + d["f"], d["v"] - d["f"]),
+                    d["capacity"],
+                ),
+            ),
+            (
+                "stacked_anomalous",
+                lambda b=reference, d=data: b.stacked_anomalous(
+                    [d["keys"], d["codes"][:, 0].copy()],
+                    [0, d["capacity"]],
+                    d["total"],
+                    np.concatenate([d["label_rows"]] * 3),
+                    [d["label_rows"].size] * 3,
+                ),
+                lambda b=native, d=data: b.stacked_anomalous(
+                    [d["keys"], d["codes"][:, 0].copy()],
+                    [0, d["capacity"]],
+                    d["total"],
+                    np.concatenate([d["label_rows"]] * 3),
+                    [d["label_rows"].size] * 3,
+                ),
+            ),
+            (
+                "stacked_weighted",
+                lambda b=reference, d=data: b.stacked_weighted(
+                    d["keys"], d["capacity"],
+                    [[d["v"], d["f"], d["v"]], [d["f"], d["v"], d["f"]]],
+                ),
+                lambda b=native, d=data: b.stacked_weighted(
+                    d["keys"], d["capacity"],
+                    [[d["v"], d["f"], d["v"]], [d["f"], d["v"], d["f"]]],
+                ),
+            ),
+            (
+                "delta_patch",
+                lambda b=reference, d=data: b.delta_patch(
+                    d["codes"][: n_rows // 2],
+                    d["stride_matrix"], d["offsets"], d["total"],
+                    d["labels"][: n_rows // 2],
+                    ~d["labels"][: n_rows // 2],
+                    d["v"][: n_rows // 2], d["f"][: n_rows // 2],
+                ),
+                lambda b=native, d=data: b.delta_patch(
+                    d["codes"][: n_rows // 2],
+                    d["stride_matrix"], d["offsets"], d["total"],
+                    d["labels"][: n_rows // 2],
+                    ~d["labels"][: n_rows // 2],
+                    d["v"][: n_rows // 2], d["f"][: n_rows // 2],
+                ),
+            ),
+            (
+                "count_bincount",
+                lambda b=reference, d=data: b.count_bincount(d["keys"], d["capacity"]),
+                lambda b=native, d=data: b.count_bincount(d["keys"], d["capacity"]),
+            ),
+            (
+                "weighted_bincount",
+                lambda b=reference, d=data: b.weighted_bincount(
+                    d["keys"], d["v"], d["capacity"]
+                ),
+                lambda b=native, d=data: b.weighted_bincount(
+                    d["keys"], d["v"], d["capacity"]
+                ),
+            ),
+        ]
+        for name, numpy_call, native_call in cases:
+            problems.extend(_check(f"{name}@{sizes}", numpy_call(), native_call()))
+            timings.append(
+                (f"{name}@{n_rows}x{len(sizes)}", _time(numpy_call), _time(native_call))
+            )
+
+    if verbose:
+        print(f"\n{'kernel':<28} {'numpy':>10} {'native':>10} {'speedup':>8}")
+        for name, numpy_s, native_s in timings:
+            ratio = numpy_s / native_s if native_s > 0 else float("inf")
+            print(
+                f"{name:<28} {numpy_s * 1e6:>8.1f}us {native_s * 1e6:>8.1f}us "
+                f"{ratio:>7.2f}x"
+            )
+    if problems:
+        for problem in problems:
+            print(f"MISMATCH: {problem}", file=sys.stderr)
+        return 1
+    if verbose:
+        print(f"\nall {len(timings)} kernel checks bitwise-equal across backends")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run_selfcheck())

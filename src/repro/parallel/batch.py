@@ -60,6 +60,7 @@ from .. import obs
 from ..core.engine import AggregationEngine, engine_for, install_engine
 from ..data.injection import LocalizationCase
 from ..metrics.timing import time_localization
+from ..native import get_default_backend, set_default_backend
 from ..obs import trace as _trace
 from .shm import SharedCaseStore
 
@@ -229,6 +230,12 @@ def _run_shard(payload: Dict) -> Tuple[List[Tuple], Optional[List[Dict]]]:
     collector = _trace.Collector() if payload["collect"] else None
     if collector is not None:
         _trace.install(collector)
+    # Pin the parent's kernel backend: a spawn-started worker re-reads the
+    # environment only, so an explicitly selected backend would be lost
+    # (and shard results would mix backends in telemetry).  The compiled
+    # library comes from the shared on-disk cache, so this never re-compiles.
+    if payload.get("backend"):
+        set_default_backend(payload["backend"])
     try:
         if payload["transport"] == "shm":
             spec = payload["spec"]
@@ -473,6 +480,7 @@ def batch_localize(
         "warm_engines": config.warm_engines,
         "collect": collect,
         "vectorized": worker_vectorized,
+        "backend": get_default_backend().name,
     }
     store = None
     if config.transport == "shm":

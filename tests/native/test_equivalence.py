@@ -1,0 +1,281 @@
+"""Bitwise equivalence: native C kernels vs the numpy reference backend.
+
+The native backend's whole contract is that switching it on changes
+*nothing* but wall time: every kernel output, every CP value, every
+attribute-deletion decision, every ranked candidate and every streamed
+delta tick must be bitwise identical to the numpy reference.  These
+tests pin that contract over a randomized schema grid plus the dtype
+and degenerate boundaries (unsigned key promotion, empty layers,
+all-anomalous labels) where a C implementation could silently diverge.
+
+Skipped wholesale on hosts that cannot build the library — the
+registry-level fallback behaviour is covered in ``test_backend.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.classification_power import (
+    classification_power,
+    delete_redundant_attributes,
+)
+from repro.core.config import RAPMinerConfig
+from repro.core.engine import engine_for
+from repro.core.incremental import StreamingRAPMiner
+from repro.core.miner import RAPMiner
+from repro.data.dataset import FineGrainedDataset
+from repro.data.schema import schema_from_sizes
+from repro.native import NumpyBackend, resolve_backend
+
+#: (sizes, n_rows) grid the randomized checks draw from.
+GRID = [
+    ((3, 2, 2), 40),
+    ((4, 3, 3, 2), 150),
+    ((5, 2), 17),
+    ((6, 5, 4, 3), 400),
+]
+
+reference = NumpyBackend()
+
+
+@pytest.fixture(scope="module")
+def native():
+    try:
+        return resolve_backend("native", strict=True)
+    except Exception as exc:
+        pytest.skip(f"native backend unavailable on this host: {exc}")
+
+
+def _full_lattice_plans(sizes):
+    """Stride matrix + offsets covering every cuboid (engine plan shape)."""
+    n_attrs = len(sizes)
+    stride_rows, offsets = [], [0]
+    for layer in range(1, n_attrs + 1):
+        for subset in itertools.combinations(range(n_attrs), layer):
+            strides = [0] * n_attrs
+            stride = 1
+            for attr in reversed(subset):
+                strides[attr] = stride
+                stride *= sizes[attr]
+            stride_rows.append(strides)
+            offsets.append(offsets[-1] + stride)
+    matrix = np.ascontiguousarray(np.array(stride_rows, dtype=np.int64).T)
+    return matrix, np.array(offsets[:-1], dtype=np.int64), offsets[-1]
+
+
+def _random_dataset(rng, sizes, n_rows, label_p=0.2):
+    schema = schema_from_sizes(list(sizes))
+    codes = np.stack(
+        [rng.integers(0, size, size=n_rows) for size in sizes], axis=1
+    ).astype(np.int64)
+    labels = rng.random(n_rows) < label_p
+    return FineGrainedDataset(
+        schema, codes, rng.random(n_rows), rng.random(n_rows), labels
+    )
+
+
+def _fresh_copy(dataset):
+    """Fresh dataset object over the same buffers (no cached engine)."""
+    return FineGrainedDataset(
+        dataset.schema, dataset.codes, dataset.v, dataset.f, dataset.labels
+    )
+
+
+def _assert_lanes_equal(kernel, numpy_out, native_out):
+    numpy_list = numpy_out if isinstance(numpy_out, (tuple, list)) else [numpy_out]
+    native_list = native_out if isinstance(native_out, (tuple, list)) else [native_out]
+    assert len(numpy_list) == len(native_list)
+    for lane, (a, b) in enumerate(zip(numpy_list, native_list)):
+        if a is None or b is None:
+            assert a is None and b is None, f"{kernel} lane {lane}: one None"
+            continue
+        a, b = np.asarray(a), np.asarray(b)
+        assert a.dtype == b.dtype, f"{kernel} lane {lane}: dtype diverged"
+        assert np.array_equal(a, b), f"{kernel} lane {lane}: bitwise diverged"
+
+
+# -- kernel-level grid -------------------------------------------------------
+
+
+@pytest.mark.parametrize("sizes,n_rows", GRID)
+@pytest.mark.parametrize("seed", [0, 7])
+def test_kernel_grid_bitwise(native, sizes, n_rows, seed):
+    rng = np.random.default_rng(seed)
+    dataset = _random_dataset(rng, sizes, n_rows)
+    codes, v, f = dataset.codes, dataset.v, dataset.f
+    label_rows = np.flatnonzero(dataset.labels)
+    matrix, offsets, total = _full_lattice_plans(sizes)
+    capacity = int(np.prod(sizes))
+    keys = np.ascontiguousarray(codes @ matrix[:, -1])
+
+    for kernel, args in {
+        "fused_batch": (codes, matrix, offsets, total, label_rows, v, f),
+        "fused_bincount": (keys, (v, f, v + f, v * f), capacity),
+        "count_bincount": (keys, capacity),
+        "weighted_bincount": (keys, f, capacity),
+        "stacked_anomalous": (
+            [np.ascontiguousarray(codes[:, a]) for a in range(len(sizes))],
+            np.cumsum([0] + list(sizes[:-1])).tolist(),
+            int(sum(sizes)),
+            np.concatenate([label_rows] * 3),
+            [label_rows.size] * 3,
+        ),
+        "stacked_weighted": (keys, capacity, [[v, f, v], [f, v, f]]),
+    }.items():
+        _assert_lanes_equal(
+            kernel, getattr(reference, kernel)(*args), getattr(native, kernel)(*args)
+        )
+
+    changed = rng.random(n_rows) < 0.3
+    gained = dataset.labels & changed
+    lost = ~dataset.labels & changed
+    delta_args = (codes, matrix, offsets, total, gained, lost, v - f, f - v)
+    _assert_lanes_equal(
+        "delta_patch", reference.delta_patch(*delta_args), native.delta_patch(*delta_args)
+    )
+
+
+# -- dtype and degenerate boundaries -----------------------------------------
+
+
+def test_unsigned_and_narrow_keys_promote_identically(native):
+    rng = np.random.default_rng(11)
+    for dtype in (np.uint32, np.int32, np.uint16):
+        keys = rng.integers(0, 50, size=200).astype(dtype)
+        weights = rng.random(200)
+        _assert_lanes_equal(
+            f"count[{dtype}]",
+            reference.count_bincount(keys, 50),
+            native.count_bincount(keys, 50),
+        )
+        _assert_lanes_equal(
+            f"weighted[{dtype}]",
+            reference.weighted_bincount(keys, weights, 50),
+            native.weighted_bincount(keys, weights, 50),
+        )
+
+
+def test_empty_rows_and_empty_cases(native):
+    empty_keys = np.zeros(0, dtype=np.int64)
+    empty_w = np.zeros(0)
+    _assert_lanes_equal(
+        "count[empty]",
+        reference.count_bincount(empty_keys, 6),
+        native.count_bincount(empty_keys, 6),
+    )
+    _assert_lanes_equal(
+        "weighted[empty]",
+        reference.weighted_bincount(empty_keys, empty_w, 6),
+        native.weighted_bincount(empty_keys, empty_w, 6),
+    )
+    # A stacked batch where one case contributes zero anomalous rows.
+    keys = np.array([0, 1, 2, 1], dtype=np.int64)
+    rows_cat = np.array([0, 3], dtype=np.int64)
+    args = ([keys], [0], 3, rows_cat, [2, 0])
+    _assert_lanes_equal(
+        "stacked_anomalous[empty case]",
+        reference.stacked_anomalous(*args),
+        native.stacked_anomalous(*args),
+    )
+
+
+def test_all_anomalous_labels(native):
+    rng = np.random.default_rng(23)
+    dataset = _random_dataset(rng, (4, 3, 3, 2), 120, label_p=1.1)
+    assert bool(dataset.labels.all())
+    matrix, offsets, total = _full_lattice_plans((4, 3, 3, 2))
+    args = (
+        dataset.codes,
+        matrix,
+        offsets,
+        total,
+        np.flatnonzero(dataset.labels),
+        dataset.v,
+        dataset.f,
+    )
+    _assert_lanes_equal(
+        "fused_batch[all anomalous]",
+        reference.fused_batch(*args),
+        native.fused_batch(*args),
+    )
+    # CP is 0 for every attribute (Info(D) = 0): both backends must agree.
+    for index in range(dataset.schema.n_attributes):
+        assert classification_power(
+            _fresh_copy(dataset), index
+        ) == classification_power(_fresh_copy(dataset), index)
+
+
+# -- pipeline-level equivalence ----------------------------------------------
+
+
+@pytest.mark.parametrize("sizes,n_rows", GRID)
+def test_cp_and_deletion_bitwise(native, sizes, n_rows):
+    rng = np.random.default_rng(31)
+    base = _random_dataset(rng, sizes, n_rows)
+    on_numpy = _fresh_copy(base)
+    on_native = _fresh_copy(base)
+    engine_for(on_numpy, backend="numpy")
+    engine_for(on_native, backend=native)
+    for index in range(base.schema.n_attributes):
+        cp_numpy = classification_power(on_numpy, index)
+        cp_native = classification_power(on_native, index)
+        assert cp_numpy == cp_native, f"CP[{index}] diverged"
+    del_numpy = delete_redundant_attributes(on_numpy, 0.005)
+    del_native = delete_redundant_attributes(on_native, 0.005)
+    assert del_numpy.kept_indices == del_native.kept_indices
+    assert del_numpy.deleted_indices == del_native.deleted_indices
+    assert del_numpy.cp_values == del_native.cp_values
+
+
+def _candidate_key(candidate):
+    return (
+        candidate.combination,
+        candidate.confidence,
+        candidate.support,
+        candidate.score,
+    )
+
+
+@pytest.mark.parametrize("sizes,n_rows", GRID)
+def test_end_to_end_candidates_bitwise(native, sizes, n_rows):
+    rng = np.random.default_rng(43)
+    base = [_random_dataset(rng, sizes, n_rows, label_p=0.15) for _ in range(4)]
+    numpy_miner = RAPMiner(RAPMinerConfig(backend="numpy"))
+    native_miner = RAPMiner(RAPMinerConfig(backend="native"))
+    serial_numpy = [numpy_miner.run(_fresh_copy(d)) for d in base]
+    serial_native = [native_miner.run(_fresh_copy(d)) for d in base]
+    batch_native = native_miner.run_batch([_fresh_copy(d) for d in base])
+    for got_serial, got_batch, want in zip(serial_native, batch_native, serial_numpy):
+        want_keys = [_candidate_key(c) for c in want.candidates]
+        assert [_candidate_key(c) for c in got_serial.candidates] == want_keys
+        assert [_candidate_key(c) for c in got_batch.candidates] == want_keys
+
+
+def test_streaming_delta_ticks_bitwise(native):
+    rng = np.random.default_rng(53)
+    sizes, n_rows = (4, 3, 3, 2), 150
+    base = _random_dataset(rng, sizes, n_rows, label_p=0.15)
+    # Three ticks: the base snapshot, then two small forecast perturbations
+    # on a fixed 10% of rows (stable layout, low changed fraction — the
+    # delta path's home turf).
+    changed = rng.random(n_rows) < 0.1
+    ticks = [base]
+    for __ in range(2):
+        previous = ticks[-1]
+        f = previous.f.copy()
+        f[changed] += rng.random(int(changed.sum())) * 0.1
+        ticks.append(
+            FineGrainedDataset(base.schema, base.codes, base.v, f, base.labels)
+        )
+    streams = {}
+    for backend_name in ("numpy", "native"):
+        miner = StreamingRAPMiner(config=RAPMinerConfig(backend=backend_name))
+        streams[backend_name] = [
+            [_candidate_key(c) for c in miner.run(_fresh_copy(tick)).candidates]
+            for tick in ticks
+        ]
+    assert streams["numpy"] == streams["native"]
