@@ -1,4 +1,4 @@
-.PHONY: install test test-backends chaos docs-check kernels-check bench bench-search bench-throughput bench-stacked bench-stream bench-native obs-overhead telemetry-smoke trace-demo report examples paper clean
+.PHONY: install test test-backends chaos docs-check kernels-check fleet-check bench bench-search bench-throughput bench-stacked bench-stream bench-native bench-fleet obs-overhead telemetry-smoke trace-demo report examples paper clean
 
 install:
 	pip install -e .[dev]
@@ -30,6 +30,11 @@ kernels-check:
 	pytest tests/native/ -p no:cacheprovider
 	python -m repro.native.selfcheck
 
+# Fleet gate (tier-1): scheduler/supervisor/store suites, the bitwise
+# fleet-vs-serial property test, and a 2-worker fast-preset smoke.
+fleet-check:
+	pytest tests/fleet/ tests/property/test_fleet_properties.py -p no:cacheprovider
+
 bench:
 	pytest benchmarks/ --benchmark-only
 
@@ -58,6 +63,15 @@ bench-stream:
 # bit-identical candidates asserted end to end.
 bench-native:
 	pytest benchmarks/test_native_kernels.py::test_native_kernels_report -p no:cacheprovider
+
+# Static sharding vs work stealing on a Zipf-skewed tenant mix; writes
+# BENCH_fleet.json at the repo root.  The >=1.3x steal gate is enforced
+# through the virtual-clock makespan everywhere and through wall clock
+# only on >=4-CPU hosts (cpu_count is recorded; 1-CPU hosts report the
+# wall numbers honestly without gating on them), with steal-count > 0
+# and bit-identical candidates asserted in every configuration.
+bench-fleet:
+	pytest benchmarks/test_fleet_throughput.py::test_fleet_throughput_report -p no:cacheprovider
 
 # "Off = free" guard: per-op ceilings on the disabled obs primitives plus
 # a macro stability check of the obs-disabled hot path; writes

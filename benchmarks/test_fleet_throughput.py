@@ -1,0 +1,251 @@
+"""Fleet scheduling: static home-shard routing vs work stealing on skew.
+
+The measured workload models the fleet's reason to exist: many tenants
+sharing one serving substrate, with Zipf-skewed volume — one heavy
+tenant submits more than every light tenant combined, so static
+home-shard routing piles its cases onto one queue while the other shards
+idle.  The fast preset's RAPMD cases are replayed ``REPLAY`` times as
+fresh snapshot objects (same regime as ``BENCH_throughput``), each
+assigned a tenant drawn from a seeded Zipf-like distribution.
+
+Two measurements, because wall clock alone cannot answer the mechanism
+question on every host:
+
+* **Wall clock** — the thread-mode fleet, static vs stealing.  Honest
+  gating: on a single-CPU host threads cannot run concurrently, so the
+  wall numbers are recorded (``cpu_count`` rides in the artifact) but
+  the ``TARGET_RATIO`` floor is only *enforced* on >= 4-CPU machines.
+* **Virtual clock** — :func:`repro.fleet.simulated_makespan` replays the
+  exact scheduler (routing, steal rule, tie-breaks) with each case
+  costed by its measured serial seconds.  The static/steal makespan
+  ratio measures pure queue balance, independent of CPU count and the
+  GIL, so the >= ``TARGET_RATIO`` floor is asserted *everywhere*, along
+  with steal-count > 0.
+
+Every fleet configuration's ranked output is asserted bit-identical to
+the serial reference, always — skew, stealing and shard count may move
+work around, never change it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro import RAPMiner
+from repro.data.dataset import FineGrainedDataset
+from repro.data.injection import LocalizationCase
+from repro.experiments.runner import run_cases
+from repro.fleet import (
+    FleetConfig,
+    FleetSupervisor,
+    layout_key,
+    simulated_makespan,
+)
+
+REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_fleet.json"
+#: Stream length: fast-preset case list replayed this many times.
+REPLAY = 16
+#: Timed repetitions per configuration; the minimum wall time is reported.
+REPEATS = 3
+#: Shards per layout in every fleet configuration.
+SHARDS = 4
+#: Acceptance floor on the static/steal makespan ratio.
+TARGET_RATIO = 1.3
+#: Top-k of the RAPMD protocol.
+K = 5
+#: Zipf-like tenant universe: weight 1/rank, so tenant-1 dominates.
+TENANT_RANKS = 8
+
+
+def _replayed_stream(cases, replay):
+    """Fresh snapshot objects over shared buffers (cold engine state)."""
+    stream = []
+    for round_index in range(replay):
+        for case in cases:
+            dataset = case.dataset
+            stream.append(
+                LocalizationCase(
+                    case_id=f"{case.case_id}#r{round_index}",
+                    dataset=FineGrainedDataset(
+                        dataset.schema,
+                        dataset.codes,
+                        dataset.v,
+                        dataset.f,
+                        dataset.labels,
+                    ),
+                    true_raps=case.true_raps,
+                    metadata=dict(case.metadata),
+                )
+            )
+    return stream
+
+
+def _zipf_tenants(n, seed=11):
+    """A Zipf-skewed tenant per case: P(rank r) proportional to 1/r."""
+    rng = random.Random(seed)
+    names = [f"tenant-{rank}" for rank in range(1, TENANT_RANKS + 1)]
+    weights = [1.0 / rank for rank in range(1, TENANT_RANKS + 1)]
+    return [rng.choices(names, weights=weights)[0] for _ in range(n)]
+
+
+def _timed(run, cases, repeats=REPEATS):
+    best = float("inf")
+    evaluation = None
+    for _ in range(repeats):
+        stream = _replayed_stream(cases, REPLAY)
+        start = time.perf_counter()
+        evaluation = run(stream)
+        best = min(best, time.perf_counter() - start)
+    return best, evaluation
+
+
+def _assert_identical(evaluation, serial_evaluation, label):
+    assert [r.case_id for r in evaluation.results] == [
+        r.case_id for r in serial_evaluation.results
+    ], f"{label}: case order diverged"
+    for got, want in zip(evaluation.results, serial_evaluation.results):
+        assert got.error is None, f"{label}: {got.case_id} errored: {got.error}"
+        assert got.predicted == want.predicted, f"{label}: {got.case_id} diverged"
+
+
+def test_fleet_throughput_report(rapmd_cases, capsys):
+    method = RAPMiner()
+    n_cases = len(rapmd_cases) * REPLAY
+    cpu_count = os.cpu_count() or 1
+    tenants = _zipf_tenants(n_cases)
+    heavy_share = tenants.count("tenant-1") / n_cases
+
+    serial_s, serial_eval = _timed(
+        lambda stream: run_cases(method, stream, k=K), rapmd_cases
+    )
+
+    rows = [
+        {
+            "mode": "serial",
+            "steal": None,
+            "wall_s": serial_s,
+            "cases_per_s": n_cases / serial_s,
+        }
+    ]
+    walls = {}
+    steal_counts = {}
+    for steal in (False, True):
+        label = "steal" if steal else "static"
+        config = FleetConfig(
+            mode="thread", steal=steal, shards_per_layout=SHARDS, k=K
+        )
+        captured = {}
+
+        def run(stream, config=config, captured=captured):
+            supervisor = FleetSupervisor(method, config=config)
+            for case, tenant in zip(stream, tenants):
+                supervisor.submit(case, tenant=tenant)
+            evaluation = supervisor.drain()
+            captured["steals"] = supervisor.scheduler.total_steals
+            captured["stolen"] = supervisor.scheduler.total_stolen
+            return evaluation
+
+        wall, evaluation = _timed(run, rapmd_cases)
+        _assert_identical(evaluation, serial_eval, label)
+        walls[label] = wall
+        steal_counts[label] = captured
+        rows.append(
+            {
+                "mode": f"fleet-{label}",
+                "steal": steal,
+                "shards_per_layout": SHARDS,
+                "wall_s": wall,
+                "cases_per_s": n_cases / wall,
+                "steals": captured["steals"],
+                "stolen_cases": captured["stolen"],
+            }
+        )
+
+    # Stealing must actually fire under this skew — a zero steal count
+    # would mean the benchmark measured nothing.
+    assert steal_counts["steal"]["steals"] > 0
+    assert steal_counts["static"]["steals"] == 0
+
+    # Virtual-clock mechanism measurement: same scheduler, same routing,
+    # each case costed at its measured serial seconds.
+    jobs = []
+    stream = _replayed_stream(rapmd_cases, REPLAY)
+    costs = {r.case_id: max(r.seconds, 1e-6) for r in serial_eval.results}
+    for case, tenant in zip(stream, tenants):
+        jobs.append((tenant, layout_key(case.dataset), costs[case.case_id]))
+    sim_static, __ = simulated_makespan(jobs, shards_per_layout=SHARDS, steal=False)
+    sim_steal, sim_steals = simulated_makespan(
+        jobs, shards_per_layout=SHARDS, steal=True
+    )
+    sim_ratio = sim_static / sim_steal
+    assert sim_steals > 0
+
+    wall_ratio = walls["static"] / walls["steal"]
+    # meets_target is measured-or-nothing: on hosts where threads cannot
+    # run concurrently the wall ratio is recorded but not gated.
+    gate_wall = cpu_count >= 4
+    meets_target = wall_ratio >= TARGET_RATIO if gate_wall else None
+
+    report = {
+        "benchmark": "fleet scheduling: static sharding vs work stealing (RAPMD, k=5)",
+        "dataset": "rapmd-fast-preset",
+        "replay_factor": REPLAY,
+        "n_cases": n_cases,
+        "repeats": REPEATS,
+        "cpu_count": cpu_count,
+        "shards_per_layout": SHARDS,
+        "tenant_ranks": TENANT_RANKS,
+        "heavy_tenant_share": heavy_share,
+        "configurations": rows,
+        "bit_identical_to_serial": True,
+        "target_ratio": TARGET_RATIO,
+        "wall_ratio_static_over_steal": wall_ratio,
+        "wall_gate_enforced": gate_wall,
+        "simulated_makespan_static_s": sim_static,
+        "simulated_makespan_steal_s": sim_steal,
+        "simulated_ratio_static_over_steal": sim_ratio,
+        "simulated_steals": sim_steals,
+        "meets_target": meets_target,
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    with capsys.disabled():
+        print(
+            f"\n[fleet] {n_cases} cases (replay x{REPLAY}), {cpu_count} CPU(s), "
+            f"{SHARDS} shards/layout, heavy tenant {heavy_share:.0%}:"
+        )
+        for row in rows:
+            steals = (
+                f"  {row['steals']} steal(s)/{row['stolen_cases']} case(s)"
+                if row.get("steals") is not None
+                else ""
+            )
+            print(
+                f"  {row['mode']:>13}: {row['wall_s'] * 1e3:8.1f} ms  "
+                f"{row['cases_per_s']:8.1f} cases/s{steals}"
+            )
+        print(
+            f"  wall  static/steal: {wall_ratio:.2f}x "
+            f"({'gated' if gate_wall else 'recorded only: < 4 CPUs'})"
+        )
+        print(
+            f"  vclock static/steal: {sim_ratio:.2f}x "
+            f"({sim_steals} simulated steal(s); floor {TARGET_RATIO}x, always gated)"
+        )
+        print(f"  report: {REPORT_PATH.name} (meets_target={meets_target})")
+
+    # The mechanism floor holds everywhere; the wall floor only where the
+    # host can express it.
+    assert sim_ratio >= TARGET_RATIO, (
+        f"virtual-clock steal ratio {sim_ratio:.2f}x below the "
+        f"{TARGET_RATIO}x floor: stealing is not balancing this skew"
+    )
+    if gate_wall:
+        assert wall_ratio >= TARGET_RATIO, (
+            f"wall steal ratio {wall_ratio:.2f}x below the {TARGET_RATIO}x "
+            f"floor on a {cpu_count}-CPU machine"
+        )

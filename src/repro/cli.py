@@ -15,6 +15,13 @@ Subcommands
     layer (:mod:`repro.parallel`): sharded cases, shared-memory leaf
     tables, warm per-worker engines.  Output is bit-identical to the
     serial ``localize`` path; the command reports throughput.
+``repro fleet-localize``
+    Serve a saved bundle through the sharded multi-tenant fleet
+    (:mod:`repro.fleet`): layout-keyed warm-engine shards, per-tenant
+    quotas, work stealing, optional segment-log persistence
+    (``--store``), store replay verification (``--replay``) and
+    engine warm starts from a previous run's log (``--warm-start``).
+    Output is bit-identical to serial regardless of steal interleaving.
 ``repro stream-localize``
     Replay a saved bundle as consecutive ticks of one stream through the
     delta-patching :class:`~repro.core.incremental.StreamingRAPMiner`:
@@ -42,6 +49,8 @@ Examples
     repro generate rapmd --out rapmd.npz --scale fast --seed 1
     repro localize --cases rapmd.npz --method RAPMiner --k 3
     repro batch-localize --cases rapmd.npz --workers 4 --k 3
+    repro fleet-localize --cases rapmd.npz --shards 2 --store fleet.log
+    repro fleet-localize --replay fleet.log
     repro stream-localize --cases rapmd.npz --crossover auto --verify
     repro stream-localize --cases rapmd.npz --serve-metrics 127.0.0.1:9464
     repro profile --trace run.jsonl --top 10
@@ -279,6 +288,88 @@ def _cmd_batch_localize(args: argparse.Namespace) -> int:
         f"\n{len(cases)} cases via {config.n_workers} worker(s), "
         f"mode={resolved}, transport={config.transport}: {wall:.3f} s wall "
         f"({in_worker:.3f} s in-worker), {throughput:.1f} cases/s"
+    )
+    return 0
+
+
+def _cmd_fleet_localize(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .fleet import FleetConfig, FleetStore, FleetSupervisor, replay_store
+
+    method = _apply_backend(
+        _apply_resilience(
+            _resolve_methods(args.method)[0], args.deadline_ms, args.degrade
+        ),
+        args.backend,
+    )
+    config = FleetConfig(
+        shards_per_layout=args.shards,
+        steal=not args.no_steal,
+        microbatch=args.microbatch,
+        tenant_quota=args.tenant_quota,
+        k=args.k,
+        k_from_truth=args.k is None,
+        backend=args.backend,
+    )
+
+    if args.replay:
+        start = _time.perf_counter()
+        evaluation = replay_store(method, args.replay, config=config)
+        wall = _time.perf_counter() - start
+        with FleetStore(args.replay, mode="r") as persisted_store:
+            persisted = persisted_store.results()
+        mismatches = [
+            row["case_id"]
+            for row, result in zip(persisted, evaluation.results)
+            if row["predicted"] != [str(p) for p in result.predicted]
+        ]
+        verdict = (
+            "bit-exact" if not mismatches else f"{len(mismatches)} case(s) DIVERGED"
+        )
+        print(
+            f"replayed {len(evaluation.results)} case(s) from {args.replay} "
+            f"in {wall:.3f} s: {verdict}"
+        )
+        for case_id in mismatches:
+            print(f"  diverged: {case_id}")
+        return 1 if mismatches else 0
+
+    if not args.cases:
+        raise SystemExit("fleet-localize needs --cases (or --replay STORE)")
+    cases = load_cases(args.cases)
+    store = FleetStore(args.store) if args.store else None
+    supervisor = FleetSupervisor(method, config=config, store=store)
+    try:
+        if args.warm_start:
+            with FleetStore(args.warm_start, mode="r") as warm:
+                primed = supervisor.warm_start(warm)
+            print(f"warm-started {primed} tenant(s) from {args.warm_start}")
+        start = _time.perf_counter()
+        for case in cases:
+            supervisor.submit(case)
+        evaluation = supervisor.drain()
+        wall = _time.perf_counter() - start
+    finally:
+        if store is not None:
+            store.close()
+    for result in evaluation.results:
+        hits = sum(1 for p in result.predicted if p in result.true_raps)
+        suffix = f"  ERROR {result.error}" if result.error else ""
+        print(
+            f"{result.case_id}  hits {hits}/{len(result.true_raps)}  "
+            f"{result.seconds * 1e3:.1f} ms{suffix}"
+        )
+    failures = evaluation.failures()
+    if failures:
+        print(f"\n{len(failures)} case(s) returned error records")
+    scheduler = supervisor.scheduler
+    throughput = len(cases) / wall if wall > 0 else float("inf")
+    print(
+        f"\n{len(cases)} cases over {len(scheduler.shards)} shard(s) "
+        f"({config.shards_per_layout}/layout, steal={'on' if config.steal else 'off'}): "
+        f"{wall:.3f} s wall, {throughput:.1f} cases/s, "
+        f"{scheduler.total_steals} steal(s) moved {scheduler.total_stolen} case(s)"
     )
     return 0
 
@@ -598,6 +689,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(batch)
     _add_backend_flag(batch)
     batch.set_defaults(handler=_cmd_batch_localize)
+
+    fleet = sub.add_parser(
+        "fleet-localize",
+        help="serve a bundle through the sharded multi-tenant fleet",
+    )
+    fleet.add_argument("--cases", help="case bundle (.json or .npz)")
+    fleet.add_argument("--method", default="RAPMiner")
+    fleet.add_argument("--k", type=int, default=None, help="top-k (default: k from truth)")
+    fleet.add_argument(
+        "--shards", type=int, default=2, help="shards per schema layout"
+    )
+    fleet.add_argument(
+        "--no-steal",
+        action="store_true",
+        help="disable work stealing (static home-shard routing)",
+    )
+    fleet.add_argument(
+        "--microbatch",
+        type=int,
+        default=1,
+        help="cases a shard acquires per trip (>1 uses the stacked kernel)",
+    )
+    fleet.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=8,
+        help="max queued cases per tenant before overflow parking",
+    )
+    fleet.add_argument(
+        "--store", help="append cases and results to this segment log"
+    )
+    fleet.add_argument(
+        "--replay",
+        help="re-run the cases persisted in this segment log and verify "
+        "the results match the persisted rows bit-exactly",
+    )
+    fleet.add_argument(
+        "--warm-start",
+        help="prime shard engines from this segment log before serving",
+    )
+    _add_resilience_flags(fleet)
+    _add_backend_flag(fleet)
+    fleet.set_defaults(handler=_cmd_fleet_localize)
 
     stream = sub.add_parser(
         "stream-localize",

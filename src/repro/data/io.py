@@ -20,6 +20,7 @@ Two interchange formats are provided:
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
@@ -41,6 +42,10 @@ __all__ = [
     "load_cases",
     "save_cases_npz",
     "load_cases_npz",
+    "write_cases_npz",
+    "read_cases_npz",
+    "cases_to_npz_bytes",
+    "cases_from_npz_bytes",
 ]
 
 PathLike = Union[str, Path]
@@ -161,6 +166,17 @@ def save_cases_npz(cases: Sequence[LocalizationCase], path: PathLike) -> None:
     ``allow_pickle``.
     """
     path = Path(path)
+    with path.open("wb") as handle:
+        write_cases_npz(cases, handle)
+
+
+def write_cases_npz(cases: Sequence[LocalizationCase], handle) -> None:
+    """:func:`save_cases_npz` onto an open binary file object.
+
+    Split out so the fleet's segment log (:mod:`repro.fleet.store`) can
+    embed npz-encoded cases as in-memory record blobs without a
+    filesystem round trip.
+    """
     header = {
         "format": NPZ_FORMAT,
         "cases": [
@@ -182,19 +198,34 @@ def save_cases_npz(cases: Sequence[LocalizationCase], path: PathLike) -> None:
         arrays[f"v_{i}"] = dataset.v
         arrays[f"f_{i}"] = dataset.f
         arrays[f"labels_{i}"] = dataset.labels
-    with path.open("wb") as handle:
-        np.savez(handle, **arrays)
+    np.savez(handle, **arrays)
+
+
+def cases_to_npz_bytes(cases: Sequence[LocalizationCase]) -> bytes:
+    """The exact :func:`save_cases_npz` byte stream, in memory."""
+    buffer = io.BytesIO()
+    write_cases_npz(cases, buffer)
+    return buffer.getvalue()
+
+
+def cases_from_npz_bytes(data: bytes) -> List[LocalizationCase]:
+    """Inverse of :func:`cases_to_npz_bytes` (bit-exact round trip)."""
+    return read_cases_npz(io.BytesIO(data))
 
 
 def load_cases_npz(path: PathLike) -> List[LocalizationCase]:
     """Load a case list written by :func:`save_cases_npz`."""
-    path = Path(path)
-    with np.load(path, allow_pickle=False) as archive:
+    return read_cases_npz(Path(path))
+
+
+def read_cases_npz(source) -> List[LocalizationCase]:
+    """:func:`load_cases_npz` from a path or open binary file object."""
+    with np.load(source, allow_pickle=False) as archive:
         if "header" not in archive:
-            raise ValueError(f"{path} is not a repro npz case bundle")
+            raise ValueError(f"{source} is not a repro npz case bundle")
         header = json.loads(archive["header"].tobytes().decode("utf-8"))
         if header.get("format") != NPZ_FORMAT:
-            raise ValueError(f"{path} is not a repro npz case bundle")
+            raise ValueError(f"{source} is not a repro npz case bundle")
         cases = []
         for i, entry in enumerate(header["cases"]):
             schema = schema_from_dict(entry["schema"])

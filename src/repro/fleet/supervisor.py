@@ -1,0 +1,568 @@
+"""Fleet supervisor: long-lived warm-engine shards serving tenant streams.
+
+:class:`FleetSupervisor` turns the repo's one-batch-at-a-time execution
+layer into a continuously-serving fleet.  It owns a group of **shards**
+per schema layout — each a long-lived worker holding the warm
+:class:`~repro.core.engine.AggregationEngine` of the last case it ran
+per layout, so consecutive cases of one tenant reuse code-derived caches
+through :meth:`~repro.core.engine.AggregationEngine.warm_clone` instead
+of re-aggregating from cold — and drives them through the
+work-stealing :class:`~repro.fleet.scheduler.WorkStealingScheduler`.
+
+Determinism contract: each case's localization touches only that case's
+dataset and engine, warm clones are bitwise-equal to cold builds (the
+engine layer's invariant), and results are reassembled by submission
+sequence id — so fleet output is **bit-identical to a serial run** of
+the same cases, whatever the steal interleaving, shard count, quota
+pressure, or crash pattern.  The property suite drives randomized steal
+schedules through the ``inline`` mode to check exactly this.
+
+Admission control: each tenant may hold at most
+:attr:`FleetConfig.tenant_quota` cases in the shard queues; excess
+submissions wait in a per-tenant overflow deque and are admitted (in
+submission order) as that tenant's earlier cases complete.  This bounds
+any single tenant's queue footprint — the skewed tenant of a Zipf mix
+cannot monopolize shard memory — without changing output order.
+
+Crash handling composes with the resilience layer's contract: an
+exception escaping a shard's localizer (e.g. the chaos harness's
+:class:`~repro.resilience.chaos.WorkerCrash`) kills the shard; its
+in-flight and queued items requeue **once** onto surviving same-layout
+shards, and an item whose second attempt also dies — or whose layout has
+no survivors — degrades to a :class:`~repro.experiments.runner.CaseResult`
+with the failure on ``error``, never a raised batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .. import obs
+from ..core.engine import AggregationEngine, engine_for
+from ..data.injection import LocalizationCase
+from ..experiments.runner import CaseResult, MethodEvaluation
+from ..metrics.timing import time_localization
+from ..obs import trace as _trace
+from .scheduler import (
+    FleetItem,
+    LayoutKey,
+    NoCompatibleShard,
+    WorkStealingScheduler,
+    layout_key,
+)
+from .store import FleetStore
+
+__all__ = [
+    "FleetConfig",
+    "FleetSupervisor",
+    "fleet_localize",
+    "replay_store",
+    "tenant_of",
+]
+
+#: Metadata key carrying a case's tenant; absent means ``"default"``.
+TENANT_KEY = "tenant"
+
+
+def tenant_of(case: LocalizationCase) -> str:
+    """The tenant a case belongs to (``metadata["tenant"]`` or default)."""
+    return str(case.metadata.get(TENANT_KEY, "default"))
+
+
+@dataclass
+class FleetConfig:
+    """Tuning knobs of one fleet run (see ``docs/operational.md``)."""
+
+    #: Shards per schema layout (queue count = layouts x this).
+    shards_per_layout: int = 2
+    #: Work stealing on/off (off = the static-shard benchmark baseline).
+    steal: bool = True
+    #: Cases a shard acquires per trip to the scheduler.  ``1`` runs the
+    #: per-case path with warm engine reuse; larger values opt into the
+    #: method's case-stacked ``run_batch`` kernel when it has one.
+    microbatch: int = 1
+    #: Max queued (admitted, not yet completed) cases per tenant; excess
+    #: waits in the supervisor's overflow deque.
+    tenant_quota: int = 8
+    #: ``"thread"`` runs one worker thread per shard; ``"inline"``
+    #: single-steps shards deterministically in the calling thread
+    #: (property tests and the virtual-clock benchmark use it).
+    mode: str = "thread"
+    #: Ranked patterns to keep per case (``None`` = all; overridden per
+    #: case by ``k_from_truth``).
+    k: Optional[int] = None
+    #: Use ``len(case.true_raps)`` as each case's ``k`` (oracle cardinality).
+    k_from_truth: bool = False
+    #: Metadata key copied onto ``CaseResult.group``.
+    group_key: str = "group"
+    #: Kernel backend name for cold engine builds (``None`` = default).
+    backend: Optional[str] = None
+    #: Inline-mode shard interleaving: a ``random.Random``-like object
+    #: with ``choice`` picks which ready shard steps next; ``None`` is
+    #: round-robin.  Ignored in thread mode.
+    schedule: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("thread", "inline"):
+            raise ValueError(f"mode must be 'thread' or 'inline', got {self.mode!r}")
+        if self.microbatch < 1:
+            raise ValueError(f"microbatch must be >= 1, got {self.microbatch}")
+        if self.tenant_quota < 1:
+            raise ValueError(f"tenant_quota must be >= 1, got {self.tenant_quota}")
+
+
+@dataclass
+class _ShardState:
+    """Supervisor-side state of one shard worker."""
+
+    shard_id: int
+    #: Warm engine per layout: the engine of the last case this shard ran.
+    engines: Dict[LayoutKey, AggregationEngine] = field(default_factory=dict)
+    thread: Optional[threading.Thread] = None
+
+
+class FleetSupervisor:
+    """Owns the shards, the scheduler, and the result reassembly.
+
+    One supervisor serves one *drain*: submit cases (all up front or
+    incrementally), call :meth:`drain`, collect the
+    :class:`~repro.experiments.runner.MethodEvaluation`.  Engines stay
+    warm across drains on the same supervisor — that is what
+    :meth:`warm_start` exploits after a restart.
+    """
+
+    def __init__(
+        self,
+        method,
+        config: Optional[FleetConfig] = None,
+        store: Optional[FleetStore] = None,
+    ):
+        self.method = method
+        self.config = config if config is not None else FleetConfig()
+        self.store = store
+        self.scheduler = WorkStealingScheduler(
+            shards_per_layout=self.config.shards_per_layout,
+            steal=self.config.steal,
+        )
+        self._lock = threading.Lock()
+        self._states: Dict[int, _ShardState] = {}
+        self._rows: Dict[int, Tuple] = {}
+        self._overflow: Dict[str, deque] = {}
+        self._inflight: Dict[str, int] = {}
+        self._outstanding = 0
+        self._next_seq = 0
+        #: Cases whose second attempt is pending, keyed by seq (crash path).
+        self._requeues = 0
+        self._crashes = 0
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, case: LocalizationCase, tenant: Optional[str] = None) -> int:
+        """Enqueue one case; returns its sequence id (= output position)."""
+        tenant = tenant_of(case) if tenant is None else str(tenant)
+        item = FleetItem(
+            seq=self._take_seq(),
+            tenant=tenant,
+            case=case,
+            layout=layout_key(case.dataset),
+        )
+        if self.store is not None:
+            self.store.append_case(item.seq, tenant, case)
+        if _trace.ACTIVE:
+            obs.inc("fleet_cases_total")
+        with self._lock:
+            self._outstanding += 1
+            if self._inflight.get(tenant, 0) >= self.config.tenant_quota:
+                self._overflow.setdefault(tenant, deque()).append(item)
+                if _trace.ACTIVE:
+                    obs.inc("fleet_quota_deferrals_total")
+                return item.seq
+            self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
+        self._dispatch(item)
+        return item.seq
+
+    def _take_seq(self) -> int:
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            return seq
+
+    def _dispatch(self, item: FleetItem) -> None:
+        """Hand an admitted item to the scheduler (or degrade it)."""
+        try:
+            self.scheduler.submit(item)
+        except NoCompatibleShard as exc:
+            self._record_error(item, exc)
+
+    # -- execution ---------------------------------------------------------
+
+    def _state_for(self, shard_id: int) -> _ShardState:
+        with self._lock:
+            state = self._states.get(shard_id)
+            if state is None:
+                state = _ShardState(shard_id=shard_id)
+                self._states[shard_id] = state
+            return state
+
+    def _engine_ready(self, state: _ShardState, case: LocalizationCase) -> None:
+        """Install a warm or cold engine for the case's dataset.
+
+        A warm clone is only legal over an identical leaf population
+        (same schema *and* codes); otherwise the build falls back cold.
+        Either way the shard remembers the dataset's engine as the
+        layout's new warm source.
+        """
+        layout = layout_key(case.dataset)
+        cached = state.engines.get(layout)
+        if cached is not None and cached.compatible_with(case.dataset):
+            engine = cached.warm_clone(case.dataset)
+            outcome = "warm"
+        else:
+            engine = engine_for(case.dataset, backend=self.config.backend)
+            outcome = "cold"
+        state.engines[layout] = engine
+        if _trace.ACTIVE:
+            obs.inc("fleet_engine_builds_total", outcome=outcome)
+
+    def _case_k(self, case: LocalizationCase) -> Optional[int]:
+        return len(case.true_raps) if self.config.k_from_truth else self.config.k
+
+    def _execute(self, shard_id: int, batch: List[FleetItem]) -> None:
+        """Run one acquired micro-batch; a raise here kills the shard."""
+        state = self._state_for(shard_id)
+        supports_batch = len(batch) > 1 and hasattr(self.method, "run_batch")
+        with obs.span("fleet.shard_batch", shard=shard_id, cases=len(batch)):
+            if supports_batch:
+                start = time.perf_counter()
+                results = self.method.run_batch(
+                    [item.case.dataset for item in batch], k=None
+                )
+                per_case = (time.perf_counter() - start) / len(batch)
+                for item, result in zip(batch, results):
+                    case_k = self._case_k(item.case)
+                    predicted = (
+                        result.patterns if case_k is None else result.top(case_k)
+                    )
+                    self._record(item, shard_id, list(predicted), per_case)
+            else:
+                for item in batch:
+                    self._engine_ready(state, item.case)
+                    predicted, seconds = time_localization(
+                        self.method.localize, item.case.dataset, self._case_k(item.case)
+                    )
+                    self._record(item, shard_id, list(predicted), seconds)
+
+    def _run_guarded(self, shard_id: int, batch: List[FleetItem]) -> None:
+        """:meth:`_execute` with the crash-requeue-once protocol."""
+        try:
+            self._execute(shard_id, batch)
+        except BaseException as exc:
+            # Rows recorded before the raise stand; only the unfinished
+            # part of the micro-batch goes through the crash protocol.
+            with self._lock:
+                unfinished = [i for i in batch if i.seq not in self._rows]
+            # The per-case loop runs in order, so the first unfinished
+            # item is the one that was executing when the shard died —
+            # the only one charged a retry attempt.  The tail never
+            # started and keeps its budget: a case must not degrade to
+            # an error row because it was queued behind a poison pill.
+            # A fused run_batch crash cannot be attributed to one case,
+            # so there every batch member is charged.
+            if not (len(batch) > 1 and hasattr(self.method, "run_batch")):
+                for innocent in unfinished[1:]:
+                    innocent.attempts -= 1
+            self._crash(shard_id, unfinished, exc)
+
+    def _crash(
+        self, shard_id: int, inflight: List[FleetItem], exc: BaseException
+    ) -> None:
+        """Kill a shard; requeue its work once, then degrade to errors."""
+        with self._lock:
+            self._crashes += 1
+        if _trace.ACTIVE:
+            obs.inc("fleet_crashes_total")
+        drained = self.scheduler.kill(shard_id)
+        for item in inflight + drained:
+            if item.attempts >= 2:
+                self._record_error(item, exc)
+                continue
+            with self._lock:
+                self._requeues += 1
+            if _trace.ACTIVE:
+                obs.inc("fleet_requeues_total")
+            self._dispatch(item)
+
+    # -- results -----------------------------------------------------------
+
+    def _result_row(
+        self,
+        item: FleetItem,
+        shard_id: Optional[int],
+        predicted: List,
+        seconds: float,
+        error: Optional[str],
+    ) -> Tuple:
+        case = item.case
+        return (
+            item.seq,
+            case.case_id,
+            predicted,
+            tuple(case.true_raps),
+            seconds,
+            case.metadata.get(self.config.group_key),
+            item.tenant,
+            shard_id,
+            error,
+        )
+
+    def _record(
+        self, item: FleetItem, shard_id: int, predicted: List, seconds: float
+    ) -> None:
+        self._finish(self._result_row(item, shard_id, predicted, seconds, None))
+
+    def _record_error(self, item: FleetItem, exc: BaseException) -> None:
+        if _trace.ACTIVE:
+            obs.inc("fleet_errors_total")
+        self._finish(
+            self._result_row(item, None, [], 0.0, f"{type(exc).__name__}: {exc}")
+        )
+
+    def _finish(self, row: Tuple) -> None:
+        """Record a finished row, admit overflow, close when drained."""
+        seq, tenant = row[0], row[6]
+        if self.store is not None:
+            self.store.append_result(
+                seq,
+                tenant,
+                {
+                    "case_id": row[1],
+                    "predicted": [str(p) for p in row[2]],
+                    "true_raps": [str(r) for r in row[3]],
+                    "seconds": row[4],
+                    "group": row[5],
+                    "shard": row[7],
+                    "error": row[8],
+                },
+            )
+        admit = None
+        with self._lock:
+            self._rows[seq] = row
+            self._outstanding -= 1
+            waiting = self._overflow.get(tenant)
+            if waiting:
+                admit = waiting.popleft()
+            else:
+                self._inflight[tenant] = max(0, self._inflight.get(tenant, 1) - 1)
+            drained = self._outstanding == 0
+        if admit is not None:
+            self._dispatch(admit)
+        elif drained:
+            self.scheduler.close()
+
+    # -- drive loops -------------------------------------------------------
+
+    def _worker(self, shard_id: int) -> None:
+        while True:
+            batch = self.scheduler.acquire(
+                shard_id, limit=self.config.microbatch, block=True
+            )
+            if not batch:
+                return
+            self._run_guarded(shard_id, batch)
+
+    def _drain_threads(self) -> None:
+        threads = []
+        for shard in self.scheduler.shards:
+            if not shard.alive:
+                continue
+            state = self._state_for(shard.shard_id)
+            thread = threading.Thread(
+                target=self._worker,
+                args=(shard.shard_id,),
+                name=f"fleet-shard-{shard.shard_id}",
+                daemon=True,
+            )
+            state.thread = thread
+            threads.append(thread)
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def _drain_inline(self) -> None:
+        """Single-step shards in the calling thread, deterministically.
+
+        Each step, the ready shards (those :meth:`WorkStealingScheduler.acquire`
+        would serve) are enumerated in id order; ``config.schedule`` (a
+        seeded RNG) or round-robin picks one, which acquires and runs one
+        micro-batch.  The property suite sweeps seeds here to prove output
+        is interleaving-independent.
+        """
+        rng = self.config.schedule
+        cursor = 0
+        while True:
+            with self._lock:
+                if self._outstanding == 0:
+                    self.scheduler.close()
+                    return
+            ready = [
+                sid
+                for sid in self.scheduler.alive_shards()
+                if self.scheduler.has_work(sid)
+            ]
+            if not ready:
+                # outstanding > 0 but nothing queued: every remaining item
+                # is un-runnable (dead layout) and was already degraded.
+                self.scheduler.close()
+                return
+            if rng is not None:
+                shard_id = rng.choice(ready)
+            else:
+                shard_id = ready[cursor % len(ready)]
+                cursor += 1
+            batch = self.scheduler.acquire(shard_id, limit=self.config.microbatch)
+            if batch:
+                self._run_guarded(shard_id, batch)
+
+    def drain(self) -> MethodEvaluation:
+        """Run every submitted case to completion and return the results.
+
+        Output rows are ordered by submission sequence id — the serial
+        order — regardless of which shard ran what.
+        """
+        with obs.span(
+            "fleet.drain",
+            cases=self._next_seq,
+            mode=self.config.mode,
+            steal=self.config.steal,
+        ):
+            self.scheduler.reopen()
+            with self._lock:
+                pending = self._outstanding > 0
+            if pending:
+                if self.config.mode == "thread":
+                    self._drain_threads()
+                else:
+                    self._drain_inline()
+        evaluation = MethodEvaluation(
+            method_name=getattr(self.method, "name", type(self.method).__name__)
+        )
+        with self._lock:
+            rows = [self._rows[seq] for seq in sorted(self._rows)]
+        for seq, case_id, predicted, true_raps, seconds, group, __, ___, error in rows:
+            evaluation.results.append(
+                CaseResult(
+                    case_id=case_id,
+                    predicted=predicted,
+                    true_raps=true_raps,
+                    seconds=seconds,
+                    group=group,
+                    error=error,
+                )
+            )
+        return evaluation
+
+    # -- warm start --------------------------------------------------------
+
+    def warm_start(self, store: FleetStore) -> int:
+        """Prime shard engines from a store's last case per tenant.
+
+        Replays each tenant's newest persisted case on its home shard —
+        building the engine and running one localization to populate the
+        code-derived caches — so the next drain's compatible cases take
+        the ``warm`` build path instead of cold aggregation.  Returns the
+        number of tenants primed.  Build counters attribute these runs to
+        ``outcome="warmstart"``, keeping the serving-path ``cold`` count
+        honest.
+        """
+        primed = 0
+        for tenant, (seq, case) in sorted(store.last_cases().items()):
+            layout = layout_key(case.dataset)
+            item = FleetItem(seq=seq, tenant=tenant, case=case, layout=layout)
+            try:
+                shard_id = self.scheduler.submit(item)
+            except NoCompatibleShard:
+                continue
+            # Pull it straight back: warm_start runs inline, not queued.
+            self.scheduler.acquire(shard_id, limit=1)
+            state = self._state_for(shard_id)
+            engine = engine_for(case.dataset, backend=self.config.backend)
+            self.method.localize(case.dataset, self._case_k(case))
+            state.engines[layout] = engine
+            primed += 1
+            if _trace.ACTIVE:
+                obs.inc("fleet_engine_builds_total", outcome="warmstart")
+        if _trace.ACTIVE and primed:
+            obs.inc("fleet_warm_starts_total", primed)
+        return primed
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def requeues(self) -> int:
+        with self._lock:
+            return self._requeues
+
+    @property
+    def crashes(self) -> int:
+        with self._lock:
+            return self._crashes
+
+
+def fleet_localize(
+    method,
+    cases: Sequence[LocalizationCase],
+    tenants: Optional[Sequence[str]] = None,
+    config: Optional[FleetConfig] = None,
+    store: Optional[Union[FleetStore, str]] = None,
+) -> MethodEvaluation:
+    """One-shot fleet run over *cases* (the CLI and test entry point).
+
+    ``tenants`` parallels ``cases``; omitted, each case's
+    ``metadata["tenant"]`` (default ``"default"``) is used.  ``store``
+    may be a :class:`FleetStore` or a path; a path-opened store is
+    closed (index flushed) before returning.
+    """
+    if tenants is not None and len(tenants) != len(cases):
+        raise ValueError(
+            f"tenants ({len(tenants)}) must parallel cases ({len(cases)})"
+        )
+    owned = isinstance(store, (str,)) or hasattr(store, "__fspath__")
+    opened = FleetStore(store) if owned else store
+    supervisor = FleetSupervisor(method, config=config, store=opened)
+    try:
+        for i, case in enumerate(cases):
+            supervisor.submit(case, tenant=None if tenants is None else tenants[i])
+        return supervisor.drain()
+    finally:
+        if owned and opened is not None:
+            opened.close()
+
+
+def replay_store(
+    method,
+    store: Union[FleetStore, str],
+    config: Optional[FleetConfig] = None,
+) -> MethodEvaluation:
+    """Re-run every case persisted in *store*, in original seq order.
+
+    The audit contract: with the same method and configuration, the
+    returned evaluation's predictions match the persisted result rows
+    string-for-string (and a serial rerun bit-exactly).
+    """
+    owned = not isinstance(store, FleetStore)
+    opened = store if isinstance(store, FleetStore) else FleetStore(store, mode="r")
+    try:
+        entries = opened.cases()
+    finally:
+        if owned:
+            opened.close()
+    return fleet_localize(
+        method,
+        [case for __, __, case in entries],
+        tenants=[tenant for __, tenant, __ in entries],
+        config=config,
+    )

@@ -107,6 +107,22 @@ METRIC_HELP: Dict[str, str] = {
     "resilience_stop_reason_total": "Incident reports by search stop reason and degradation tier",
     "resilience_shard_requeues_total": "Pool shards requeued after a worker fault",
     "resilience_case_errors_total": "Cases degraded to error records after a shard failed twice",
+    "resilience_requeue_seconds": "Fault-to-finish latency of requeued shards (histogram)",
+    "parallel_shm_orphans_total": "Shared-memory blocks reaped by the orphan guard instead of destroy()",
+    # -- serving fleet -----------------------------------------------------
+    "fleet_cases_total": "Cases submitted to the fleet supervisor",
+    "fleet_queue_depth": "Queued cases per shard (gauge, labelled by shard id)",
+    "fleet_steals_total": "Steal operations performed by idle shards",
+    "fleet_stolen_cases_total": "Cases moved between shard queues by stealing",
+    "fleet_quota_deferrals_total": "Submissions parked in the overflow deque by the tenant quota",
+    "fleet_engine_builds_total": "Shard engine builds by outcome (warm, cold, warmstart)",
+    "fleet_warm_starts_total": "Tenants primed from the store after a restart",
+    "fleet_crashes_total": "Shard workers killed by an escaping exception",
+    "fleet_requeues_total": "Crashed-shard cases requeued onto surviving shards",
+    "fleet_errors_total": "Cases degraded to error records by the fleet crash protocol",
+    "fleet_store_records_total": "Records appended to the fleet segment log by kind",
+    "fleet_store_bytes_total": "Bytes appended to the fleet segment log",
+    "fleet_store_recovered_total": "Torn trailing records dropped when opening a segment log",
 }
 
 #: Default histogram bucket upper bounds (seconds; tuned for span durations).

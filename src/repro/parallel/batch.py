@@ -52,7 +52,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -373,33 +373,47 @@ def _execute_shards(
     Each shard gets up to two attempts.  A failed shard — whether its
     worker raised (the exception travels back through the future) or died
     outright (``BrokenProcessPool`` poisons every in-flight future) — is
-    requeued once on a *fresh* executor, since a broken pool cannot be
-    reused; the retry round only carries the failed shards.  A shard that
-    fails twice degrades to per-case error rows via
-    :func:`_shard_error_rows` instead of raising, so one poisoned case
-    can never take down the other ``n - 1`` shards' results.  Requeues
-    are counted under ``resilience_shard_requeues_total``.
+    requeued once onto **one** lazily-created requeue executor shared by
+    the whole batch: the primary pool may be broken and is never reused,
+    but building a fresh pool per crashed shard would pay worker spawn
+    latency per fault.  Retries are submitted the moment the fault is
+    seen, so they overlap the still-running primary shards instead of
+    waiting for a synchronized retry round.  A shard that fails twice
+    degrades to per-case error rows via :func:`_shard_error_rows` instead
+    of raising, so one poisoned case can never take down the other
+    ``n - 1`` shards' results.  Requeues are counted under
+    ``resilience_shard_requeues_total`` and their fault-to-finish latency
+    lands in the ``resilience_requeue_seconds`` histogram.
     """
     outcomes: List[Optional[Tuple]] = [None] * len(payloads)
-    pending = list(range(len(payloads)))
     attempts = [0] * len(payloads)
-    while pending:
-        retry_round: List[int] = []
-        with ProcessPoolExecutor(
-            max_workers=min(config.n_workers, len(pending)), mp_context=context
-        ) as executor:
-            futures = {
-                executor.submit(_run_shard, payloads[i]): i for i in pending
-            }
-            for future in as_completed(futures):
-                i = futures[future]
+    requeue_pool: Optional[ProcessPoolExecutor] = None
+    primary = ProcessPoolExecutor(
+        max_workers=min(config.n_workers, len(payloads)), mp_context=context
+    )
+    #: future -> (shard index, retry start time or None for first attempts)
+    active: Dict = {
+        primary.submit(_run_shard, payloads[i]): (i, None)
+        for i in range(len(payloads))
+    }
+    try:
+        while active:
+            done, __ = wait(list(active), return_when=FIRST_COMPLETED)
+            for future in done:
+                i, retry_started = active.pop(future)
                 try:
                     outcomes[i] = future.result()
                 except Exception as exc:  # noqa: BLE001 - worker fault boundary
                     attempts[i] += 1
                     if attempts[i] < 2:
                         obs.inc("resilience_shard_requeues_total")
-                        retry_round.append(i)
+                        if requeue_pool is None:
+                            requeue_pool = ProcessPoolExecutor(
+                                max_workers=min(config.n_workers, len(payloads)),
+                                mp_context=context,
+                            )
+                        retry = requeue_pool.submit(_run_shard, payloads[i])
+                        active[retry] = (i, time.perf_counter())
                     else:
                         outcomes[i] = (
                             _shard_error_rows(
@@ -407,7 +421,15 @@ def _execute_shards(
                             ),
                             None,
                         )
-        pending = sorted(retry_round)
+                if retry_started is not None:
+                    obs.observe(
+                        "resilience_requeue_seconds",
+                        time.perf_counter() - retry_started,
+                    )
+    finally:
+        primary.shutdown(wait=True)
+        if requeue_pool is not None:
+            requeue_pool.shutdown(wait=True)
     return [outcome for outcome in outcomes if outcome is not None]
 
 

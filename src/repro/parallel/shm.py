@@ -28,11 +28,13 @@ an ownership claim).
 
 from __future__ import annotations
 
+import weakref
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..core.attribute import AttributeCombination
 from ..data.dataset import FineGrainedDataset
 from ..data.injection import LocalizationCase
@@ -52,6 +54,29 @@ def _aligned(offset: int) -> int:
     return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
 
 
+def _reap_orphan(shm: shared_memory.SharedMemory) -> None:
+    """Last-resort unlink of a block whose owner never called ``destroy``.
+
+    Runs from the owner's :func:`weakref.finalize` guard — at garbage
+    collection of an abandoned store, or at interpreter exit (finalizers
+    double as atexit hooks) when e.g. a worker crashed between fork and
+    attach and the parent bailed without its ``finally``.  Without it the
+    segment outlives the process in ``/dev/shm``.
+    """
+    try:
+        obs.inc("parallel_shm_orphans_total")
+    except Exception:  # pragma: no cover - interpreter teardown
+        pass
+    try:
+        shm.close()
+    except BufferError:  # leaked views still export the buffer
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - lost the unlink race
+        pass
+
+
 class SharedCaseStore:
     """One shared-memory block holding the leaf tables of many cases.
 
@@ -65,6 +90,12 @@ class SharedCaseStore:
         self._shm = shm
         self.spec = spec
         self._owner = owner
+        # The owner arms an orphan guard: if destroy() never runs (crash
+        # between fork and attach, abandoned store), the finalizer unlinks
+        # the segment and counts it as parallel_shm_orphans_total.
+        self._orphan_guard = (
+            weakref.finalize(self, _reap_orphan, shm) if owner else None
+        )
 
     # -- construction ------------------------------------------------------
 
@@ -168,6 +199,8 @@ class SharedCaseStore:
         """Close and unlink the block; owner side only, idempotent."""
         self.close()
         if self._owner:
+            if self._orphan_guard is not None:
+                self._orphan_guard.detach()  # clean teardown: not an orphan
             try:
                 self._shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already unlinked

@@ -1,0 +1,167 @@
+"""Scheduler unit tests: routing, stealing, crash drain, simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.scheduler import (
+    FleetItem,
+    NoCompatibleShard,
+    WorkStealingScheduler,
+    simulated_makespan,
+)
+
+LAYOUT_A = (("a", "b"), (2, 3))
+LAYOUT_B = (("x",), (4,))
+
+
+def item(seq, tenant="t0", layout=LAYOUT_A):
+    return FleetItem(seq=seq, tenant=tenant, case=None, layout=layout)
+
+
+class TestRouting:
+    def test_tenants_assigned_round_robin_in_first_seen_order(self):
+        sched = WorkStealingScheduler(shards_per_layout=2)
+        homes = [
+            sched.submit(item(0, "alpha")),
+            sched.submit(item(1, "beta")),
+            sched.submit(item(2, "gamma")),
+        ]
+        assert homes == [0, 1, 0]
+
+    def test_tenant_keeps_its_home_across_submissions(self):
+        sched = WorkStealingScheduler(shards_per_layout=3)
+        first = sched.submit(item(0, "alpha"))
+        sched.submit(item(1, "beta"))
+        assert sched.submit(item(2, "alpha")) == first
+
+    def test_layouts_get_disjoint_shard_groups(self):
+        sched = WorkStealingScheduler(shards_per_layout=2)
+        home_a = sched.submit(item(0, "t", LAYOUT_A))
+        home_b = sched.submit(item(1, "t", LAYOUT_B))
+        shards = {s.shard_id: s.layout for s in sched.shards}
+        assert len(shards) == 4
+        assert shards[home_a] == LAYOUT_A
+        assert shards[home_b] == LAYOUT_B
+
+    def test_dead_home_falls_forward_to_alive_shard(self):
+        sched = WorkStealingScheduler(shards_per_layout=2)
+        home = sched.submit(item(0, "alpha"))
+        sched.acquire(home)  # drain so the kill has nothing to hand back
+        sched.kill(home)
+        fallback = sched.submit(item(1, "alpha"))
+        assert fallback != home
+        assert sched.shards[fallback].alive
+
+    def test_no_alive_shard_raises(self):
+        sched = WorkStealingScheduler(shards_per_layout=1)
+        sched.submit(item(0))
+        sched.kill(0)
+        with pytest.raises(NoCompatibleShard):
+            sched.submit(item(1))
+
+
+class TestStealing:
+    def _loaded(self, n=6):
+        """Shard 0 holds *n* items; shard 1 is idle."""
+        sched = WorkStealingScheduler(shards_per_layout=2)
+        for seq in range(n):
+            sched.submit(item(seq, "alpha"))
+        return sched
+
+    def test_idle_shard_steals_half_the_tail(self):
+        sched = self._loaded(6)
+        batch = sched.acquire(1)
+        # Victim had 6; the thief takes max(1, 6//2) = 3 from the tail
+        # (seqs 3,4,5 in order) and runs the first of them.
+        assert [i.seq for i in batch] == [3]
+        assert [i.seq for i in sched.shards[1].items] == [4, 5]
+        assert [i.seq for i in sched.shards[0].items] == [0, 1, 2]
+        assert sched.total_steals == 1
+        assert sched.total_stolen == 3
+
+    def test_steal_preserves_relative_order(self):
+        sched = self._loaded(7)
+        sched.acquire(1)
+        stolen = [i.seq for i in sched.shards[1].items]
+        assert stolen == sorted(stolen)
+
+    def test_static_mode_never_steals(self):
+        sched = WorkStealingScheduler(shards_per_layout=2, steal=False)
+        for seq in range(6):
+            sched.submit(item(seq, "alpha"))
+        assert sched.acquire(1) == []
+        assert sched.total_steals == 0
+
+    def test_steal_targets_most_loaded_victim(self):
+        sched = WorkStealingScheduler(shards_per_layout=3)
+        for seq in range(2):
+            sched.submit(item(seq, "alpha"))  # shard 0
+        for seq in range(2, 8):
+            sched.submit(item(seq, "beta"))  # shard 1
+        batch = sched.acquire(2)
+        assert batch and batch[0].tenant == "beta"
+        assert sched.shards[1].stolen_out == 3
+
+    def test_never_steals_across_layouts(self):
+        sched = WorkStealingScheduler(shards_per_layout=1)
+        sched.submit(item(0, "t", LAYOUT_A))
+        sched.submit(item(1, "t", LAYOUT_B))
+        b_shard = sched.shards[1].shard_id
+        sched.acquire(b_shard)  # drain B's one item
+        assert sched.acquire(b_shard) == []  # nothing to steal from A
+
+    def test_dead_shard_is_not_a_victim(self):
+        sched = self._loaded(6)
+        sched.kill(0)
+        assert sched.acquire(1) == []
+
+
+class TestAcquire:
+    def test_acquire_pops_fifo_and_counts_attempts(self):
+        sched = WorkStealingScheduler(shards_per_layout=1)
+        for seq in range(3):
+            sched.submit(item(seq))
+        batch = sched.acquire(0, limit=2)
+        assert [i.seq for i in batch] == [0, 1]
+        assert all(i.attempts == 1 for i in batch)
+        assert sched.shards[0].executed == 2
+
+    def test_blocking_acquire_returns_empty_after_close(self):
+        sched = WorkStealingScheduler(shards_per_layout=1)
+        sched._ensure_layout(LAYOUT_A)
+        sched.close()
+        assert sched.acquire(0, block=True) == []
+
+    def test_kill_drains_queue_for_requeue(self):
+        sched = WorkStealingScheduler(shards_per_layout=1)
+        for seq in range(4):
+            sched.submit(item(seq))
+        drained = sched.kill(0)
+        assert [i.seq for i in drained] == [0, 1, 2, 3]
+        assert sched.queue_depths()[0] == 0
+        assert not sched.shards[0].alive
+
+
+class TestSimulatedMakespan:
+    def test_stealing_beats_static_on_skewed_load(self):
+        # Zipf-flavoured: one heavy tenant, many light ones.  All cases
+        # land on the heavy tenant's home shard under static routing.
+        jobs = [("heavy", LAYOUT_A, 1.0) for __ in range(16)]
+        jobs += [("light-%d" % i, LAYOUT_A, 1.0) for i in range(4)]
+        static, static_steals = simulated_makespan(jobs, shards_per_layout=4, steal=False)
+        stolen, steals = simulated_makespan(jobs, shards_per_layout=4, steal=True)
+        assert static_steals == 0
+        assert steals > 0
+        assert static / stolen >= 1.3
+
+    def test_uniform_load_needs_no_stealing_to_balance(self):
+        jobs = [("t%d" % i, LAYOUT_A, 1.0) for i in range(8)]
+        static, __ = simulated_makespan(jobs, shards_per_layout=4, steal=False)
+        stolen, __ = simulated_makespan(jobs, shards_per_layout=4, steal=True)
+        assert stolen <= static
+
+    def test_makespan_counts_every_job_exactly_once(self):
+        jobs = [("heavy", LAYOUT_A, 2.0) for __ in range(5)]
+        makespan, __ = simulated_makespan(jobs, shards_per_layout=1, steal=True)
+        assert makespan == pytest.approx(10.0)

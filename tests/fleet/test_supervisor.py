@@ -1,0 +1,248 @@
+"""Supervisor tests: bit-identity, quotas, crash protocol, warm engines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.core.config import RAPMinerConfig
+from repro.core.miner import RAPMiner
+from repro.data.dataset import FineGrainedDataset
+from repro.data.injection import LocalizationCase
+from repro.data.rapmd import RAPMDConfig, generate_rapmd
+from repro.data.schema import cdn_schema
+from repro.experiments.runner import run_cases
+from repro.fleet import FleetConfig, FleetSupervisor, fleet_localize, tenant_of
+from repro.resilience.chaos import AlwaysCrashLocalizer, CrashOnceLocalizer
+
+
+def make_cases(n_cases=6):
+    return generate_rapmd(
+        cdn_schema(4, 2, 2, 3), RAPMDConfig(n_cases=n_cases, n_days=2, seed=9)
+    )
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return make_cases()
+
+
+@pytest.fixture(scope="module")
+def serial(cases):
+    return run_cases(RAPMiner(), cases, k_from_truth=True)
+
+
+TENANTS = ["alpha", "beta", "alpha", "gamma", "beta", "alpha"]
+
+
+def assert_matches_serial(evaluation, serial):
+    assert [r.case_id for r in evaluation.results] == [
+        r.case_id for r in serial.results
+    ]
+    for got, want in zip(evaluation.results, serial.results):
+        assert got.error is None
+        assert got.predicted == want.predicted
+
+
+class TestBitIdentity:
+    def test_inline_mode_matches_serial(self, cases, serial):
+        evaluation = fleet_localize(
+            RAPMiner(),
+            cases,
+            tenants=TENANTS,
+            config=FleetConfig(mode="inline", k_from_truth=True),
+        )
+        assert_matches_serial(evaluation, serial)
+
+    def test_thread_mode_matches_serial(self, cases, serial):
+        evaluation = fleet_localize(
+            RAPMiner(),
+            cases,
+            tenants=TENANTS,
+            config=FleetConfig(mode="thread", k_from_truth=True),
+        )
+        assert_matches_serial(evaluation, serial)
+
+    def test_microbatch_stacked_kernel_matches_serial(self, cases, serial):
+        evaluation = fleet_localize(
+            RAPMiner(),
+            cases,
+            tenants=TENANTS,
+            config=FleetConfig(mode="inline", k_from_truth=True, microbatch=3),
+        )
+        assert_matches_serial(evaluation, serial)
+
+    def test_randomized_interleavings_match_serial(self, cases, serial):
+        for seed in range(4):
+            evaluation = fleet_localize(
+                RAPMiner(),
+                cases,
+                tenants=TENANTS,
+                config=FleetConfig(
+                    mode="inline",
+                    k_from_truth=True,
+                    schedule=random.Random(seed),
+                ),
+            )
+            assert_matches_serial(evaluation, serial)
+
+    def test_quota_pressure_does_not_change_output(self, cases, serial):
+        evaluation = fleet_localize(
+            RAPMiner(),
+            cases,
+            tenants=["solo"] * len(cases),  # everything on one tenant
+            config=FleetConfig(mode="inline", k_from_truth=True, tenant_quota=1),
+        )
+        assert_matches_serial(evaluation, serial)
+
+
+class TestTenants:
+    def test_tenant_of_reads_metadata(self, cases):
+        case = cases[0]
+        assert tenant_of(case) == "default"
+        tagged = LocalizationCase(
+            case_id=case.case_id,
+            dataset=case.dataset,
+            true_raps=case.true_raps,
+            metadata=dict(case.metadata, tenant="edge-7"),
+        )
+        assert tenant_of(tagged) == "edge-7"
+
+    def test_mismatched_tenant_list_rejected(self, cases):
+        with pytest.raises(ValueError, match="parallel"):
+            fleet_localize(RAPMiner(), cases, tenants=["a"])
+
+    def test_quota_parks_excess_in_overflow(self, cases):
+        supervisor = FleetSupervisor(
+            RAPMiner(), config=FleetConfig(mode="inline", tenant_quota=2)
+        )
+        with obs.capture() as collector:
+            for case in cases:
+                supervisor.submit(case, tenant="hot")
+        assert collector.metrics.value("fleet_quota_deferrals_total") == len(cases) - 2
+        evaluation = supervisor.drain()
+        assert len(evaluation.results) == len(cases)
+
+
+class TestCrashes:
+    def test_crash_once_requeues_and_matches_serial(self, cases, serial, tmp_path):
+        chaotic = CrashOnceLocalizer(RAPMiner(), str(tmp_path / "marker"))
+        with obs.capture() as collector:
+            evaluation = fleet_localize(
+                chaotic,
+                cases,
+                tenants=TENANTS,
+                config=FleetConfig(mode="inline", k_from_truth=True),
+            )
+        assert_matches_serial(evaluation, serial)
+        assert collector.metrics.value("fleet_crashes_total") == 1
+        assert collector.metrics.value("fleet_requeues_total") >= 1
+        assert collector.metrics.value("fleet_errors_total") == 0.0
+
+    def test_crash_once_in_thread_mode(self, cases, serial, tmp_path):
+        chaotic = CrashOnceLocalizer(RAPMiner(), str(tmp_path / "marker"))
+        evaluation = fleet_localize(
+            chaotic,
+            cases,
+            tenants=TENANTS,
+            config=FleetConfig(mode="thread", k_from_truth=True),
+        )
+        assert_matches_serial(evaluation, serial)
+
+    def test_always_crash_degrades_every_case_to_error(self, cases):
+        evaluation = fleet_localize(
+            AlwaysCrashLocalizer(),
+            cases,
+            config=FleetConfig(mode="inline"),
+        )
+        assert len(evaluation.results) == len(cases)
+        # Every case degrades to an error row: the crashing cases carry
+        # the WorkerCrash, and once both shards of the layout are dead
+        # the rest degrade with NoCompatibleShard instead of waiting.
+        assert all(r.error for r in evaluation.results)
+        assert any("WorkerCrash" in r.error for r in evaluation.results)
+        assert all(r.predicted == [] for r in evaluation.results)
+
+    def test_error_rows_keep_submission_order(self, cases):
+        evaluation = fleet_localize(
+            AlwaysCrashLocalizer(), cases, config=FleetConfig(mode="inline")
+        )
+        assert [r.case_id for r in evaluation.results] == [
+            c.case_id for c in cases
+        ]
+
+
+class TestWarmEngines:
+    def _stream(self, base, case_id):
+        """A new interval over *base*'s leaf population (same codes)."""
+        ds = base.dataset
+        fresh = FineGrainedDataset(
+            ds.schema, ds.codes, ds.v.copy(), ds.f.copy(), ds.labels.copy()
+        )
+        return LocalizationCase(
+            case_id=case_id,
+            dataset=fresh,
+            true_raps=base.true_raps,
+            metadata=dict(base.metadata, tenant="t0"),
+        )
+
+    def test_same_population_stream_takes_warm_path(self, cases):
+        base = cases[0]
+        stream = [self._stream(base, f"tick-{i}") for i in range(4)]
+        with obs.capture() as collector:
+            evaluation = fleet_localize(
+                RAPMiner(),
+                stream,
+                config=FleetConfig(
+                    mode="inline", k_from_truth=True, shards_per_layout=1
+                ),
+            )
+        assert all(r.error is None for r in evaluation.results)
+        builds = {
+            outcome: collector.metrics.value(
+                "fleet_engine_builds_total", {"outcome": outcome}
+            )
+            for outcome in ("cold", "warm")
+        }
+        assert builds["cold"] == 1.0  # only the stream's first case
+        assert builds["warm"] == 3.0
+
+    def test_warm_path_is_bit_identical(self, cases):
+        base = cases[0]
+        stream = [self._stream(base, f"tick-{i}") for i in range(3)]
+        serial = run_cases(RAPMiner(RAPMinerConfig()), make_cases(1), k_from_truth=True)
+        fleet = fleet_localize(
+            RAPMiner(),
+            stream,
+            config=FleetConfig(mode="inline", k_from_truth=True, shards_per_layout=1),
+        )
+        # Every tick is the same interval, so every tick must equal the
+        # serial answer for that interval.
+        want = run_cases(RAPMiner(), [self._stream(base, "ref")], k_from_truth=True)
+        for got in fleet.results:
+            assert got.predicted == want.results[0].predicted
+
+
+class TestFastPresetSmoke:
+    """Tier-1 guard: the fleet must serve the real fast-preset data."""
+
+    def test_two_shards_on_fast_preset(self):
+        from repro.experiments.presets import fast_preset
+
+        cases = fast_preset(seed=1).rapmd_cases()
+        serial = run_cases(RAPMiner(), cases, k=5)
+        with obs.capture() as collector:
+            evaluation = fleet_localize(
+                RAPMiner(),
+                cases,
+                tenants=[f"tenant-{i % 3}" for i in range(len(cases))],
+                config=FleetConfig(mode="thread", k=5, shards_per_layout=2),
+            )
+        assert [r.case_id for r in evaluation.results] == [
+            r.case_id for r in serial.results
+        ]
+        for got, want in zip(evaluation.results, serial.results):
+            assert got.predicted == want.predicted
+        assert collector.metrics.value("fleet_cases_total") == len(cases)

@@ -80,3 +80,48 @@ class TestPackAttach:
         )
         with SharedCaseStore.pack(small_cases) as store:
             assert store.nbytes >= total
+
+
+class TestOrphanGuard:
+    """The weakref.finalize guard reaps blocks whose owner never cleaned up."""
+
+    def test_abandoned_store_is_reaped_and_counted(self, small_cases):
+        import gc
+        from multiprocessing import shared_memory
+
+        from repro import obs
+
+        with obs.capture() as collector:
+            store = SharedCaseStore.pack(small_cases)
+            name = store.spec["shm_name"]
+            del store  # owner vanishes without destroy() — the leak case
+            gc.collect()
+        assert collector.metrics.value("parallel_shm_orphans_total") == 1.0
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_clean_destroy_is_not_counted_as_orphan(self, small_cases):
+        import gc
+
+        from repro import obs
+
+        with obs.capture() as collector:
+            store = SharedCaseStore.pack(small_cases)
+            store.destroy()
+            del store
+            gc.collect()
+        assert collector.metrics.value("parallel_shm_orphans_total") == 0.0
+
+    def test_worker_attachments_never_arm_the_guard(self, small_cases):
+        import gc
+
+        from repro import obs
+
+        with obs.capture() as collector:
+            with SharedCaseStore.pack(small_cases) as store:
+                reader = SharedCaseStore.attach(store.spec)
+                assert reader._orphan_guard is None
+                reader.close()
+                del reader
+                gc.collect()
+        assert collector.metrics.value("parallel_shm_orphans_total") == 0.0
