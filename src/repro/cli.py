@@ -318,22 +318,37 @@ def _cmd_fleet_localize(args: argparse.Namespace) -> int:
         evaluation = replay_store(method, args.replay, config=config)
         wall = _time.perf_counter() - start
         with FleetStore(args.replay, mode="r") as persisted_store:
-            persisted = persisted_store.results()
-        mismatches = [
-            row["case_id"]
-            for row, result in zip(persisted, evaluation.results)
-            if row["predicted"] != [str(p) for p in result.predicted]
-        ]
-        verdict = (
-            "bit-exact" if not mismatches else f"{len(mismatches)} case(s) DIVERGED"
-        )
+            persisted = {row["seq"]: row for row in persisted_store.results()}
+            case_seqs = [seq for seq, __, __ in persisted_store.cases()]
+        # Join persisted rows to replayed results by the original seq —
+        # a log from a run that crashed mid-drain holds fewer result rows
+        # than cases, and a positional zip would silently skip the tail.
+        mismatches = []
+        missing = []
+        for seq, result in zip(case_seqs, evaluation.results):
+            row = persisted.get(seq)
+            if row is None:
+                missing.append(result.case_id)
+            elif row["predicted"] != [str(p) for p in result.predicted]:
+                mismatches.append(result.case_id)
+        if not mismatches and not missing:
+            verdict = "bit-exact"
+        else:
+            parts = []
+            if mismatches:
+                parts.append(f"{len(mismatches)} case(s) DIVERGED")
+            if missing:
+                parts.append(f"{len(missing)} case(s) had no persisted result")
+            verdict = ", ".join(parts)
         print(
             f"replayed {len(evaluation.results)} case(s) from {args.replay} "
             f"in {wall:.3f} s: {verdict}"
         )
         for case_id in mismatches:
             print(f"  diverged: {case_id}")
-        return 1 if mismatches else 0
+        for case_id in missing:
+            print(f"  no persisted result: {case_id}")
+        return 1 if mismatches or missing else 0
 
     if not args.cases:
         raise SystemExit("fleet-localize needs --cases (or --replay STORE)")

@@ -183,6 +183,20 @@ class WorkStealingScheduler:
                 return shard_id
         return None
 
+    def home_shard(self, layout: LayoutKey, tenant: str) -> Optional[int]:
+        """Assign and return ``(layout, tenant)``'s home shard, queueing nothing.
+
+        Creates the layout's shard group and registers the tenant's home
+        exactly as a submission would, so future cases of the tenant
+        route to the returned shard.  :meth:`FleetSupervisor.warm_start`
+        primes engines through this instead of a queued item — a priming
+        item popped back via :meth:`acquire` could take a real pending
+        case's place at the queue head.  ``None`` when every shard of
+        the layout is dead.
+        """
+        with self._ready:
+            return self._home_for(layout, tenant)
+
     # -- submission --------------------------------------------------------
 
     def submit(self, item: FleetItem) -> int:

@@ -296,12 +296,11 @@ class FleetStore:
         rows.sort(key=lambda row: row["seq"])
         return rows
 
-    def last_cases(self) -> Dict[Tuple[str, str], Tuple[int, LocalizationCase]]:
-        """The newest case per ``(tenant, case-stream)`` for warm starts.
+    def last_cases(self) -> Dict[str, Tuple[int, LocalizationCase]]:
+        """The newest case per tenant for warm starts.
 
-        Keyed by ``(tenant, case_id-prefix-free tenant stream)`` — in
-        practice one tenant is one stream, so the key is the tenant and
-        the value the highest-seq case it submitted.
+        Keyed by tenant; the value is ``(seq, case)`` for the highest-seq
+        case that tenant submitted.
         """
         latest: Dict[str, Tuple[int, int]] = {}
         with self._lock:

@@ -155,6 +155,11 @@ class FleetSupervisor:
         self._inflight: Dict[str, int] = {}
         self._outstanding = 0
         self._next_seq = 0
+        #: Thread-mode drain bookkeeping: shards with a worker this drain,
+        #: the worker threads to join, and whether a drain is in flight.
+        self._worker_shards: set = set()
+        self._worker_threads: List[threading.Thread] = []
+        self._thread_drain_active = False
         #: Cases whose second attempt is pending, keyed by seq (crash path).
         self._requeues = 0
         self._crashes = 0
@@ -197,6 +202,11 @@ class FleetSupervisor:
             self.scheduler.submit(item)
         except NoCompatibleShard as exc:
             self._record_error(item, exc)
+            return
+        # The submit may have created a first-seen layout's shard group
+        # (overflow admission mid-drain); a thread-mode drain must grow a
+        # worker for it or its queue is never serviced and drain() hangs.
+        self._ensure_workers()
 
     # -- execution ---------------------------------------------------------
 
@@ -374,23 +384,60 @@ class FleetSupervisor:
                 return
             self._run_guarded(shard_id, batch)
 
+    def _ensure_workers(self) -> None:
+        """Spawn a worker for every alive shard not yet serviced this drain.
+
+        Called at thread-drain start and again from :meth:`_dispatch`,
+        because dispatch can create shard groups mid-drain: a quota
+        overflow item whose layout no admitted case shared only reaches
+        ``scheduler.submit`` (and hence ``_ensure_layout``) when an
+        earlier case completes.  Outside a thread drain this is a no-op.
+        """
+        with self._lock:
+            if not self._thread_drain_active:
+                return
+            for shard in self.scheduler.shards:
+                if not shard.alive or shard.shard_id in self._worker_shards:
+                    continue
+                self._worker_shards.add(shard.shard_id)
+                state = self._states.get(shard.shard_id)
+                if state is None:
+                    state = _ShardState(shard_id=shard.shard_id)
+                    self._states[shard.shard_id] = state
+                thread = threading.Thread(
+                    target=self._worker,
+                    args=(shard.shard_id,),
+                    name=f"fleet-shard-{shard.shard_id}",
+                    daemon=True,
+                )
+                state.thread = thread
+                # Started before it is visible to the join loop — a fresh
+                # worker never needs this lock until it holds a batch, so
+                # starting under the lock cannot deadlock.
+                thread.start()
+                self._worker_threads.append(thread)
+
     def _drain_threads(self) -> None:
-        threads = []
-        for shard in self.scheduler.shards:
-            if not shard.alive:
-                continue
-            state = self._state_for(shard.shard_id)
-            thread = threading.Thread(
-                target=self._worker,
-                args=(shard.shard_id,),
-                name=f"fleet-shard-{shard.shard_id}",
-                daemon=True,
-            )
-            state.thread = thread
-            threads.append(thread)
-            thread.start()
-        for thread in threads:
-            thread.join()
+        with self._lock:
+            self._thread_drain_active = True
+            self._worker_shards = set()
+            self._worker_threads = []
+        try:
+            self._ensure_workers()
+            # Workers spawned mid-drain (first-seen layouts) append to the
+            # thread list while we join it; loop until no new ones appear.
+            joined = 0
+            while True:
+                with self._lock:
+                    threads = list(self._worker_threads)
+                if joined == len(threads):
+                    return
+                for thread in threads[joined:]:
+                    thread.join()
+                joined = len(threads)
+        finally:
+            with self._lock:
+                self._thread_drain_active = False
 
     def _drain_inline(self) -> None:
         """Single-step shards in the calling thread, deterministically.
@@ -479,15 +526,14 @@ class FleetSupervisor:
         honest.
         """
         primed = 0
-        for tenant, (seq, case) in sorted(store.last_cases().items()):
+        for tenant, (__, case) in sorted(store.last_cases().items()):
             layout = layout_key(case.dataset)
-            item = FleetItem(seq=seq, tenant=tenant, case=case, layout=layout)
-            try:
-                shard_id = self.scheduler.submit(item)
-            except NoCompatibleShard:
+            # Resolve the tenant's home shard without touching the queues:
+            # warm_start may run after real cases were submitted, and a
+            # queued priming item acquired back would pop a pending case.
+            shard_id = self.scheduler.home_shard(layout, tenant)
+            if shard_id is None:
                 continue
-            # Pull it straight back: warm_start runs inline, not queued.
-            self.scheduler.acquire(shard_id, limit=1)
             state = self._state_for(shard_id)
             engine = engine_for(case.dataset, backend=self.config.backend)
             self.method.localize(case.dataset, self._case_k(case))

@@ -408,8 +408,12 @@ def _execute_shards(
                     if attempts[i] < 2:
                         obs.inc("resilience_shard_requeues_total")
                         if requeue_pool is None:
+                            # Retries trickle in one fault at a time, so a
+                            # small pool suffices; sizing it like the primary
+                            # would double the process count while the
+                            # surviving primary shards are still running.
                             requeue_pool = ProcessPoolExecutor(
-                                max_workers=min(config.n_workers, len(payloads)),
+                                max_workers=min(2, config.n_workers),
                                 mp_context=context,
                             )
                         retry = requeue_pool.submit(_run_shard, payloads[i])

@@ -237,6 +237,44 @@ class TestReplayAndWarmStart:
         for got in evaluation.results:
             assert got.predicted == want.results[0].predicted
 
+    def test_warm_start_keeps_already_submitted_cases(self, tmp_path, cases):
+        """Priming must not consume queued work.
+
+        Regression: warm_start used to push a priming item through the
+        scheduler and pop the home shard's queue head back — if a real
+        case was submitted before the warm start, that case was silently
+        discarded (and the next drain hung on its missing row).
+        """
+        from repro.data.dataset import FineGrainedDataset
+        from repro.data.injection import LocalizationCase
+
+        base = cases[0]
+
+        def tick(case_id):
+            ds = base.dataset
+            fresh = FineGrainedDataset(
+                ds.schema, ds.codes, ds.v.copy(), ds.f.copy(), ds.labels.copy()
+            )
+            return LocalizationCase(
+                case_id=case_id,
+                dataset=fresh,
+                true_raps=base.true_raps,
+                metadata=dict(base.metadata, tenant="t0"),
+            )
+
+        path = tmp_path / "day1.log"
+        config = FleetConfig(mode="inline", k_from_truth=True, shards_per_layout=1)
+        fleet_localize(RAPMiner(), [tick("day1")], config=config, store=str(path))
+
+        supervisor = FleetSupervisor(RAPMiner(), config=config)
+        supervisor.submit(tick("early-0"))  # queued before the warm start
+        with FleetStore(path, mode="r") as store:
+            assert supervisor.warm_start(store) == 1
+        supervisor.submit(tick("early-1"))
+        evaluation = supervisor.drain()
+        assert [r.case_id for r in evaluation.results] == ["early-0", "early-1"]
+        assert all(r.error is None for r in evaluation.results)
+
 
 class TestStoreMetrics:
     def test_appends_and_recovery_are_counted(self, tmp_path, cases):

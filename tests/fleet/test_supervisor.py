@@ -125,6 +125,38 @@ class TestTenants:
         evaluation = supervisor.drain()
         assert len(evaluation.results) == len(cases)
 
+    def test_overflow_layout_first_seen_mid_drain_completes_in_thread_mode(self):
+        """A layout born from an overflow admission must still be served.
+
+        Regression: the thread drain used to spawn workers only for the
+        shards existing at drain start.  A quota-deferred case of a
+        schema no admitted case shared only creates its shard group when
+        an earlier case completes, so no worker ever serviced it and
+        ``drain()`` blocked forever.
+        """
+        import threading
+
+        mixed = list(make_cases(3)) + list(
+            generate_rapmd(
+                cdn_schema(3, 2, 2, 2), RAPMDConfig(n_cases=1, n_days=2, seed=11)
+            )
+        )
+        supervisor = FleetSupervisor(
+            RAPMiner(),
+            config=FleetConfig(mode="thread", tenant_quota=2, k_from_truth=True),
+        )
+        for case in mixed:
+            supervisor.submit(case, tenant="hot")
+        holder = {}
+        runner = threading.Thread(
+            target=lambda: holder.update(evaluation=supervisor.drain()), daemon=True
+        )
+        runner.start()
+        runner.join(timeout=60)
+        assert not runner.is_alive(), "drain() deadlocked on the mid-drain layout"
+        serial = run_cases(RAPMiner(), mixed, k_from_truth=True)
+        assert_matches_serial(holder["evaluation"], serial)
+
 
 class TestCrashes:
     def test_crash_once_requeues_and_matches_serial(self, cases, serial, tmp_path):

@@ -339,3 +339,50 @@ class TestBatchLocalize:
         )
         assert code == 0
         assert "RC@3" in capsys.readouterr().out
+
+
+class TestFleetReplay:
+    @pytest.fixture()
+    def fleet_log(self, bundle, tmp_path):
+        """A complete fleet store persisted from a small serving run."""
+        from repro.core.miner import RAPMiner
+        from repro.data.io import load_cases
+        from repro.fleet import FleetConfig, fleet_localize
+
+        path = tmp_path / "fleet.log"
+        fleet_localize(
+            RAPMiner(),
+            load_cases(bundle)[:3],
+            config=FleetConfig(mode="inline", k_from_truth=True),
+            store=str(path),
+        )
+        return path
+
+    def test_replay_verifies_bit_exact(self, fleet_log, capsys):
+        code = main(["fleet-localize", "--replay", str(fleet_log)])
+        assert code == 0
+        assert "bit-exact" in capsys.readouterr().out
+
+    def test_replay_flags_missing_result_rows(self, fleet_log, tmp_path, capsys):
+        """A log that crashed mid-drain has fewer results than cases.
+
+        Regression: verification used to zip persisted rows with replay
+        results positionally, so a truncated log could still print
+        bit-exact (exit 0) without checking every replayed case.
+        """
+        from repro.fleet import FleetStore
+
+        truncated = tmp_path / "truncated.log"
+        with FleetStore(fleet_log, mode="r") as src, FleetStore(truncated) as dst:
+            for seq, tenant, case in src.cases():
+                dst.append_case(seq, tenant, case)
+            for row in src.results()[:-1]:  # drop the last result row
+                payload = {
+                    k: v for k, v in row.items() if k not in ("seq", "tenant")
+                }
+                dst.append_result(row["seq"], row["tenant"], payload)
+        code = main(["fleet-localize", "--replay", str(truncated)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "had no persisted result" in out
+        assert "bit-exact" not in out
