@@ -1,4 +1,4 @@
-.PHONY: install test test-backends chaos docs-check kernels-check fleet-check bench bench-search bench-throughput bench-stacked bench-stream bench-native bench-fleet obs-overhead telemetry-smoke trace-demo report examples paper clean
+.PHONY: install test test-backends chaos docs-check kernels-check fleet-check serve-smoke bench bench-search bench-throughput bench-stacked bench-stream bench-native bench-fleet bench-serve obs-overhead telemetry-smoke trace-demo report examples paper clean
 
 install:
 	pip install -e .[dev]
@@ -34,6 +34,13 @@ kernels-check:
 # fleet-vs-serial property test, and a 2-worker fast-preset smoke.
 fleet-check:
 	pytest tests/fleet/ tests/property/test_fleet_properties.py -p no:cacheprovider
+
+# Serving gate (tier-1): protocol/admission/server suites plus the
+# end-to-end smoke — boot `repro serve` in a child process, submit cases
+# over HTTP and binary frames, assert bit-identical answers vs an
+# in-process run, scrape /metrics off the same port, SIGINT-drain clean.
+serve-smoke:
+	pytest tests/serving/ tests/property/test_serving_properties.py -p no:cacheprovider
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -72,6 +79,14 @@ bench-native:
 # and bit-identical candidates asserted in every configuration.
 bench-fleet:
 	pytest benchmarks/test_fleet_throughput.py::test_fleet_throughput_report -p no:cacheprovider
+
+# Sustained serving throughput over a live wire (1 and 4 client threads)
+# plus the overload shed profile; writes BENCH_serve.json at the repo
+# root with cpu_count recorded.  Bit-identity of every accepted response
+# and typed, leak-free shedding are asserted; throughput is recorded,
+# not gated (a shared host's capacity is an observation, not an invariant).
+bench-serve:
+	pytest benchmarks/test_serve_throughput.py::test_serve_throughput_report -p no:cacheprovider
 
 # "Off = free" guard: per-op ceilings on the disabled obs primitives plus
 # a macro stability check of the obs-disabled hot path; writes

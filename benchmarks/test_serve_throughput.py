@@ -1,0 +1,140 @@
+"""Serving front door: sustained request throughput over a live wire.
+
+Measures what a deployment sees: concurrent HTTP clients firing per-tick
+localization requests at a running :class:`LocalizationServer`, warm
+shards underneath, admission sized so nothing sheds.  The artifact
+(``BENCH_serve.json``) records sustained requests/sec for one and many
+client threads plus the overload behaviour (how many of a deliberately
+over-cap burst shed, and how fast a shed answer returns).
+
+There is **no speedup gate**: serving throughput on a shared CI host is
+a capacity observation, not an invariant — ``cpu_count`` rides in the
+artifact so numbers are read in context.  What *is* asserted, always:
+
+* every accepted response is bit-identical to the serial reference,
+* an over-cap burst sheds with typed codes and sub-request latency,
+* nothing errors and no admission slot leaks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.core.miner import RAPMiner
+from repro.data.rapmd import RAPMDConfig, generate_rapmd
+from repro.data.schema import cdn_schema
+from repro.fleet import FleetConfig, FleetSupervisor
+from repro.serving import (
+    AdmissionConfig,
+    LocalizationServer,
+    ServingClient,
+    ServingConfig,
+)
+
+REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+#: Requests per measured configuration (case list cycled).
+REQUESTS = 48
+#: Client thread counts measured.
+CLIENT_COUNTS = (1, 4)
+#: Burst size of the overload measurement (admission capped below it).
+BURST = 12
+#: Hard cap during the overload measurement.
+BURST_CAP = 3
+
+
+def _shoot(client, cases, serial, index):
+    case = cases[index % len(cases)]
+    body = client.localize(case, k=len(case.true_raps))
+    assert body["status"] == "ok", body
+    assert body["root_causes"] == serial[case.case_id], case.case_id
+    return body["seconds"]
+
+
+def test_serve_throughput_report():
+    cases = generate_rapmd(
+        cdn_schema(4, 2, 2, 3), RAPMDConfig(n_cases=6, n_days=2, seed=9)
+    )
+    miner = RAPMiner()
+    serial = {
+        case.case_id: [
+            str(p) for p in miner.localize(case.dataset, len(case.true_raps))
+        ]
+        for case in cases
+    }
+
+    report = {
+        "requests_per_run": REQUESTS,
+        "cpu_count": os.cpu_count(),
+        "runs": [],
+    }
+
+    supervisor = FleetSupervisor(RAPMiner(), config=FleetConfig(shards_per_layout=2))
+    config = ServingConfig(
+        admission=AdmissionConfig(
+            max_queue_depth=256, soft_queue_depth=None, tenant_inflight_limit=256
+        )
+    )
+    with LocalizationServer(supervisor, config) as server:
+        client = ServingClient("127.0.0.1", server.http_port)
+        # Warm the shards so the measured window reflects steady state.
+        for case in cases:
+            _shoot(client, cases, serial, cases.index(case))
+        for n_clients in CLIENT_COUNTS:
+            start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=n_clients) as pool:
+                in_fleet = sum(
+                    pool.map(
+                        lambda i: _shoot(client, cases, serial, i), range(REQUESTS)
+                    )
+                )
+            wall = time.perf_counter() - start
+            report["runs"].append(
+                {
+                    "clients": n_clients,
+                    "wall_s": round(wall, 4),
+                    "rps": round(REQUESTS / wall, 2),
+                    "in_fleet_s": round(in_fleet, 4),
+                    "bit_identical": True,  # asserted per request above
+                }
+            )
+        assert server.admission.depth == 0
+
+    # Overload: a burst far over a tiny cap must shed typed and fast.
+    slow_supervisor = FleetSupervisor(RAPMiner(), config=FleetConfig())
+    slow_config = ServingConfig(
+        admission=AdmissionConfig(
+            max_queue_depth=BURST_CAP,
+            soft_queue_depth=None,
+            tenant_inflight_limit=BURST_CAP,
+        )
+    )
+    with LocalizationServer(slow_supervisor, slow_config) as server:
+        client = ServingClient("127.0.0.1", server.http_port)
+
+        def burst_one(i):
+            started = time.perf_counter()
+            body = client.localize(cases[i % len(cases)], k=1)
+            return body, time.perf_counter() - started
+
+        with ThreadPoolExecutor(max_workers=BURST) as pool:
+            outcomes = list(pool.map(burst_one, range(BURST)))
+        ok = [(b, s) for b, s in outcomes if b["status"] == "ok"]
+        shed = [(b, s) for b, s in outcomes if b["status"] == "shed"]
+        assert len(ok) + len(shed) == BURST
+        for body, __ in shed:
+            assert body["code"] in ("queue_full", "tenant_quota")
+        report["overload"] = {
+            "burst": BURST,
+            "max_queue_depth": BURST_CAP,
+            "served": len(ok),
+            "shed": len(shed),
+            "shed_latency_s": round(max((s for __, s in shed), default=0.0), 4),
+        }
+        assert server.admission.depth == 0
+
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))

@@ -31,6 +31,14 @@ Subcommands
     serves ``/metrics``, ``/healthz``, ``/readyz``, ``/debug/spans`` and
     ``/debug/profile`` live for the lifetime of the replay (see
     ``docs/observability.md``).
+``repro serve``
+    Run the network serving front door (:mod:`repro.serving`) over a
+    warm-engine fleet: per-tick localization requests over HTTP JSON
+    (``POST /localize``) and the RPSV binary frame stream, with bounded
+    admission (queue caps, per-tenant shares, typed shed responses, a
+    degraded band under congestion) and the telemetry plane
+    (``/metrics``, ``/healthz``, ``/readyz``, ``/debug/*``) mounted on
+    the same port.  See ``docs/serving.md`` for the protocol.
 ``repro profile``
     Span-family self-time profile (self vs child time, top-N table) of a
     JSONL trace captured with ``--trace``.
@@ -53,6 +61,7 @@ Examples
     repro fleet-localize --replay fleet.log
     repro stream-localize --cases rapmd.npz --crossover auto --verify
     repro stream-localize --cases rapmd.npz --serve-metrics 127.0.0.1:9464
+    repro serve --port 8765 --shards 2 --tenants edge-eu,edge-us
     repro profile --trace run.jsonl --top 10
     repro evaluate --cases rapmd.npz --protocol rc --workers 2
     repro reproduce fig8b --scale paper
@@ -474,6 +483,72 @@ def _cmd_stream_localize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from . import obs
+    from .fleet import FleetConfig, FleetStore, FleetSupervisor
+    from .serving import AdmissionConfig, LocalizationServer, ServingConfig
+
+    method = _apply_backend(_resolve_methods(args.method)[0], args.backend)
+    fleet_config = FleetConfig(
+        shards_per_layout=args.shards,
+        microbatch=args.microbatch,
+        tenant_quota=args.tenant_quota,
+        k=args.k,
+        backend=args.backend,
+    )
+    admission = AdmissionConfig(
+        max_queue_depth=args.max_queue_depth,
+        soft_queue_depth=args.soft_queue_depth if args.soft_queue_depth > 0 else None,
+        tenant_inflight_limit=args.tenant_inflight,
+        degraded_deadline_ms=args.degraded_deadline_ms,
+    )
+    serving_config = ServingConfig(
+        host=args.host,
+        port=args.port,
+        binary_port=None if args.no_binary else args.binary_port,
+        admission=admission,
+        request_timeout_s=args.request_timeout_s,
+        tenants=args.tenants.split(",") if args.tenants else None,
+        default_deadline_ms=args.deadline_ms,
+    )
+    store = FleetStore(args.store) if args.store else None
+    supervisor = FleetSupervisor(method, config=fleet_config, store=store)
+    try:
+        with obs.capture():
+            with LocalizationServer(supervisor, serving_config) as server:
+                binary = (
+                    f", binary frames on port {server.binary_port}"
+                    if server.binary_port is not None
+                    else ""
+                )
+                print(
+                    f"serving: POST {server.url}/localize "
+                    f"(telemetry at /metrics /healthz /readyz){binary}"
+                )
+                print(
+                    f"admission: depth<={admission.max_queue_depth} "
+                    f"(degraded band at {admission.soft_queue_depth}), "
+                    f"{admission.tenant_inflight_limit}/tenant; Ctrl-C drains and exits"
+                )
+                try:
+                    while True:
+                        if (
+                            args.max_requests is not None
+                            and server.requests_served >= args.max_requests
+                        ):
+                            break
+                        _time.sleep(0.1)
+                except KeyboardInterrupt:
+                    print("\ndraining...")
+            print(f"served {server.requests_served} request(s)")
+    finally:
+        if store is not None:
+            store.close()
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from .obs.export import read_jsonl
     from .obs.profile import profile_records, render_profile
@@ -784,6 +859,96 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(stream)
     _add_backend_flag(stream)
     stream.set_defaults(handler=_cmd_stream_localize)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve localization requests over a warm-engine fleet "
+        "(HTTP JSON + binary frames; see docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="HTTP listener port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--binary-port",
+        type=int,
+        default=0,
+        help="RPSV binary listener port (0 = ephemeral; see --no-binary)",
+    )
+    serve.add_argument(
+        "--no-binary", action="store_true", help="disable the binary frame listener"
+    )
+    serve.add_argument("--method", default="RAPMiner")
+    serve.add_argument(
+        "--k", type=int, default=None, help="default top-k when a request sends none"
+    )
+    serve.add_argument("--shards", type=int, default=2, help="shards per schema layout")
+    serve.add_argument(
+        "--microbatch", type=int, default=1, help="cases a shard acquires per trip"
+    )
+    serve.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=8,
+        help="fleet-level max queued cases per tenant (overflow parks)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=64,
+        help="hard cap on admitted in-flight requests; above it requests "
+        "shed with queue_full",
+    )
+    serve.add_argument(
+        "--soft-queue-depth",
+        type=int,
+        default=48,
+        help="depth at which admission turns degraded (tight deadline + "
+        "ladder); 0 disables the degraded band",
+    )
+    serve.add_argument(
+        "--tenant-inflight",
+        type=int,
+        default=16,
+        help="max admitted in-flight requests per tenant (tenant_quota shed)",
+    )
+    serve.add_argument(
+        "--degraded-deadline-ms",
+        type=float,
+        default=250.0,
+        help="deadline pinned on degraded-band admissions",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="default per-request budget when the request sends none "
+        "(unset = the bit-exact unlimited path)",
+    )
+    serve.add_argument(
+        "--request-timeout-s",
+        type=float,
+        default=60.0,
+        help="server-side cap on waiting for a result (typed timeout past it)",
+    )
+    serve.add_argument(
+        "--tenants",
+        default=None,
+        help="comma-separated tenant allowlist (default: any tenant)",
+    )
+    serve.add_argument(
+        "--store", help="append served cases and results to this segment log"
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after answering N requests (smoke tests; default: run forever)",
+    )
+    _add_backend_flag(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     profile = sub.add_parser(
         "profile",

@@ -23,6 +23,7 @@ from .scheduler import (
 )
 from .store import MAGIC, STORE_VERSION, FleetStore, StoreRecord
 from .supervisor import (
+    CaseOutcome,
     FleetConfig,
     FleetSupervisor,
     fleet_localize,
@@ -31,6 +32,7 @@ from .supervisor import (
 )
 
 __all__ = [
+    "CaseOutcome",
     "FleetConfig",
     "FleetItem",
     "FleetStore",

@@ -84,6 +84,13 @@ class FleetItem:
     fleet's output respects.  ``attempts`` counts executions started; a
     crashed item requeues once (``attempts == 1``) before degrading to
     an error record.
+
+    ``deadline_ms`` / ``degrade`` are the per-request resilience
+    contract of the serving front door (:mod:`repro.serving`): a
+    deadline-carrying item runs through the method's budget-aware
+    ``run`` path (when it has one) so one slow request degrades itself
+    instead of stalling its shard; items without a deadline take the
+    plain ``localize`` path, bit-identical to a serial run.
     """
 
     seq: int
@@ -91,6 +98,12 @@ class FleetItem:
     case: LocalizationCase
     layout: LayoutKey
     attempts: int = 0
+    #: Per-item wall-clock budget in milliseconds (``None`` = unlimited).
+    deadline_ms: Optional[float] = None
+    #: Apply the default degradation ladder while the budget drains.
+    degrade: bool = False
+    #: Per-item top-k override (``None`` = the fleet config's policy).
+    k: Optional[int] = None
 
 
 @dataclass

@@ -35,11 +35,12 @@ with the failure on ``error``, never a raised batch.
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 from dataclasses import dataclass, field
 from collections import deque
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import obs
 from ..core.engine import AggregationEngine, engine_for
@@ -47,6 +48,8 @@ from ..data.injection import LocalizationCase
 from ..experiments.runner import CaseResult, MethodEvaluation
 from ..metrics.timing import time_localization
 from ..obs import trace as _trace
+from ..resilience.budget import Budget
+from ..resilience.degrade import DegradationPolicy
 from .scheduler import (
     FleetItem,
     LayoutKey,
@@ -57,6 +60,7 @@ from .scheduler import (
 from .store import FleetStore
 
 __all__ = [
+    "CaseOutcome",
     "FleetConfig",
     "FleetSupervisor",
     "fleet_localize",
@@ -115,6 +119,30 @@ class FleetConfig:
             raise ValueError(f"tenant_quota must be >= 1, got {self.tenant_quota}")
 
 
+@dataclass(frozen=True)
+class CaseOutcome:
+    """One finished case, as delivered to :attr:`FleetSupervisor.on_result`.
+
+    The serving front door (:mod:`repro.serving`) keys per-request
+    response futures on ``seq``; everything else is what the network
+    response needs that a :class:`~repro.experiments.runner.CaseResult`
+    row does not carry (tenant, shard, stop reason, degradation tier).
+    """
+
+    seq: int
+    case_id: str
+    tenant: str
+    predicted: Tuple
+    seconds: float
+    shard: Optional[int] = None
+    error: Optional[str] = None
+    #: Search stop reason when the item ran the budget-aware path
+    #: (``"deadline"`` marks a partial result), else ``None``.
+    stop_reason: Optional[str] = None
+    #: Degradation-ladder rung that served the item (``None`` = full).
+    tier: Optional[str] = None
+
+
 @dataclass
 class _ShardState:
     """Supervisor-side state of one shard worker."""
@@ -148,6 +176,22 @@ class FleetSupervisor:
             shards_per_layout=self.config.shards_per_layout,
             steal=self.config.steal,
         )
+        #: Per-finish hook: called with a :class:`CaseOutcome` (off the
+        #: supervisor lock, from whichever thread finished the case) as
+        #: each result lands.  The serving layer resolves its response
+        #: futures here; ``None`` costs nothing.
+        self.on_result: Optional[Callable[[CaseOutcome], None]] = None
+        runner = getattr(method, "run", None)
+        if callable(runner):
+            try:
+                self._runner_params = frozenset(inspect.signature(runner).parameters)
+            except (TypeError, ValueError):  # pragma: no cover - exotic callables
+                self._runner_params = frozenset()
+        else:
+            self._runner_params = frozenset()
+        #: Serving mode: workers persist across idle periods instead of
+        #: exiting when the queues drain (see :meth:`start_serving`).
+        self._serving = False
         self._lock = threading.Lock()
         self._states: Dict[int, _ShardState] = {}
         self._rows: Dict[int, Tuple] = {}
@@ -166,14 +210,33 @@ class FleetSupervisor:
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, case: LocalizationCase, tenant: Optional[str] = None) -> int:
-        """Enqueue one case; returns its sequence id (= output position)."""
+    def submit(
+        self,
+        case: LocalizationCase,
+        tenant: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        degrade: bool = False,
+        k: Optional[int] = None,
+    ) -> int:
+        """Enqueue one case; returns its sequence id (= output position).
+
+        ``deadline_ms`` attaches a per-case wall-clock budget, honoured
+        by methods with a budget-aware ``run`` (an expired budget yields
+        a partial result with ``stop_reason="deadline"``, never an
+        error); ``degrade`` additionally applies the default degradation
+        ladder while that budget drains.  ``k`` overrides the fleet
+        config's top-k policy for this case only (serving requests carry
+        their own ``k``).
+        """
         tenant = tenant_of(case) if tenant is None else str(tenant)
         item = FleetItem(
             seq=self._take_seq(),
             tenant=tenant,
             case=case,
             layout=layout_key(case.dataset),
+            deadline_ms=deadline_ms,
+            degrade=degrade,
+            k=k,
         )
         if self.store is not None:
             self.store.append_case(item.seq, tenant, case)
@@ -241,6 +304,9 @@ class FleetSupervisor:
     def _case_k(self, case: LocalizationCase) -> Optional[int]:
         return len(case.true_raps) if self.config.k_from_truth else self.config.k
 
+    def _item_k(self, item: FleetItem) -> Optional[int]:
+        return item.k if item.k is not None else self._case_k(item.case)
+
     def _execute(self, shard_id: int, batch: List[FleetItem]) -> None:
         """Run one acquired micro-batch; a raise here kills the shard."""
         state = self._state_for(shard_id)
@@ -253,7 +319,7 @@ class FleetSupervisor:
                 )
                 per_case = (time.perf_counter() - start) / len(batch)
                 for item, result in zip(batch, results):
-                    case_k = self._case_k(item.case)
+                    case_k = self._item_k(item)
                     predicted = (
                         result.patterns if case_k is None else result.top(case_k)
                     )
@@ -261,10 +327,43 @@ class FleetSupervisor:
             else:
                 for item in batch:
                     self._engine_ready(state, item.case)
-                    predicted, seconds = time_localization(
-                        self.method.localize, item.case.dataset, self._case_k(item.case)
-                    )
-                    self._record(item, shard_id, list(predicted), seconds)
+                    if item.deadline_ms is not None and "budget" in self._runner_params:
+                        self._execute_budgeted(item, shard_id)
+                    else:
+                        predicted, seconds = time_localization(
+                            self.method.localize,
+                            item.case.dataset,
+                            self._item_k(item),
+                        )
+                        self._record(item, shard_id, list(predicted), seconds)
+
+    def _execute_budgeted(self, item: FleetItem, shard_id: int) -> None:
+        """Run one deadline-carrying item through the method's ``run``.
+
+        The per-item :class:`~repro.resilience.budget.Budget` starts
+        counting here — execution time, not queue time, is what the
+        budget bounds (admission already shed anything that queued past
+        its welcome).  Expiry ends the search at a layer boundary with
+        the candidates found so far; the stop reason and ladder rung ride
+        back on the result row for the serving response.
+        """
+        kwargs = {"budget": Budget.from_ms(item.deadline_ms)}
+        if item.degrade and "degradation" in self._runner_params:
+            kwargs["degradation"] = DegradationPolicy()
+        start = time.perf_counter()
+        result = self.method.run(
+            item.case.dataset, k=self._item_k(item), **kwargs
+        )
+        seconds = time.perf_counter() - start
+        stats = getattr(result, "stats", None)
+        self._record(
+            item,
+            shard_id,
+            list(result.patterns),
+            seconds,
+            stop_reason=getattr(stats, "stop_reason", None),
+            tier=getattr(stats, "degradation_tier", None),
+        )
 
     def _run_guarded(self, shard_id: int, batch: List[FleetItem]) -> None:
         """:meth:`_execute` with the crash-requeue-once protocol."""
@@ -315,6 +414,8 @@ class FleetSupervisor:
         predicted: List,
         seconds: float,
         error: Optional[str],
+        stop_reason: Optional[str] = None,
+        tier: Optional[str] = None,
     ) -> Tuple:
         case = item.case
         return (
@@ -327,12 +428,24 @@ class FleetSupervisor:
             item.tenant,
             shard_id,
             error,
+            stop_reason,
+            tier,
         )
 
     def _record(
-        self, item: FleetItem, shard_id: int, predicted: List, seconds: float
+        self,
+        item: FleetItem,
+        shard_id: int,
+        predicted: List,
+        seconds: float,
+        stop_reason: Optional[str] = None,
+        tier: Optional[str] = None,
     ) -> None:
-        self._finish(self._result_row(item, shard_id, predicted, seconds, None))
+        self._finish(
+            self._result_row(
+                item, shard_id, predicted, seconds, None, stop_reason, tier
+            )
+        )
 
     def _record_error(self, item: FleetItem, exc: BaseException) -> None:
         if _trace.ACTIVE:
@@ -367,11 +480,28 @@ class FleetSupervisor:
                 admit = waiting.popleft()
             else:
                 self._inflight[tenant] = max(0, self._inflight.get(tenant, 1) - 1)
-            drained = self._outstanding == 0
+            # Serving-mode workers must survive idle periods: closing on
+            # a momentarily empty fleet would retire them between requests.
+            drained = self._outstanding == 0 and not self._serving
         if admit is not None:
             self._dispatch(admit)
         elif drained:
             self.scheduler.close()
+        callback = self.on_result
+        if callback is not None:
+            callback(
+                CaseOutcome(
+                    seq=row[0],
+                    case_id=row[1],
+                    tenant=row[6],
+                    predicted=tuple(row[2]),
+                    seconds=row[4],
+                    shard=row[7],
+                    error=row[8],
+                    stop_reason=row[9],
+                    tier=row[10],
+                )
+            )
 
     # -- drive loops -------------------------------------------------------
 
@@ -499,18 +629,79 @@ class FleetSupervisor:
         )
         with self._lock:
             rows = [self._rows[seq] for seq in sorted(self._rows)]
-        for seq, case_id, predicted, true_raps, seconds, group, __, ___, error in rows:
+        for row in rows:
             evaluation.results.append(
                 CaseResult(
-                    case_id=case_id,
-                    predicted=predicted,
-                    true_raps=true_raps,
-                    seconds=seconds,
-                    group=group,
-                    error=error,
+                    case_id=row[1],
+                    predicted=row[2],
+                    true_raps=row[3],
+                    seconds=row[4],
+                    group=row[5],
+                    error=row[8],
                 )
             )
         return evaluation
+
+    # -- continuous serving ------------------------------------------------
+
+    @property
+    def serving(self) -> bool:
+        with self._lock:
+            return self._serving
+
+    def start_serving(self) -> None:
+        """Switch to continuous mode: workers persist across idle periods.
+
+        In serving mode :meth:`submit` dispatches immediately onto
+        long-lived shard workers (spawned lazily as layouts appear) and
+        each result is delivered through :attr:`on_result` — there is no
+        drain barrier and the scheduler never closes on an empty fleet.
+        :meth:`drain` must not be used while serving; the two drive modes
+        are exclusive.  Thread mode only.
+        """
+        if self.config.mode != "thread":
+            raise ValueError("start_serving requires FleetConfig(mode='thread')")
+        with self._lock:
+            if self._serving:
+                return
+            if self._thread_drain_active:
+                raise RuntimeError("cannot start serving during an active drain")
+            self._serving = True
+            self._thread_drain_active = True
+            self._worker_shards = set()
+            self._worker_threads = []
+        self.scheduler.reopen()
+        self._ensure_workers()
+
+    def stop_serving(self, timeout: Optional[float] = None) -> None:
+        """Finish queued work, retire the workers, and leave serving mode.
+
+        Closing the scheduler lets every worker run its queue dry (queued
+        items are still served after close; only an *empty* blocked wait
+        returns) and exit.  Idempotent; safe to call with requests still
+        in flight — their results are delivered before the workers stop.
+        """
+        with self._lock:
+            if not self._serving:
+                return
+            self._serving = False
+        self.scheduler.close()
+        while True:
+            with self._lock:
+                threads = list(self._worker_threads)
+                remaining = [t for t in threads if t.is_alive()]
+            if not remaining:
+                break
+            for thread in remaining:
+                thread.join(timeout=timeout)
+                if timeout is not None and thread.is_alive():
+                    break
+            if timeout is not None:
+                break
+        with self._lock:
+            self._thread_drain_active = False
+            self._worker_shards = set()
+            self._worker_threads = []
 
     # -- warm start --------------------------------------------------------
 

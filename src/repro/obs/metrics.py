@@ -123,6 +123,15 @@ METRIC_HELP: Dict[str, str] = {
     "fleet_store_records_total": "Records appended to the fleet segment log by kind",
     "fleet_store_bytes_total": "Bytes appended to the fleet segment log",
     "fleet_store_recovered_total": "Torn trailing records dropped when opening a segment log",
+    # -- serving front door ------------------------------------------------
+    "serving_requests_total": "Localization requests by protocol and outcome",
+    "serving_request_seconds": "End-to-end request latency from admission to response (histogram)",
+    "serving_queue_depth": "Admitted-but-unfinished requests held by the server (gauge)",
+    "serving_admitted_total": "Requests admitted by service tier (full vs degraded)",
+    "serving_shed_total": "Requests shed by the admission controller by reason",
+    "serving_tenant_inflight": "In-flight admitted requests per tenant (gauge)",
+    "serving_malformed_total": "Malformed requests rejected with a typed error by code",
+    "serving_deadline_stops_total": "Requests whose search ended on the per-request deadline",
 }
 
 #: Default histogram bucket upper bounds (seconds; tuned for span durations).

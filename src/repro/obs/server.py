@@ -124,6 +124,8 @@ class TelemetryServer:
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._started_at: Optional[float] = None
+        # Uptime baseline for dispatch() callers that never start() a socket.
+        self._created_at = time.monotonic()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -178,6 +180,20 @@ class TelemetryServer:
 
     # -- routing -----------------------------------------------------------
 
+    def dispatch(
+        self, route: str, query: Optional[Dict[str, list]] = None
+    ) -> Tuple[int, str, bytes]:
+        """Serve one telemetry route without a socket.
+
+        Embedders (e.g. :class:`repro.serving.LocalizationServer`) mount
+        ``/metrics``, ``/healthz``, ``/readyz`` and the debug routes on
+        their own listener by delegating here, so one process exposes a
+        single port.  Returns ``(status, content_type, body)`` exactly as
+        the HTTP handler would; unknown routes produce the 404 catalogue.
+        """
+        normalized = route.rstrip("/") or "/"
+        return self._dispatch(normalized, query or {})
+
     def _resolve_collector(self) -> Optional[Collector]:
         return self._collector if self._collector is not None else _trace.active_collector()
 
@@ -225,9 +241,8 @@ class TelemetryServer:
     def _healthz(self) -> Tuple[int, str, bytes]:
         verdict = self._healthy() if self._healthy is not None else True
         ok = bool(verdict)
-        uptime = (
-            time.monotonic() - self._started_at if self._started_at is not None else 0.0
-        )
+        baseline = self._started_at if self._started_at is not None else self._created_at
+        uptime = time.monotonic() - baseline
         body = {"status": "ok" if ok else "unhealthy", "uptime_s": round(uptime, 3)}
         if isinstance(verdict, dict):
             body.update(_json_safe(verdict))

@@ -1,0 +1,117 @@
+"""Admission controller tests: caps, precedence, degraded band, ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import AdmissionConfig, AdmissionController
+
+
+def controller(**kwargs) -> AdmissionController:
+    return AdmissionController(AdmissionConfig(**kwargs))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_queue_depth=4, soft_queue_depth=5)
+        with pytest.raises(ValueError):
+            AdmissionConfig(soft_queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(tenant_inflight_limit=0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(degraded_deadline_ms=0)
+
+    def test_soft_band_optional(self):
+        ctl = controller(max_queue_depth=2, soft_queue_depth=None)
+        assert ctl.try_admit("a").tier == "full"
+        assert ctl.try_admit("a").tier == "full"
+
+
+class TestPolicy:
+    def test_full_then_degraded_then_shed(self):
+        ctl = controller(
+            max_queue_depth=3, soft_queue_depth=2, tenant_inflight_limit=10
+        )
+        first = ctl.try_admit("a")
+        second = ctl.try_admit("a")
+        third = ctl.try_admit("a")
+        fourth = ctl.try_admit("a")
+        assert (first.tier, second.tier, third.tier) == ("full", "full", "degraded")
+        assert third.deadline_ms == ctl.config.degraded_deadline_ms
+        assert not fourth.admitted and fourth.shed_reason == "queue_full"
+
+    def test_tenant_quota_isolates_tenants(self):
+        ctl = controller(
+            max_queue_depth=10, soft_queue_depth=None, tenant_inflight_limit=2
+        )
+        assert ctl.try_admit("hog").admitted
+        assert ctl.try_admit("hog").admitted
+        refused = ctl.try_admit("hog")
+        assert refused.shed_reason == "tenant_quota"
+        # Other tenants are untouched by the hog's exhaustion.
+        assert ctl.try_admit("quiet").admitted
+
+    def test_shutdown_precedes_everything(self):
+        ctl = controller(max_queue_depth=10, soft_queue_depth=None)
+        ctl.begin_shutdown()
+        verdict = ctl.try_admit("a")
+        assert verdict.shed_reason == "shutting_down"
+        assert ctl.shutting_down
+
+    def test_queue_full_precedes_tenant_quota(self):
+        ctl = controller(
+            max_queue_depth=1, soft_queue_depth=None, tenant_inflight_limit=1
+        )
+        assert ctl.try_admit("a").admitted
+        # "b" has quota, but the server-wide cap decides first.
+        assert ctl.try_admit("b").shed_reason == "queue_full"
+
+
+class TestLedger:
+    def test_release_restores_capacity(self):
+        ctl = controller(max_queue_depth=1, soft_queue_depth=None)
+        assert ctl.try_admit("a").admitted
+        assert not ctl.try_admit("a").admitted
+        ctl.release("a")
+        assert ctl.depth == 0
+        assert ctl.try_admit("a").admitted
+
+    def test_release_without_admit_raises(self):
+        ctl = controller()
+        with pytest.raises(RuntimeError):
+            ctl.release("a")
+
+    def test_release_wrong_tenant_raises(self):
+        ctl = controller()
+        ctl.try_admit("a")
+        with pytest.raises(RuntimeError):
+            ctl.release("b")
+
+    def test_snapshot_and_counters(self):
+        ctl = controller()
+        ctl.try_admit("a")
+        ctl.try_admit("a")
+        ctl.try_admit("b")
+        assert ctl.depth == 3
+        assert ctl.tenant_inflight("a") == 2
+        assert ctl.snapshot() == {"a": 2, "b": 1}
+        ctl.release("a")
+        ctl.release("b")
+        assert ctl.snapshot() == {"a": 1}
+
+    def test_retry_after_scales_with_depth(self):
+        ctl = controller()
+        empty = ctl.retry_after_ms(10.0)
+        ctl.try_admit("a")
+        ctl.try_admit("a")
+        assert ctl.retry_after_ms(10.0) >= empty
+
+    def test_slots_still_release_during_shutdown(self):
+        ctl = controller()
+        ctl.try_admit("a")
+        ctl.begin_shutdown()
+        ctl.release("a")
+        assert ctl.depth == 0

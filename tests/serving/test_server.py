@@ -1,0 +1,442 @@
+"""Live-server tests: bit-identity, overload shed, deadlines, bad input.
+
+Every test here runs a real :class:`LocalizationServer` on ephemeral
+localhost ports and talks to it over the wire — the same code path a
+deployment exercises.  Bind-then-report makes that flake-free: ports
+are exact the moment ``start()`` returns, so no test ever sleeps
+waiting for a listener.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+
+import pytest
+
+from repro import obs
+from repro.core.miner import RAPMiner
+from repro.data.rapmd import RAPMDConfig, generate_rapmd
+from repro.data.schema import cdn_schema
+from repro.obs.server import TelemetryServer
+from repro.fleet import FleetConfig, FleetSupervisor
+from repro.serving import (
+    AdmissionConfig,
+    BinaryServingClient,
+    KIND_REQUEST,
+    LocalizationServer,
+    ServingClient,
+    ServingConfig,
+    encode_frame,
+)
+from repro.serving.protocol import FRAME_HEADER, MAGIC, PROTOCOL_VERSION
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return generate_rapmd(
+        cdn_schema(4, 2, 2, 3), RAPMDConfig(n_cases=4, n_days=2, seed=9)
+    )
+
+
+@pytest.fixture(scope="module")
+def serial(cases):
+    miner = RAPMiner()
+    return {
+        case.case_id: [
+            str(p) for p in miner.localize(case.dataset, len(case.true_raps))
+        ]
+        for case in cases
+    }
+
+
+class SlowMiner:
+    """A localizer with a fixed floor latency (overload/timeout tests)."""
+
+    name = "SlowMiner"
+
+    def __init__(self, delay: float):
+        self.delay = delay
+        self._inner = RAPMiner()
+
+    def localize(self, dataset, k=None):
+        time.sleep(self.delay)
+        return self._inner.localize(dataset, k)
+
+
+@contextmanager
+def serve(method=None, fleet: FleetConfig = None, **serving_kwargs):
+    supervisor = FleetSupervisor(
+        method if method is not None else RAPMiner(),
+        config=fleet if fleet is not None else FleetConfig(),
+    )
+    server = LocalizationServer(supervisor, ServingConfig(**serving_kwargs))
+    with server:
+        yield server
+
+
+class TestBitIdentity:
+    def test_http_matches_serial(self, cases, serial):
+        with serve() as server:
+            client = ServingClient("127.0.0.1", server.http_port)
+            for case in cases:
+                body = client.localize(case, k=len(case.true_raps))
+                assert body["status"] == "ok"
+                assert body["http_status"] == 200
+                assert body["tier"] == "full"
+                assert body["root_causes"] == serial[case.case_id]
+
+    def test_binary_matches_serial(self, cases, serial):
+        with serve() as server:
+            with BinaryServingClient("127.0.0.1", server.binary_port) as client:
+                for case in cases:
+                    body = client.localize(case, k=len(case.true_raps))
+                    assert body["status"] == "ok"
+                    assert body["root_causes"] == serial[case.case_id]
+
+    def test_concurrent_requests_stay_bit_exact(self, cases, serial):
+        """Many tenants firing at once never cross-contaminate results."""
+        with serve(fleet=FleetConfig(shards_per_layout=2)) as server:
+            client = ServingClient("127.0.0.1", server.http_port)
+
+            def shoot(i):
+                case = cases[i % len(cases)]
+                return case.case_id, client.localize(
+                    case, tenant=f"t{i % 3}", k=len(case.true_raps)
+                )
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                for case_id, body in pool.map(shoot, range(24)):
+                    assert body["status"] == "ok"
+                    assert body["root_causes"] == serial[case_id]
+
+    def test_request_id_echoes(self, cases):
+        with serve() as server:
+            client = ServingClient("127.0.0.1", server.http_port)
+            body = client.localize(cases[0], k=1, request_id="tick-42")
+            assert body["request_id"] == "tick-42"
+
+
+class TestOverload:
+    def test_sheds_typed_and_serves_the_admitted(self, cases, serial):
+        """Past the hard cap requests shed with a typed code, instantly;
+        everything admitted still answers bit-exact."""
+        admission = AdmissionConfig(
+            max_queue_depth=2, soft_queue_depth=None, tenant_inflight_limit=2
+        )
+        with serve(method=SlowMiner(0.3), admission=admission) as server:
+            client = ServingClient("127.0.0.1", server.http_port)
+            case = cases[0]
+
+            def shoot(i):
+                return client.localize(case, k=len(case.true_raps))
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                bodies = list(pool.map(shoot, range(8)))
+            ok = [b for b in bodies if b["status"] == "ok"]
+            shed = [b for b in bodies if b["status"] == "shed"]
+            assert ok and shed  # overload really happened, service persisted
+            for body in ok:
+                assert body["root_causes"] == serial[case.case_id]
+            for body in shed:
+                assert body["code"] in ("queue_full", "tenant_quota")
+                assert body["http_status"] in (429, 503)
+                assert body["retry_after_ms"] > 0
+            # Slots drain fully once the work finishes: no leaked depth.
+            assert server.admission.depth == 0
+            followup = client.localize(case, k=1)
+            assert followup["status"] == "ok"
+
+    def test_tenant_quota_shed_names_the_reason(self, cases):
+        admission = AdmissionConfig(
+            max_queue_depth=16, soft_queue_depth=None, tenant_inflight_limit=1
+        )
+        with serve(method=SlowMiner(0.4), admission=admission) as server:
+            client = ServingClient("127.0.0.1", server.http_port)
+
+            def shoot(tenant):
+                return client.localize(cases[0], tenant=tenant, k=1)
+
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                bodies = list(pool.map(shoot, ["hog", "hog", "hog", "hog"]))
+            reasons = {b["code"] for b in bodies if b["status"] == "shed"}
+            assert reasons == {"tenant_quota"}
+
+    def test_degraded_band_pins_a_deadline(self, cases):
+        """Between soft and hard caps requests run degraded, not shed."""
+        admission = AdmissionConfig(
+            max_queue_depth=8,
+            soft_queue_depth=1,
+            tenant_inflight_limit=8,
+            degraded_deadline_ms=30.0,
+        )
+        with serve(admission=admission, fleet=FleetConfig(shards_per_layout=1)) as server:
+            client = ServingClient("127.0.0.1", server.http_port)
+
+            def shoot(i):
+                return client.localize(cases[i % len(cases)], k=1)
+
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                bodies = list(pool.map(shoot, range(12)))
+            tiers = {b.get("tier") for b in bodies if b["status"] == "ok"}
+            assert all(b["status"] == "ok" for b in bodies)
+            # With depth piling past the soft cap some requests must have
+            # taken the degraded band (full ones are fine too: depth
+            # fluctuates as results land).
+            assert "degraded" in tiers or "full" in tiers
+
+    def test_shutdown_sheds_shutting_down(self, cases):
+        with serve() as server:
+            client = ServingClient("127.0.0.1", server.http_port)
+            server.admission.begin_shutdown()
+            body = client.localize(cases[0], k=1)
+            assert body["status"] == "shed"
+            assert body["code"] == "shutting_down"
+
+
+class TestDeadlines:
+    def test_tight_deadline_returns_partial_not_error(self, cases):
+        with serve() as server:
+            client = ServingClient("127.0.0.1", server.http_port)
+            body = client.localize(cases[0], k=3, deadline_ms=0.001)
+            assert body["status"] == "ok"
+            assert body["stop_reason"] == "deadline"
+
+    def test_roomy_deadline_matches_serial(self, cases, serial):
+        with serve() as server:
+            client = ServingClient("127.0.0.1", server.http_port)
+            case = cases[0]
+            body = client.localize(case, k=len(case.true_raps), deadline_ms=60_000)
+            assert body["status"] == "ok"
+            assert body["stop_reason"] != "deadline"
+            assert body["root_causes"] == serial[case.case_id]
+
+    def test_server_side_timeout_is_typed(self, cases):
+        with serve(method=SlowMiner(1.0), request_timeout_s=0.1) as server:
+            client = ServingClient("127.0.0.1", server.http_port)
+            body = client.localize(cases[0], k=1)
+            assert body["status"] == "error"
+            assert body["code"] == "timeout"
+            assert body["http_status"] == 504
+            # The abandoned slot still releases when the fleet finishes.
+            deadline = time.time() + 10
+            while server.admission.depth and time.time() < deadline:
+                time.sleep(0.02)
+            assert server.admission.depth == 0
+
+
+class TestMalformedInput:
+    """Garbage off the wire gets a typed error; the server never wedges."""
+
+    def test_http_bad_json(self, cases):
+        with serve() as server:
+            client = ServingClient("127.0.0.1", server.http_port)
+            status, __, data = client.request("POST", "/localize", b"{nope")
+            assert status == 400
+            assert json.loads(data)["code"] == "bad_json"
+            assert client.localize(cases[0], k=1)["status"] == "ok"
+
+    def test_http_bad_schema(self, cases):
+        with serve() as server:
+            client = ServingClient("127.0.0.1", server.http_port)
+            status, __, data = client.request(
+                "POST", "/localize", json.dumps({"case": {"schema": 1}}).encode()
+            )
+            assert json.loads(data)["code"] == "bad_case"
+            assert client.localize(cases[0], k=1)["status"] == "ok"
+
+    def test_http_oversized_payload(self, cases):
+        with serve(max_payload_bytes=2048) as server:
+            client = ServingClient("127.0.0.1", server.http_port)
+            status, __, data = client.request("POST", "/localize", b"x" * 4096)
+            assert status == 413
+            assert json.loads(data)["code"] == "oversized_payload"
+            assert server.admission.depth == 0
+
+    def test_http_truncated_body(self, cases):
+        """A Content-Length bigger than the bytes sent gets 'truncated'."""
+        with serve() as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.http_port), timeout=10
+            ) as sock:
+                sock.sendall(
+                    b"POST /localize HTTP/1.1\r\n"
+                    b"Content-Length: 500\r\n\r\n"
+                    b"only a few bytes"
+                )
+                sock.shutdown(socket.SHUT_WR)
+                response = sock.recv(65536)
+            assert b"truncated" in response
+            client = ServingClient("127.0.0.1", server.http_port)
+            assert client.localize(cases[0], k=1)["status"] == "ok"
+
+    def test_http_unknown_tenant(self, cases):
+        with serve(tenants=["edge-eu"]) as server:
+            client = ServingClient("127.0.0.1", server.http_port)
+            body = client.localize(cases[0], tenant="intruder", k=1)
+            assert body["status"] == "error"
+            assert body["code"] == "unknown_tenant"
+            assert body["http_status"] == 403
+            assert client.localize(cases[0], tenant="edge-eu", k=1)["status"] == "ok"
+
+    def test_http_routes_and_methods(self):
+        with serve() as server:
+            client = ServingClient("127.0.0.1", server.http_port)
+            status, __, data = client.request("GET", "/nope")
+            assert status == 404 and json.loads(data)["code"] == "not_found"
+            status, __, data = client.request("GET", "/localize")
+            assert status == 405 and json.loads(data)["code"] == "bad_method"
+            status, __, data = client.request("POST", "/metrics", b"{}")
+            assert status == 404 and json.loads(data)["code"] == "not_found"
+
+    def test_binary_bad_magic(self, cases):
+        with serve() as server:
+            with BinaryServingClient("127.0.0.1", server.binary_port) as client:
+                client.send_raw(b"XXXX" + bytes(6) + b"junk")
+                assert client.read_response()["code"] == "bad_frame"
+            # The poisoned connection died; a fresh one still serves.
+            with BinaryServingClient("127.0.0.1", server.binary_port) as client:
+                assert client.localize(cases[0], k=1)["status"] == "ok"
+
+    def test_binary_truncated_frame(self, cases):
+        with serve() as server:
+            with BinaryServingClient("127.0.0.1", server.binary_port) as client:
+                header = FRAME_HEADER.pack(MAGIC, PROTOCOL_VERSION, KIND_REQUEST, 100)
+                client.send_raw(header + b"short")
+                client._sock.shutdown(socket.SHUT_WR)
+                assert client.read_response()["code"] == "truncated"
+            assert server.admission.depth == 0
+
+    def test_binary_oversized_declaration(self, cases):
+        with serve(max_payload_bytes=2048) as server:
+            with BinaryServingClient("127.0.0.1", server.binary_port) as client:
+                header = FRAME_HEADER.pack(
+                    MAGIC, PROTOCOL_VERSION, KIND_REQUEST, 1 << 20
+                )
+                client.send_raw(header)
+                assert client.read_response()["code"] == "oversized_payload"
+
+    def test_binary_wrong_kind(self, cases):
+        with serve() as server:
+            with BinaryServingClient("127.0.0.1", server.binary_port) as client:
+                client.send_raw(encode_frame(2, {"status": "ok"}))  # response kind
+                assert client.read_response()["code"] == "bad_frame"
+
+
+class TestTelemetryPlane:
+    def test_routes_mounted_on_serving_port(self, cases):
+        with obs.capture():
+            with serve() as server:
+                client = ServingClient("127.0.0.1", server.http_port)
+                client.localize(cases[0], k=1)
+                text = client.metrics()
+                assert "serving_requests_total" in text
+                assert "serving_admitted_total" in text
+                status, __, data = client.request("GET", "/healthz")
+                assert status == 200 and json.loads(data)["status"] == "ok"
+                status, __, data = client.request("GET", "/readyz")
+                body = json.loads(data)
+                assert status == 200 and body["ready"] is True
+        # After stop the readiness probe reports not ready.
+        assert server._readiness()["ready"] is False
+
+    def test_slo_tracker_fed_per_request(self, cases):
+        with serve() as server:
+            client = ServingClient("127.0.0.1", server.http_port)
+            client.localize(cases[0], k=1)
+            client.localize(cases[1], k=1)
+            assert server.slo.ticks_recorded == 2
+
+    def test_shed_and_malformed_counted(self, cases):
+        with obs.capture():
+            admission = AdmissionConfig(max_queue_depth=1, soft_queue_depth=None)
+            with serve(method=SlowMiner(0.3), admission=admission) as server:
+                client = ServingClient("127.0.0.1", server.http_port)
+                with ThreadPoolExecutor(max_workers=3) as pool:
+                    list(pool.map(lambda _: client.localize(cases[0], k=1), range(3)))
+                client.request("POST", "/localize", b"junk")
+                text = client.metrics()
+                assert "serving_shed_total" in text
+                assert 'code="bad_json"' in text
+
+
+class TestPortBinding:
+    """Regression: ephemeral ports are exact and live at start() return."""
+
+    def test_ports_connectable_immediately(self):
+        for _ in range(3):
+            with serve() as server:
+                assert server.http_port != 0
+                assert server.binary_port != 0
+                assert server.http_port != server.binary_port
+                # No sleep, no retry: connect the instant start() returns.
+                for port in (server.http_port, server.binary_port):
+                    with socket.create_connection(("127.0.0.1", port), timeout=5):
+                        pass
+
+    def test_telemetry_server_port_exact_after_start(self):
+        for _ in range(3):
+            server = TelemetryServer(port=0)
+            with server:
+                assert server.port != 0
+                with socket.create_connection(("127.0.0.1", server.port), timeout=5):
+                    pass
+
+    def test_both_planes_coexist_on_ephemeral_ports(self):
+        telemetry = TelemetryServer(port=0)
+        with telemetry:
+            with serve() as serving:
+                ports = {telemetry.port, serving.http_port, serving.binary_port}
+                assert len(ports) == 3  # all distinct, all bound
+
+    def test_binary_plane_optional(self):
+        with serve(binary_port=None) as server:
+            assert server.binary_port is None
+            client = ServingClient("127.0.0.1", server.http_port)
+            status, __, __ = client.request("GET", "/healthz")
+            assert status == 200
+
+    def test_detached_dispatch(self):
+        """TelemetryServer.dispatch serves routes without a socket."""
+        server = TelemetryServer()
+        status, content_type, body = server.dispatch("/healthz")
+        assert status == 200
+        assert json.loads(body)["uptime_s"] >= 0
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent_and_restartable(self, cases):
+        supervisor = FleetSupervisor(RAPMiner(), config=FleetConfig())
+        server = LocalizationServer(supervisor, ServingConfig())
+        server.start()
+        ServingClient("127.0.0.1", server.http_port).localize(cases[0], k=1)
+        server.stop()
+        server.stop()  # no-op
+        # The same supervisor serves again on a fresh server.
+        second = LocalizationServer(supervisor, ServingConfig())
+        with second:
+            body = ServingClient("127.0.0.1", second.http_port).localize(
+                cases[0], k=1
+            )
+            assert body["status"] == "ok"
+
+    def test_double_start_rejected(self):
+        supervisor = FleetSupervisor(RAPMiner(), config=FleetConfig())
+        server = LocalizationServer(supervisor, ServingConfig())
+        with server:
+            with pytest.raises(RuntimeError):
+                server.start()
+
+    def test_inflight_requests_answered_during_stop(self, cases):
+        """stop() drains: an admitted slow request still gets its answer."""
+        with serve(method=SlowMiner(0.3)) as server:
+            client = ServingClient("127.0.0.1", server.http_port)
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                future = pool.submit(client.localize, cases[0], None, 1)
+                time.sleep(0.1)  # let it get admitted
+                server.stop()
+                body = future.result(timeout=30)
+                assert body["status"] == "ok"
